@@ -1,0 +1,114 @@
+// §10.3 CPU costs: google-benchmark microbenchmarks of the cryptographic
+// primitives that dominate Algorand's CPU usage (the paper: "most of it for
+// verifying signatures and VRFs").
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/core/sortition.h"
+#include "src/crypto/ed25519.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/sha512.h"
+#include "src/crypto/vrf.h"
+
+namespace algorand {
+namespace {
+
+Ed25519KeyPair BenchKey() {
+  FixedBytes<32> seed;
+  DeterministicRng rng(1);
+  rng.FillBytes(seed.data(), 32);
+  return Ed25519KeyFromSeed(seed);
+}
+
+void BM_Sha256_1KB(benchmark::State& state) {
+  std::vector<uint8_t> data(1024, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KB);
+
+void BM_Sha256_1MB(benchmark::State& state) {
+  std::vector<uint8_t> data(1 << 20, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_Sha256_1MB);
+
+void BM_Sha512_1KB(benchmark::State& state) {
+  std::vector<uint8_t> data(1024, 0xcd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha512::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha512_1KB);
+
+void BM_Ed25519_Sign(benchmark::State& state) {
+  Ed25519KeyPair key = BenchKey();
+  auto msg = BytesOfString("a typical 316-byte committee vote message body padded out to size....");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ed25519Sign(key, msg));
+  }
+}
+BENCHMARK(BM_Ed25519_Sign);
+
+void BM_Ed25519_Verify(benchmark::State& state) {
+  Ed25519KeyPair key = BenchKey();
+  auto msg = BytesOfString("a typical 316-byte committee vote message body padded out to size....");
+  Signature sig = Ed25519Sign(key, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ed25519Verify(key.public_key, msg, sig));
+  }
+}
+BENCHMARK(BM_Ed25519_Verify);
+
+void BM_EcVrf_Prove(benchmark::State& state) {
+  Ed25519KeyPair key = BenchKey();
+  auto alpha = BytesOfString("seed||role||round||step");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EcVrfProve(key, alpha));
+  }
+}
+BENCHMARK(BM_EcVrf_Prove);
+
+void BM_EcVrf_Verify(benchmark::State& state) {
+  Ed25519KeyPair key = BenchKey();
+  auto alpha = BytesOfString("seed||role||round||step");
+  VrfResult res = EcVrfProve(key, alpha);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EcVrfVerify(key.public_key, alpha, res.proof));
+  }
+}
+BENCHMARK(BM_EcVrf_Verify);
+
+void BM_Sortition_SelectSubUsers(benchmark::State& state) {
+  DeterministicRng rng(2);
+  VrfOutput hash;
+  rng.FillBytes(hash.data(), hash.size());
+  for (auto _ : state) {
+    // Paper-scale: weight 1000 of W=50M total, tau=2000.
+    benchmark::DoNotOptimize(SelectSubUsers(hash, 1000, 2000.0 / 50e6));
+  }
+}
+BENCHMARK(BM_Sortition_SelectSubUsers);
+
+void BM_Sortition_FullRun(benchmark::State& state) {
+  Ed25519KeyPair key = BenchKey();
+  SeedBytes seed;
+  EcVrf vrf;
+  uint64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunSortition(vrf, key, seed, 2000, Role::kCommittee, ++round, 1, 1000, 50000000));
+  }
+}
+BENCHMARK(BM_Sortition_FullRun);
+
+}  // namespace
+}  // namespace algorand
+
+BENCHMARK_MAIN();

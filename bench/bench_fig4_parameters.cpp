@@ -1,0 +1,43 @@
+// Figure 4: the implementation parameters, printed with their provenance, and
+// cross-checked against the committee-size analysis.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/committee_analysis.h"
+#include "src/core/params.h"
+
+using namespace algorand;
+
+int main() {
+  bench::Banner("fig4", "Figure 4 (implementation parameters)",
+                "the parameter table of the paper's prototype");
+
+  ProtocolParams p = ProtocolParams::Paper();
+  printf("%-16s %-44s %s\n", "parameter", "meaning", "value");
+  printf("%-16s %-44s %.0f%%\n", "h", "assumed fraction of honest weighted users",
+         p.honest_fraction * 100);
+  printf("%-16s %-44s %llu\n", "R", "seed refresh interval (# of rounds)",
+         static_cast<unsigned long long>(p.seed_refresh_interval));
+  printf("%-16s %-44s %.0f\n", "tau_proposer", "expected # of block proposers", p.tau_proposer);
+  printf("%-16s %-44s %.0f\n", "tau_step", "expected # of committee members", p.tau_step);
+  printf("%-16s %-44s %.1f%%\n", "T_step", "threshold of tau_step for BA*", p.t_step * 100);
+  printf("%-16s %-44s %.0f\n", "tau_final", "expected # of final committee members",
+         p.tau_final);
+  printf("%-16s %-44s %.0f%%\n", "T_final", "threshold of tau_final for BA*", p.t_final * 100);
+  printf("%-16s %-44s %d\n", "MaxSteps", "maximum # of steps in BinaryBA*", p.max_steps);
+  printf("%-16s %-44s %.0f seconds\n", "lambda_priority", "time to gossip sortition proofs",
+         ToSeconds(p.lambda_priority));
+  printf("%-16s %-44s %.0f minute(s)\n", "lambda_block", "timeout for receiving a block",
+         ToSeconds(p.lambda_block) / 60);
+  printf("%-16s %-44s %.0f seconds\n", "lambda_step", "timeout for a BA* step",
+         ToSeconds(p.lambda_step));
+  printf("%-16s %-44s %.0f seconds\n", "lambda_stepvar", "estimate of BA* completion variance",
+         ToSeconds(p.lambda_stepvar));
+
+  printf("\ncross-checks against the Appendix B analysis:\n");
+  printf("  violation(h=0.80, tau_step=2000, T=0.685)  = %.3e (target < 5e-9)\n",
+         CommitteeViolationProbability(0.80, 2000, 0.685));
+  printf("  violation(h=0.80, tau_final=10000, T=0.74) = %.3e (stronger for finality)\n",
+         CommitteeViolationProbability(0.80, 10000, 0.74));
+  return 0;
+}

@@ -1,0 +1,72 @@
+// §10.5 timeout-parameter validation: measures, inside a full simulated
+// deployment, the quantities the Figure 4 timeouts must dominate —
+//   - time for the winning priority message to reach users  (< lambda_priority = 5 s)
+//   - time for the winning block to reach users              (< lambda_block = 60 s)
+//   - per-BA*-step completion time                           (< lambda_step = 20 s)
+//   - spread (p75-p25) of BA* completion across users        (< lambda_stepvar = 5 s)
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/sim_runner.h"
+
+using namespace algorand;
+using namespace algorand::bench;
+
+int main() {
+  Banner("timeouts", "§10.5 (validating the Figure 4 timeout parameters)",
+         "steps finish well under lambda_step; priority gossip ~1 s; blocks "
+         "gossip well under lambda_block; completion spread under lambda_stepvar");
+
+  HarnessConfig cfg;
+  cfg.n_nodes = 150;
+  cfg.params = ProtocolParams::Paper();
+  cfg.params.tau_proposer = 26;
+  cfg.params.tau_step = 100;
+  cfg.params.tau_final = 300;
+  cfg.params.block_size_bytes = 1 << 20;
+  cfg.use_sim_crypto = true;
+  cfg.rng_seed = 8;
+  SimHarness h(cfg);
+  h.Start();
+  if (!h.RunRounds(4, Hours(2))) {
+    printf("run failed\n");
+    return 1;
+  }
+
+  std::vector<double> priority_times, block_times, step_times, completion_times;
+  for (size_t i = 0; i < h.node_count(); ++i) {
+    for (const RoundRecord& rec : h.node(i).round_records()) {
+      if (rec.end_time == 0 || rec.round < 2) {
+        continue;  // Skip the first round (synchronized start skews it).
+      }
+      if (rec.best_priority_at > rec.start_time) {
+        priority_times.push_back(ToSeconds(rec.best_priority_at - rec.start_time));
+      }
+      if (rec.candidate_block_at > rec.start_time) {
+        block_times.push_back(ToSeconds(rec.candidate_block_at - rec.start_time));
+      }
+      if (rec.binary_steps > 0) {
+        step_times.push_back(ToSeconds(rec.binary_done_at - rec.reduction_done_at) /
+                             rec.binary_steps);
+      }
+      completion_times.push_back(ToSeconds(rec.end_time - rec.start_time));
+    }
+  }
+  Summary pri = Summarize(std::move(priority_times));
+  Summary blk = Summarize(std::move(block_times));
+  Summary stp = Summarize(std::move(step_times));
+  Summary cmp = Summarize(std::move(completion_times));
+
+  printf("%-34s %-10s %-10s %-10s %-14s %s\n", "quantity", "median(s)", "p75(s)", "max(s)",
+         "budget", "ok?");
+  printf("%-34s %-10.2f %-10.2f %-10.2f %-14s %s\n", "priority gossip (from round start)",
+         pri.median, pri.p75, pri.max, "lambda_priority=5s", pri.max < 5 ? "yes" : "over");
+  printf("%-34s %-10.2f %-10.2f %-10.2f %-14s %s\n", "winning 1MB block receipt", blk.median,
+         blk.p75, blk.max, "lambda_block=60s", blk.max < 60 ? "yes" : "over");
+  printf("%-34s %-10.2f %-10.2f %-10.2f %-14s %s\n", "per BA* step", stp.median, stp.p75, stp.max,
+         "lambda_step=20s", stp.max < 20 ? "yes" : "over");
+  printf("%-34s %-10.2f %-10.2f %-10.2f %-14s %s\n", "round completion spread (p75-p25)",
+         cmp.p75 - cmp.p25, 0.0, 0.0, "lambda_stepvar=5s",
+         (cmp.p75 - cmp.p25) < 5 ? "yes" : "over");
+  return 0;
+}

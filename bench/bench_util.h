@@ -1,0 +1,34 @@
+// Shared helpers for the figure-reproduction benchmark binaries: consistent
+// table formatting and a standard banner explaining how to read the output.
+#ifndef ALGORAND_BENCH_BENCH_UTIL_H_
+#define ALGORAND_BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace algorand {
+namespace bench {
+
+inline void Banner(const char* experiment_id, const char* paper_artifact,
+                   const char* expectation) {
+  printf("================================================================================\n");
+  printf("%s — reproduces %s\n", experiment_id, paper_artifact);
+  printf("paper expectation: %s\n", expectation);
+  printf("================================================================================\n");
+}
+
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  vprintf(fmt, args);
+  va_end(args);
+  printf("\n");
+}
+
+inline void Note(const char* text) { printf("note: %s\n", text); }
+
+}  // namespace bench
+}  // namespace algorand
+
+#endif  // ALGORAND_BENCH_BENCH_UTIL_H_

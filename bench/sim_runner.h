@@ -1,0 +1,89 @@
+// Shared scenario runner for the figure-reproduction benches: configures a
+// SimHarness, runs a few rounds, and condenses the per-node records into the
+// statistics the paper plots.
+//
+// Scaling policy (documented in DESIGN.md/EXPERIMENTS.md): expected committee
+// sizes are held CONSTANT while the user count sweeps — that is the paper's
+// central scalability argument (§8.4: per-user cost depends on committee
+// size, not user count). Crypto uses the Sim backends plus the verification
+// cache, mirroring the paper's replace-verification-with-sleeps methodology.
+#ifndef ALGORAND_BENCH_SIM_RUNNER_H_
+#define ALGORAND_BENCH_SIM_RUNNER_H_
+
+#include <memory>
+
+#include "src/common/stats.h"
+#include "src/core/sim_harness.h"
+
+namespace algorand {
+namespace bench {
+
+struct RunSpec {
+  size_t n_nodes = 150;
+  uint64_t rounds = 3;
+  uint64_t seed = 1;
+  uint64_t block_size = 1 << 20;
+
+  double tau_proposer = 26;  // Paper value.
+  double tau_step = 100;
+  double tau_final = 300;
+
+  double uplink_bytes_per_sec = 20e6 / 8;  // 20 Mbit/s, the paper's cap.
+  SimTime lambda_step = Seconds(20);
+  double malicious_fraction = 0;
+  bool real_crypto = false;
+  SimTime deadline = Hours(6);
+};
+
+struct RunResult {
+  bool completed = false;
+  bool safety_ok = false;
+  Summary latency;  // Round-completion seconds across honest nodes & rounds.
+  SimHarness::PhaseBreakdown phases;
+  double bytes_per_user_per_round = 0;
+  uint64_t executed_events = 0;
+};
+
+inline RunResult RunScenario(const RunSpec& spec) {
+  HarnessConfig cfg;
+  cfg.n_nodes = spec.n_nodes;
+  cfg.rng_seed = spec.seed;
+  cfg.params = ProtocolParams::Paper();
+  cfg.params.tau_proposer = spec.tau_proposer;
+  cfg.params.tau_step = spec.tau_step;
+  cfg.params.tau_final = spec.tau_final;
+  cfg.params.lambda_step = spec.lambda_step;
+  cfg.params.block_size_bytes = spec.block_size;
+  cfg.net.uplink_bytes_per_sec = spec.uplink_bytes_per_sec;
+  cfg.latency = HarnessConfig::Latency::kCity;
+  cfg.use_sim_crypto = !spec.real_crypto;
+  cfg.malicious_fraction = spec.malicious_fraction;
+
+  SimHarness h(cfg);
+  h.Start();
+  RunResult result;
+  result.completed = h.RunRounds(spec.rounds, spec.deadline);
+  result.safety_ok = h.CheckSafety().ok;
+  std::vector<double> latencies;
+  for (uint64_t r = 1; r <= spec.rounds; ++r) {
+    for (double v : h.RoundLatencies(r)) {
+      latencies.push_back(v);
+    }
+  }
+  result.latency = Summarize(std::move(latencies));
+  result.phases = h.MeanPhaseBreakdown(1, spec.rounds);
+  uint64_t total_bytes = 0;
+  for (size_t i = 0; i < h.node_count(); ++i) {
+    total_bytes += h.network().traffic(static_cast<NodeId>(i)).bytes_sent;
+  }
+  result.bytes_per_user_per_round = static_cast<double>(total_bytes) /
+                                    static_cast<double>(h.node_count()) /
+                                    static_cast<double>(spec.rounds);
+  result.executed_events = h.sim().executed_events();
+  return result;
+}
+
+}  // namespace bench
+}  // namespace algorand
+
+#endif  // ALGORAND_BENCH_SIM_RUNNER_H_

@@ -1,0 +1,50 @@
+// Nakamoto-consensus (Bitcoin-like) baseline simulator.
+//
+// The paper's throughput claim (§10.2) compares Algorand against Bitcoin:
+// a 1 MB block every ~10 minutes, with transactions considered confirmed
+// after 6 blocks. This module simulates proof-of-work longest-chain
+// consensus with exponential block arrivals and a propagation-delay fork
+// model (two blocks found within a propagation window orphan one of them),
+// producing committed-bytes-per-hour and confirmation-latency numbers that
+// the throughput bench sets against Algorand's.
+#ifndef ALGORAND_SRC_BASELINE_NAKAMOTO_H_
+#define ALGORAND_SRC_BASELINE_NAKAMOTO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace algorand {
+
+struct NakamotoConfig {
+  size_t n_miners = 100;
+  // Expected time between blocks network-wide (Bitcoin: 600 s).
+  double mean_block_interval_s = 600;
+  uint64_t block_size_bytes = 1 << 20;
+  // Blocks on top required before a transaction counts as confirmed
+  // (Bitcoin folklore: 6).
+  int confirmations = 6;
+  // Time for a freshly mined block to reach (almost) every miner. Decker &
+  // Wattenhofer measured ~10 s per MB scale for Bitcoin.
+  double propagation_delay_s = 10;
+  uint64_t rng_seed = 1;
+};
+
+struct NakamotoResult {
+  uint64_t blocks_mined = 0;
+  uint64_t main_chain_blocks = 0;
+  uint64_t orphans = 0;
+  double duration_s = 0;
+  double fork_rate = 0;  // Orphans / blocks mined.
+  // Committed payload on the main chain per hour.
+  double throughput_bytes_per_hour = 0;
+  // Mean time from a transaction entering a block until that block has
+  // `confirmations` blocks on top of it (and the last one propagated).
+  double mean_confirmation_latency_s = 0;
+};
+
+NakamotoResult SimulateNakamoto(const NakamotoConfig& config, double duration_s);
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_BASELINE_NAKAMOTO_H_

@@ -1,0 +1,36 @@
+#include "src/common/bytes.h"
+
+#include "src/common/hex.h"
+
+namespace algorand {
+
+template <size_t N>
+FixedBytes<N> FixedBytes<N>::FromHex(std::string_view hex) {
+  FixedBytes out;
+  auto decoded = HexDecode(hex);
+  if (decoded && decoded->size() == N) {
+    std::memcpy(out.data_.data(), decoded->data(), N);
+  }
+  return out;
+}
+
+template <size_t N>
+std::string FixedBytes<N>::ToHex() const {
+  return HexEncode(span());
+}
+
+void AppendBytes(std::vector<uint8_t>* out, std::span<const uint8_t> bytes) {
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+std::vector<uint8_t> BytesOfString(std::string_view s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+// Explicit instantiations for the sizes used across the project.
+template class FixedBytes<16>;
+template class FixedBytes<32>;
+template class FixedBytes<64>;
+template class FixedBytes<80>;
+
+}  // namespace algorand

@@ -1,0 +1,102 @@
+// Fixed-size byte-array value types used throughout the Algorand implementation.
+//
+// Hashes, public keys, signatures, VRF outputs, and VRF proofs are all fixed-size
+// opaque byte strings. FixedBytes<N> gives them value semantics, total ordering
+// (lexicographic, which matches interpreting the bytes as a big-endian integer),
+// and cheap hashing so they can key unordered containers.
+#ifndef ALGORAND_SRC_COMMON_BYTES_H_
+#define ALGORAND_SRC_COMMON_BYTES_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace algorand {
+
+// A fixed-size, comparable, hashable byte string.
+template <size_t N>
+class FixedBytes {
+ public:
+  static constexpr size_t kSize = N;
+
+  constexpr FixedBytes() : data_{} {}
+
+  // Builds from exactly N bytes. The span must have size N.
+  static FixedBytes FromSpan(std::span<const uint8_t> bytes) {
+    FixedBytes out;
+    if (bytes.size() == N) {
+      std::memcpy(out.data_.data(), bytes.data(), N);
+    }
+    return out;
+  }
+
+  // Parses a 2N-character lowercase/uppercase hex string; returns all-zero on
+  // malformed input (callers that need strictness use hex.h directly).
+  static FixedBytes FromHex(std::string_view hex);
+
+  uint8_t* data() { return data_.data(); }
+  const uint8_t* data() const { return data_.data(); }
+  constexpr size_t size() const { return N; }
+
+  uint8_t& operator[](size_t i) { return data_[i]; }
+  const uint8_t& operator[](size_t i) const { return data_[i]; }
+
+  std::span<const uint8_t> span() const { return std::span<const uint8_t>(data_.data(), N); }
+
+  auto operator<=>(const FixedBytes&) const = default;
+
+  bool is_zero() const {
+    for (uint8_t b : data_) {
+      if (b != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // First 8 bytes interpreted as a big-endian integer. Used for cheap
+  // stochastic decisions and container hashing; uniformly distributed when the
+  // contents come from a cryptographic hash.
+  uint64_t prefix_u64() const {
+    uint64_t v = 0;
+    for (size_t i = 0; i < 8 && i < N; ++i) {
+      v = (v << 8) | data_[i];
+    }
+    return v;
+  }
+
+  std::string ToHex() const;
+
+ private:
+  std::array<uint8_t, N> data_;
+};
+
+using Hash256 = FixedBytes<32>;
+using Hash512 = FixedBytes<64>;
+using PublicKey = FixedBytes<32>;
+using Signature = FixedBytes<64>;
+using VrfOutput = FixedBytes<64>;  // ECVRF beta string (SHA-512 wide).
+using VrfProof = FixedBytes<80>;   // ECVRF pi: Gamma (32) || c (16) || s (32).
+using SeedBytes = FixedBytes<32>;  // Per-round sortition seed.
+
+// Appends `bytes` to `out`.
+void AppendBytes(std::vector<uint8_t>* out, std::span<const uint8_t> bytes);
+
+// Convenience: builds a byte vector from a string literal (no NUL).
+std::vector<uint8_t> BytesOfString(std::string_view s);
+
+struct FixedBytesHasher {
+  template <size_t N>
+  size_t operator()(const FixedBytes<N>& b) const {
+    return static_cast<size_t>(b.prefix_u64());
+  }
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_COMMON_BYTES_H_

@@ -1,0 +1,33 @@
+// Scheduling abstraction shared by the discrete-event simulator and the
+// real-time (TCP) runtime.
+//
+// Protocol code (Node, BA*) is written against this interface only, so the
+// same consensus implementation runs inside the deterministic simulator and
+// over real sockets with wall-clock timers.
+#ifndef ALGORAND_SRC_COMMON_EXECUTOR_H_
+#define ALGORAND_SRC_COMMON_EXECUTOR_H_
+
+#include <functional>
+
+#include "src/common/time_units.h"
+
+namespace algorand {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  // Current time: simulated nanoseconds, or monotonic wall-clock nanoseconds
+  // since the runtime started.
+  virtual SimTime now() const = 0;
+
+  // Runs `fn` after `delay` (clamped at now for non-positive delays).
+  virtual void Schedule(SimTime delay, std::function<void()> fn) = 0;
+
+  // Runs `fn` at the absolute time `when` (clamped at now).
+  virtual void ScheduleAt(SimTime when, std::function<void()> fn) = 0;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_COMMON_EXECUTOR_H_

@@ -1,0 +1,23 @@
+// Hex encoding and decoding helpers.
+#ifndef ALGORAND_SRC_COMMON_HEX_H_
+#define ALGORAND_SRC_COMMON_HEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace algorand {
+
+// Lowercase hex encoding of `bytes`.
+std::string HexEncode(std::span<const uint8_t> bytes);
+
+// Decodes a hex string (case-insensitive). Returns nullopt on odd length or
+// non-hex characters.
+std::optional<std::vector<uint8_t>> HexDecode(std::string_view hex);
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_COMMON_HEX_H_

@@ -1,0 +1,112 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace algorand {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// FNV-1a over the label, mixed into the seed. Good enough to derive
+// independent-looking streams; not cryptographic.
+uint64_t MixLabel(uint64_t seed, std::string_view label) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (char c : label) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+DeterministicRng::DeterministicRng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(&sm);
+  }
+}
+
+DeterministicRng::DeterministicRng(uint64_t seed, std::string_view label)
+    : DeterministicRng(MixLabel(seed, label)) {}
+
+uint64_t DeterministicRng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t DeterministicRng::UniformU64(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int64_t DeterministicRng::UniformInt(int64_t lo, int64_t hi) {
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(UniformU64(range));
+}
+
+double DeterministicRng::UniformDouble() {
+  // 53 random bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double DeterministicRng::Exponential(double mean) {
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double DeterministicRng::Normal(double mean, double stddev) {
+  if (have_gauss_) {
+    have_gauss_ = false;
+    return mean + stddev * gauss_;
+  }
+  double u1;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 0.0);
+  double u2 = UniformDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  gauss_ = mag * std::sin(2.0 * M_PI * u2);
+  have_gauss_ = true;
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+void DeterministicRng::FillBytes(uint8_t* out, size_t n) {
+  size_t i = 0;
+  while (i < n) {
+    uint64_t r = NextU64();
+    size_t take = std::min<size_t>(8, n - i);
+    std::memcpy(out + i, &r, take);
+    i += take;
+  }
+}
+
+DeterministicRng DeterministicRng::Fork(std::string_view label) {
+  return DeterministicRng(NextU64(), label);
+}
+
+}  // namespace algorand

@@ -1,0 +1,37 @@
+#include "src/common/stats.h"
+
+#include <numeric>
+
+namespace algorand {
+
+double PercentileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary Summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) {
+    return s;
+  }
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  s.p25 = PercentileSorted(values, 0.25);
+  s.median = PercentileSorted(values, 0.5);
+  s.p75 = PercentileSorted(values, 0.75);
+  s.mean = std::accumulate(values.begin(), values.end(), 0.0) / static_cast<double>(values.size());
+  return s;
+}
+
+}  // namespace algorand

@@ -1,0 +1,32 @@
+// Small statistics helpers used by benchmarks and tests: percentile summaries
+// of round-completion times (the paper plots min/25th/median/75th/max).
+#ifndef ALGORAND_SRC_COMMON_STATS_H_
+#define ALGORAND_SRC_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace algorand {
+
+struct Summary {
+  double min = 0;
+  double p25 = 0;
+  double median = 0;
+  double p75 = 0;
+  double max = 0;
+  double mean = 0;
+  size_t count = 0;
+};
+
+// Computes a five-number summary (plus mean). Empty input yields zeros.
+Summary Summarize(std::vector<double> values);
+
+// Linear-interpolation percentile of a sorted vector, q in [0, 1].
+double PercentileSorted(const std::vector<double>& sorted, double q);
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_COMMON_STATS_H_

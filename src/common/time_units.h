@@ -1,0 +1,35 @@
+// Simulated time representation.
+//
+// The discrete-event simulator counts nanoseconds in a signed 64-bit integer
+// (292 years of headroom). Helpers construct durations readably:
+// Seconds(20), Millis(85), Minutes(1).
+#ifndef ALGORAND_SRC_COMMON_TIME_UNITS_H_
+#define ALGORAND_SRC_COMMON_TIME_UNITS_H_
+
+#include <cstdint>
+
+namespace algorand {
+
+// Both absolute simulated time (since simulation start) and durations.
+using SimTime = int64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+
+constexpr SimTime Nanos(int64_t n) { return n * kNanosecond; }
+constexpr SimTime Micros(int64_t n) { return n * kMicrosecond; }
+constexpr SimTime Millis(int64_t n) { return n * kMillisecond; }
+constexpr SimTime Seconds(int64_t n) { return n * kSecond; }
+constexpr SimTime Minutes(int64_t n) { return n * kMinute; }
+constexpr SimTime Hours(int64_t n) { return n * kHour; }
+
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / kSecond; }
+constexpr SimTime FromSeconds(double s) { return static_cast<SimTime>(s * kSecond); }
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_COMMON_TIME_UNITS_H_

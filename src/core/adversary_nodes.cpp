@@ -1,0 +1,55 @@
+#include "src/core/adversary_nodes.h"
+
+#include "src/crypto/sha256.h"
+
+namespace algorand {
+
+void EquivocatingNode::MaybePropose() {
+  SortitionResult sort = RunSortition(*crypto().vrf, key(), MakeContext().seed,
+                                      params().tau_proposer, Role::kProposer, current_round(), 0,
+                                      SelfWeight(), ledger().total_weight());
+  if (sort.votes == 0) {
+    return;
+  }
+  // Build two versions of the block that differ in (synthetic) payload.
+  Block a = BuildBlockProposal();
+  a.proposer_vrf = sort.hash;
+  a.proposer_proof = sort.proof;
+  Block b = a;
+  b.padding_digest = Sha256::Hash(
+      std::span<const uint8_t>(a.padding_digest.data(), a.padding_digest.size()));
+  if (b.padding_digest == a.padding_digest) {
+    b.padding_bytes = a.padding_bytes + 1;  // Guarantee distinct hashes.
+  }
+
+  coordinator_->RegisterEquivocation(current_round(), a.Hash(), b.Hash());
+
+  auto priority = std::make_shared<PriorityMessage>(MakePriorityMessage(
+      key(), current_round(), sort.hash, sort.proof, sort.votes, *crypto().signer));
+  GossipMessage(priority);
+
+  // Send version A to even-indexed neighbours and version B to the rest.
+  auto msg_a = std::make_shared<BlockMessage>();
+  msg_a->block = a;
+  auto msg_b = std::make_shared<BlockMessage>();
+  msg_b->block = b;
+  const auto& nbrs = gossip()->neighbors();
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    gossip()->SendTo(nbrs[i], i % 2 == 0 ? MessagePtr(msg_a) : MessagePtr(msg_b));
+  }
+}
+
+void EquivocatingNode::EmitVotes(uint32_t step_code, const SortitionResult& sort,
+                                 const Hash256& value) {
+  auto pair = coordinator_->PairFor(current_round());
+  if (!pair) {
+    Node::EmitVotes(step_code, sort, value);
+    return;
+  }
+  // Vote for both equivocated blocks. Honest relays forward at most one of
+  // these per step (§8.4), but direct neighbours see both.
+  Node::EmitVotes(step_code, sort, pair->first);
+  Node::EmitVotes(step_code, sort, pair->second);
+}
+
+}  // namespace algorand

@@ -1,0 +1,79 @@
+// Adversarial node behaviours for the misbehaving-user experiments (§10.4)
+// and for safety/liveness tests.
+//
+// The paper's attack: the highest-priority block proposer equivocates —
+// gossiping one version of its block to half its peers and a different
+// version to the rest — while malicious committee members vote for both
+// versions. AdversaryCoordinator is the malicious users' out-of-band channel
+// (colluding attackers share state by assumption).
+#ifndef ALGORAND_SRC_CORE_ADVERSARY_NODES_H_
+#define ALGORAND_SRC_CORE_ADVERSARY_NODES_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "src/core/node.h"
+
+namespace algorand {
+
+// Shared state among colluding malicious nodes.
+struct AdversaryCoordinator {
+  // round -> the two equivocated block hashes.
+  std::map<uint64_t, std::pair<Hash256, Hash256>> equivocations;
+
+  void RegisterEquivocation(uint64_t round, const Hash256& a, const Hash256& b) {
+    equivocations.emplace(round, std::make_pair(a, b));
+  }
+  std::optional<std::pair<Hash256, Hash256>> PairFor(uint64_t round) const {
+    auto it = equivocations.find(round);
+    if (it == equivocations.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+};
+
+// Implements the §10.4 attack when selected as proposer (equivocate) and as
+// committee member (vote for both equivocated blocks).
+class EquivocatingNode : public Node {
+ public:
+  EquivocatingNode(NodeId id, Executor* sim, GossipAgent* gossip, const Ed25519KeyPair& key,
+                   const GenesisConfig& genesis, const ProtocolParams& params, CryptoSuite crypto,
+                   AdversaryCoordinator* coordinator)
+      : Node(id, sim, gossip, key, genesis, params, crypto), coordinator_(coordinator) {}
+
+ protected:
+  void MaybePropose() override;
+  void EmitVotes(uint32_t step_code, const SortitionResult& sort, const Hash256& value) override;
+
+ private:
+  AdversaryCoordinator* coordinator_;
+};
+
+// Selected committee members stay silent (fail-stop behaviour / vote
+// withholding).
+class SilentNode : public Node {
+ public:
+  using Node::Node;
+
+ protected:
+  void MaybePropose() override {}
+  void EmitVotes(uint32_t, const SortitionResult&, const Hash256&) override {}
+};
+
+// Always votes for the empty block, trying to starve real transactions.
+class EmptyVoterNode : public Node {
+ public:
+  using Node::Node;
+
+ protected:
+  void EmitVotes(uint32_t step_code, const SortitionResult& sort, const Hash256&) override {
+    Node::EmitVotes(step_code, sort, empty_hash());
+  }
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CORE_ADVERSARY_NODES_H_

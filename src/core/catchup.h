@@ -1,0 +1,39 @@
+// Bootstrapping new users (§8.3): a joining user downloads the block history
+// with the per-round certificates and validates them in order from genesis,
+// so it always knows the correct weights for checking the next round's
+// sortition proofs.
+#ifndef ALGORAND_SRC_CORE_CATCHUP_H_
+#define ALGORAND_SRC_CORE_CATCHUP_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/certificate.h"
+#include "src/core/params.h"
+#include "src/ledger/ledger.h"
+
+namespace algorand {
+
+struct CatchupResult {
+  bool ok = false;
+  std::string error;
+  uint64_t verified_rounds = 0;
+  std::unique_ptr<Ledger> ledger;  // State after replaying verified rounds.
+};
+
+// Validates `blocks[i]`/`certs[i]` (round i+1) in order starting from
+// genesis. Stops with an error at the first certificate or chain-linkage
+// failure. If `final_cert` is provided it is checked against the last block
+// (the "certificate proving safety" of §8.3); only then are all rounds
+// marked final.
+CatchupResult CatchupFromGenesis(const GenesisConfig& genesis, const ProtocolParams& params,
+                                 const std::vector<Block>& blocks,
+                                 const std::vector<Certificate>& certs, const VrfBackend& vrf,
+                                 const SignerBackend& signer,
+                                 const Certificate* final_cert = nullptr);
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CORE_CATCHUP_H_

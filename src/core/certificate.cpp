@@ -1,0 +1,50 @@
+#include "src/core/certificate.h"
+
+#include <unordered_set>
+
+namespace algorand {
+
+uint64_t Certificate::WireSize() const {
+  uint64_t size = 8 + 4 + 32;
+  for (const VoteMessage& v : votes) {
+    size += v.WireSize();
+  }
+  return size;
+}
+
+bool ValidateCertificate(const Certificate& cert, const RoundContext& ctx,
+                         const ProtocolParams& params, const VrfBackend& vrf,
+                         const SignerBackend& signer) {
+  if (cert.round != ctx.round) {
+    return false;
+  }
+  const bool final_cert = cert.step == kStepFinal;
+  const double tau = final_cert ? params.tau_final : params.tau_step;
+  const double threshold = final_cert ? params.FinalThreshold() : params.StepThreshold();
+
+  uint64_t weight = 0;
+  std::unordered_set<PublicKey, FixedBytesHasher> seen;
+  for (const VoteMessage& v : cert.votes) {
+    // All votes must be for this round/step/value and extend the same chain.
+    if (v.round != cert.round || v.step != cert.step || v.value != cert.block_hash ||
+        v.prev_hash != ctx.prev_hash) {
+      return false;
+    }
+    if (!seen.insert(v.pk).second) {
+      return false;  // Duplicate voter.
+    }
+    if (!signer.Verify(v.pk, v.SignedBody(), v.signature)) {
+      return false;
+    }
+    uint64_t votes = VerifySortition(vrf, v.pk, v.sorthash, v.sort_proof, ctx.seed, tau,
+                                     Role::kCommittee, v.round, v.step, ctx.weight_of(v.pk),
+                                     ctx.total_weight);
+    if (votes == 0) {
+      return false;
+    }
+    weight += votes;
+  }
+  return static_cast<double>(weight) > threshold;
+}
+
+}  // namespace algorand

@@ -1,0 +1,134 @@
+#include "src/core/committee_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace algorand {
+namespace {
+
+// Poisson pmf values over [lo, hi], computed in log space.
+std::vector<double> PoissonWindow(double lambda, int64_t lo, int64_t hi) {
+  std::vector<double> pmf;
+  pmf.reserve(static_cast<size_t>(hi - lo + 1));
+  for (int64_t k = lo; k <= hi; ++k) {
+    double logp = -lambda + static_cast<double>(k) * std::log(lambda) -
+                  std::lgamma(static_cast<double>(k) + 1.0);
+    pmf.push_back(std::exp(logp));
+  }
+  return pmf;
+}
+
+struct Window {
+  int64_t lo;
+  int64_t hi;
+};
+
+Window PoissonSupportWindow(double lambda) {
+  double sigma = std::sqrt(lambda);
+  int64_t lo = std::max<int64_t>(0, static_cast<int64_t>(lambda - 14 * sigma) - 2);
+  int64_t hi = static_cast<int64_t>(lambda + 14 * sigma) + 4;
+  return {lo, hi};
+}
+
+}  // namespace
+
+double CommitteeViolationProbability(double h, double tau, double threshold) {
+  const double lambda_g = h * tau;
+  const double lambda_b = (1.0 - h) * tau;
+  const double vote_threshold = threshold * tau;
+
+  Window wg = PoissonSupportWindow(lambda_g);
+  Window wb = PoissonSupportWindow(lambda_b);
+  std::vector<double> pg = PoissonWindow(lambda_g, wg.lo, wg.hi);
+  std::vector<double> pb = PoissonWindow(lambda_b, wb.lo, wb.hi);
+
+  // Tail mass outside the window counts as violation (conservative).
+  double mass_g = 0, mass_b = 0;
+  for (double v : pg) {
+    mass_g += v;
+  }
+  for (double v : pb) {
+    mass_b += v;
+  }
+  double outside = (1.0 - mass_g) + (1.0 - mass_b);
+
+  // P(b > vote_threshold - g/2) as a function of g: precompute the suffix
+  // sums of pb so the joint loop is O(|g| + |b|).
+  std::vector<double> pb_suffix(pb.size() + 1, 0.0);
+  for (size_t i = pb.size(); i > 0; --i) {
+    pb_suffix[i - 1] = pb_suffix[i] + pb[i - 1];
+  }
+  auto prob_b_greater = [&](double x) {
+    // P(b > x) for b in the window.
+    int64_t first_bad = static_cast<int64_t>(std::floor(x)) + 1;  // smallest b with b > x.
+    if (first_bad <= wb.lo) {
+      return pb_suffix[0];
+    }
+    if (first_bad > wb.hi) {
+      return 0.0;
+    }
+    return pb_suffix[static_cast<size_t>(first_bad - wb.lo)];
+  };
+
+  double violation = 0.0;
+  for (int64_t g = wg.lo; g <= wg.hi; ++g) {
+    double p_g = pg[static_cast<size_t>(g - wg.lo)];
+    if (static_cast<double>(g) <= vote_threshold) {
+      // Liveness violated outright regardless of b.
+      violation += p_g;
+      continue;
+    }
+    // Safety violated when g/2 + b > vote_threshold.
+    violation += p_g * prob_b_greater(vote_threshold - static_cast<double>(g) / 2.0);
+  }
+  // Clamp: tiny negative values are cancellation noise from the window sums.
+  return std::min(1.0, std::max(0.0, violation + outside));
+}
+
+double Log2CertificateForgeryProbability(double h, double tau, double threshold) {
+  // b ~ Poisson(lambda) with lambda = (1-h) * tau; we need log P(b > k) for
+  // k = threshold * tau, deep in the tail. Sum the dominant terms in log
+  // space starting at k+1 (the series decays geometrically by lambda/k).
+  const double lambda = (1.0 - h) * tau;
+  const int64_t k = static_cast<int64_t>(threshold * tau);
+  // log pmf at k+1.
+  double logp = -lambda + static_cast<double>(k + 1) * std::log(lambda) -
+                std::lgamma(static_cast<double>(k + 2));
+  // Tail sum bounded by geometric series with ratio r = lambda / (k+2).
+  double r = lambda / static_cast<double>(k + 2);
+  double log_tail = logp - std::log1p(-r);
+  return log_tail / std::log(2.0);
+}
+
+ThresholdChoice BestThreshold(double h, double tau) {
+  ThresholdChoice best;
+  for (double t = 0.667; t <= 0.95; t += 0.0005) {
+    double v = CommitteeViolationProbability(h, tau, t);
+    if (v < best.violation) {
+      best.violation = v;
+      best.threshold = t;
+    }
+  }
+  return best;
+}
+
+double RequiredCommitteeSize(double h, double epsilon, double tau_limit) {
+  // The violation probability is monotone decreasing in tau for the optimal
+  // T, so binary search on tau (granularity 1).
+  double lo = 10, hi = tau_limit;
+  if (BestThreshold(h, hi).violation > epsilon) {
+    return 0;
+  }
+  while (hi - lo > 1.0) {
+    double mid = 0.5 * (lo + hi);
+    if (BestThreshold(h, mid).violation <= epsilon) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return std::ceil(hi);
+}
+
+}  // namespace algorand

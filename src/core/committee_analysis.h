@@ -1,0 +1,43 @@
+// Numerical analysis behind Figure 3 and Appendix B: the expected committee
+// size tau needed so that, with probability >= 1 - epsilon, a sortition-drawn
+// committee simultaneously satisfies BA*'s safety and liveness constraints
+//   (1)  g > T * tau            (enough honest votes to make progress)
+//   (2)  g/2 + b <= T * tau     (adversary + split honest votes cannot
+//                                certify two values)
+// where g and b are the honest and malicious committee-member counts. With
+// many users, sortition draws are Poisson: g ~ Poisson(h*tau),
+// b ~ Poisson((1-h)*tau).
+#ifndef ALGORAND_SRC_CORE_COMMITTEE_ANALYSIS_H_
+#define ALGORAND_SRC_CORE_COMMITTEE_ANALYSIS_H_
+
+#include <cstdint>
+
+namespace algorand {
+
+// P(constraints violated) for honest fraction h, committee size tau and
+// threshold fraction T, computed by exact summation of the Poisson joint
+// distribution over a +-12 sigma window.
+double CommitteeViolationProbability(double h, double tau, double threshold);
+
+// The best (smallest) violation probability over T in (2/3, 1), along with
+// the T that achieves it.
+struct ThresholdChoice {
+  double threshold = 0;
+  double violation = 1.0;
+};
+ThresholdChoice BestThreshold(double h, double tau);
+
+// Smallest expected committee size tau such that some threshold T keeps the
+// violation probability below epsilon. Returns 0 if none is found below
+// `tau_limit`.
+double RequiredCommitteeSize(double h, double epsilon, double tau_limit = 20000);
+
+// §8.3 certificate-forgery bound: log2 of the probability that the adversary
+// alone controls more than T*tau votes in one step's committee (it could then
+// fabricate a certificate for an arbitrary step number). The paper states
+// this is below 2^-166 per step for tau_step > 1000 at h = 80%.
+double Log2CertificateForgeryProbability(double h, double tau, double threshold);
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CORE_COMMITTEE_ANALYSIS_H_

@@ -1,0 +1,25 @@
+// Per-round consensus context (the `ctx` of Algorithms 3-9): the sortition
+// seed in force, the previous block hash votes must bind to, and the weight
+// table used to verify sortition proofs.
+#ifndef ALGORAND_SRC_CORE_CONTEXT_H_
+#define ALGORAND_SRC_CORE_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/bytes.h"
+
+namespace algorand {
+
+struct RoundContext {
+  uint64_t round = 0;
+  SeedBytes seed;       // Sortition seed for this round (after refresh rule).
+  Hash256 prev_hash;    // H(last agreed block).
+  uint64_t total_weight = 0;
+  // Weight (stake) of a public key per the ledger this round agrees on.
+  std::function<uint64_t(const PublicKey&)> weight_of;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CORE_CONTEXT_H_

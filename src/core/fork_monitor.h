@@ -1,0 +1,47 @@
+// Fork detection (§8.2): users passively monitor all BA* votes — including
+// votes whose prev_hash does not match their own chain — and keep track of
+// the forks those votes imply, so the periodic recovery protocol can propose
+// the longest fork to agree on.
+#ifndef ALGORAND_SRC_CORE_FORK_MONITOR_H_
+#define ALGORAND_SRC_CORE_FORK_MONITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "src/common/bytes.h"
+
+namespace algorand {
+
+class ForkMonitor {
+ public:
+  // Records a vote that extends a chain whose tip (prev_hash) is not ours.
+  void RecordAlienVote(uint64_t round, const Hash256& prev_hash) {
+    auto& info = alien_[prev_hash];
+    info.votes += 1;
+    if (round > info.highest_round) {
+      info.highest_round = round;
+    }
+  }
+
+  bool ForkSuspected() const { return !alien_.empty(); }
+  size_t alien_tip_count() const { return alien_.size(); }
+
+  uint64_t VotesForTip(const Hash256& tip) const {
+    auto it = alien_.find(tip);
+    return it == alien_.end() ? 0 : it->second.votes;
+  }
+
+  void Clear() { alien_.clear(); }
+
+ private:
+  struct TipInfo {
+    uint64_t votes = 0;
+    uint64_t highest_round = 0;
+  };
+  std::unordered_map<Hash256, TipInfo, FixedBytesHasher> alien_;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CORE_FORK_MONITOR_H_

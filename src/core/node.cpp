@@ -1,0 +1,950 @@
+#include "src/core/node.h"
+
+#include "src/common/serialize.h"
+#include "src/crypto/sha256.h"
+
+namespace algorand {
+namespace {
+
+// Verification-cache key: the message id salted with the verification
+// context, so nodes on different forks (different seed/weights) never share
+// a cache entry that would not be identical anyway.
+Hash256 ContextKey(const Hash256& dedup_id, const SeedBytes& seed, uint64_t total_weight) {
+  Writer w;
+  w.Fixed(dedup_id);
+  w.Fixed(seed);
+  w.U64(total_weight);
+  return Sha256::Hash(w.buffer());
+}
+
+}  // namespace
+
+Node::Node(NodeId id, Executor* sim, GossipAgent* gossip, const Ed25519KeyPair& key,
+           const GenesisConfig& genesis, const ProtocolParams& params, CryptoSuite crypto)
+    : id_(id),
+      sim_(sim),
+      gossip_(gossip),
+      key_(key),
+      params_(params),
+      crypto_(crypto),
+      ledger_(genesis) {
+  gossip_->set_validator([this](const MessagePtr& msg) { return ValidateForRelay(msg); });
+  gossip_->set_handler([this](const MessagePtr& msg) { HandleMessage(msg); });
+}
+
+void Node::Start() {
+  StartRound(ledger_.next_round());
+  ScheduleRecoveryCheck();
+}
+
+void Node::SubmitTransaction(const Transaction& tx) {
+  if (crypto_.signer->Verify(tx.from, tx.SerializeBody(), tx.signature)) {
+    txn_pool_.emplace(tx.Id(), tx);
+  }
+}
+
+void Node::GossipTransaction(const Transaction& tx) {
+  SubmitTransaction(tx);
+  auto msg = std::make_shared<TransactionMessage>();
+  msg->tx = tx;
+  GossipMessage(msg);
+}
+
+void Node::ConfigureCertificateSharding(uint32_t shard_count) {
+  shard_count_ = shard_count == 0 ? 1 : shard_count;
+}
+
+SimTime Node::Now() const { return sim_->now(); }
+
+void Node::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  // BaStar instances are per-round (and per recovery session); their timers
+  // must not fire into a destroyed machine after the node moved on. The
+  // epoch bumps on every round change and recovery transition.
+  uint64_t epoch = sched_epoch_;
+  sim_->Schedule(delay, [this, epoch, fn = std::move(fn)] {
+    if (sched_epoch_ == epoch) {
+      fn();
+    }
+  });
+}
+
+RoundContext Node::MakeContext() const {
+  RoundContext ctx;
+  ctx.round = current_round_;
+  ctx.seed = ledger_.SortitionSeed(current_round_, params_.seed_refresh_interval);
+  ctx.prev_hash = ledger_.tip_hash();
+  ctx.total_weight = ledger_.total_weight();
+  const Ledger* ledger = &ledger_;
+  ctx.weight_of = [ledger](const PublicKey& pk) { return ledger->WeightOf(pk); };
+  return ctx;
+}
+
+// ---------------------------------------------------------------------------
+// Round lifecycle
+// ---------------------------------------------------------------------------
+
+void Node::StartRound(uint64_t round) {
+  current_round_ = round;
+  ++sched_epoch_;
+  ctx_ = MakeContext();
+  empty_block_ = Block::MakeEmpty(round, ledger_.tip_hash(), ledger_.SeedForRound(round));
+  empty_hash_ = empty_block_.Hash();
+  proposal_ = ProposalState{};
+  round_votes_.clear();
+  // Prune relay bookkeeping for finished rounds.
+  relayed_votes_.erase(relayed_votes_.begin(),
+                       relayed_votes_.lower_bound(std::make_tuple(round, 0u, PublicKey())));
+  prev_ba_ = std::move(ba_);  // Defer destruction past the caller's frames.
+  ba_ = std::make_unique<BaStar>(params_, this,
+                                 [this](const BaResult& result) { OnBaComplete(result); });
+  phase_ = Phase::kWaitPriority;
+
+  records_.push_back(RoundRecord{});
+  records_.back().round = round;
+  records_.back().start_time = sim_->now();
+
+  MaybePropose();
+
+  // Replay buffered traffic for this round (it may immediately give us the
+  // best priority, blocks, and early votes).
+  ReplayBufferedMessages(round);
+
+  // Wait lambda_priority + lambda_stepvar to learn the highest priority (§6).
+  uint64_t round_at_schedule = round;
+  sim_->Schedule(params_.lambda_priority + params_.lambda_stepvar, [this, round_at_schedule] {
+    if (current_round_ == round_at_schedule && phase_ == Phase::kWaitPriority) {
+      OnPriorityWindowClosed();
+    }
+  });
+}
+
+void Node::OnPriorityWindowClosed() {
+  phase_ = Phase::kWaitBlock;
+  // If the best-priority proposer's block is already here, go; otherwise wait
+  // up to lambda_block for it.
+  if (proposal_.have_best) {
+    auto it = proposal_.block_hash_by_proposer.find(proposal_.best_pk);
+    if (it != proposal_.block_hash_by_proposer.end()) {
+      StartAgreement(it->second);
+      return;
+    }
+  }
+  uint64_t round = current_round_;
+  sim_->Schedule(params_.lambda_block, [this, round] {
+    if (current_round_ == round && phase_ == Phase::kWaitBlock) {
+      OnBlockWindowClosed(round);
+    }
+  });
+}
+
+void Node::OnBlockWindowClosed(uint64_t round) {
+  if (current_round_ != round || phase_ != Phase::kWaitBlock) {
+    return;
+  }
+  // No block from the best proposer in time: fall back to the empty block.
+  StartAgreement(empty_hash_);
+}
+
+void Node::StartAgreement(const Hash256& candidate) {
+  phase_ = Phase::kAgreement;
+  RoundRecord& rec = records_.back();
+  rec.proposal_done_at = sim_->now();
+  rec.best_priority_at = proposal_.best_priority_at;
+  auto seen = proposal_.block_seen_at.find(candidate);
+  rec.candidate_block_at = seen == proposal_.block_seen_at.end() ? 0 : seen->second;
+  ba_->Start(candidate, empty_hash_);
+}
+
+void Node::OnBaComplete(const BaResult& result) {
+  ba_result_ = result;
+  RoundRecord& rec = records_.back();
+  rec.reduction_done_at = result.reduction_done_at;
+  rec.binary_done_at = result.binary_done_at;
+  rec.binary_steps = result.binary_steps;
+  if (result.hung) {
+    rec.hung = true;
+    rec.end_time = sim_->now();
+    hung_ = true;
+    phase_ = Phase::kIdle;  // Recovery (§8.2) is the only way forward.
+    return;
+  }
+  rec.final = result.final;
+  TryFinishRound();
+}
+
+void Node::TryFinishRound() {
+  // Locate the agreed block: the empty block, a stored proposal, or fetch it
+  // from peers (BlockOfHash in Algorithm 3).
+  const Hash256& value = ba_result_.value;
+  if (value == empty_hash_) {
+    AppendAgreedBlock(empty_block_);
+    return;
+  }
+  auto it = proposal_.blocks_by_hash.find(value);
+  if (it != proposal_.blocks_by_hash.end()) {
+    AppendAgreedBlock(it->second);
+    return;
+  }
+  // Not here yet: ask neighbours, retry while it is missing.
+  phase_ = Phase::kFetchBlock;
+  auto req = std::make_shared<BlockRequestMessage>();
+  req->round = current_round_;
+  req->block_hash = value;
+  req->requester = id_;
+  for (NodeId peer : gossip_->neighbors()) {
+    gossip_->SendTo(peer, req);
+  }
+  uint64_t round = current_round_;
+  sim_->Schedule(params_.lambda_step, [this, round] {
+    if (current_round_ == round && phase_ == Phase::kFetchBlock) {
+      TryFinishRound();
+    }
+  });
+}
+
+void Node::AppendAgreedBlock(const Block& block) {
+  ConsensusKind kind = ba_result_.final ? ConsensusKind::kFinal : ConsensusKind::kTentative;
+  if (!ledger_.Append(block, kind)) {
+    // Should not happen for validated blocks; treat as empty to preserve
+    // progress (§8.1's "pass an empty block" rule).
+    ledger_.Append(empty_block_, kind);
+  }
+  for (const Transaction& tx : block.txns) {
+    txn_pool_.erase(tx.Id());
+  }
+  RoundRecord& rec = records_.back();
+  rec.end_time = sim_->now();
+  rec.empty = block.is_empty;
+
+  // Certificate: votes of the deciding step (§8.3), sharded if configured.
+  Certificate cert = BuildCertificateForStep(ba_result_.deciding_step, params_.StepThreshold());
+  if (shard_count_ <= 1 || (cert.round % shard_count_) == (id_ % shard_count_)) {
+    certificates_[cert.round] = cert;
+  }
+  if (ba_result_.final) {
+    final_certificates_[cert.round] =
+        BuildCertificateForStep(kStepFinal, params_.FinalThreshold());
+  }
+
+  StartRound(current_round_ + 1);
+}
+
+Certificate Node::BuildCertificateForStep(uint32_t step, double needed) const {
+  Certificate cert;
+  cert.round = current_round_;
+  cert.step = step;
+  cert.block_hash = ba_result_.value;
+  const StepTally* tally = ba_->TallyFor(step);
+  if (tally == nullptr) {
+    return cert;
+  }
+  double total = 0;
+  for (const StepTally::Entry& e : tally->entries()) {
+    if (e.value != cert.block_hash) {
+      continue;
+    }
+    auto it = round_votes_.find({step, e.pk});
+    if (it == round_votes_.end()) {
+      continue;  // Own vote stored at emission; should always be present.
+    }
+    cert.votes.push_back(it->second);
+    total += static_cast<double>(e.weight);
+    if (total > needed) {
+      break;
+    }
+  }
+  return cert;
+}
+
+// ---------------------------------------------------------------------------
+// Block proposal (§6)
+// ---------------------------------------------------------------------------
+
+Block Node::BuildBlockProposal() {
+  Block block;
+  block.round = current_round_;
+  block.prev_hash = ledger_.tip_hash();
+  block.timestamp = sim_->now();
+  block.proposer = key_.public_key;
+
+  // Proposed seed for the next round: VRF(seed_r || r+1) (§5.2).
+  Writer alpha;
+  alpha.Fixed(ledger_.SeedForRound(current_round_));
+  alpha.U64(current_round_ + 1);
+  VrfResult seed_res = crypto_.vrf->Prove(key_, alpha.buffer());
+  block.next_seed = SeedBytes::FromSpan(std::span<const uint8_t>(seed_res.output.data(), 32));
+  block.next_seed_proof = seed_res.proof;
+
+  // Fill with applicable transactions, then pad to the configured size.
+  AccountTable scratch = ledger_.accounts();
+  uint64_t used = 0;
+  for (const auto& [id, tx] : txn_pool_) {
+    if (used + Transaction::kWireSize > params_.block_size_bytes) {
+      break;
+    }
+    if (scratch.ApplyTransaction(tx)) {
+      block.txns.push_back(tx);
+      used += Transaction::kWireSize;
+    }
+  }
+  if (used < params_.block_size_bytes) {
+    block.padding_bytes = params_.block_size_bytes - used;
+    Writer digest;
+    digest.U64(current_round_);
+    digest.Fixed(key_.public_key);
+    block.padding_digest = Sha256::Hash(digest.buffer());
+  }
+  return block;
+}
+
+void Node::MaybePropose() {
+  SortitionResult sort =
+      RunSortition(*crypto_.vrf, key_, ctx_.seed, params_.tau_proposer, Role::kProposer,
+                   current_round_, 0, SelfWeight(), ctx_.total_weight);
+  if (sort.votes == 0) {
+    return;
+  }
+  Block block = BuildBlockProposal();
+  block.proposer_vrf = sort.hash;
+  block.proposer_proof = sort.proof;
+
+  auto priority_msg = std::make_shared<PriorityMessage>(
+      MakePriorityMessage(key_, current_round_, sort.hash, sort.proof, sort.votes,
+                          *crypto_.signer));
+  auto block_msg = std::make_shared<BlockMessage>();
+  block_msg->block = block;
+
+  // Small priority message first so the network can discard lower-priority
+  // blocks early, then the block itself. (The ablation skips the priority
+  // message entirely.)
+  if (params_.priority_gossip_enabled) {
+    GossipMessage(priority_msg);
+  }
+  GossipMessage(block_msg);
+}
+
+void Node::GossipMessage(const MessagePtr& msg) { gossip_->Gossip(msg); }
+
+// ---------------------------------------------------------------------------
+// Voting (BaEnvironment)
+// ---------------------------------------------------------------------------
+
+void Node::CastVote(uint32_t step_code, double tau, const Hash256& value) {
+  const RoundContext& ctx = in_recovery_ ? recovery_ctx_ : ctx_;
+  const uint64_t vote_round = in_recovery_ ? recovery_code_ : current_round_;
+  const uint64_t weight =
+      in_recovery_ ? recovery_accounts_.WeightOf(key_.public_key) : SelfWeight();
+  // Participant replacement (ablation): sortition normally draws a fresh
+  // committee per (round, step); with replacement off, one step-0 draw
+  // serves the whole round.
+  const uint32_t sort_step = params_.participant_replacement_enabled ? step_code : 0;
+  SortitionResult sort = RunSortition(*crypto_.vrf, key_, ctx.seed, tau, Role::kCommittee,
+                                      vote_round, sort_step, weight, ctx.total_weight);
+  if (sort.votes == 0) {
+    return;  // Not on this step's committee.
+  }
+  EmitVotes(step_code, sort, value);
+}
+
+void Node::EmitVotes(uint32_t step_code, const SortitionResult& sort, const Hash256& value) {
+  const RoundContext& ctx = in_recovery_ ? recovery_ctx_ : ctx_;
+  const uint64_t vote_round = in_recovery_ ? recovery_code_ : current_round_;
+  VoteMessage vote = MakeVote(key_, vote_round, step_code, sort.hash, sort.proof, ctx.prev_hash,
+                              value, *crypto_.signer);
+  GossipMessage(std::make_shared<VoteMessage>(vote));
+}
+
+// ---------------------------------------------------------------------------
+// Message verification
+// ---------------------------------------------------------------------------
+
+uint64_t Node::VerifyVote(const VoteMessage& vote, const RoundContext& ctx) const {
+  const bool final_step = vote.step == kStepFinal;
+  const double tau = final_step ? params_.tau_final : params_.tau_step;
+  const uint32_t sort_step = params_.participant_replacement_enabled ? vote.step : 0;
+  auto compute = [&]() -> uint64_t {
+    if (!crypto_.signer->Verify(vote.pk, vote.SignedBody(), vote.signature)) {
+      return 0;
+    }
+    return VerifySortition(*crypto_.vrf, vote.pk, vote.sorthash, vote.sort_proof, ctx.seed, tau,
+                           Role::kCommittee, vote.round, sort_step, ctx.weight_of(vote.pk),
+                           ctx.total_weight);
+  };
+  if (crypto_.cache != nullptr) {
+    return crypto_.cache->GetOrCompute(ContextKey(vote.DedupId(), ctx.seed, ctx.total_weight),
+                                       compute);
+  }
+  return compute();
+}
+
+uint64_t Node::VerifyProposerSortition(const PublicKey& pk, const VrfOutput& sorthash,
+                                       const VrfProof& proof, const RoundContext& ctx) const {
+  auto compute = [&]() -> uint64_t {
+    return VerifySortition(*crypto_.vrf, pk, sorthash, proof, ctx.seed, params_.tau_proposer,
+                           Role::kProposer, ctx.round, 0, ctx.weight_of(pk), ctx.total_weight);
+  };
+  if (crypto_.cache != nullptr) {
+    Writer w;
+    w.Fixed(pk);
+    w.Fixed(sorthash);
+    w.U64(ctx.round);
+    return crypto_.cache->GetOrCompute(
+        ContextKey(Sha256::Hash(w.buffer()), ctx.seed, ctx.total_weight), compute);
+  }
+  return compute();
+}
+
+bool Node::ValidateBlockContents(const Block& block) const {
+  if (block.round != current_round_ || block.prev_hash != ledger_.tip_hash()) {
+    return false;
+  }
+  // Timestamp: greater than the previous block's and approximately current
+  // (within an hour), §8.1.
+  if (block.round > 1) {
+    if (block.timestamp <= ledger_.Tip().timestamp) {
+      return false;
+    }
+  }
+  if (block.timestamp > sim_->now() + Hours(1) || block.timestamp + Hours(1) < sim_->now()) {
+    return false;
+  }
+  // Proposer credentials.
+  if (VerifyProposerSortition(block.proposer, block.proposer_vrf, block.proposer_proof, ctx_) ==
+      0) {
+    return false;
+  }
+  // Seed: VRF(seed_r || r+1) under the proposer's key (§5.2).
+  Writer alpha;
+  alpha.Fixed(ledger_.SeedForRound(current_round_));
+  alpha.U64(current_round_ + 1);
+  auto seed_out = crypto_.vrf->Verify(block.proposer, alpha.buffer(), block.next_seed_proof);
+  if (!seed_out ||
+      SeedBytes::FromSpan(std::span<const uint8_t>(seed_out->data(), 32)) != block.next_seed) {
+    return false;
+  }
+  // Transactions: signatures plus applicability against current accounts.
+  AccountTable scratch = ledger_.accounts();
+  for (const Transaction& tx : block.txns) {
+    if (!crypto_.signer->Verify(tx.from, tx.SerializeBody(), tx.signature)) {
+      return false;
+    }
+    if (!scratch.ApplyTransaction(tx)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Gossip plumbing
+// ---------------------------------------------------------------------------
+
+GossipVerdict Node::ValidateForRelay(const MessagePtr& msg) {
+  if (auto rec = std::dynamic_pointer_cast<const RecoveryProposalMessage>(msg)) {
+    return ValidateRecoveryProposal(*rec);
+  }
+  if (auto vote = std::dynamic_pointer_cast<const VoteMessage>(msg)) {
+    if (vote->round & kRecoveryRoundBit) {
+      if (!in_recovery_ || vote->round != recovery_code_) {
+        // Cannot validate a recovery vote outside the matching session.
+        return GossipVerdict::kDeliverOnly;
+      }
+      if (VerifyVote(*vote, recovery_ctx_) == 0) {
+        return GossipVerdict::kReject;
+      }
+      auto key = std::make_tuple(vote->round, vote->step, vote->pk);
+      if (relayed_votes_[key]++ > 0) {
+        return GossipVerdict::kDeliverOnly;
+      }
+      return GossipVerdict::kRelay;
+    }
+    if (vote->round < current_round_) {
+      return GossipVerdict::kReject;  // Stale.
+    }
+    if (vote->round > current_round_) {
+      // Cannot verify sortition yet (unknown future seed); hold without
+      // relaying to bound adversarial amplification.
+      return GossipVerdict::kDeliverOnly;
+    }
+    uint64_t weight = VerifyVote(*vote, ctx_);
+    if (weight == 0) {
+      return GossipVerdict::kReject;
+    }
+    // Relay at most one message per (round, step, pk) (§8.4).
+    auto key = std::make_tuple(vote->round, vote->step, vote->pk);
+    if (relayed_votes_[key]++ > 0) {
+      return GossipVerdict::kDeliverOnly;
+    }
+    return GossipVerdict::kRelay;
+  }
+  if (auto pri = std::dynamic_pointer_cast<const PriorityMessage>(msg)) {
+    if (pri->round != current_round_) {
+      return pri->round > current_round_ ? GossipVerdict::kDeliverOnly : GossipVerdict::kReject;
+    }
+    if (!crypto_.signer->Verify(pri->pk, pri->SignedBody(), pri->signature)) {
+      return GossipVerdict::kReject;
+    }
+    uint64_t votes = VerifyProposerSortition(pri->pk, pri->sorthash, pri->sort_proof, ctx_);
+    if (votes == 0) {
+      return GossipVerdict::kReject;
+    }
+    // Relay only if this is the best priority seen so far (§6).
+    Hash256 priority = ProposalPriority(pri->sorthash, votes);
+    if (proposal_.have_best && !PriorityBeats(priority, proposal_.best_priority)) {
+      return GossipVerdict::kDeliverOnly;
+    }
+    return GossipVerdict::kRelay;
+  }
+  if (auto blk = std::dynamic_pointer_cast<const BlockMessage>(msg)) {
+    if (blk->block.round != current_round_) {
+      return blk->block.round > current_round_ ? GossipVerdict::kDeliverOnly
+                                               : GossipVerdict::kReject;
+    }
+    if (!ValidateBlockContents(blk->block)) {
+      return GossipVerdict::kReject;
+    }
+    uint64_t votes =
+        VerifyProposerSortition(blk->block.proposer, blk->block.proposer_vrf,
+                                blk->block.proposer_proof, ctx_);
+    if (votes == 0) {
+      return GossipVerdict::kReject;
+    }
+    Hash256 priority = ProposalPriority(blk->block.proposer_vrf, votes);
+    if (params_.priority_gossip_enabled && proposal_.have_best &&
+        PriorityBeats(proposal_.best_priority, priority)) {
+      return GossipVerdict::kDeliverOnly;  // A better proposer is known.
+    }
+    return GossipVerdict::kRelay;
+  }
+  if (auto txn = std::dynamic_pointer_cast<const TransactionMessage>(msg)) {
+    // Relay payments with a valid signature and a nonce that is not already
+    // spent; full applicability is checked at proposal time.
+    if (!crypto_.signer->Verify(txn->tx.from, txn->tx.SerializeBody(), txn->tx.signature)) {
+      return GossipVerdict::kReject;
+    }
+    if (txn->tx.nonce < ledger_.accounts().NextNonceOf(txn->tx.from)) {
+      return GossipVerdict::kReject;  // Stale or replayed.
+    }
+    return GossipVerdict::kRelay;
+  }
+  // Block requests are point-to-point.
+  return GossipVerdict::kDeliverOnly;
+}
+
+void Node::HandleMessage(const MessagePtr& msg) {
+  if (auto rec = std::dynamic_pointer_cast<const RecoveryProposalMessage>(msg)) {
+    HandleRecoveryProposal(rec);
+    return;
+  }
+  if (auto vote = std::dynamic_pointer_cast<const VoteMessage>(msg)) {
+    if (vote->round & kRecoveryRoundBit) {
+      MaybeJoinRecoverySession(vote->round);
+      HandleVote(vote);
+      return;
+    }
+    if (vote->round > current_round_) {
+      RememberFutureMessage(vote->round, msg);
+      return;
+    }
+    if (vote->round == current_round_) {
+      HandleVote(vote);
+    }
+    return;
+  }
+  if (auto pri = std::dynamic_pointer_cast<const PriorityMessage>(msg)) {
+    if (pri->round > current_round_) {
+      RememberFutureMessage(pri->round, msg);
+      return;
+    }
+    if (pri->round == current_round_) {
+      HandlePriority(pri);
+    }
+    return;
+  }
+  if (auto blk = std::dynamic_pointer_cast<const BlockMessage>(msg)) {
+    if (blk->block.round > current_round_) {
+      RememberFutureMessage(blk->block.round, msg);
+      return;
+    }
+    if (blk->block.round == current_round_) {
+      HandleBlock(blk);
+    }
+    return;
+  }
+  if (auto req = std::dynamic_pointer_cast<const BlockRequestMessage>(msg)) {
+    HandleBlockRequest(req);
+    return;
+  }
+  if (auto txn = std::dynamic_pointer_cast<const TransactionMessage>(msg)) {
+    SubmitTransaction(txn->tx);
+    return;
+  }
+}
+
+void Node::HandleVote(const std::shared_ptr<const VoteMessage>& vote) {
+  if (vote->round & kRecoveryRoundBit) {
+    if (!in_recovery_ || vote->round != recovery_code_ ||
+        vote->prev_hash != recovery_ctx_.prev_hash) {
+      return;
+    }
+    uint64_t weight = VerifyVote(*vote, recovery_ctx_);
+    if (weight > 0) {
+      recovery_ba_->OnVote(vote->step, vote->pk, weight, vote->value, vote->sorthash);
+    }
+    return;
+  }
+  // Votes binding to another chain are fork evidence, not countable votes.
+  if (vote->prev_hash != ctx_.prev_hash) {
+    fork_monitor_.RecordAlienVote(vote->round, vote->prev_hash);
+    return;
+  }
+  uint64_t weight = VerifyVote(*vote, ctx_);
+  if (weight == 0) {
+    return;
+  }
+  round_votes_.emplace(std::make_pair(vote->step, vote->pk), *vote);
+  ba_->OnVote(vote->step, vote->pk, weight, vote->value, vote->sorthash);
+}
+
+void Node::HandlePriority(const std::shared_ptr<const PriorityMessage>& msg) {
+  if (!crypto_.signer->Verify(msg->pk, msg->SignedBody(), msg->signature)) {
+    return;
+  }
+  uint64_t votes = VerifyProposerSortition(msg->pk, msg->sorthash, msg->sort_proof, ctx_);
+  if (votes == 0) {
+    return;
+  }
+  if (proposal_.banned_proposers.count(msg->pk)) {
+    return;
+  }
+  Hash256 priority = ProposalPriority(msg->sorthash, votes);
+  if (!proposal_.have_best || PriorityBeats(priority, proposal_.best_priority)) {
+    proposal_.have_best = true;
+    proposal_.best_priority = priority;
+    proposal_.best_pk = msg->pk;
+    proposal_.best_priority_at = sim_->now();
+  }
+}
+
+void Node::HandleBlock(const std::shared_ptr<const BlockMessage>& msg) {
+  const Block& block = msg->block;
+  if (!ValidateBlockContents(block)) {
+    return;
+  }
+  uint64_t votes = VerifyProposerSortition(block.proposer, block.proposer_vrf,
+                                           block.proposer_proof, ctx_);
+  if (votes == 0) {
+    return;
+  }
+  Hash256 hash = block.Hash();
+  Hash256 priority = ProposalPriority(block.proposer_vrf, votes);
+
+  if (proposal_.banned_proposers.count(block.proposer)) {
+    return;  // Known equivocator this round.
+  }
+  // An equivocating proposer sends different blocks to different peers. If we
+  // see two distinct blocks from one proposer before agreement starts, we
+  // discard both and proceed with the empty block right away rather than
+  // waiting out lambda_block (§10.4's optimization).
+  auto existing = proposal_.block_hash_by_proposer.find(block.proposer);
+  if (existing != proposal_.block_hash_by_proposer.end() && existing->second != hash) {
+    proposal_.blocks_by_hash.erase(existing->second);
+    proposal_.block_hash_by_proposer.erase(existing);
+    proposal_.banned_proposers.insert(block.proposer);
+    bool was_best = proposal_.have_best && proposal_.best_pk == block.proposer;
+    if (was_best) {
+      proposal_.have_best = false;  // Forget the equivocator's priority.
+    }
+    if (phase_ == Phase::kWaitBlock && was_best) {
+      StartAgreement(empty_hash_);
+    }
+    return;
+  }
+
+  proposal_.blocks_by_hash.emplace(hash, block);
+  proposal_.block_hash_by_proposer[block.proposer] = hash;
+  proposal_.block_seen_at.emplace(hash, sim_->now());
+
+  // The block implies its own priority message.
+  if (!proposal_.have_best || PriorityBeats(priority, proposal_.best_priority)) {
+    proposal_.have_best = true;
+    proposal_.best_priority = priority;
+    proposal_.best_pk = block.proposer;
+    proposal_.best_priority_at = sim_->now();
+  }
+
+  if (phase_ == Phase::kWaitBlock && proposal_.have_best &&
+      proposal_.best_pk == block.proposer) {
+    StartAgreement(hash);
+  } else if (phase_ == Phase::kFetchBlock && hash == ba_result_.value) {
+    TryFinishRound();
+  }
+}
+
+void Node::HandleBlockRequest(const std::shared_ptr<const BlockRequestMessage>& msg) {
+  // Serve from this round's proposals or from the chain.
+  std::optional<Block> found;
+  auto it = proposal_.blocks_by_hash.find(msg->block_hash);
+  if (it != proposal_.blocks_by_hash.end()) {
+    found = it->second;
+  } else {
+    found = ledger_.BlockByHash(msg->block_hash);
+  }
+  if (!found) {
+    return;
+  }
+  auto reply = std::make_shared<BlockMessage>();
+  reply->block = *found;
+  gossip_->SendTo(msg->requester, reply);
+}
+
+// ---------------------------------------------------------------------------
+// Fork recovery (§8.2)
+// ---------------------------------------------------------------------------
+
+uint64_t Node::RecoveryCode(uint32_t attempt) const {
+  // The window is pinned when the session is first entered (at an aligned
+  // clock boundary) so retries stay in the same code space on every node
+  // even when their attempt timers drift across a boundary.
+  return kRecoveryRoundBit | (recovery_window_ << 8) | attempt;
+}
+
+void Node::ScheduleRecoveryCheck() {
+  // Loosely synchronized clocks: every node wakes at multiples of the
+  // recovery interval and joins a recovery session if it is stuck or has
+  // observed fork evidence.
+  SimTime next = (sim_->now() / params_.recovery_interval + 1) * params_.recovery_interval;
+  sim_->ScheduleAt(next, [this] {
+    if (!in_recovery_ && (hung_ || fork_monitor_.ForkSuspected())) {
+      recovery_attempt_ = 0;
+      recovery_window_ = static_cast<uint64_t>(sim_->now() / params_.recovery_interval);
+      EnterRecovery();
+    }
+    ScheduleRecoveryCheck();
+  });
+}
+
+void Node::MaybeJoinRecoverySession(uint64_t code) {
+  if (!hung_ && !fork_monitor_.ForkSuspected() && !in_recovery_) {
+    return;  // Healthy nodes ignore recovery chatter.
+  }
+  if (in_recovery_ && code <= recovery_code_) {
+    return;  // Already in this session or a newer one.
+  }
+  // Sanity: the claimed window must be near our clock (loose synchrony).
+  uint64_t window = (code & ~kRecoveryRoundBit) >> 8;
+  uint64_t my_window = static_cast<uint64_t>(sim_->now() / params_.recovery_interval);
+  if (window > my_window + 1 || window + 1 < my_window) {
+    return;
+  }
+  recovery_window_ = window;
+  recovery_attempt_ = static_cast<uint32_t>(code & 0xff);
+  EnterRecovery();
+}
+
+void Node::EnterRecovery() {
+  in_recovery_ = true;
+  phase_ = Phase::kRecovery;
+  ++sched_epoch_;
+  recovery_code_ = RecoveryCode(recovery_attempt_);
+
+  // Anchor at the last common final round: finals are totally ordered, so
+  // every honest node shares this prefix (and its seed and weights).
+  recovery_final_round_ = ledger_.HighestFinalRound().value_or(0);
+  const Hash256 anchor = ledger_.BlockAtRound(recovery_final_round_).Hash();
+  recovery_accounts_ = ledger_.AccountsAtRound(recovery_final_round_);
+
+  // A fresh seed per attempt: H(seed_f || code), "applying a hash function to
+  // the seed each time to produce a different set of proposers and committee
+  // members".
+  Writer w;
+  w.Fixed(ledger_.SeedForRound(recovery_final_round_));
+  w.U64(recovery_code_);
+  Hash256 seed_hash = Sha256::Hash(w.buffer());
+
+  recovery_ctx_ = RoundContext{};
+  recovery_ctx_.round = recovery_code_;
+  recovery_ctx_.seed = SeedBytes::FromSpan(seed_hash.span());
+  recovery_ctx_.prev_hash = anchor;
+  recovery_ctx_.total_weight = recovery_accounts_.total_weight();
+  const AccountTable* accounts = &recovery_accounts_;
+  recovery_ctx_.weight_of = [accounts](const PublicKey& pk) { return accounts->WeightOf(pk); };
+
+  // Fallback value: an empty block directly extending the final prefix
+  // (agreeing on it truncates every fork back to the common ancestor).
+  recovery_empty_ = Block::MakeEmpty(recovery_final_round_ + 1, anchor,
+                                     ledger_.SeedForRound(recovery_final_round_ + 1));
+  recovery_empty_hash_ = recovery_empty_.Hash();
+
+  recovery_candidates_.clear();
+  have_best_recovery_ = false;
+  prev_recovery_ba_ = std::move(recovery_ba_);
+  recovery_ba_ = std::make_unique<BaStar>(
+      params_, this, [this](const BaResult& result) { OnRecoveryBaComplete(result); });
+
+  MaybeProposeRecovery();
+
+  ScheduleAfter(params_.lambda_priority + params_.lambda_stepvar, [this] {
+    if (in_recovery_ && !recovery_ba_->started()) {
+      StartRecoveryAgreement();
+    }
+  });
+}
+
+void Node::MaybeProposeRecovery() {
+  SortitionResult sort = RunSortition(
+      *crypto_.vrf, key_, recovery_ctx_.seed, params_.tau_proposer, Role::kRecovery,
+      recovery_code_, 0, recovery_accounts_.WeightOf(key_.public_key),
+      recovery_ctx_.total_weight);
+  if (sort.votes == 0) {
+    return;
+  }
+  // Propose an empty block extending the longest fork this node has seen —
+  // its own chain (which includes all final blocks).
+  auto msg = std::make_shared<RecoveryProposalMessage>();
+  msg->pk = key_.public_key;
+  msg->code = recovery_code_;
+  msg->sorthash = sort.hash;
+  msg->sort_proof = sort.proof;
+  for (uint64_t r = recovery_final_round_ + 1; r < ledger_.chain_length(); ++r) {
+    msg->suffix.push_back(ledger_.BlockAtRound(r));
+  }
+  msg->block = Block::MakeEmpty(ledger_.next_round(), ledger_.tip_hash(),
+                                ledger_.SeedForRound(ledger_.next_round()));
+  msg->signature = crypto_.signer->Sign(key_, msg->SignedBody());
+  GossipMessage(msg);
+}
+
+GossipVerdict Node::ValidateRecoveryProposal(const RecoveryProposalMessage& msg) {
+  if (!in_recovery_ || msg.code != recovery_code_) {
+    return GossipVerdict::kDeliverOnly;  // Can't judge it; let it pass once.
+  }
+  if (!crypto_.signer->Verify(msg.pk, msg.SignedBody(), msg.signature)) {
+    return GossipVerdict::kReject;
+  }
+  uint64_t votes = VerifySortition(*crypto_.vrf, msg.pk, msg.sorthash, msg.sort_proof,
+                                   recovery_ctx_.seed, params_.tau_proposer, Role::kRecovery,
+                                   recovery_code_, 0, recovery_ctx_.weight_of(msg.pk),
+                                   recovery_ctx_.total_weight);
+  if (votes == 0) {
+    return GossipVerdict::kReject;
+  }
+  // The proposed chain must link from our final prefix and be at least as
+  // long as the chain we already have.
+  Hash256 prev = recovery_ctx_.prev_hash;
+  uint64_t round = recovery_final_round_;
+  for (const Block& b : msg.suffix) {
+    if (b.prev_hash != prev || b.round != round + 1) {
+      return GossipVerdict::kReject;
+    }
+    prev = b.Hash();
+    round = b.round;
+  }
+  if (msg.block.prev_hash != prev || msg.block.round != round + 1 || !msg.block.is_empty) {
+    return GossipVerdict::kReject;
+  }
+  if (msg.block.round < ledger_.next_round()) {
+    return GossipVerdict::kDeliverOnly;  // Shorter than our chain: not for us.
+  }
+  return GossipVerdict::kRelay;
+}
+
+void Node::HandleRecoveryProposal(const std::shared_ptr<const RecoveryProposalMessage>& msg) {
+  MaybeJoinRecoverySession(msg->code);
+  if (!in_recovery_ || msg->code != recovery_code_) {
+    return;
+  }
+  if (ValidateRecoveryProposal(*msg) == GossipVerdict::kReject) {
+    return;
+  }
+  uint64_t votes = VerifySortition(*crypto_.vrf, msg->pk, msg->sorthash, msg->sort_proof,
+                                   recovery_ctx_.seed, params_.tau_proposer, Role::kRecovery,
+                                   recovery_code_, 0, recovery_ctx_.weight_of(msg->pk),
+                                   recovery_ctx_.total_weight);
+  if (votes == 0) {
+    return;
+  }
+  if (msg->block.round < ledger_.next_round()) {
+    return;  // Shorter than the chain we already have.
+  }
+  Hash256 hash = msg->block.Hash();
+  RecoveryCandidate candidate;
+  candidate.block = msg->block;
+  candidate.suffix = msg->suffix;
+  candidate.priority = ProposalPriority(msg->sorthash, votes);
+  recovery_candidates_.emplace(hash, std::move(candidate));
+  if (!have_best_recovery_ ||
+      PriorityBeats(recovery_candidates_.at(hash).priority, best_recovery_priority_)) {
+    have_best_recovery_ = true;
+    best_recovery_priority_ = recovery_candidates_.at(hash).priority;
+    best_recovery_hash_ = hash;
+  }
+}
+
+void Node::StartRecoveryAgreement() {
+  Hash256 candidate = have_best_recovery_ ? best_recovery_hash_ : recovery_empty_hash_;
+  recovery_ba_->Start(candidate, recovery_empty_hash_);
+}
+
+void Node::OnRecoveryBaComplete(const BaResult& result) {
+  if (result.hung) {
+    // Retry with a rehashed seed (fresh proposers and committees).
+    ++recovery_attempt_;
+    EnterRecovery();
+    return;
+  }
+  std::vector<Block> replacement;
+  if (result.value == recovery_empty_hash_) {
+    replacement.push_back(recovery_empty_);
+  } else {
+    auto it = recovery_candidates_.find(result.value);
+    if (it == recovery_candidates_.end()) {
+      // Agreed on a fork we never received; retry (the next attempt's
+      // proposers will include holders of that fork).
+      ++recovery_attempt_;
+      EnterRecovery();
+      return;
+    }
+    replacement = it->second.suffix;
+    replacement.push_back(it->second.block);
+  }
+  if (!ledger_.ReplaceSuffix(recovery_final_round_ + 1, replacement)) {
+    ++recovery_attempt_;
+    EnterRecovery();
+    return;
+  }
+  // Recovered: resume normal operation on the agreed fork.
+  in_recovery_ = false;
+  ++sched_epoch_;
+  hung_ = false;
+  recovery_attempt_ = 0;
+  ++recoveries_completed_;
+  fork_monitor_.Clear();
+  StartRound(ledger_.next_round());
+}
+
+void Node::RememberFutureMessage(uint64_t round, const MessagePtr& msg) {
+  // Bounded buffer: a Byzantine flood of far-future messages must not grow
+  // memory without limit.
+  constexpr size_t kMaxPerRound = 100000;
+  auto& bucket = future_messages_[round];
+  if (bucket.size() < kMaxPerRound) {
+    bucket.push_back(msg);
+  }
+}
+
+void Node::ReplayBufferedMessages(uint64_t round) {
+  auto it = future_messages_.find(round);
+  if (it == future_messages_.end()) {
+    // Also drop buffers for rounds we skipped past.
+    future_messages_.erase(future_messages_.begin(), future_messages_.lower_bound(round));
+    return;
+  }
+  std::vector<MessagePtr> msgs = std::move(it->second);
+  future_messages_.erase(future_messages_.begin(), ++it);
+  for (const MessagePtr& msg : msgs) {
+    HandleMessage(msg);
+  }
+}
+
+}  // namespace algorand

@@ -1,0 +1,262 @@
+// The Algorand node: ties block proposal (§6), BA* (§7), the ledger (§8.1),
+// certificates (§8.3) and the gossip relay rules (§8.4) into the per-user
+// state machine the paper evaluates.
+//
+// One Node instance is one "user" of the paper's experiments. Nodes interact
+// only through the gossip network; every run is deterministic given the
+// simulation seed. Adversarial behaviours are subclasses that override the
+// protected virtual hooks (propose/vote), so the honest logic stays in one
+// place.
+#ifndef ALGORAND_SRC_CORE_NODE_H_
+#define ALGORAND_SRC_CORE_NODE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/ba_star.h"
+#include "src/core/certificate.h"
+#include "src/core/context.h"
+#include "src/core/fork_monitor.h"
+#include "src/core/params.h"
+#include "src/core/sortition.h"
+#include "src/core/verification_cache.h"
+#include "src/ledger/ledger.h"
+#include "src/netsim/gossip.h"
+#include "src/netsim/simulation.h"
+
+namespace algorand {
+
+// Crypto backends shared by all nodes of a simulation.
+struct CryptoSuite {
+  const VrfBackend* vrf = nullptr;
+  const SignerBackend* signer = nullptr;
+  VerificationCache* cache = nullptr;  // Optional.
+};
+
+// Per-round timing/outcome record, the raw data behind Figures 5-8.
+struct RoundRecord {
+  uint64_t round = 0;
+  SimTime start_time = 0;
+  SimTime proposal_done_at = 0;  // Entered BA* with a candidate.
+  SimTime best_priority_at = 0;  // Last improvement to the known best priority.
+  SimTime candidate_block_at = 0;  // Receipt of the block BA* started with (0: empty).
+  SimTime reduction_done_at = 0;
+  SimTime binary_done_at = 0;  // BinaryBA* returned (BA* minus final step).
+  SimTime end_time = 0;        // Block appended; next round may start.
+  bool final = false;
+  bool empty = false;
+  bool hung = false;
+  int binary_steps = 0;
+};
+
+class Node : public BaEnvironment {
+ public:
+  Node(NodeId id, Executor* sim, GossipAgent* gossip, const Ed25519KeyPair& key,
+       const GenesisConfig& genesis, const ProtocolParams& params, CryptoSuite crypto);
+  ~Node() override = default;
+
+  // Begins round 1 at the current simulation time.
+  void Start();
+
+  // Adds a payment to the pending pool (§4, Figure 1).
+  void SubmitTransaction(const Transaction& tx);
+
+  // Submits a payment *and* gossips it network-wide, the way a client
+  // attached to this node would (Figure 1).
+  void GossipTransaction(const Transaction& tx);
+
+  const Ledger& ledger() const { return ledger_; }
+  Ledger* mutable_ledger() { return &ledger_; }
+  NodeId id() const { return id_; }
+  const Ed25519KeyPair& key() const { return key_; }
+  const ProtocolParams& params() const { return params_; }
+  const std::vector<RoundRecord>& round_records() const { return records_; }
+  const std::map<uint64_t, Certificate>& certificates() const { return certificates_; }
+  // Final-step certificates (§8.3: "a certificate proving the safety of a
+  // block"), available for rounds this node saw reach final consensus.
+  const std::map<uint64_t, Certificate>& final_certificates() const {
+    return final_certificates_;
+  }
+  const ForkMonitor& fork_monitor() const { return fork_monitor_; }
+  bool hung() const { return hung_; }
+  bool in_recovery() const { return in_recovery_; }
+  uint64_t recoveries_completed() const { return recoveries_completed_; }
+  uint64_t current_round() const { return current_round_; }
+  size_t pending_txn_count() const { return txn_pool_.size(); }
+
+  // Serves block/certificate history to catching-up peers (§8.3). When
+  // sharding is configured (shard_count > 1) a node persists certificates
+  // only for rounds where round % shard_count == id % shard_count.
+  void ConfigureCertificateSharding(uint32_t shard_count);
+
+  // --- BaEnvironment ---
+  void CastVote(uint32_t step_code, double tau, const Hash256& value) override;
+  void ScheduleAfter(SimTime delay, std::function<void()> fn) override;
+  SimTime Now() const override;
+
+ protected:
+  // Block-proposal hook: runs proposer sortition and, when selected, builds
+  // and gossips the priority message and the block. Adversaries override
+  // (e.g. to equivocate).
+  virtual void MaybePropose();
+
+  // Vote-casting hook invoked when committee sortition selects this node;
+  // honest nodes gossip exactly one vote for `value`. Adversaries override.
+  virtual void EmitVotes(uint32_t step_code, const SortitionResult& sort, const Hash256& value);
+
+  // Builds this node's block proposal for the current round.
+  Block BuildBlockProposal();
+
+  // Shared helpers for subclasses.
+  void GossipMessage(const MessagePtr& msg);
+  RoundContext MakeContext() const;
+  GossipAgent* gossip() { return gossip_; }
+  Executor* sim() { return sim_; }
+  const CryptoSuite& crypto() const { return crypto_; }
+  const Hash256& empty_hash() const { return empty_hash_; }
+  uint64_t SelfWeight() const { return ledger_.WeightOf(key_.public_key); }
+
+ private:
+  friend class SimHarness;
+
+  enum class Phase { kIdle, kWaitPriority, kWaitBlock, kAgreement, kFetchBlock, kRecovery };
+
+  void StartRound(uint64_t round);
+  void OnPriorityWindowClosed();
+  void OnBlockWindowClosed(uint64_t round);
+  void StartAgreement(const Hash256& candidate);
+  void OnBaComplete(const BaResult& result);
+  void TryFinishRound();
+  void AppendAgreedBlock(const Block& block);
+  // Gathers stored votes of `step` for the agreed value until their weight
+  // exceeds `threshold`.
+  Certificate BuildCertificateForStep(uint32_t step, double threshold) const;
+
+  // Gossip plumbing.
+  GossipVerdict ValidateForRelay(const MessagePtr& msg);
+  void HandleMessage(const MessagePtr& msg);
+  void HandleVote(const std::shared_ptr<const VoteMessage>& vote);
+  void HandlePriority(const std::shared_ptr<const PriorityMessage>& msg);
+  void HandleBlock(const std::shared_ptr<const BlockMessage>& msg);
+  void HandleBlockRequest(const std::shared_ptr<const BlockRequestMessage>& msg);
+
+  // Verifies a vote's signature and sortition for the current round context;
+  // returns the weighted vote count (0 = invalid). Uses the shared cache.
+  uint64_t VerifyVote(const VoteMessage& vote, const RoundContext& ctx) const;
+  uint64_t VerifyProposerSortition(const PublicKey& pk, const VrfOutput& sorthash,
+                                   const VrfProof& proof, const RoundContext& ctx) const;
+
+  // Validates a received block's contents (§8.1); on failure the block is
+  // treated as garbage (never a candidate).
+  bool ValidateBlockContents(const Block& block) const;
+
+  void RememberFutureMessage(uint64_t round, const MessagePtr& msg);
+  void ReplayBufferedMessages(uint64_t round);
+
+  // --- Fork recovery (§8.2) ---
+  // Periodic clock-driven check: enters recovery when the node is hung or
+  // has fork evidence.
+  void ScheduleRecoveryCheck();
+  void EnterRecovery();
+  // Joins a newer recovery session observed on the wire (a stuck node whose
+  // retries drifted out of step with the majority adopts their session code).
+  void MaybeJoinRecoverySession(uint64_t code);
+  void MaybeProposeRecovery();
+  void StartRecoveryAgreement();
+  void OnRecoveryBaComplete(const BaResult& result);
+  void HandleRecoveryProposal(const std::shared_ptr<const RecoveryProposalMessage>& msg);
+  GossipVerdict ValidateRecoveryProposal(const RecoveryProposalMessage& msg);
+  // The recovery session code all (loosely synchronized) nodes derive for
+  // attempt `attempt` of the recovery window containing `now`.
+  uint64_t RecoveryCode(uint32_t attempt) const;
+
+  NodeId id_;
+  Executor* sim_;
+  GossipAgent* gossip_;
+  Ed25519KeyPair key_;
+  ProtocolParams params_;
+  CryptoSuite crypto_;
+  Ledger ledger_;
+
+  Phase phase_ = Phase::kIdle;
+  uint64_t current_round_ = 0;
+  RoundContext ctx_;
+  Hash256 empty_hash_;
+  Block empty_block_;
+  std::unique_ptr<BaStar> ba_;
+  // The previous round's machine is parked here for one round instead of
+  // being destroyed inside its own completion callback.
+  std::unique_ptr<BaStar> prev_ba_;
+  BaResult ba_result_;
+  bool hung_ = false;
+
+  // Proposal-phase state for the current round.
+  struct ProposalState {
+    bool have_best = false;
+    Hash256 best_priority;
+    PublicKey best_pk;
+    SimTime best_priority_at = 0;
+    std::unordered_map<Hash256, SimTime, FixedBytesHasher> block_seen_at;
+    std::unordered_map<Hash256, Block, FixedBytesHasher> blocks_by_hash;
+    std::unordered_map<PublicKey, Hash256, FixedBytesHasher> block_hash_by_proposer;
+    // Proposers caught equivocating this round (§10.4 optimization).
+    std::unordered_set<PublicKey, FixedBytesHasher> banned_proposers;
+  };
+  ProposalState proposal_;
+
+  // Verified votes stored for certificate assembly: (step, pk) -> message.
+  std::map<std::pair<uint32_t, PublicKey>, VoteMessage> round_votes_;
+
+  // Messages for rounds we have not reached yet.
+  std::map<uint64_t, std::vector<MessagePtr>> future_messages_;
+
+  // Transactions waiting for inclusion.
+  std::map<Hash256, Transaction> txn_pool_;
+
+  std::vector<RoundRecord> records_;
+  std::map<uint64_t, Certificate> certificates_;
+  std::map<uint64_t, Certificate> final_certificates_;
+  uint32_t shard_count_ = 1;
+
+  ForkMonitor fork_monitor_;
+
+  // Relay bookkeeping: one vote relayed per (round, step, pk) (§8.4).
+  std::map<std::tuple<uint64_t, uint32_t, PublicKey>, int> relayed_votes_;
+
+  // Scheduling epoch: bumped on round changes and recovery transitions so
+  // timers scheduled for a dead state never fire into it.
+  uint64_t sched_epoch_ = 0;
+
+  // Recovery state (§8.2).
+  bool in_recovery_ = false;
+  uint64_t recovery_code_ = 0;
+  uint32_t recovery_attempt_ = 0;
+  uint64_t recovery_window_ = 0;  // Pinned at session entry; retries keep it.
+  uint64_t recoveries_completed_ = 0;
+  uint64_t recovery_final_round_ = 0;  // Last common final round f.
+  RoundContext recovery_ctx_;
+  AccountTable recovery_accounts_;  // Weights as of round f.
+  Block recovery_empty_;            // Fallback: empty block extending round f.
+  Hash256 recovery_empty_hash_;
+  std::unique_ptr<BaStar> recovery_ba_;
+  std::unique_ptr<BaStar> prev_recovery_ba_;
+  struct RecoveryCandidate {
+    Block block;
+    std::vector<Block> suffix;
+    Hash256 priority;
+  };
+  std::unordered_map<Hash256, RecoveryCandidate, FixedBytesHasher> recovery_candidates_;
+  bool have_best_recovery_ = false;
+  Hash256 best_recovery_priority_;
+  Hash256 best_recovery_hash_;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CORE_NODE_H_

@@ -1,0 +1,15 @@
+#include "src/core/params.h"
+
+namespace algorand {
+
+ProtocolParams ProtocolParams::Paper() { return ProtocolParams{}; }
+
+ProtocolParams ProtocolParams::ScaledCommittees(double factor) {
+  ProtocolParams p;
+  p.tau_proposer = p.tau_proposer * factor < 5 ? 5 : p.tau_proposer * factor;
+  p.tau_step *= factor;
+  p.tau_final *= factor;
+  return p;
+}
+
+}  // namespace algorand

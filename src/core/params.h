@@ -1,0 +1,92 @@
+// Protocol parameters (the paper's Figure 4) plus scaled profiles for
+// single-machine simulation.
+//
+// The paper's deployment values assume hundreds of thousands of users; the
+// discrete-event simulator runs hundreds to thousands. Scaled profiles shrink
+// the expected committee sizes proportionally while keeping every structural
+// constant (thresholds T, step counts, timeouts) identical, so the protocol
+// logic exercised is the same.
+#ifndef ALGORAND_SRC_CORE_PARAMS_H_
+#define ALGORAND_SRC_CORE_PARAMS_H_
+
+#include <cstdint>
+
+#include "src/common/time_units.h"
+
+namespace algorand {
+
+struct ProtocolParams {
+  // Assumed fraction of money held by honest users (h > 2/3).
+  double honest_fraction = 0.80;
+
+  // Seed refresh interval R (§5.2): sortition at round r uses
+  // seed_{r-1-(r mod R)}.
+  uint64_t seed_refresh_interval = 1000;
+
+  // Expected number of block proposers, tau_proposer (§6, Appendix B.1).
+  double tau_proposer = 26;
+
+  // Expected committee size and vote threshold for ordinary BA* steps
+  // (§7.5, Appendix B.2). A value receives consensus in a step when it
+  // collects more than t_step * tau_step weighted votes.
+  double tau_step = 2000;
+  double t_step = 0.685;
+
+  // Final-step committee size and threshold (§7.4, Appendix C.1).
+  double tau_final = 10000;
+  double t_final = 0.74;
+
+  // Maximum number of BinaryBA* steps before declaring the round stuck
+  // (recovery then applies, §8.2).
+  int max_steps = 150;
+
+  // Timeouts (Figure 4): gossip time for sortition proofs, block receipt
+  // timeout, per-step timeout, and the estimated variance in BA* completion
+  // across users.
+  SimTime lambda_priority = Seconds(5);
+  SimTime lambda_block = Minutes(1);
+  SimTime lambda_step = Seconds(20);
+  SimTime lambda_stepvar = Seconds(5);
+
+  // Block payload size in bytes (1 MB in most of the paper's experiments).
+  uint64_t block_size_bytes = 1 << 20;
+
+  // Fork-recovery cadence (§8.2): users kick off recovery on loosely
+  // synchronized clocks at this interval.
+  SimTime recovery_interval = Hours(1);
+
+  // --- Ablation switches (all on in the real protocol) ---
+  // Step-3 common coin (§7.4 "getting unstuck"); when off, the third step's
+  // timeout deterministically falls back to the block hash, which a
+  // vote-splitting adversary can exploit indefinitely.
+  bool common_coin_enabled = true;
+  // Two-message block proposal (§6): small priority message first, and
+  // non-best blocks are not relayed. When off, every proposer's full block
+  // floods the network.
+  bool priority_gossip_enabled = true;
+  // The special final step (§7.4). When off, BA* never declares finality and
+  // all consensus is tentative.
+  bool final_step_enabled = true;
+  // Participant replacement (§2, §4): every BA* step elects a fresh committee
+  // via sortition over (round, step). When off, one committee drawn at step 0
+  // serves the whole round — the configuration a targeted-DoS adversary can
+  // exploit once the members' first votes reveal them.
+  bool participant_replacement_enabled = true;
+
+  // The paper's deployment parameters, verbatim from Figure 4.
+  static ProtocolParams Paper();
+
+  // Shrinks the expected committee sizes by `factor` (e.g. 0.05 gives
+  // tau_step = 100) for simulations with few users. Thresholds and timeouts
+  // are unchanged.
+  static ProtocolParams ScaledCommittees(double factor);
+
+  // Vote-count thresholds actually compared against accumulated weighted
+  // votes (strictly greater than, per CountVotes in Algorithm 5).
+  double StepThreshold() const { return t_step * tau_step; }
+  double FinalThreshold() const { return t_final * tau_final; }
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CORE_PARAMS_H_

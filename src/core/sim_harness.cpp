@@ -1,0 +1,213 @@
+#include "src/core/sim_harness.h"
+
+#include <algorithm>
+
+namespace algorand {
+
+SimHarness::SimHarness(HarnessConfig config)
+    : config_(std::move(config)),
+      rng_(config_.rng_seed, "harness"),
+      genesis_(MakeTestGenesis(config_.n_nodes, config_.stake_per_user, config_.rng_seed)) {
+  if (config_.stake_of) {
+    for (size_t i = 0; i < genesis_.config.allocations.size(); ++i) {
+      genesis_.config.allocations[i].second = config_.stake_of(i);
+    }
+  }
+  genesis_.config.weight_lookback_rounds = config_.weight_lookback_rounds;
+  vrf_ = config_.use_sim_crypto ? static_cast<const VrfBackend*>(&sim_vrf_) : &ec_vrf_;
+  signer_ =
+      config_.use_sim_crypto ? static_cast<const SignerBackend*>(&sim_signer_) : &ed_signer_;
+
+  if (config_.latency == HarnessConfig::Latency::kCity) {
+    latency_ = std::make_unique<CityLatencyModel>(config_.n_nodes, config_.rng_seed);
+  } else {
+    latency_ = std::make_unique<UniformLatencyModel>(config_.uniform_latency,
+                                                     config_.uniform_jitter, config_.rng_seed);
+  }
+  network_ = std::make_unique<Network>(&sim_, latency_.get(), config_.net, config_.n_nodes);
+  DeterministicRng topo_rng = rng_.Fork("topology");
+  topology_ = std::make_unique<GossipTopology>(config_.n_nodes, config_.gossip_out_degree,
+                                               &topo_rng);
+
+  malicious_count_ =
+      static_cast<size_t>(static_cast<double>(config_.n_nodes) * config_.malicious_fraction);
+
+  CryptoSuite crypto{vrf_, signer_, &cache_};
+  agents_.reserve(config_.n_nodes);
+  nodes_.reserve(config_.n_nodes);
+  for (NodeId i = 0; i < config_.n_nodes; ++i) {
+    agents_.push_back(std::make_unique<GossipAgent>(i, network_.get(), topology_.get()));
+    std::unique_ptr<Node> node;
+    if (config_.node_factory) {
+      node = config_.node_factory(i, &sim_, agents_.back().get(), genesis_.keys[i],
+                                  genesis_.config, config_.params, crypto, &coordinator_);
+    }
+    if (!node) {
+      if (i < malicious_count_) {
+        node = std::make_unique<EquivocatingNode>(i, &sim_, agents_.back().get(),
+                                                  genesis_.keys[i], genesis_.config,
+                                                  config_.params, crypto, &coordinator_);
+      } else {
+        node = std::make_unique<Node>(i, &sim_, agents_.back().get(), genesis_.keys[i],
+                                      genesis_.config, config_.params, crypto);
+      }
+    }
+    nodes_.push_back(std::move(node));
+  }
+  network_->set_delivery_handler([this](NodeId to, NodeId from, const MessagePtr& msg) {
+    agents_[to]->OnReceive(from, msg);
+  });
+}
+
+SimHarness::~SimHarness() = default;
+
+void SimHarness::SetNetworkAdversary(std::unique_ptr<NetworkAdversary> adversary) {
+  net_adversary_ = std::move(adversary);
+  network_->set_adversary(net_adversary_.get());
+}
+
+void SimHarness::Start() {
+  for (auto& node : nodes_) {
+    node->Start();
+  }
+}
+
+bool SimHarness::RunRounds(uint64_t rounds, SimTime deadline) {
+  auto honest_done = [this, rounds] {
+    for (size_t i = malicious_count_; i < nodes_.size(); ++i) {
+      if (nodes_[i]->ledger().chain_length() <= rounds) {
+        return false;
+      }
+    }
+    return true;
+  };
+  // Periodic completion probe: cheap relative to protocol traffic. The
+  // generation stamp kills probes left over from earlier RunRounds calls.
+  const uint64_t generation = ++probe_generation_;
+  auto probe = std::make_shared<std::function<void()>>();
+  *probe = [this, probe, honest_done, generation] {
+    if (generation != probe_generation_) {
+      return;  // Stale probe from a previous RunRounds call.
+    }
+    if (honest_done()) {
+      sim_.Stop();
+      return;
+    }
+    sim_.Schedule(Seconds(1), *probe);
+  };
+  sim_.Schedule(Seconds(1), *probe);
+  sim_.RunUntil(deadline);
+  return honest_done();
+}
+
+std::vector<double> SimHarness::RoundLatencies(uint64_t round) const {
+  std::vector<double> latencies;
+  for (size_t i = malicious_count_; i < nodes_.size(); ++i) {
+    for (const RoundRecord& rec : nodes_[i]->round_records()) {
+      if (rec.round == round && rec.end_time > 0) {
+        latencies.push_back(ToSeconds(rec.end_time - rec.start_time));
+      }
+    }
+  }
+  return latencies;
+}
+
+SimHarness::PhaseBreakdown SimHarness::MeanPhaseBreakdown(uint64_t first_round,
+                                                          uint64_t last_round) const {
+  PhaseBreakdown sum;
+  size_t count = 0;
+  for (size_t i = malicious_count_; i < nodes_.size(); ++i) {
+    for (const RoundRecord& rec : nodes_[i]->round_records()) {
+      if (rec.round < first_round || rec.round > last_round || rec.end_time == 0) {
+        continue;
+      }
+      sum.proposal += ToSeconds(rec.proposal_done_at - rec.start_time);
+      sum.ba_without_final += ToSeconds(rec.binary_done_at - rec.proposal_done_at);
+      sum.final_step += ToSeconds(rec.end_time - rec.binary_done_at);
+      ++count;
+    }
+  }
+  if (count > 0) {
+    sum.proposal /= static_cast<double>(count);
+    sum.ba_without_final /= static_cast<double>(count);
+    sum.final_step /= static_cast<double>(count);
+  }
+  return sum;
+}
+
+SimHarness::SafetyReport SimHarness::CheckSafety() const {
+  SafetyReport report;
+  // For every round where some honest node recorded FINAL consensus, every
+  // other honest node that has any block at that round must have the same
+  // block hash.
+  uint64_t max_round = 0;
+  for (size_t i = malicious_count_; i < nodes_.size(); ++i) {
+    max_round = std::max<uint64_t>(max_round, nodes_[i]->ledger().chain_length());
+  }
+  for (uint64_t r = 1; r < max_round; ++r) {
+    bool have_final = false;
+    Hash256 final_hash;
+    size_t final_node = 0;
+    for (size_t i = malicious_count_; i < nodes_.size(); ++i) {
+      const Ledger& ledger = nodes_[i]->ledger();
+      if (ledger.chain_length() <= r) {
+        continue;
+      }
+      if (ledger.ConsensusAtRound(r) == ConsensusKind::kFinal) {
+        Hash256 h = ledger.BlockAtRound(r).Hash();
+        if (!have_final) {
+          have_final = true;
+          final_hash = h;
+          final_node = i;
+        } else if (h != final_hash) {
+          report.ok = false;
+          report.violation = "two final blocks at round " + std::to_string(r) + " (nodes " +
+                             std::to_string(final_node) + ", " + std::to_string(i) + ")";
+          return report;
+        }
+      }
+    }
+    if (!have_final) {
+      continue;
+    }
+    for (size_t i = malicious_count_; i < nodes_.size(); ++i) {
+      const Ledger& ledger = nodes_[i]->ledger();
+      if (ledger.chain_length() <= r) {
+        continue;
+      }
+      if (ledger.BlockAtRound(r).Hash() != final_hash) {
+        report.ok = false;
+        report.violation = "node " + std::to_string(i) + " disagrees with final block at round " +
+                           std::to_string(r);
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+bool SimHarness::ChainsConsistent() const {
+  for (size_t i = malicious_count_ + 1; i < nodes_.size(); ++i) {
+    const Ledger& a = nodes_[malicious_count_]->ledger();
+    const Ledger& b = nodes_[i]->ledger();
+    uint64_t common = std::min<uint64_t>(a.chain_length(), b.chain_length());
+    for (uint64_t r = 0; r < common; ++r) {
+      if (a.BlockAtRound(r).Hash() != b.BlockAtRound(r).Hash()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Transaction SimHarness::SubmitPayment(size_t from_idx, size_t to_idx, uint64_t amount,
+                                      uint64_t nonce) {
+  Transaction tx = MakeTransaction(genesis_.keys[from_idx],
+                                   genesis_.keys[to_idx].public_key, amount, nonce, *signer_);
+  for (auto& node : nodes_) {
+    node->SubmitTransaction(tx);
+  }
+  return tx;
+}
+
+}  // namespace algorand

@@ -1,0 +1,137 @@
+// SimHarness: assembles a complete Algorand deployment inside the
+// discrete-event simulator — keys and genesis, latency/bandwidth models,
+// gossip topology, honest and adversarial nodes — runs rounds, and checks the
+// paper's safety goal across nodes. All integration tests, benchmarks and
+// examples build on this.
+#ifndef ALGORAND_SRC_CORE_SIM_HARNESS_H_
+#define ALGORAND_SRC_CORE_SIM_HARNESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/adversary_nodes.h"
+#include "src/core/node.h"
+#include "src/netsim/latency.h"
+
+namespace algorand {
+
+struct HarnessConfig {
+  size_t n_nodes = 50;
+  uint64_t stake_per_user = 1000;
+  // Optional per-user stake override (index -> stake); when set,
+  // stake_per_user is ignored.
+  std::function<uint64_t(size_t)> stake_of;
+  // Look-back rounds for sortition weights (§5.3); 0 = current balances.
+  uint64_t weight_lookback_rounds = 0;
+  uint64_t rng_seed = 1;
+  ProtocolParams params = ProtocolParams::ScaledCommittees(0.02);  // tau_step 40.
+
+  // Network.
+  size_t gossip_out_degree = 4;
+  NetworkConfig net;
+  enum class Latency { kUniform, kCity } latency = Latency::kCity;
+  SimTime uniform_latency = Millis(50);
+  SimTime uniform_jitter = Millis(20);
+
+  // Crypto: real Ed25519 + ECVRF by default; the Sim backends reproduce the
+  // paper's replace-crypto-with-sleeps methodology for very large runs.
+  bool use_sim_crypto = false;
+
+  // Adversary: the first floor(n * malicious_fraction) node ids run the
+  // equivocation attack of §10.4 (their stake is the malicious stake, since
+  // stakes are equal).
+  double malicious_fraction = 0.0;
+
+  // Override to build custom node types; return nullptr to get the default
+  // behaviour for that id.
+  using NodeFactory = std::function<std::unique_ptr<Node>(
+      NodeId, Simulation*, GossipAgent*, const Ed25519KeyPair&, const GenesisConfig&,
+      const ProtocolParams&, CryptoSuite, AdversaryCoordinator*)>;
+  NodeFactory node_factory;
+};
+
+class SimHarness {
+ public:
+  explicit SimHarness(HarnessConfig config);
+  ~SimHarness();
+
+  // Starts every node at the current simulation time.
+  void Start();
+
+  // Runs until every honest node finished `rounds` rounds. Returns false if
+  // the simulated deadline passed or the event queue drained first.
+  bool RunRounds(uint64_t rounds, SimTime deadline = Hours(24));
+
+  Simulation& sim() { return sim_; }
+  Network& network() { return *network_; }
+  Node& node(size_t i) { return *nodes_[i]; }
+  size_t node_count() const { return nodes_.size(); }
+  bool is_malicious(size_t i) const { return i < malicious_count_; }
+  size_t malicious_count() const { return malicious_count_; }
+  const GenesisBundle& genesis() const { return genesis_; }
+  VerificationCache& cache() { return cache_; }
+  AdversaryCoordinator& coordinator() { return coordinator_; }
+  const VrfBackend& vrf() const { return *vrf_; }
+  const SignerBackend& signer() const { return *signer_; }
+  NetworkAdversary* network_adversary() const { return net_adversary_.get(); }
+  void SetNetworkAdversary(std::unique_ptr<NetworkAdversary> adversary);
+
+  // Per-honest-node completion time (seconds) of `round`, for nodes that
+  // finished it.
+  std::vector<double> RoundLatencies(uint64_t round) const;
+
+  // Seconds spent by honest nodes in each phase of `round` (Figure 7's
+  // decomposition): block proposal, BA* without the final step, final step.
+  struct PhaseBreakdown {
+    double proposal = 0;
+    double ba_without_final = 0;
+    double final_step = 0;
+  };
+  PhaseBreakdown MeanPhaseBreakdown(uint64_t first_round, uint64_t last_round) const;
+
+  // The paper's safety goal (§3): if any honest node reached *final*
+  // consensus on a block in round r, every honest node's round-r block
+  // matches it.
+  struct SafetyReport {
+    bool ok = true;
+    std::string violation;
+  };
+  SafetyReport CheckSafety() const;
+
+  // True if all honest nodes' chains agree on every common round (stronger
+  // than safety; holds under strong synchrony).
+  bool ChainsConsistent() const;
+
+  // Submits a signed payment from node `from_idx` to node `to_idx` at every
+  // node's pool (clients gossip transactions network-wide).
+  Transaction SubmitPayment(size_t from_idx, size_t to_idx, uint64_t amount, uint64_t nonce);
+
+ private:
+  HarnessConfig config_;
+  DeterministicRng rng_;
+  GenesisBundle genesis_;
+  Simulation sim_;
+  std::unique_ptr<LatencyModel> latency_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<GossipTopology> topology_;
+  std::vector<std::unique_ptr<GossipAgent>> agents_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<NetworkAdversary> net_adversary_;
+
+  EcVrf ec_vrf_;
+  SimVrf sim_vrf_;
+  Ed25519Signer ed_signer_;
+  SimSigner sim_signer_;
+  const VrfBackend* vrf_ = nullptr;
+  const SignerBackend* signer_ = nullptr;
+  VerificationCache cache_;
+  AdversaryCoordinator coordinator_;
+  size_t malicious_count_ = 0;
+  uint64_t probe_generation_ = 0;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CORE_SIM_HARNESS_H_

@@ -1,0 +1,129 @@
+#include "src/core/sortition.h"
+
+#include <cmath>
+
+#include "src/common/serialize.h"
+#include "src/crypto/sha256.h"
+
+namespace algorand {
+
+std::vector<uint8_t> SortitionAlpha(const SeedBytes& seed, Role role, uint64_t round,
+                                    uint32_t step) {
+  Writer w;
+  w.Fixed(seed);
+  w.U8(static_cast<uint8_t>(role));
+  w.U64(round);
+  w.U32(step);
+  return w.Take();
+}
+
+long double HashToFraction(const VrfOutput& hash) {
+  // Top 128 bits, big-endian, as a fraction of [0,1). long double on x86 has
+  // a 64-bit mantissa; the second word contributes the tail. 2^-128 precision
+  // dwarfs any interval width that matters at simulation scales.
+  uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 8; ++i) {
+    hi = (hi << 8) | hash[static_cast<size_t>(i)];
+    lo = (lo << 8) | hash[static_cast<size_t>(i + 8)];
+  }
+  long double frac =
+      static_cast<long double>(hi) * 0x1.0p-64L + static_cast<long double>(lo) * 0x1.0p-128L;
+  // The true fraction is < 1, but rounding at the top of the range can hit
+  // 1.0 exactly; clamp so callers can rely on [0, 1).
+  if (frac >= 1.0L) {
+    frac = 1.0L - 0x1.0p-64L;
+  }
+  return frac;
+}
+
+uint64_t SelectSubUsers(const VrfOutput& hash, uint64_t weight, double p) {
+  if (weight == 0 || p <= 0.0) {
+    return 0;
+  }
+  if (p >= 1.0) {
+    return weight;
+  }
+  const long double frac = HashToFraction(hash);
+  const long double w = static_cast<long double>(weight);
+  const long double lp = static_cast<long double>(p);
+
+  // Walk the binomial CDF using the term recurrence
+  //   B(k+1)/B(k) = (w-k)/(k+1) * p/(1-p).
+  // The term is tracked in log space so weights with w*p far past the double
+  // range still work; the cumulative sum only accumulates representable
+  // terms, which is exactly the set of terms that can move a 128-bit uniform
+  // fraction across an interval boundary.
+  const long double log_ratio_base = std::log(lp) - std::log1p(-lp);
+  long double log_term = w * std::log1p(-lp);  // log B(0; w, p).
+  long double cumulative = 0.0L;
+  uint64_t k = 0;
+  for (;;) {
+    cumulative += std::exp(log_term);
+    if (frac < cumulative) {
+      return k;
+    }
+    if (k >= weight) {
+      // frac sits in the final sliver above CDF(w) that exists only due to
+      // rounding; everything is selected.
+      return weight;
+    }
+    log_term += std::log(w - static_cast<long double>(k)) -
+                std::log(static_cast<long double>(k) + 1.0L) + log_ratio_base;
+    ++k;
+    // Termination guard: once the CDF is indistinguishable from 1 the loop
+    // cannot be crossed by frac < 1, but frac can sit in the 2^-128 tail.
+    if (cumulative >= 1.0L - 1e-30L) {
+      return k;
+    }
+  }
+}
+
+SortitionResult RunSortition(const VrfBackend& vrf, const Ed25519KeyPair& key,
+                             const SeedBytes& seed, double tau, Role role, uint64_t round,
+                             uint32_t step, uint64_t weight, uint64_t total_weight) {
+  SortitionResult out;
+  if (total_weight == 0) {
+    return out;
+  }
+  std::vector<uint8_t> alpha = SortitionAlpha(seed, role, round, step);
+  VrfResult res = vrf.Prove(key, alpha);
+  out.hash = res.output;
+  out.proof = res.proof;
+  double p = tau / static_cast<double>(total_weight);
+  out.votes = SelectSubUsers(res.output, weight, p);
+  return out;
+}
+
+uint64_t VerifySortition(const VrfBackend& vrf, const PublicKey& pk, const VrfOutput& hash,
+                         const VrfProof& proof, const SeedBytes& seed, double tau, Role role,
+                         uint64_t round, uint32_t step, uint64_t weight, uint64_t total_weight) {
+  if (total_weight == 0) {
+    return 0;
+  }
+  std::vector<uint8_t> alpha = SortitionAlpha(seed, role, round, step);
+  auto output = vrf.Verify(pk, alpha, proof);
+  if (!output || *output != hash) {
+    return 0;
+  }
+  double p = tau / static_cast<double>(total_weight);
+  return SelectSubUsers(hash, weight, p);
+}
+
+Hash256 ProposalPriority(const VrfOutput& hash, uint64_t votes) {
+  Hash256 best;
+  for (size_t i = 0; i < best.size(); ++i) {
+    best[i] = 0xff;
+  }
+  for (uint64_t j = 0; j < votes; ++j) {
+    Writer w;
+    w.Fixed(hash);
+    w.U64(j);
+    Hash256 candidate = Sha256::Hash(w.buffer());
+    if (candidate < best) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace algorand

@@ -1,0 +1,69 @@
+// Cryptographic sortition (§5, Algorithms 1 and 2).
+//
+// Sortition privately selects users in proportion to their weight. A user
+// with weight w (currency units) is treated as w sub-users, each selected
+// independently with probability p = tau / W. The VRF output, interpreted as
+// a uniform fraction of [0,1), is inverted through the binomial CDF to decide
+// how many of the user's sub-users were chosen; the VRF proof lets everyone
+// else check the outcome with only the public key and the ledger's weights.
+#ifndef ALGORAND_SRC_CORE_SORTITION_H_
+#define ALGORAND_SRC_CORE_SORTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/crypto/vrf.h"
+
+namespace algorand {
+
+// Roles a user can be selected for. The role is part of the VRF input so
+// selections for different purposes are independent.
+enum class Role : uint8_t {
+  kProposer = 1,   // Block proposal (§6).
+  kCommittee = 2,  // BA* step committee (§7).
+  kRecovery = 3,   // Fork-recovery proposer (§8.2).
+};
+
+// Serializes seed || role || round || step as the VRF input alpha.
+std::vector<uint8_t> SortitionAlpha(const SeedBytes& seed, Role role, uint64_t round,
+                                    uint32_t step);
+
+struct SortitionResult {
+  VrfOutput hash;   // Pseudo-random VRF output (drives sub-user count).
+  VrfProof proof;   // Proof of the output for VerifySortition.
+  uint64_t votes = 0;  // j: the number of selected sub-users (0 = not selected).
+};
+
+// Algorithm 1: runs sortition for `key` with weight `weight` out of total
+// weight `total_weight`, for an expected `tau` selected sub-users overall.
+SortitionResult RunSortition(const VrfBackend& vrf, const Ed25519KeyPair& key,
+                             const SeedBytes& seed, double tau, Role role, uint64_t round,
+                             uint32_t step, uint64_t weight, uint64_t total_weight);
+
+// Algorithm 2: verifies a sortition proof and returns the number of selected
+// sub-users (0 if the proof is invalid or the user was not selected).
+uint64_t VerifySortition(const VrfBackend& vrf, const PublicKey& pk, const VrfOutput& hash,
+                         const VrfProof& proof, const SeedBytes& seed, double tau, Role role,
+                         uint64_t round, uint32_t step, uint64_t weight, uint64_t total_weight);
+
+// The binomial CDF inversion at the heart of both algorithms: given the
+// uniform fraction encoded by `hash`, returns j such that the fraction lies
+// in [CDF(j-1), CDF(j)) for Binomial(weight, p). Exposed for direct testing.
+uint64_t SelectSubUsers(const VrfOutput& hash, uint64_t weight, double p);
+
+// Maps a VRF output to a uniform fraction of [0,1) using its top 128 bits.
+long double HashToFraction(const VrfOutput& hash);
+
+// Block-proposal priority (§6): the best (numerically smallest) value of
+// SHA-256(vrf_hash || sub_user_index) over the j selected sub-users. Lower is
+// higher priority. `votes` must be >= 1.
+Hash256 ProposalPriority(const VrfOutput& hash, uint64_t votes);
+
+// Compares priorities: true if `a` beats `b` (a is smaller).
+inline bool PriorityBeats(const Hash256& a, const Hash256& b) { return a < b; }
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CORE_SORTITION_H_

@@ -1,0 +1,48 @@
+// Shared verification cache.
+//
+// Within one simulation process every node re-verifies the same gossip
+// message; one valid check per unique message suffices (the receivers share
+// the arithmetic, not the trust — each node would perform the identical
+// computation). This is the paper's own methodology at 500k users, where
+// verifications were replaced by equal-cost sleeps (§10.1). The cache maps a
+// message's DedupId to its verified sortition weight (0 = invalid).
+#ifndef ALGORAND_SRC_CORE_VERIFICATION_CACHE_H_
+#define ALGORAND_SRC_CORE_VERIFICATION_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/common/bytes.h"
+
+namespace algorand {
+
+class VerificationCache {
+ public:
+  // Returns the cached value or computes, stores and returns it.
+  uint64_t GetOrCompute(const Hash256& id, const std::function<uint64_t()>& compute) {
+    auto it = cache_.find(id);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+    uint64_t v = compute();
+    cache_.emplace(id, v);
+    return v;
+  }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t size() const { return cache_.size(); }
+  void Clear() { cache_.clear(); }
+
+ private:
+  std::unordered_map<Hash256, uint64_t, FixedBytesHasher> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CORE_VERIFICATION_CACHE_H_

@@ -1,0 +1,57 @@
+#include "src/core/vote_counter.h"
+
+#include "src/common/serialize.h"
+#include "src/crypto/sha256.h"
+
+namespace algorand {
+
+bool StepTally::AddVote(const PublicKey& pk, uint64_t weight, const Hash256& value,
+                        const VrfOutput& sorthash) {
+  if (weight == 0 || !voters_.insert(pk).second) {
+    return false;
+  }
+  counts_[value] += weight;
+  entries_.push_back(Entry{pk, weight, value, sorthash});
+  total_weight_ += weight;
+  return true;
+}
+
+uint64_t StepTally::CountFor(const Hash256& value) const {
+  auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::optional<Hash256> StepTally::Leader(double threshold) const {
+  // Replay arrival order so the result matches the streaming CountVotes loop.
+  std::unordered_map<Hash256, uint64_t, FixedBytesHasher> running;
+  for (const Entry& e : entries_) {
+    uint64_t c = (running[e.value] += e.weight);
+    if (static_cast<double>(c) > threshold) {
+      return e.value;
+    }
+  }
+  return std::nullopt;
+}
+
+int StepTally::CommonCoin() const {
+  bool have = false;
+  Hash256 best;
+  for (const Entry& e : entries_) {
+    for (uint64_t j = 0; j < e.weight; ++j) {
+      Writer w;
+      w.Fixed(e.sorthash);
+      w.U64(j);
+      Hash256 h = Sha256::Hash(w.buffer());
+      if (!have || h < best) {
+        best = h;
+        have = true;
+      }
+    }
+  }
+  if (!have) {
+    return 0;
+  }
+  return best[best.size() - 1] & 1;
+}
+
+}  // namespace algorand

@@ -1,0 +1,78 @@
+#include "src/core/wire_codec.h"
+
+namespace algorand {
+namespace {
+
+std::vector<uint8_t> Tagged(WireType type, std::vector<uint8_t> body) {
+  std::vector<uint8_t> out;
+  out.reserve(body.size() + 1);
+  out.push_back(static_cast<uint8_t>(type));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeMessage(const SimMessage& msg) {
+  if (auto* v = dynamic_cast<const VoteMessage*>(&msg)) {
+    return Tagged(WireType::kVote, v->Serialize());
+  }
+  if (auto* p = dynamic_cast<const PriorityMessage*>(&msg)) {
+    return Tagged(WireType::kPriority, p->Serialize());
+  }
+  if (auto* b = dynamic_cast<const BlockMessage*>(&msg)) {
+    return Tagged(WireType::kBlock, b->block.Serialize());
+  }
+  if (auto* r = dynamic_cast<const BlockRequestMessage*>(&msg)) {
+    return Tagged(WireType::kBlockRequest, r->Serialize());
+  }
+  if (auto* rp = dynamic_cast<const RecoveryProposalMessage*>(&msg)) {
+    return Tagged(WireType::kRecoveryProposal, rp->Serialize());
+  }
+  if (auto* t = dynamic_cast<const TransactionMessage*>(&msg)) {
+    return Tagged(WireType::kTransaction, t->Serialize());
+  }
+  return {};
+}
+
+MessagePtr DecodeMessage(std::span<const uint8_t> payload) {
+  if (payload.empty()) {
+    return nullptr;
+  }
+  auto type = static_cast<WireType>(payload[0]);
+  auto body = payload.subspan(1);
+  switch (type) {
+    case WireType::kVote: {
+      auto m = VoteMessage::Deserialize(body);
+      return m ? std::make_shared<VoteMessage>(std::move(*m)) : nullptr;
+    }
+    case WireType::kPriority: {
+      auto m = PriorityMessage::Deserialize(body);
+      return m ? std::make_shared<PriorityMessage>(std::move(*m)) : nullptr;
+    }
+    case WireType::kBlock: {
+      auto b = Block::Deserialize(body);
+      if (!b) {
+        return nullptr;
+      }
+      auto msg = std::make_shared<BlockMessage>();
+      msg->block = std::move(*b);
+      return msg;
+    }
+    case WireType::kBlockRequest: {
+      auto m = BlockRequestMessage::Deserialize(body);
+      return m ? std::make_shared<BlockRequestMessage>(std::move(*m)) : nullptr;
+    }
+    case WireType::kRecoveryProposal: {
+      auto m = RecoveryProposalMessage::Deserialize(body);
+      return m ? std::make_shared<RecoveryProposalMessage>(std::move(*m)) : nullptr;
+    }
+    case WireType::kTransaction: {
+      auto m = TransactionMessage::Deserialize(body);
+      return m ? std::make_shared<TransactionMessage>(std::move(*m)) : nullptr;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace algorand

@@ -1,0 +1,36 @@
+// Wire codec: tags and serializes every protocol message for transports that
+// move real bytes (src/tcp). The simulator passes shared pointers around and
+// never needs this; the TCP runtime round-trips every message through it.
+//
+// Frame payload layout: 1-byte type tag || message serialization.
+#ifndef ALGORAND_SRC_CORE_WIRE_CODEC_H_
+#define ALGORAND_SRC_CORE_WIRE_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/messages.h"
+
+namespace algorand {
+
+enum class WireType : uint8_t {
+  kVote = 1,
+  kPriority = 2,
+  kBlock = 3,
+  kBlockRequest = 4,
+  kRecoveryProposal = 5,
+  kTransaction = 6,
+};
+
+// Serializes a message with its type tag. Returns an empty vector for
+// message types the codec does not know (none exist in-tree).
+std::vector<uint8_t> EncodeMessage(const SimMessage& msg);
+inline std::vector<uint8_t> EncodeMessage(const MessagePtr& msg) { return EncodeMessage(*msg); }
+
+// Parses a tagged payload back into a message; nullptr on malformed input.
+MessagePtr DecodeMessage(std::span<const uint8_t> payload);
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CORE_WIRE_CODEC_H_

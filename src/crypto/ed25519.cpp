@@ -1,0 +1,91 @@
+#include "src/crypto/ed25519.h"
+
+#include <cstring>
+
+#include "src/crypto/internal/ge25519.h"
+#include "src/crypto/internal/sc25519.h"
+#include "src/crypto/sha512.h"
+
+namespace algorand {
+
+using internal::GeAdd;
+using internal::GeEq;
+using internal::GeFromBytes;
+using internal::GePoint;
+using internal::GeScalarMult;
+using internal::GeScalarMultBase;
+using internal::GeToBytes;
+using internal::ScIsCanonical;
+using internal::ScMulAdd;
+using internal::ScReduce64;
+
+Ed25519KeyPair Ed25519KeyFromSeed(const FixedBytes<32>& seed) {
+  Ed25519KeyPair kp;
+  kp.seed = seed;
+  Hash512 h = Sha512::Hash(seed.span());
+  std::memcpy(kp.scalar.data(), h.data(), 32);
+  std::memcpy(kp.prefix.data(), h.data() + 32, 32);
+  // Clamp per RFC 8032.
+  kp.scalar[0] &= 248;
+  kp.scalar[31] &= 127;
+  kp.scalar[31] |= 64;
+
+  GePoint a = GeScalarMultBase(kp.scalar.data());
+  GeToBytes(kp.public_key.data(), a);
+  return kp;
+}
+
+Signature Ed25519Sign(const Ed25519KeyPair& key, std::span<const uint8_t> message) {
+  // r = SHA512(prefix || M) mod L.
+  Hash512 rh = Sha512().Update(key.prefix.span()).Update(message).Finish();
+  uint8_t r[32];
+  ScReduce64(r, rh.data());
+
+  GePoint rp = GeScalarMultBase(r);
+  Signature sig;
+  GeToBytes(sig.data(), rp);  // R in the first 32 bytes.
+
+  // k = SHA512(R || A || M) mod L.
+  Hash512 kh = Sha512()
+                   .Update(std::span<const uint8_t>(sig.data(), 32))
+                   .Update(key.public_key.span())
+                   .Update(message)
+                   .Finish();
+  uint8_t k[32];
+  ScReduce64(k, kh.data());
+
+  // S = k*a + r mod L.
+  ScMulAdd(sig.data() + 32, k, key.scalar.data(), r);
+  return sig;
+}
+
+bool Ed25519Verify(const PublicKey& pk, std::span<const uint8_t> message, const Signature& sig) {
+  const uint8_t* r_bytes = sig.data();
+  const uint8_t* s_bytes = sig.data() + 32;
+  if (!ScIsCanonical(s_bytes)) {
+    return false;
+  }
+  auto a = GeFromBytes(pk.data());
+  if (!a) {
+    return false;
+  }
+  auto r = GeFromBytes(r_bytes);
+  if (!r) {
+    return false;
+  }
+
+  Hash512 kh = Sha512()
+                   .Update(std::span<const uint8_t>(r_bytes, 32))
+                   .Update(pk.span())
+                   .Update(message)
+                   .Finish();
+  uint8_t k[32];
+  ScReduce64(k, kh.data());
+
+  // Check [S]B == R + [k]A.
+  GePoint sb = GeScalarMultBase(s_bytes);
+  GePoint rka = GeAdd(*r, GeScalarMult(k, *a));
+  return GeEq(sb, rka);
+}
+
+}  // namespace algorand

@@ -1,0 +1,34 @@
+// Ed25519 signatures (RFC 8032), implemented from scratch on the internal
+// Curve25519 arithmetic. Used to sign every gossip message in Algorand.
+#ifndef ALGORAND_SRC_CRYPTO_ED25519_H_
+#define ALGORAND_SRC_CRYPTO_ED25519_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/common/bytes.h"
+
+namespace algorand {
+
+// A key pair expanded from a 32-byte seed. The expanded fields are cached so
+// repeated signing does not re-derive them.
+struct Ed25519KeyPair {
+  FixedBytes<32> seed;
+  PublicKey public_key;
+  // SHA-512(seed): low half clamped is the scalar, high half is the prefix.
+  FixedBytes<32> scalar;
+  FixedBytes<32> prefix;
+};
+
+// Derives a key pair from a seed.
+Ed25519KeyPair Ed25519KeyFromSeed(const FixedBytes<32>& seed);
+
+// Signs `message` with the key pair.
+Signature Ed25519Sign(const Ed25519KeyPair& key, std::span<const uint8_t> message);
+
+// Verifies; rejects malformed points and non-canonical scalars.
+bool Ed25519Verify(const PublicKey& pk, std::span<const uint8_t> message, const Signature& sig);
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CRYPTO_ED25519_H_

@@ -1,0 +1,163 @@
+#include "src/crypto/internal/fe25519.h"
+
+#include <cstring>
+
+namespace algorand {
+namespace internal {
+namespace {
+
+// Folds `carry` (value carried out past 2^256) back in using 2^256 = 38 mod p.
+void FoldCarry(U256* v, uint64_t carry) {
+  while (carry != 0) {
+    // carry * 38 fits easily in 128 bits; add limb-wise.
+    unsigned __int128 c = static_cast<unsigned __int128>(carry) * 38;
+    uint64_t add_lo = static_cast<uint64_t>(c);
+    uint64_t add_hi = static_cast<uint64_t>(c >> 64);
+    U256 add{add_lo, add_hi, 0, 0};
+    carry = Add(v, *v, add);
+  }
+}
+
+}  // namespace
+
+const U256& FieldPrime() {
+  static const U256 kP = {0xffffffffffffffedULL, 0xffffffffffffffffULL, 0xffffffffffffffffULL,
+                          0x7fffffffffffffffULL};
+  return kP;
+}
+
+Fe FeZero() { return Fe{}; }
+
+Fe FeOne() { return Fe{{1, 0, 0, 0}}; }
+
+Fe FeFromU64(uint64_t x) { return Fe{{x, 0, 0, 0}}; }
+
+Fe FeAdd(const Fe& a, const Fe& b) {
+  Fe r;
+  uint64_t carry = Add(&r.v, a.v, b.v);
+  FoldCarry(&r.v, carry);
+  return r;
+}
+
+Fe FeSub(const Fe& a, const Fe& b) {
+  // a - b (mod p): compute the 2^256 wraparound, then correct by 38 per wrap.
+  Fe r;
+  uint64_t borrow = Sub(&r.v, a.v, b.v);
+  while (borrow != 0) {
+    // Value wrapped: the stored r.v equals a-b+2^256 == (a-b) + 38 (mod p).
+    U256 thirty_eight{38, 0, 0, 0};
+    borrow = Sub(&r.v, r.v, thirty_eight);
+  }
+  return r;
+}
+
+Fe FeMul(const Fe& a, const Fe& b) {
+  U512 wide = MulWide(a.v, b.v);
+  // lo + 38 * hi.
+  U256 lo{wide[0], wide[1], wide[2], wide[3]};
+  U256 hi{wide[4], wide[5], wide[6], wide[7]};
+  // hi * 38 produces at most 262 bits; accumulate into 5 limbs.
+  U256 hi38{};
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 cur =
+        static_cast<unsigned __int128>(hi[static_cast<size_t>(i)]) * 38 + carry;
+    hi38[static_cast<size_t>(i)] = static_cast<uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  uint64_t top = static_cast<uint64_t>(carry);  // < 38.
+  Fe r;
+  uint64_t c2 = Add(&r.v, lo, hi38);
+  FoldCarry(&r.v, c2 + top);
+  return r;
+}
+
+Fe FeSq(const Fe& a) { return FeMul(a, a); }
+
+Fe FeNeg(const Fe& a) { return FeSub(FeZero(), a); }
+
+Fe FePow(const Fe& a, const U256& e) {
+  Fe result = FeOne();
+  Fe base = a;
+  for (int i = 0; i < 256; ++i) {
+    if (Bit(e, i)) {
+      result = FeMul(result, base);
+    }
+    base = FeSq(base);
+  }
+  return result;
+}
+
+Fe FeInvert(const Fe& a) {
+  // a^(p-2) by Fermat.
+  U256 e = FieldPrime();
+  U256 two{2, 0, 0, 0};
+  Sub(&e, e, two);
+  return FePow(a, e);
+}
+
+void FeCanonicalize(Fe* a) {
+  const U256& p = FieldPrime();
+  // v < 2^256 and 2^256 < 4p, so at most 3 subtractions.
+  while (Cmp(a->v, p) >= 0) {
+    Sub(&a->v, a->v, p);
+  }
+}
+
+bool FeEq(const Fe& a, const Fe& b) {
+  Fe x = a, y = b;
+  FeCanonicalize(&x);
+  FeCanonicalize(&y);
+  return Cmp(x.v, y.v) == 0;
+}
+
+bool FeIsZero(const Fe& a) {
+  Fe x = a;
+  FeCanonicalize(&x);
+  return IsZero(x.v);
+}
+
+int FeIsNegative(const Fe& a) {
+  Fe x = a;
+  FeCanonicalize(&x);
+  return static_cast<int>(x.v[0] & 1);
+}
+
+void FeToBytes(uint8_t out[32], const Fe& a) {
+  Fe x = a;
+  FeCanonicalize(&x);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      out[8 * i + j] = static_cast<uint8_t>(x.v[static_cast<size_t>(i)] >> (8 * j));
+    }
+  }
+}
+
+Fe FeFromBytes(const uint8_t in[32]) {
+  Fe r;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t limb = 0;
+    for (int j = 7; j >= 0; --j) {
+      limb = (limb << 8) | in[8 * i + j];
+    }
+    r.v[static_cast<size_t>(i)] = limb;
+  }
+  r.v[3] &= 0x7fffffffffffffffULL;  // Clear the sign bit.
+  return r;
+}
+
+const Fe& FeSqrtM1() {
+  static const Fe kSqrtM1 = [] {
+    // 2^((p-1)/4) is a square root of -1 because 2 is a non-square mod p.
+    U256 e = FieldPrime();
+    U256 one{1, 0, 0, 0};
+    Sub(&e, e, one);
+    Shr1(&e);
+    Shr1(&e);
+    return FePow(FeFromU64(2), e);
+  }();
+  return kSqrtM1;
+}
+
+}  // namespace internal
+}  // namespace algorand

@@ -1,0 +1,63 @@
+// Field arithmetic modulo p = 2^255 - 19.
+//
+// Representation: a U256 value that is kept < 2^256 between operations and
+// reduced to canonical (< p) form only when serializing or comparing. The
+// reduction uses 2^256 = 38 (mod p).
+//
+// These routines are variable-time. That is acceptable for this research
+// reproduction (documented in README): the simulator's security analysis does
+// not model local side channels.
+#ifndef ALGORAND_SRC_CRYPTO_INTERNAL_FE25519_H_
+#define ALGORAND_SRC_CRYPTO_INTERNAL_FE25519_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/crypto/internal/u256.h"
+
+namespace algorand {
+namespace internal {
+
+struct Fe {
+  U256 v{};
+};
+
+// p = 2^255 - 19.
+const U256& FieldPrime();
+
+Fe FeZero();
+Fe FeOne();
+Fe FeFromU64(uint64_t x);
+
+Fe FeAdd(const Fe& a, const Fe& b);
+Fe FeSub(const Fe& a, const Fe& b);
+Fe FeMul(const Fe& a, const Fe& b);
+Fe FeSq(const Fe& a);
+Fe FeNeg(const Fe& a);
+
+// a^e (mod p), e an arbitrary 256-bit exponent. Variable time.
+Fe FePow(const Fe& a, const U256& e);
+
+// Multiplicative inverse; FeInvert(0) == 0.
+Fe FeInvert(const Fe& a);
+
+// Reduces to the canonical representative in [0, p).
+void FeCanonicalize(Fe* a);
+
+bool FeEq(const Fe& a, const Fe& b);
+bool FeIsZero(const Fe& a);
+// Least significant bit of the canonical representative ("sign" in RFC 8032).
+int FeIsNegative(const Fe& a);
+
+// Little-endian 32-byte encoding of the canonical representative.
+void FeToBytes(uint8_t out[32], const Fe& a);
+// Interprets 32 little-endian bytes, ignoring the top bit (RFC 8032 style).
+Fe FeFromBytes(const uint8_t in[32]);
+
+// sqrt(-1) mod p, computed once as 2^((p-1)/4).
+const Fe& FeSqrtM1();
+
+}  // namespace internal
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CRYPTO_INTERNAL_FE25519_H_

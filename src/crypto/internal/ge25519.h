@@ -1,0 +1,59 @@
+// Edwards curve group operations for edwards25519:
+//   -x^2 + y^2 = 1 + d x^2 y^2  over GF(2^255 - 19),
+// in extended homogeneous coordinates (X : Y : Z : T) with x = X/Z, y = Y/Z,
+// xy = T/Z.
+//
+// d and the standard base point are derived at startup (d = -121665/121666,
+// base point y = 4/5 with even x) rather than transcribed, to remove a class
+// of constant-entry mistakes.
+#ifndef ALGORAND_SRC_CRYPTO_INTERNAL_GE25519_H_
+#define ALGORAND_SRC_CRYPTO_INTERNAL_GE25519_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/crypto/internal/fe25519.h"
+
+namespace algorand {
+namespace internal {
+
+struct GePoint {
+  Fe X, Y, Z, T;
+};
+
+// The neutral element (0, 1).
+GePoint GeIdentity();
+
+// The standard base point B (y = 4/5, x even).
+const GePoint& GeBasePoint();
+
+// The curve constant d, and 2d used by the addition formulas.
+const Fe& GeConstD();
+
+// Complete point addition / subtraction / doubling.
+GePoint GeAdd(const GePoint& p, const GePoint& q);
+GePoint GeSub(const GePoint& p, const GePoint& q);
+GePoint GeDouble(const GePoint& p);
+GePoint GeNeg(const GePoint& p);
+
+// scalar * point, scalar given as 32 little-endian bytes. Variable time.
+GePoint GeScalarMult(const uint8_t scalar[32], const GePoint& p);
+GePoint GeScalarMultBase(const uint8_t scalar[32]);
+
+// Multiplies by the cofactor 8 (three doublings).
+GePoint GeMulByCofactor(const GePoint& p);
+
+bool GeIsIdentity(const GePoint& p);
+// Projective equality: same affine point.
+bool GeEq(const GePoint& p, const GePoint& q);
+
+// RFC 8032 point compression: 32 bytes, y with the sign of x in the top bit.
+void GeToBytes(uint8_t out[32], const GePoint& p);
+// Decompression; rejects non-curve encodings. Accepts non-canonical y
+// values only if they decode to a curve point (matching common practice).
+std::optional<GePoint> GeFromBytes(const uint8_t in[32]);
+
+}  // namespace internal
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CRYPTO_INTERNAL_GE25519_H_

@@ -1,0 +1,34 @@
+// Scalar arithmetic modulo the Ed25519 group order
+// L = 2^252 + 27742317777372353535851937790883648493.
+#ifndef ALGORAND_SRC_CRYPTO_INTERNAL_SC25519_H_
+#define ALGORAND_SRC_CRYPTO_INTERNAL_SC25519_H_
+
+#include <cstdint>
+
+#include "src/crypto/internal/u256.h"
+
+namespace algorand {
+namespace internal {
+
+// The group order L.
+const U256& ScOrder();
+
+// Reduces a 512-bit little-endian value (e.g. a SHA-512 digest) mod L and
+// writes the 32-byte little-endian result.
+void ScReduce64(uint8_t out[32], const uint8_t in[64]);
+
+// out = (a*b + c) mod L; inputs are 32-byte little-endian scalars (a and c
+// may be >= L; they are reduced).
+void ScMulAdd(uint8_t out[32], const uint8_t a[32], const uint8_t b[32], const uint8_t c[32]);
+
+// Returns true iff the 32-byte little-endian value is < L (canonical).
+bool ScIsCanonical(const uint8_t s[32]);
+
+// Helpers between byte strings and U256.
+U256 ScFromBytes(const uint8_t in[32]);
+void ScToBytes(uint8_t out[32], const U256& s);
+
+}  // namespace internal
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CRYPTO_INTERNAL_SC25519_H_

@@ -1,0 +1,28 @@
+#include "src/crypto/internal/u256.h"
+
+namespace algorand {
+namespace internal {
+
+U256 Mod512(const U512& n, const U256& m) {
+  // Shift-subtract over the 512 bits, MSB first. rem always stays < m, and m
+  // fits in 256 bits, so rem << 1 | bit fits in 257 bits; we track the
+  // overflow bit explicitly.
+  U256 rem{};
+  for (int i = 511; i >= 0; --i) {
+    // rem = (rem << 1) | bit_i(n)
+    uint64_t overflow = rem[3] >> 63;
+    for (int j = 3; j > 0; --j) {
+      rem[static_cast<size_t>(j)] =
+          (rem[static_cast<size_t>(j)] << 1) | (rem[static_cast<size_t>(j - 1)] >> 63);
+    }
+    uint64_t bit = (n[static_cast<size_t>(i / 64)] >> (i % 64)) & 1;
+    rem[0] = (rem[0] << 1) | bit;
+    if (overflow != 0 || Cmp(rem, m) >= 0) {
+      Sub(&rem, rem, m);
+    }
+  }
+  return rem;
+}
+
+}  // namespace internal
+}  // namespace algorand

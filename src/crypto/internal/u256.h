@@ -1,0 +1,105 @@
+// Minimal 256/512-bit unsigned integer helpers shared by the Curve25519 field
+// and scalar arithmetic. Little-endian 64-bit limbs, __int128 partial products.
+//
+// These are internal building blocks; they favour obvious correctness over
+// peak speed (the simulator additionally caches verifications, so crypto is
+// not the bottleneck).
+#ifndef ALGORAND_SRC_CRYPTO_INTERNAL_U256_H_
+#define ALGORAND_SRC_CRYPTO_INTERNAL_U256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace algorand {
+namespace internal {
+
+using U256 = std::array<uint64_t, 4>;
+using U512 = std::array<uint64_t, 8>;
+
+// r = a + b, returns the carry-out (0 or 1).
+inline uint64_t Add(U256* r, const U256& a, const U256& b) {
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 s = static_cast<unsigned __int128>(a[static_cast<size_t>(i)]) +
+                          b[static_cast<size_t>(i)] + carry;
+    (*r)[static_cast<size_t>(i)] = static_cast<uint64_t>(s);
+    carry = s >> 64;
+  }
+  return static_cast<uint64_t>(carry);
+}
+
+// r = a + small, returns carry-out.
+inline uint64_t AddSmall(U256* r, const U256& a, uint64_t small) {
+  unsigned __int128 carry = small;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 s = static_cast<unsigned __int128>(a[static_cast<size_t>(i)]) + carry;
+    (*r)[static_cast<size_t>(i)] = static_cast<uint64_t>(s);
+    carry = s >> 64;
+  }
+  return static_cast<uint64_t>(carry);
+}
+
+// r = a - b, returns the borrow-out (0 or 1).
+inline uint64_t Sub(U256* r, const U256& a, const U256& b) {
+  uint64_t borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 d = static_cast<unsigned __int128>(a[static_cast<size_t>(i)]) -
+                          b[static_cast<size_t>(i)] - borrow;
+    (*r)[static_cast<size_t>(i)] = static_cast<uint64_t>(d);
+    borrow = static_cast<uint64_t>((d >> 64) & 1);
+  }
+  return borrow;
+}
+
+// Lexicographic compare as integers: -1, 0, +1.
+inline int Cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a[static_cast<size_t>(i)] != b[static_cast<size_t>(i)]) {
+      return a[static_cast<size_t>(i)] < b[static_cast<size_t>(i)] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+inline bool IsZero(const U256& a) { return (a[0] | a[1] | a[2] | a[3]) == 0; }
+
+// Full 256x256 -> 512 schoolbook multiply.
+inline U512 MulWide(const U256& a, const U256& b) {
+  U512 r{};
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      unsigned __int128 cur = static_cast<unsigned __int128>(a[static_cast<size_t>(i)]) *
+                                  b[static_cast<size_t>(j)] +
+                              r[static_cast<size_t>(i + j)] + carry;
+      r[static_cast<size_t>(i + j)] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    r[static_cast<size_t>(i + 4)] = static_cast<uint64_t>(carry);
+  }
+  return r;
+}
+
+// a >> 1 in place.
+inline void Shr1(U256* a) {
+  for (int i = 0; i < 3; ++i) {
+    (*a)[static_cast<size_t>(i)] =
+        ((*a)[static_cast<size_t>(i)] >> 1) | ((*a)[static_cast<size_t>(i + 1)] << 63);
+  }
+  (*a)[3] >>= 1;
+}
+
+// Returns bit `i` (0-based from the least significant) of a.
+inline int Bit(const U256& a, int i) {
+  return static_cast<int>((a[static_cast<size_t>(i / 64)] >> (i % 64)) & 1);
+}
+
+// 512-bit value mod a 256-bit modulus via binary long division. `m` must have
+// its top bit (bit 255) clear is NOT required; m must be nonzero.
+U256 Mod512(const U512& n, const U256& m);
+
+}  // namespace internal
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CRYPTO_INTERNAL_U256_H_

@@ -1,0 +1,40 @@
+// SHA-512 (FIPS 180-4), implemented from scratch.
+//
+// Ed25519 (RFC 8032) and the ECVRF construction both hash with SHA-512.
+#ifndef ALGORAND_SRC_CRYPTO_SHA512_H_
+#define ALGORAND_SRC_CRYPTO_SHA512_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/common/bytes.h"
+
+namespace algorand {
+
+class Sha512 {
+ public:
+  Sha512();
+
+  Sha512& Update(std::span<const uint8_t> data);
+  Sha512& Update(std::string_view s) {
+    return Update(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+  }
+
+  // Finalizes and returns the digest. The object must not be reused after.
+  Hash512 Finish();
+
+  static Hash512 Hash(std::span<const uint8_t> data);
+  static Hash512 Hash(std::string_view s);
+
+ private:
+  void Compress(const uint8_t block[128]);
+
+  uint64_t state_[8];
+  uint64_t length_ = 0;  // Total bytes absorbed (enough for simulation scale).
+  uint8_t buf_[128];
+  size_t buf_len_ = 0;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CRYPTO_SHA512_H_

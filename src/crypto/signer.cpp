@@ -1,0 +1,22 @@
+#include "src/crypto/signer.h"
+
+#include <cstring>
+
+#include "src/crypto/sha512.h"
+
+namespace algorand {
+
+Signature SimSigner::Sign(const Ed25519KeyPair& key, std::span<const uint8_t> message) const {
+  Hash512 h = Sha512().Update("simsig").Update(key.public_key.span()).Update(message).Finish();
+  Signature sig;
+  std::memcpy(sig.data(), h.data(), 64);
+  return sig;
+}
+
+bool SimSigner::Verify(const PublicKey& pk, std::span<const uint8_t> message,
+                       const Signature& sig) const {
+  Hash512 h = Sha512().Update("simsig").Update(pk.span()).Update(message).Finish();
+  return std::memcmp(sig.data(), h.data(), 64) == 0;
+}
+
+}  // namespace algorand

@@ -1,0 +1,50 @@
+// Signature backend abstraction (real Ed25519 vs. cheap simulation signer).
+//
+// Every gossip message in Algorand is signed by its originator and verified
+// before relay (§4, §8.4). For very large simulations the signing/verifying
+// cost can be replaced by a keyed hash, mirroring the paper's own 500k-user
+// methodology; the default everywhere is the real Ed25519.
+#ifndef ALGORAND_SRC_CRYPTO_SIGNER_H_
+#define ALGORAND_SRC_CRYPTO_SIGNER_H_
+
+#include <span>
+
+#include "src/common/bytes.h"
+#include "src/crypto/ed25519.h"
+
+namespace algorand {
+
+class SignerBackend {
+ public:
+  virtual ~SignerBackend() = default;
+  virtual Signature Sign(const Ed25519KeyPair& key, std::span<const uint8_t> message) const = 0;
+  virtual bool Verify(const PublicKey& pk, std::span<const uint8_t> message,
+                      const Signature& sig) const = 0;
+  virtual const char* name() const = 0;
+};
+
+class Ed25519Signer : public SignerBackend {
+ public:
+  Signature Sign(const Ed25519KeyPair& key, std::span<const uint8_t> message) const override {
+    return Ed25519Sign(key, message);
+  }
+  bool Verify(const PublicKey& pk, std::span<const uint8_t> message,
+              const Signature& sig) const override {
+    return Ed25519Verify(pk, message, sig);
+  }
+  const char* name() const override { return "ed25519"; }
+};
+
+// sig = SHA512("simsig" || pk || message) truncated to 64 bytes: forgeable by
+// anyone who can hash, so only valid for honest-performance simulations.
+class SimSigner : public SignerBackend {
+ public:
+  Signature Sign(const Ed25519KeyPair& key, std::span<const uint8_t> message) const override;
+  bool Verify(const PublicKey& pk, std::span<const uint8_t> message,
+              const Signature& sig) const override;
+  const char* name() const override { return "simsig"; }
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CRYPTO_SIGNER_H_

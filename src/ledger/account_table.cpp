@@ -1,0 +1,48 @@
+#include "src/ledger/account_table.h"
+
+namespace algorand {
+
+void AccountTable::Credit(const PublicKey& pk, uint64_t amount) {
+  accounts_[pk].balance += amount;
+  total_weight_ += amount;
+}
+
+uint64_t AccountTable::BalanceOf(const PublicKey& pk) const {
+  auto it = accounts_.find(pk);
+  return it == accounts_.end() ? 0 : it->second.balance;
+}
+
+uint64_t AccountTable::NextNonceOf(const PublicKey& pk) const {
+  auto it = accounts_.find(pk);
+  return it == accounts_.end() ? 0 : it->second.next_nonce;
+}
+
+bool AccountTable::CheckTransaction(const Transaction& tx) const {
+  auto it = accounts_.find(tx.from);
+  if (it == accounts_.end()) {
+    return false;
+  }
+  const Account& from = it->second;
+  if (tx.nonce != from.next_nonce) {
+    return false;
+  }
+  // Overflow-safe balance check.
+  if (tx.amount > from.balance || tx.fee > from.balance - tx.amount) {
+    return false;
+  }
+  return true;
+}
+
+bool AccountTable::ApplyTransaction(const Transaction& tx) {
+  if (!CheckTransaction(tx)) {
+    return false;
+  }
+  Account& from = accounts_[tx.from];
+  from.balance -= tx.amount + tx.fee;
+  from.next_nonce += 1;
+  accounts_[tx.to].balance += tx.amount;
+  total_weight_ -= tx.fee;  // Fees are burned.
+  return true;
+}
+
+}  // namespace algorand

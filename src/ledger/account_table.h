@@ -1,0 +1,53 @@
+// The account state implied by a chain prefix: balances and nonces per public
+// key. Balances double as sortition weights (§2 "weighted users"), so the
+// table also tracks the total outstanding currency W.
+#ifndef ALGORAND_SRC_LEDGER_ACCOUNT_TABLE_H_
+#define ALGORAND_SRC_LEDGER_ACCOUNT_TABLE_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/common/bytes.h"
+#include "src/ledger/transaction.h"
+
+namespace algorand {
+
+struct Account {
+  uint64_t balance = 0;
+  uint64_t next_nonce = 0;
+};
+
+class AccountTable {
+ public:
+  AccountTable() = default;
+
+  // Mints `amount` to `pk` (genesis only).
+  void Credit(const PublicKey& pk, uint64_t amount);
+
+  uint64_t BalanceOf(const PublicKey& pk) const;
+  uint64_t NextNonceOf(const PublicKey& pk) const;
+
+  // Sortition weight of a user: their balance in currency units.
+  uint64_t WeightOf(const PublicKey& pk) const { return BalanceOf(pk); }
+  uint64_t total_weight() const { return total_weight_; }
+  size_t account_count() const { return accounts_.size(); }
+
+  // True if the transaction could apply right now (nonce matches, balance
+  // covers amount + fee). Does not check the signature.
+  bool CheckTransaction(const Transaction& tx) const;
+
+  // Applies the transaction; returns false (and leaves state unchanged) if it
+  // does not apply. Fees are burned, which shrinks total_weight.
+  bool ApplyTransaction(const Transaction& tx);
+
+  // Deterministic iteration for snapshots and tests.
+  const std::map<PublicKey, Account>& accounts() const { return accounts_; }
+
+ private:
+  std::map<PublicKey, Account> accounts_;
+  uint64_t total_weight_ = 0;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_LEDGER_ACCOUNT_TABLE_H_

@@ -1,0 +1,213 @@
+#include "src/ledger/ledger.h"
+
+#include "src/common/rng.h"
+
+namespace algorand {
+
+Ledger::Ledger(const GenesisConfig& config)
+    : lookback_rounds_(config.weight_lookback_rounds),
+      genesis_allocations_(config.allocations),
+      seed0_(config.seed0) {
+  for (const auto& [pk, amount] : config.allocations) {
+    accounts_.Credit(pk, amount);
+  }
+  Block genesis;
+  genesis.round = 0;
+  genesis.is_empty = true;
+  genesis.next_seed = Block::DerivedSeed(config.seed0, 0);
+  chain_.push_back(genesis);
+  kinds_.push_back(ConsensusKind::kFinal);
+  seeds_.push_back(config.seed0);
+  seeds_.push_back(genesis.next_seed);
+  tip_hash_ = genesis.Hash();
+  round_by_hash_[tip_hash_] = 0;
+  if (lookback_rounds_ > 0) {
+    snapshots_.push_back(accounts_);
+  }
+}
+
+bool Ledger::Append(const Block& block, ConsensusKind kind) {
+  if (block.round != next_round() || block.prev_hash != tip_hash_) {
+    return false;
+  }
+  // Apply transactions atomically: check all first.
+  AccountTable scratch = accounts_;
+  for (const Transaction& tx : block.txns) {
+    if (!scratch.ApplyTransaction(tx)) {
+      return false;
+    }
+  }
+  accounts_ = std::move(scratch);
+  for (const Transaction& tx : block.txns) {
+    txn_round_[tx.Id()] = block.round;
+  }
+  chain_.push_back(block);
+  kinds_.push_back(kind);
+  seeds_.push_back(block.next_seed);
+  tip_hash_ = block.Hash();
+  round_by_hash_[tip_hash_] = block.round;
+  if (kind == ConsensusKind::kFinal) {
+    // A final block confirms every predecessor (§8.2: total order of finals).
+    for (auto& k : kinds_) {
+      k = ConsensusKind::kFinal;
+    }
+  }
+  if (lookback_rounds_ > 0) {
+    snapshots_.push_back(accounts_);
+    while (snapshots_.size() > lookback_rounds_ + 1) {
+      snapshots_.pop_front();
+    }
+  }
+  return true;
+}
+
+bool Ledger::ReplaceSuffix(uint64_t from_round, const std::vector<Block>& blocks) {
+  if (from_round == 0 || from_round > chain_.size()) {
+    return false;
+  }
+  // Build the prospective chain.
+  std::vector<Block> new_chain(chain_.begin(), chain_.begin() + static_cast<long>(from_round));
+  for (const Block& b : blocks) {
+    if (b.round != new_chain.back().round + 1 || b.prev_hash != new_chain.back().Hash()) {
+      return false;
+    }
+    new_chain.push_back(b);
+  }
+  std::vector<Block> old_chain = chain_;
+  std::vector<ConsensusKind> old_kinds = kinds_;
+
+  chain_ = std::move(new_chain);
+  kinds_.assign(chain_.size(), ConsensusKind::kTentative);
+  for (size_t r = 0; r < from_round && r < old_kinds.size(); ++r) {
+    kinds_[r] = old_kinds[r];
+  }
+  RebuildState();
+  if (!replay_ok_) {
+    chain_ = std::move(old_chain);
+    kinds_ = std::move(old_kinds);
+    RebuildState();
+    return false;
+  }
+  return true;
+}
+
+void Ledger::RebuildState() {
+  accounts_ = AccountTable();
+  seeds_.clear();
+  seeds_.push_back(seed0_);
+  round_by_hash_.clear();
+  txn_round_.clear();
+  snapshots_.clear();
+  replay_ok_ = true;
+
+  for (const auto& [pk, amount] : genesis_allocations_) {
+    accounts_.Credit(pk, amount);
+  }
+  for (const Block& b : chain_) {
+    seeds_.push_back(b.next_seed);
+    round_by_hash_[b.Hash()] = b.round;
+    for (const Transaction& tx : b.txns) {
+      if (!accounts_.ApplyTransaction(tx)) {
+        replay_ok_ = false;
+      }
+      txn_round_[tx.Id()] = b.round;
+    }
+    if (lookback_rounds_ > 0) {
+      snapshots_.push_back(accounts_);
+      while (snapshots_.size() > lookback_rounds_ + 1) {
+        snapshots_.pop_front();
+      }
+    }
+  }
+  tip_hash_ = chain_.back().Hash();
+}
+
+AccountTable Ledger::AccountsAtRound(uint64_t round) const {
+  AccountTable table;
+  for (const auto& [pk, amount] : genesis_allocations_) {
+    table.Credit(pk, amount);
+  }
+  for (uint64_t r = 1; r <= round && r < chain_.size(); ++r) {
+    for (const Transaction& tx : chain_[r].txns) {
+      table.ApplyTransaction(tx);
+    }
+  }
+  return table;
+}
+
+std::optional<Block> Ledger::BlockByHash(const Hash256& hash) const {
+  auto it = round_by_hash_.find(hash);
+  if (it == round_by_hash_.end()) {
+    return std::nullopt;
+  }
+  return chain_[it->second];
+}
+
+SeedBytes Ledger::SeedForRound(uint64_t round) const {
+  // seeds_ covers [0, next_round()].
+  return seeds_.at(round);
+}
+
+SeedBytes Ledger::SortitionSeed(uint64_t round, uint64_t refresh_interval) const {
+  if (refresh_interval == 0) {
+    refresh_interval = 1;
+  }
+  uint64_t offset = 1 + (round % refresh_interval);
+  uint64_t idx = round > offset ? round - offset : 0;
+  return SeedForRound(idx);
+}
+
+uint64_t Ledger::WeightOf(const PublicKey& pk) const {
+  if (lookback_rounds_ > 0 && snapshots_.size() > lookback_rounds_) {
+    return snapshots_.front().WeightOf(pk);
+  }
+  return accounts_.WeightOf(pk);
+}
+
+uint64_t Ledger::total_weight() const {
+  if (lookback_rounds_ > 0 && snapshots_.size() > lookback_rounds_) {
+    return snapshots_.front().total_weight();
+  }
+  return accounts_.total_weight();
+}
+
+bool Ledger::IsConfirmed(const Hash256& txn_id) const {
+  auto it = txn_round_.find(txn_id);
+  if (it == txn_round_.end()) {
+    return false;
+  }
+  uint64_t round = it->second;
+  // Confirmed if this block or any successor is final.
+  for (size_t r = round; r < kinds_.size(); ++r) {
+    if (kinds_[r] == ConsensusKind::kFinal && r >= round) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<uint64_t> Ledger::HighestFinalRound() const {
+  for (size_t r = kinds_.size(); r > 1; --r) {
+    if (kinds_[r - 1] == ConsensusKind::kFinal) {
+      return r - 1;
+    }
+  }
+  return std::nullopt;
+}
+
+GenesisBundle MakeTestGenesis(size_t n_users, uint64_t stake_per_user, uint64_t rng_seed) {
+  GenesisBundle bundle;
+  DeterministicRng rng(rng_seed, "genesis-keys");
+  bundle.keys.reserve(n_users);
+  for (size_t i = 0; i < n_users; ++i) {
+    FixedBytes<32> seed;
+    rng.FillBytes(seed.data(), seed.size());
+    bundle.keys.push_back(Ed25519KeyFromSeed(seed));
+    bundle.config.allocations.emplace_back(bundle.keys.back().public_key, stake_per_user);
+  }
+  DeterministicRng seed_rng(rng_seed, "genesis-seed0");
+  seed_rng.FillBytes(bundle.config.seed0.data(), bundle.config.seed0.size());
+  return bundle;
+}
+
+}  // namespace algorand

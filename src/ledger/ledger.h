@@ -1,0 +1,120 @@
+// Per-node ledger state: the chain of agreed blocks, the account table they
+// imply, the per-round seed schedule (§5.2), and optional historical weight
+// snapshots for the look-back rule (§5.3).
+#ifndef ALGORAND_SRC_LEDGER_LEDGER_H_
+#define ALGORAND_SRC_LEDGER_LEDGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/ledger/account_table.h"
+#include "src/ledger/block.h"
+
+namespace algorand {
+
+// How a round's block was agreed (§4): final consensus confirms the block and
+// all its predecessors; tentative consensus awaits a final successor.
+enum class ConsensusKind : uint8_t {
+  kFinal = 0,
+  kTentative = 1,
+};
+
+struct GenesisConfig {
+  std::vector<std::pair<PublicKey, uint64_t>> allocations;
+  SeedBytes seed0;
+
+  // If > 0, the ledger keeps account-table snapshots for this many recent
+  // rounds so sortition can use look-back weights (§5.3).
+  uint64_t weight_lookback_rounds = 0;
+};
+
+class Ledger {
+ public:
+  explicit Ledger(const GenesisConfig& config);
+
+  // Appends a block extending the tip; the caller is responsible for protocol
+  // validation (see core/validation.h). Returns false if the block does not
+  // structurally extend the tip (wrong round or prev_hash) or a transaction
+  // fails to apply.
+  bool Append(const Block& block, ConsensusKind kind);
+
+  // Replaces the chain suffix starting at `from_round` with `blocks`
+  // (fork-recovery switch, §8.2). Replays state from genesis. Returns false
+  // and leaves the ledger unchanged if the replacement does not form a valid
+  // chain.
+  bool ReplaceSuffix(uint64_t from_round, const std::vector<Block>& blocks);
+
+  const Block& genesis() const { return chain_.front(); }
+  const Block& Tip() const { return chain_.back(); }
+  Hash256 tip_hash() const { return tip_hash_; }
+  // The round the node is currently trying to agree on.
+  uint64_t next_round() const { return Tip().round + 1; }
+  size_t chain_length() const { return chain_.size(); }
+
+  const Block& BlockAtRound(uint64_t round) const { return chain_.at(round); }
+  std::optional<Block> BlockByHash(const Hash256& hash) const;
+
+  // seed_r: defined for r in [0, next_round()].
+  SeedBytes SeedForRound(uint64_t round) const;
+
+  // The seed actually passed to sortition in round r, refreshed every
+  // `refresh_interval` rounds: seed_{r-1-(r mod R)} (§5.2), clamped at the
+  // genesis seed.
+  SeedBytes SortitionSeed(uint64_t round, uint64_t refresh_interval) const;
+
+  const AccountTable& accounts() const { return accounts_; }
+
+  // Account state after applying blocks 1..round (by replay). Used by the
+  // recovery protocol, which needs weights from the pre-fork (final) prefix.
+  AccountTable AccountsAtRound(uint64_t round) const;
+
+  // Sortition weights. If a look-back is configured and history is deep
+  // enough, weights come from `lookback` rounds before the tip.
+  uint64_t WeightOf(const PublicKey& pk) const;
+  uint64_t total_weight() const;
+
+  ConsensusKind ConsensusAtRound(uint64_t round) const { return kinds_.at(round); }
+  // Marks a tentative round final (a later final block confirms predecessors).
+  void MarkFinal(uint64_t round) { kinds_.at(round) = ConsensusKind::kFinal; }
+
+  // A transaction is confirmed once it appears in a block that is final or
+  // has a final successor (§4, §8.2).
+  bool IsConfirmed(const Hash256& txn_id) const;
+
+  // Rounds of the highest final block, if any beyond genesis.
+  std::optional<uint64_t> HighestFinalRound() const;
+
+ private:
+  // Recomputes accounts/seeds/indexes by replaying chain_ from genesis. Sets
+  // replay_ok_ false if any transaction fails to apply.
+  void RebuildState();
+
+  uint64_t lookback_rounds_;
+  std::vector<std::pair<PublicKey, uint64_t>> genesis_allocations_;
+  SeedBytes seed0_;
+  bool replay_ok_ = true;
+  std::vector<Block> chain_;          // chain_[r] is the round-r block.
+  std::vector<ConsensusKind> kinds_;  // Parallel to chain_.
+  std::vector<SeedBytes> seeds_;      // seeds_[r] = seed of round r.
+  Hash256 tip_hash_;
+  AccountTable accounts_;
+  std::unordered_map<Hash256, uint64_t, FixedBytesHasher> round_by_hash_;
+  std::unordered_map<Hash256, uint64_t, FixedBytesHasher> txn_round_;  // txn id -> round.
+  std::deque<AccountTable> snapshots_;  // Most recent last; only if lookback.
+};
+
+// Deterministic test/simulation genesis: `n` users with equal `stake`, keys
+// derived from a seed. Returns the configs plus the key pairs.
+struct GenesisBundle {
+  GenesisConfig config;
+  std::vector<Ed25519KeyPair> keys;
+};
+GenesisBundle MakeTestGenesis(size_t n_users, uint64_t stake_per_user, uint64_t rng_seed);
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_LEDGER_LEDGER_H_

@@ -1,0 +1,56 @@
+#include "src/ledger/transaction.h"
+
+#include "src/crypto/sha256.h"
+
+namespace algorand {
+
+std::vector<uint8_t> Transaction::SerializeBody() const {
+  Writer w;
+  w.Fixed(from);
+  w.Fixed(to);
+  w.U64(amount);
+  w.U64(fee);
+  w.U64(nonce);
+  return w.Take();
+}
+
+std::vector<uint8_t> Transaction::Serialize() const {
+  Writer w;
+  w.Raw(SerializeBody());
+  w.Fixed(signature);
+  return w.Take();
+}
+
+std::optional<Transaction> Transaction::Deserialize(Reader* r) {
+  Transaction tx;
+  tx.from = r->Fixed<32>();
+  tx.to = r->Fixed<32>();
+  tx.amount = r->U64();
+  tx.fee = r->U64();
+  tx.nonce = r->U64();
+  tx.signature = r->Fixed<64>();
+  if (!r->ok()) {
+    return std::nullopt;
+  }
+  return tx;
+}
+
+Hash256 Transaction::Id() const { return Sha256::Hash(Serialize()); }
+
+Transaction MakeTransaction(const Ed25519KeyPair& sender, const PublicKey& to, uint64_t amount,
+                            uint64_t nonce, const SignerBackend& signer, uint64_t fee) {
+  Transaction tx;
+  tx.from = sender.public_key;
+  tx.to = to;
+  tx.amount = amount;
+  tx.fee = fee;
+  tx.nonce = nonce;
+  tx.signature = signer.Sign(sender, tx.SerializeBody());
+  return tx;
+}
+
+bool VerifyTransactionSignature(const Transaction& tx, const SignerBackend& signer) {
+  return signer.Verify(tx.from, tx.SerializeBody(), tx.signature);
+}
+
+}  // namespace algorand

@@ -1,0 +1,156 @@
+// Network adversary hooks (§3's threat model).
+//
+// The adversary inspects every point-to-point transmission and can drop or
+// delay it. Implementations model partitions ("the adversary may temporarily
+// fully control the network"), targeted DoS of specific nodes, and plain
+// packet loss.
+#ifndef ALGORAND_SRC_NETSIM_ADVERSARY_H_
+#define ALGORAND_SRC_NETSIM_ADVERSARY_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time_units.h"
+#include "src/netsim/latency.h"
+#include "src/netsim/message.h"
+
+namespace algorand {
+
+struct AdversaryAction {
+  enum Kind { kDeliver, kDrop, kDelay } kind = kDeliver;
+  SimTime extra_delay = 0;
+
+  static AdversaryAction Deliver() { return {kDeliver, 0}; }
+  static AdversaryAction Drop() { return {kDrop, 0}; }
+  static AdversaryAction Delay(SimTime d) { return {kDelay, d}; }
+};
+
+class NetworkAdversary {
+ public:
+  virtual ~NetworkAdversary() = default;
+  virtual AdversaryAction OnTransmit(NodeId from, NodeId to, const MessagePtr& msg,
+                                     SimTime now) = 0;
+};
+
+// Splits nodes into two groups and blocks cross-group traffic during
+// [start, end). Models the weak-synchrony asynchronous period.
+class PartitionAdversary : public NetworkAdversary {
+ public:
+  PartitionAdversary(std::set<NodeId> group_a, SimTime start, SimTime end)
+      : group_a_(std::move(group_a)), start_(start), end_(end) {}
+
+  AdversaryAction OnTransmit(NodeId from, NodeId to, const MessagePtr&, SimTime now) override {
+    if (now >= start_ && now < end_ && (group_a_.count(from) != group_a_.count(to))) {
+      return AdversaryAction::Drop();
+    }
+    return AdversaryAction::Deliver();
+  }
+
+ private:
+  std::set<NodeId> group_a_;
+  SimTime start_;
+  SimTime end_;
+};
+
+// Drops every packet to/from a set of victims during [start, end): a targeted
+// DoS on (for example) revealed committee members.
+class TargetedDosAdversary : public NetworkAdversary {
+ public:
+  TargetedDosAdversary(std::set<NodeId> victims, SimTime start, SimTime end)
+      : victims_(std::move(victims)), start_(start), end_(end) {}
+
+  void AddVictim(NodeId v) { victims_.insert(v); }
+
+  AdversaryAction OnTransmit(NodeId from, NodeId to, const MessagePtr&, SimTime now) override {
+    if (now >= start_ && now < end_ && (victims_.count(from) || victims_.count(to))) {
+      return AdversaryAction::Drop();
+    }
+    return AdversaryAction::Deliver();
+  }
+
+ private:
+  std::set<NodeId> victims_;
+  SimTime start_;
+  SimTime end_;
+};
+
+// The fully adaptive attacker of §2: watches the wire and, the moment a node
+// reveals itself by originating a vote, cuts that node off (drops all its
+// traffic) for `dos_duration`. Participant replacement is exactly the defence
+// against this adversary — by the time a committee member is identified, its
+// role is already over.
+class VoterDosAdversary : public NetworkAdversary {
+ public:
+  // `reaction_delay` models §8.4's practical bound: the attack lands only
+  // after the victim's current send burst has left its uplink (the paper
+  // argues a quicker adversary could stop all communication anyway).
+  VoterDosAdversary(SimTime dos_duration, size_t max_concurrent_victims,
+                    SimTime reaction_delay = Seconds(1))
+      : dos_duration_(dos_duration),
+        max_victims_(max_concurrent_victims),
+        reaction_delay_(reaction_delay) {}
+
+  AdversaryAction OnTransmit(NodeId from, NodeId to, const MessagePtr& msg,
+                             SimTime now) override {
+    // Expire stale victims.
+    for (auto it = blocked_until_.begin(); it != blocked_until_.end();) {
+      it = it->second <= now ? blocked_until_.erase(it) : std::next(it);
+    }
+    auto blocked = [&](NodeId n) {
+      auto it = blocked_until_.find(n);
+      return it != blocked_until_.end() && now >= it->second - dos_duration_;
+    };
+    if (blocked(from) || blocked(to)) {
+      ++dropped_;
+      return AdversaryAction::Drop();
+    }
+    // The first transmission of a vote comes from its originator — the
+    // committee member revealing itself. Relays by others don't mark anyone.
+    if (std::string_view(msg->TypeName()) == "vote" &&
+        seen_votes_.insert(msg->DedupId()).second && blocked_until_.size() < max_victims_ &&
+        !blocked_until_.count(from)) {
+      // Blocking begins after the reaction delay and lasts dos_duration.
+      blocked_until_[from] = now + reaction_delay_ + dos_duration_;
+      ++victims_targeted_;
+    }
+    return AdversaryAction::Deliver();
+  }
+
+  uint64_t victims_targeted() const { return victims_targeted_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  SimTime dos_duration_;
+  size_t max_victims_;
+  SimTime reaction_delay_;
+  std::map<NodeId, SimTime> blocked_until_;
+  std::unordered_set<Hash256, FixedBytesHasher> seen_votes_;
+  uint64_t victims_targeted_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+// Drops each transmission independently with fixed probability.
+class LossyAdversary : public NetworkAdversary {
+ public:
+  LossyAdversary(double drop_probability, uint64_t rng_seed)
+      : drop_probability_(drop_probability), rng_(rng_seed, "lossy-adversary") {}
+
+  AdversaryAction OnTransmit(NodeId, NodeId, const MessagePtr&, SimTime) override {
+    return rng_.UniformDouble() < drop_probability_ ? AdversaryAction::Drop()
+                                                    : AdversaryAction::Deliver();
+  }
+
+ private:
+  double drop_probability_;
+  DeterministicRng rng_;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_NETSIM_ADVERSARY_H_

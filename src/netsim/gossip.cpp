@@ -1,0 +1,121 @@
+#include "src/netsim/gossip.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace algorand {
+
+GossipTopology::GossipTopology(size_t n_nodes, size_t out_degree, DeterministicRng* rng) {
+  adj_.assign(n_nodes, {});
+  if (n_nodes <= 1) {
+    return;
+  }
+  // Each node dials `out_degree` distinct random peers; a connection is
+  // bidirectional (TCP), so the expected total degree is about twice that
+  // (out-peers plus whoever dialed us).
+  std::vector<std::unordered_set<NodeId>> sets(n_nodes);
+  for (size_t n = 0; n < n_nodes; ++n) {
+    std::unordered_set<NodeId> dialed;
+    size_t want = std::min(out_degree, n_nodes - 1);
+    while (dialed.size() < want) {
+      NodeId peer = static_cast<NodeId>(rng->UniformU64(n_nodes));
+      if (peer == n) {
+        continue;
+      }
+      if (dialed.insert(peer).second) {
+        sets[n].insert(peer);
+        sets[peer].insert(static_cast<NodeId>(n));
+      }
+    }
+  }
+  for (NodeId n = 0; n < n_nodes; ++n) {
+    adj_[n].assign(sets[n].begin(), sets[n].end());
+    std::sort(adj_[n].begin(), adj_[n].end());  // Determinism.
+  }
+}
+
+double GossipTopology::average_degree() const {
+  if (adj_.empty()) {
+    return 0;
+  }
+  size_t total = 0;
+  for (const auto& nbrs : adj_) {
+    total += nbrs.size();
+  }
+  return static_cast<double>(total) / static_cast<double>(adj_.size());
+}
+
+size_t GossipTopology::LargestComponentLowerBound() const {
+  if (adj_.empty()) {
+    return 0;
+  }
+  std::vector<bool> visited(adj_.size(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  visited[0] = true;
+  size_t count = 0;
+  while (!frontier.empty()) {
+    NodeId n = frontier.front();
+    frontier.pop();
+    ++count;
+    for (NodeId peer : adj_[n]) {
+      if (!visited[peer]) {
+        visited[peer] = true;
+        frontier.push(peer);
+      }
+    }
+  }
+  return count;
+}
+
+GossipAgent::GossipAgent(NodeId self, Transport* network, const GossipTopology* topology)
+    : self_(self), network_(network), topology_(topology) {}
+
+void GossipAgent::Gossip(const MessagePtr& msg) {
+  if (!seen_.insert(msg->DedupId()).second) {
+    return;  // Already originated/relayed.
+  }
+  if (handler_) {
+    handler_(msg);
+  }
+  Forward(msg, self_);
+}
+
+void GossipAgent::SendToNeighbors(const MessagePtr& msg) {
+  seen_.insert(msg->DedupId());
+  Forward(msg, self_);
+}
+
+void GossipAgent::SendTo(NodeId peer, const MessagePtr& msg) {
+  seen_.insert(msg->DedupId());
+  network_->Send(self_, peer, msg);
+}
+
+void GossipAgent::OnReceive(NodeId from, const MessagePtr& msg) {
+  if (seen_.count(msg->DedupId())) {
+    ++duplicates_dropped_;
+    return;
+  }
+  GossipVerdict verdict = validator_ ? validator_(msg) : GossipVerdict::kRelay;
+  if (verdict == GossipVerdict::kReject) {
+    ++rejected_;
+    return;  // Not marked seen: a valid copy arriving later is still usable.
+  }
+  seen_.insert(msg->DedupId());
+  if (handler_) {
+    handler_(msg);
+  }
+  if (verdict == GossipVerdict::kRelay) {
+    Forward(msg, from);
+  }
+}
+
+void GossipAgent::Forward(const MessagePtr& msg, NodeId except) {
+  for (NodeId peer : topology_->neighbors(self_)) {
+    if (peer != except) {
+      network_->Send(self_, peer, msg);
+    }
+  }
+}
+
+}  // namespace algorand

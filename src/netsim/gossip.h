@@ -1,0 +1,90 @@
+// Gossip overlay (§4 "Gossip protocol", §8.4).
+//
+// Topology: every node opens connections to a small number of random peers
+// (4 in the paper's prototype) and also accepts incoming connections, for ~8
+// neighbours on average. GossipAgent handles per-node relay behaviour:
+// drop duplicates, validate before relaying (the validator is supplied by the
+// consensus layer and can accept-without-relay, e.g. for non-best block
+// proposals), and forward to all neighbours except the one the message came
+// from.
+#ifndef ALGORAND_SRC_NETSIM_GOSSIP_H_
+#define ALGORAND_SRC_NETSIM_GOSSIP_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/netsim/network.h"
+
+namespace algorand {
+
+// Undirected neighbour lists built from random out-peer selection.
+class GossipTopology {
+ public:
+  GossipTopology(size_t n_nodes, size_t out_degree, DeterministicRng* rng);
+
+  const std::vector<NodeId>& neighbors(NodeId n) const { return adj_[n]; }
+  size_t node_count() const { return adj_.size(); }
+
+  // Average neighbour count (~2x out_degree).
+  double average_degree() const;
+
+  // Size of the connected component containing node 0 (the paper argues
+  // almost all nodes land in one giant component).
+  size_t LargestComponentLowerBound() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+};
+
+// What the consensus layer tells the gossip agent to do with a first-seen
+// message.
+enum class GossipVerdict : uint8_t {
+  kRelay = 0,        // Valid: deliver locally and forward to neighbours.
+  kDeliverOnly = 1,  // Valid but don't forward (e.g. superseded proposal).
+  kReject = 2,       // Invalid: drop silently.
+};
+
+class GossipAgent {
+ public:
+  using Validator = std::function<GossipVerdict(const MessagePtr&)>;
+  using Handler = std::function<void(const MessagePtr&)>;
+
+  GossipAgent(NodeId self, Transport* network, const GossipTopology* topology);
+
+  void set_validator(Validator v) { validator_ = std::move(v); }
+  void set_handler(Handler h) { handler_ = std::move(h); }
+
+  // Originates a message: delivers locally and forwards to all neighbours.
+  void Gossip(const MessagePtr& msg);
+
+  // Sends to neighbours without local delivery (used by adversarial nodes to
+  // send conflicting payloads to disjoint peer subsets).
+  void SendToNeighbors(const MessagePtr& msg);
+  void SendTo(NodeId peer, const MessagePtr& msg);
+
+  // Network delivery entry point.
+  void OnReceive(NodeId from, const MessagePtr& msg);
+
+  const std::vector<NodeId>& neighbors() const { return topology_->neighbors(self_); }
+  uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  uint64_t rejected() const { return rejected_; }
+
+ private:
+  void Forward(const MessagePtr& msg, NodeId except);
+
+  NodeId self_;
+  Transport* network_;
+  const GossipTopology* topology_;
+  Validator validator_;
+  Handler handler_;
+  std::unordered_set<Hash256, FixedBytesHasher> seen_;
+  uint64_t duplicates_dropped_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_NETSIM_GOSSIP_H_

@@ -1,0 +1,34 @@
+// The type-erased message interface the network simulator transports.
+//
+// Within a single simulation process, messages travel as shared_ptr to an
+// immutable object rather than as serialized bytes: the declared WireSize()
+// is what bandwidth accounting charges (for real wire formats this is the
+// serialized size; blocks add their simulated padding). DedupId() lets gossip
+// agents drop duplicates, as in the paper's "users do not relay the same
+// message twice".
+#ifndef ALGORAND_SRC_NETSIM_MESSAGE_H_
+#define ALGORAND_SRC_NETSIM_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/bytes.h"
+
+namespace algorand {
+
+class SimMessage {
+ public:
+  virtual ~SimMessage() = default;
+  // Bytes this message occupies on the wire.
+  virtual uint64_t WireSize() const = 0;
+  // Identity for gossip deduplication (content hash).
+  virtual Hash256 DedupId() const = 0;
+  // Short label for metrics ("vote", "block", ...).
+  virtual const char* TypeName() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const SimMessage>;
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_NETSIM_MESSAGE_H_

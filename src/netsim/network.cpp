@@ -1,0 +1,55 @@
+#include "src/netsim/network.h"
+
+namespace algorand {
+
+Network::Network(Simulation* sim, LatencyModel* latency, NetworkConfig config, size_t n_nodes)
+    : sim_(sim),
+      latency_(latency),
+      config_(config),
+      uplink_free_at_(n_nodes, 0),
+      control_free_at_(n_nodes, 0),
+      uplink_rate_(n_nodes, config.uplink_bytes_per_sec),
+      traffic_(n_nodes) {}
+
+void Network::Send(NodeId from, NodeId to, const MessagePtr& msg) {
+  const uint64_t size = msg->WireSize();
+  traffic_[from].bytes_sent += size;
+  traffic_[from].messages_sent += 1;
+  total_bytes_sent_ += size;
+  by_type_[msg->TypeName()] += 1;
+
+  // Uplink serialization: bulk messages queue on the uplink; small control
+  // messages (votes, priorities) interleave on the priority channel.
+  SimTime tx_time =
+      static_cast<SimTime>(static_cast<double>(size) / uplink_rate_[from] *
+                           static_cast<double>(kSecond));
+  SimTime done;
+  if (size <= config_.control_cutoff_bytes) {
+    SimTime start = std::max(sim_->now(), control_free_at_[from]) + config_.send_overhead;
+    done = start + tx_time;
+    control_free_at_[from] = done;
+  } else {
+    SimTime start = std::max(sim_->now(), uplink_free_at_[from]) + config_.send_overhead;
+    done = start + tx_time;
+    uplink_free_at_[from] = done;
+  }
+
+  AdversaryAction action = AdversaryAction::Deliver();
+  if (adversary_ != nullptr) {
+    action = adversary_->OnTransmit(from, to, msg, sim_->now());
+  }
+  if (action.kind == AdversaryAction::kDrop) {
+    return;  // Uplink time is still consumed (the bytes left the host).
+  }
+
+  SimTime arrival = done + latency_->Sample(from, to) + action.extra_delay;
+  sim_->ScheduleAt(arrival, [this, to, from, msg] {
+    traffic_[to].bytes_received += msg->WireSize();
+    traffic_[to].messages_received += 1;
+    if (deliver_) {
+      deliver_(to, from, msg);
+    }
+  });
+}
+
+}  // namespace algorand

@@ -1,0 +1,44 @@
+#include "src/netsim/simulation.h"
+
+namespace algorand {
+
+void Simulation::Schedule(SimTime delay, Callback fn) {
+  ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+}
+
+void Simulation::ScheduleAt(SimTime when, Callback fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  queue_.emplace(Key{when, next_seq_++}, std::move(fn));
+}
+
+bool Simulation::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  auto node = queue_.extract(queue_.begin());
+  now_ = node.key().first;
+  ++executed_;
+  node.mapped()();
+  return true;
+}
+
+void Simulation::Run() {
+  stopped_ = false;
+  while (!stopped_ && Step()) {
+  }
+}
+
+void Simulation::RunUntil(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.begin()->first.first <= deadline) {
+    Step();
+  }
+  // The full window elapsed only if nothing stopped us early.
+  if (!stopped_ && now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace algorand

@@ -1,0 +1,60 @@
+// Deterministic discrete-event simulation core.
+//
+// A single-threaded event queue ordered by (time, insertion sequence). All of
+// Algorand's behaviour in this repository — gossip, timeouts, BA* steps,
+// recovery timers — runs as callbacks scheduled here, so a (seed, scenario)
+// pair replays identically every run.
+#ifndef ALGORAND_SRC_NETSIM_SIMULATION_H_
+#define ALGORAND_SRC_NETSIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "src/common/executor.h"
+#include "src/common/time_units.h"
+
+namespace algorand {
+
+class Simulation : public Executor {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const override { return now_; }
+
+  // Schedules `fn` to run `delay` from now (negative delays clamp to now).
+  void Schedule(SimTime delay, Callback fn) override;
+  // Schedules at an absolute time (times in the past clamp to now).
+  void ScheduleAt(SimTime when, Callback fn) override;
+
+  // Runs events until the queue drains or `Stop()` is called.
+  void Run();
+  // Runs events with time <= deadline; leaves later events queued. The clock
+  // advances to the deadline.
+  void RunUntil(SimTime deadline);
+  // Runs at most one event; returns false if the queue was empty.
+  bool Step();
+
+  void Stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  using Key = std::pair<SimTime, uint64_t>;  // (when, sequence): total order.
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::map<Key, Callback> queue_;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_NETSIM_SIMULATION_H_

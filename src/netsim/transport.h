@@ -1,0 +1,26 @@
+// Point-to-point message transport abstraction.
+//
+// GossipAgent sends through this interface, so the same gossip/relay logic
+// runs over the simulated Network (bandwidth + latency models) and over the
+// real TCP transport (src/tcp).
+#ifndef ALGORAND_SRC_NETSIM_TRANSPORT_H_
+#define ALGORAND_SRC_NETSIM_TRANSPORT_H_
+
+#include <cstdint>
+
+#include "src/netsim/message.h"
+
+namespace algorand {
+
+using NodeId = uint32_t;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  // Delivers `msg` from node `from` to node `to` (asynchronously).
+  virtual void Send(NodeId from, NodeId to, const MessagePtr& msg) = 0;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_NETSIM_TRANSPORT_H_

@@ -1,0 +1,48 @@
+#include "src/tcp/framing.h"
+
+#include <cstring>
+
+namespace algorand {
+
+std::vector<uint8_t> EncodeFrame(std::span<const uint8_t> payload) {
+  std::vector<uint8_t> out;
+  out.reserve(payload.size() + 4);
+  uint32_t n = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(n >> (8 * i)));
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void FrameReader::Append(std::span<const uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::optional<std::vector<uint8_t>> FrameReader::Next() {
+  if (corrupted_ || buf_.size() - pos_ < 4) {
+    return std::nullopt;
+  }
+  uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) {
+    n |= static_cast<uint32_t>(buf_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  }
+  if (n > kMaxFrameBytes) {
+    corrupted_ = true;
+    return std::nullopt;
+  }
+  if (buf_.size() - pos_ < 4 + static_cast<size_t>(n)) {
+    return std::nullopt;
+  }
+  std::vector<uint8_t> payload(buf_.begin() + static_cast<long>(pos_ + 4),
+                               buf_.begin() + static_cast<long>(pos_ + 4 + n));
+  pos_ += 4 + n;
+  // Compact once the consumed prefix dominates.
+  if (pos_ > 1 << 20 && pos_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(pos_));
+    pos_ = 0;
+  }
+  return payload;
+}
+
+}  // namespace algorand

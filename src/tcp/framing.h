@@ -1,0 +1,40 @@
+// Message framing for TCP streams: 4-byte little-endian length prefix
+// followed by the payload. FrameReader reassembles frames from arbitrary
+// read() chunk boundaries.
+#ifndef ALGORAND_SRC_TCP_FRAMING_H_
+#define ALGORAND_SRC_TCP_FRAMING_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace algorand {
+
+// Maximum frame payload: generous for 10 MB blocks plus headroom.
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+// Prepends the length prefix.
+std::vector<uint8_t> EncodeFrame(std::span<const uint8_t> payload);
+
+class FrameReader {
+ public:
+  // Feeds raw stream bytes.
+  void Append(std::span<const uint8_t> data);
+
+  // Pops the next complete frame's payload, or nullopt if incomplete.
+  std::optional<std::vector<uint8_t>> Next();
+
+  // A frame declared longer than kMaxFrameBytes poisons the stream.
+  bool corrupted() const { return corrupted_; }
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;  // Consumed prefix (compacted occasionally).
+  bool corrupted_ = false;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_TCP_FRAMING_H_

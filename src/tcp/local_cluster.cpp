@@ -1,0 +1,74 @@
+#include "src/tcp/local_cluster.h"
+
+namespace algorand {
+
+LocalCluster::LocalCluster(const LocalClusterConfig& config)
+    : config_(config),
+      genesis_(MakeTestGenesis(config.n_nodes, config.stake_per_user, config.rng_seed)) {
+  vrf_ = config_.use_sim_crypto ? static_cast<const VrfBackend*>(&sim_vrf_) : &ec_vrf_;
+  signer_ =
+      config_.use_sim_crypto ? static_cast<const SignerBackend*>(&sim_signer_) : &ed_signer_;
+
+  DeterministicRng topo_rng(config_.rng_seed, "tcp-topology");
+  topology_ = std::make_unique<GossipTopology>(config_.n_nodes, config_.gossip_out_degree,
+                                               &topo_rng);
+
+  // Bind every endpoint on an ephemeral port, then distribute the address
+  // book (the paper's per-user IP/port file, §9).
+  std::map<NodeId, uint16_t> address_book;
+  for (NodeId i = 0; i < config_.n_nodes; ++i) {
+    endpoints_.push_back(std::make_unique<TcpEndpoint>(&loop_, i, /*listen_port=*/0));
+    address_book[i] = endpoints_.back()->port();
+  }
+  CryptoSuite crypto{vrf_, signer_, &cache_};
+  for (NodeId i = 0; i < config_.n_nodes; ++i) {
+    endpoints_[i]->SetAddressBook(address_book);
+    agents_.push_back(std::make_unique<GossipAgent>(i, endpoints_[i].get(), topology_.get()));
+    TcpEndpoint* endpoint = endpoints_[i].get();
+    GossipAgent* agent = agents_.back().get();
+    endpoint->set_receiver(
+        [agent](NodeId from, const MessagePtr& msg) { agent->OnReceive(from, msg); });
+    nodes_.push_back(std::make_unique<Node>(i, &loop_, agent, genesis_.keys[i], genesis_.config,
+                                            config_.params, crypto));
+  }
+  // Dial out-peers up front so the first round's gossip flows immediately.
+  for (NodeId i = 0; i < config_.n_nodes; ++i) {
+    endpoints_[i]->ConnectToPeers(topology_->neighbors(i));
+  }
+}
+
+void LocalCluster::Start() {
+  for (auto& node : nodes_) {
+    node->Start();
+  }
+}
+
+bool LocalCluster::RunRounds(uint64_t rounds, SimTime wall_budget) {
+  auto done = [this, rounds] {
+    for (const auto& node : nodes_) {
+      if (node->ledger().chain_length() <= rounds) {
+        return false;
+      }
+    }
+    return true;
+  };
+  SimTime deadline = loop_.now() + wall_budget;
+  loop_.Run([&] { return done() || loop_.now() >= deadline; });
+  return done();
+}
+
+bool LocalCluster::ChainsConsistent() const {
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    const Ledger& a = nodes_[0]->ledger();
+    const Ledger& b = nodes_[i]->ledger();
+    uint64_t common = std::min<uint64_t>(a.chain_length(), b.chain_length());
+    for (uint64_t r = 0; r < common; ++r) {
+      if (a.BlockAtRound(r).Hash() != b.BlockAtRound(r).Hash()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace algorand

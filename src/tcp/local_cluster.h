@@ -1,0 +1,67 @@
+// LocalCluster: a whole Algorand network over real TCP sockets on localhost,
+// driven by one single-threaded event loop. The deployment-shaped counterpart
+// of SimHarness: same Node code, same gossip relay logic, but kernel sockets,
+// wire-serialized messages, and wall-clock timers.
+#ifndef ALGORAND_SRC_TCP_LOCAL_CLUSTER_H_
+#define ALGORAND_SRC_TCP_LOCAL_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/node.h"
+#include "src/core/verification_cache.h"
+#include "src/tcp/tcp_transport.h"
+
+namespace algorand {
+
+struct LocalClusterConfig {
+  size_t n_nodes = 8;
+  uint64_t stake_per_user = 1000;
+  uint64_t rng_seed = 1;
+  size_t gossip_out_degree = 3;
+  ProtocolParams params;  // Caller should scale lambdas to real-time budgets.
+  bool use_sim_crypto = false;
+};
+
+class LocalCluster {
+ public:
+  explicit LocalCluster(const LocalClusterConfig& config);
+
+  // Starts every node at the current wall time.
+  void Start();
+
+  // Runs the event loop until every node completed `rounds` rounds or
+  // `wall_budget` elapses. Returns whether the target was reached.
+  bool RunRounds(uint64_t rounds, SimTime wall_budget);
+
+  EventLoop& loop() { return loop_; }
+  Node& node(size_t i) { return *nodes_[i]; }
+  size_t node_count() const { return nodes_.size(); }
+  const TcpEndpoint& endpoint(size_t i) const { return *endpoints_[i]; }
+  const GenesisBundle& genesis() const { return genesis_; }
+  const SignerBackend& signer() const { return *signer_; }
+
+  // True if every pair of nodes agrees on all common rounds.
+  bool ChainsConsistent() const;
+
+ private:
+  LocalClusterConfig config_;
+  GenesisBundle genesis_;
+  EventLoop loop_;
+  std::unique_ptr<GossipTopology> topology_;
+  std::vector<std::unique_ptr<TcpEndpoint>> endpoints_;
+  std::vector<std::unique_ptr<GossipAgent>> agents_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+
+  EcVrf ec_vrf_;
+  SimVrf sim_vrf_;
+  Ed25519Signer ed_signer_;
+  SimSigner sim_signer_;
+  const VrfBackend* vrf_ = nullptr;
+  const SignerBackend* signer_ = nullptr;
+  VerificationCache cache_;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_TCP_LOCAL_CLUSTER_H_

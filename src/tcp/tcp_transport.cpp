@@ -1,0 +1,286 @@
+#include "src/tcp/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/core/wire_codec.h"
+
+namespace algorand {
+namespace {
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+std::vector<uint8_t> HelloFrame(NodeId self) {
+  std::vector<uint8_t> hello(4);
+  for (int i = 0; i < 4; ++i) {
+    hello[static_cast<size_t>(i)] = static_cast<uint8_t>(self >> (8 * i));
+  }
+  return EncodeFrame(hello);
+}
+
+}  // namespace
+
+TcpEndpoint::TcpEndpoint(EventLoop* loop, NodeId self, uint16_t listen_port)
+    : loop_(loop), self_(self), port_(listen_port) {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return;
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddr(listen_port);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(listen_fd_, 64) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  if (listen_port == 0) {
+    // Ephemeral port: report what the kernel assigned.
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      port_ = ntohs(bound.sin_port);
+    }
+  }
+  SetNonBlocking(listen_fd_);
+  loop_->AddFd(listen_fd_, EPOLLIN, [this](uint32_t) { AcceptReady(); });
+}
+
+TcpEndpoint::~TcpEndpoint() {
+  if (listen_fd_ >= 0) {
+    loop_->RemoveFd(listen_fd_);
+    close(listen_fd_);
+  }
+  for (auto& [fd, conn] : connections_) {
+    loop_->RemoveFd(fd);
+    close(fd);
+  }
+}
+
+void TcpEndpoint::AcceptReady() {
+  for (;;) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      return;  // EAGAIN or error: done for now.
+    }
+    SetNonBlocking(fd);
+    SetNoDelay(fd);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    RegisterConnection(std::move(conn));
+    SendHello(connections_.at(fd).get());
+  }
+}
+
+void TcpEndpoint::RegisterConnection(std::unique_ptr<Connection> conn) {
+  int fd = conn->fd;
+  connections_[fd] = std::move(conn);
+  loop_->AddFd(fd, EPOLLIN, [this, fd](uint32_t events) { OnSocketEvent(fd, events); });
+}
+
+void TcpEndpoint::SendHello(Connection* conn) { QueueBytes(conn, HelloFrame(self_)); }
+
+void TcpEndpoint::OnSocketEvent(int fd, uint32_t events) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) {
+    return;
+  }
+  Connection* conn = it->second.get();
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    CloseConnection(fd);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    FlushWrites(conn);
+    if (connections_.count(fd) == 0) {
+      return;  // Closed during flush.
+    }
+  }
+  if (events & EPOLLIN) {
+    ReadReady(conn);
+  }
+}
+
+void TcpEndpoint::ReadReady(Connection* conn) {
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    ssize_t n = read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      stats_.bytes_received += static_cast<uint64_t>(n);
+      conn->reader.Append(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    // EOF or hard error.
+    CloseConnection(conn->fd);
+    return;
+  }
+  for (;;) {
+    auto frame = conn->reader.Next();
+    if (!frame) {
+      if (conn->reader.corrupted()) {
+        CloseConnection(conn->fd);
+      }
+      return;
+    }
+    if (!conn->hello_received) {
+      if (frame->size() != 4) {
+        CloseConnection(conn->fd);
+        return;
+      }
+      NodeId peer = 0;
+      for (int i = 0; i < 4; ++i) {
+        peer |= static_cast<NodeId>((*frame)[static_cast<size_t>(i)]) << (8 * i);
+      }
+      conn->peer = peer;
+      conn->hello_received = true;
+      fd_by_peer_.emplace(peer, conn->fd);  // First mapping wins.
+      continue;
+    }
+    MessagePtr msg = DecodeMessage(*frame);
+    if (!msg) {
+      ++stats_.decode_failures;
+      continue;
+    }
+    ++stats_.messages_received;
+    if (receiver_) {
+      receiver_(conn->peer, msg);
+    }
+  }
+}
+
+void TcpEndpoint::QueueBytes(Connection* conn, std::span<const uint8_t> bytes) {
+  conn->out.insert(conn->out.end(), bytes.begin(), bytes.end());
+  FlushWrites(conn);
+}
+
+void TcpEndpoint::FlushWrites(Connection* conn) {
+  while (conn->out_pos < conn->out.size()) {
+    ssize_t n = write(conn->fd, conn->out.data() + conn->out_pos,
+                      conn->out.size() - conn->out_pos);
+    if (n > 0) {
+      stats_.bytes_sent += static_cast<uint64_t>(n);
+      conn->out_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      loop_->ModifyFd(conn->fd, EPOLLIN | EPOLLOUT);
+      return;
+    }
+    if (n < 0 && errno == ENOTCONN) {
+      // Connect still in progress; EPOLLOUT will fire when ready.
+      loop_->ModifyFd(conn->fd, EPOLLIN | EPOLLOUT);
+      return;
+    }
+    CloseConnection(conn->fd);
+    return;
+  }
+  conn->out.clear();
+  conn->out_pos = 0;
+  loop_->ModifyFd(conn->fd, EPOLLIN);
+}
+
+TcpEndpoint::Connection* TcpEndpoint::ConnectionFor(NodeId peer) {
+  auto it = fd_by_peer_.find(peer);
+  if (it != fd_by_peer_.end()) {
+    auto cit = connections_.find(it->second);
+    if (cit != connections_.end()) {
+      return cit->second.get();
+    }
+    fd_by_peer_.erase(it);
+  }
+  return OpenConnection(peer);
+}
+
+TcpEndpoint::Connection* TcpEndpoint::OpenConnection(NodeId peer) {
+  auto addr_it = address_book_.find(peer);
+  if (addr_it == address_book_.end()) {
+    return nullptr;
+  }
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return nullptr;
+  }
+  SetNonBlocking(fd);
+  SetNoDelay(fd);
+  sockaddr_in addr = LoopbackAddr(addr_it->second);
+  int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    close(fd);
+    return nullptr;
+  }
+  auto conn = std::make_unique<Connection>();
+  conn->fd = fd;
+  conn->peer = peer;
+  conn->hello_received = false;  // Their hello still pending.
+  Connection* raw = conn.get();
+  RegisterConnection(std::move(conn));
+  fd_by_peer_.emplace(peer, fd);
+  SendHello(raw);
+  return raw;
+}
+
+void TcpEndpoint::ConnectToPeers(const std::vector<NodeId>& peers) {
+  for (NodeId peer : peers) {
+    ConnectionFor(peer);
+  }
+}
+
+void TcpEndpoint::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) {
+    return;
+  }
+  NodeId peer = it->second->peer;
+  loop_->RemoveFd(fd);
+  close(fd);
+  connections_.erase(it);
+  auto pit = fd_by_peer_.find(peer);
+  if (pit != fd_by_peer_.end() && pit->second == fd) {
+    fd_by_peer_.erase(pit);
+  }
+}
+
+void TcpEndpoint::Send(NodeId from, NodeId to, const MessagePtr& msg) {
+  if (from != self_) {
+    return;
+  }
+  Connection* conn = ConnectionFor(to);
+  if (conn == nullptr) {
+    return;
+  }
+  std::vector<uint8_t> payload = EncodeMessage(msg);
+  if (payload.empty()) {
+    return;
+  }
+  ++stats_.messages_sent;
+  QueueBytes(conn, EncodeFrame(payload));
+}
+
+}  // namespace algorand

@@ -1,0 +1,99 @@
+// Real TCP gossip transport.
+//
+// Each node runs a TcpEndpoint: a listening socket plus outgoing connections
+// to its gossip peers, all driven by the shared EventLoop. Messages are
+// serialized with the wire codec (src/core/wire_codec.h) and framed with a
+// length prefix; the first frame on every connection is a hello carrying the
+// sender's NodeId, mirroring the paper's address-book design (§9: "an address
+// book file listing the IP address and port number for every user's public
+// key").
+//
+// This is the deployment-shaped runtime: the same Node code as in the
+// simulator, but over kernel sockets and wall-clock timers. Peers are
+// addressed on 127.0.0.1 with per-node ports (the multi-host generalization
+// only changes the address book).
+#ifndef ALGORAND_SRC_TCP_TCP_TRANSPORT_H_
+#define ALGORAND_SRC_TCP_TCP_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/netsim/transport.h"
+#include "src/tcp/event_loop.h"
+#include "src/tcp/framing.h"
+
+namespace algorand {
+
+struct TcpEndpointStats {
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t messages_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t decode_failures = 0;
+};
+
+class TcpEndpoint : public Transport {
+ public:
+  using Receiver = std::function<void(NodeId from, const MessagePtr&)>;
+
+  // Binds and listens on 127.0.0.1:listen_port immediately.
+  TcpEndpoint(EventLoop* loop, NodeId self, uint16_t listen_port);
+  ~TcpEndpoint() override;
+  TcpEndpoint(const TcpEndpoint&) = delete;
+  TcpEndpoint& operator=(const TcpEndpoint&) = delete;
+
+  // The address book: NodeId -> 127.0.0.1 port.
+  void SetAddressBook(std::map<NodeId, uint16_t> ports) { address_book_ = std::move(ports); }
+
+  // Dials the given peers now (otherwise connections open lazily on first
+  // send).
+  void ConnectToPeers(const std::vector<NodeId>& peers);
+
+  void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+  // Transport: `from` must be this endpoint's own id.
+  void Send(NodeId from, NodeId to, const MessagePtr& msg) override;
+
+  bool listening() const { return listen_fd_ >= 0; }
+  uint16_t port() const { return port_; }
+  const TcpEndpointStats& stats() const { return stats_; }
+  size_t connection_count() const { return connections_.size(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    NodeId peer = UINT32_MAX;  // Unknown until the hello frame.
+    bool hello_received = false;
+    FrameReader reader;
+    std::vector<uint8_t> out;  // Pending write bytes.
+    size_t out_pos = 0;
+  };
+
+  void AcceptReady();
+  void OnSocketEvent(int fd, uint32_t events);
+  void ReadReady(Connection* conn);
+  void FlushWrites(Connection* conn);
+  void QueueBytes(Connection* conn, std::span<const uint8_t> bytes);
+  Connection* ConnectionFor(NodeId peer);
+  Connection* OpenConnection(NodeId peer);
+  void CloseConnection(int fd);
+  void RegisterConnection(std::unique_ptr<Connection> conn);
+  void SendHello(Connection* conn);
+
+  EventLoop* loop_;
+  NodeId self_;
+  uint16_t port_;
+  int listen_fd_ = -1;
+  std::map<NodeId, uint16_t> address_book_;
+  Receiver receiver_;
+  std::map<int, std::unique_ptr<Connection>> connections_;  // By fd.
+  std::map<NodeId, int> fd_by_peer_;  // Preferred connection per peer.
+  TcpEndpointStats stats_;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_TCP_TCP_TRANSPORT_H_

@@ -1,0 +1,67 @@
+// Nakamoto baseline simulator tests.
+#include <gtest/gtest.h>
+
+#include "src/baseline/nakamoto.h"
+
+namespace algorand {
+namespace {
+
+TEST(NakamotoTest, BlockCountMatchesInterval) {
+  NakamotoConfig cfg;
+  cfg.mean_block_interval_s = 600;
+  NakamotoResult r = SimulateNakamoto(cfg, 7 * 24 * 3600.0);  // One week.
+  // Expect ~1008 blocks in a week; Poisson sigma ~32.
+  EXPECT_NEAR(static_cast<double>(r.blocks_mined), 1008.0, 150.0);
+}
+
+TEST(NakamotoTest, ThroughputMatchesBitcoin) {
+  // Bitcoin: 1 MB / 10 min -> ~6 MB committed per hour (§10.2).
+  NakamotoConfig cfg;
+  NakamotoResult r = SimulateNakamoto(cfg, 7 * 24 * 3600.0);
+  EXPECT_NEAR(r.throughput_bytes_per_hour / 1e6, 6.0, 1.2);
+}
+
+TEST(NakamotoTest, ConfirmationTakesAboutAnHour) {
+  NakamotoConfig cfg;
+  NakamotoResult r = SimulateNakamoto(cfg, 7 * 24 * 3600.0);
+  // 6 confirmations at 10-minute intervals: ~3600 s give or take.
+  EXPECT_GT(r.mean_confirmation_latency_s, 2000.0);
+  EXPECT_LT(r.mean_confirmation_latency_s, 6000.0);
+}
+
+TEST(NakamotoTest, ForkRateGrowsWithPropagationDelay) {
+  NakamotoConfig slow;
+  slow.propagation_delay_s = 60;
+  NakamotoConfig fast;
+  fast.propagation_delay_s = 1;
+  NakamotoResult r_slow = SimulateNakamoto(slow, 30 * 24 * 3600.0);
+  NakamotoResult r_fast = SimulateNakamoto(fast, 30 * 24 * 3600.0);
+  EXPECT_GT(r_slow.fork_rate, r_fast.fork_rate);
+  // Rough theory: fork rate ~ delay / interval.
+  EXPECT_NEAR(r_slow.fork_rate, 60.0 / 600.0, 0.05);
+}
+
+TEST(NakamotoTest, DeterministicGivenSeed) {
+  NakamotoConfig cfg;
+  NakamotoResult a = SimulateNakamoto(cfg, 24 * 3600.0);
+  NakamotoResult b = SimulateNakamoto(cfg, 24 * 3600.0);
+  EXPECT_EQ(a.blocks_mined, b.blocks_mined);
+  EXPECT_EQ(a.orphans, b.orphans);
+}
+
+TEST(NakamotoTest, EmptyDurationYieldsZero) {
+  NakamotoConfig cfg;
+  NakamotoResult r = SimulateNakamoto(cfg, 0.0);
+  EXPECT_EQ(r.blocks_mined, 0u);
+}
+
+TEST(NakamotoTest, MainChainNeverExceedsMined) {
+  NakamotoConfig cfg;
+  cfg.propagation_delay_s = 120;  // Heavy forking.
+  NakamotoResult r = SimulateNakamoto(cfg, 14 * 24 * 3600.0);
+  EXPECT_LE(r.main_chain_blocks, r.blocks_mined);
+  EXPECT_EQ(r.orphans, r.blocks_mined - r.main_chain_blocks);
+}
+
+}  // namespace
+}  // namespace algorand

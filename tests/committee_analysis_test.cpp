@@ -1,0 +1,109 @@
+// Tests for the Figure 3 / Appendix B committee-size analysis.
+#include <gtest/gtest.h>
+
+#include "src/core/committee_analysis.h"
+#include "src/core/params.h"
+
+namespace algorand {
+namespace {
+
+TEST(CommitteeAnalysisTest, ViolationDecreasesWithTau) {
+  double v500 = BestThreshold(0.80, 500).violation;
+  double v1000 = BestThreshold(0.80, 1000).violation;
+  double v2000 = BestThreshold(0.80, 2000).violation;
+  EXPECT_GT(v500, v1000);
+  EXPECT_GT(v1000, v2000);
+}
+
+TEST(CommitteeAnalysisTest, ViolationDecreasesWithHonesty) {
+  double v76 = BestThreshold(0.76, 1500).violation;
+  double v80 = BestThreshold(0.80, 1500).violation;
+  double v90 = BestThreshold(0.90, 1500).violation;
+  EXPECT_GT(v76, v80);
+  EXPECT_GT(v80, v90);
+}
+
+TEST(CommitteeAnalysisTest, PaperParametersMeetTarget) {
+  // Figure 3's star: h = 80%, tau_step = 2000, T = 0.685 keeps violation
+  // below 5e-9.
+  double v = CommitteeViolationProbability(0.80, 2000, 0.685);
+  EXPECT_LT(v, 5e-9);
+}
+
+TEST(CommitteeAnalysisTest, SmallCommitteeFailsTarget) {
+  EXPECT_GT(CommitteeViolationProbability(0.80, 200, 0.685), 5e-9);
+}
+
+TEST(CommitteeAnalysisTest, RequiredSizeAt80PercentIsNearPaperValue) {
+  // The paper reports tau_step = 2000 suffices at h = 80%; the required size
+  // should land at or below 2000 (the paper's choice has margin).
+  double tau = RequiredCommitteeSize(0.80, 5e-9);
+  EXPECT_GT(tau, 500);
+  EXPECT_LE(tau, 2100);
+}
+
+TEST(CommitteeAnalysisTest, RequiredSizeGrowsAsHonestyApproachesTwoThirds) {
+  double tau_76 = RequiredCommitteeSize(0.76, 5e-9);
+  double tau_80 = RequiredCommitteeSize(0.80, 5e-9);
+  double tau_86 = RequiredCommitteeSize(0.86, 5e-9);
+  EXPECT_GT(tau_76, tau_80);
+  EXPECT_GT(tau_80, tau_86);
+  // Figure 3 shape: committee size grows quickly below ~78%.
+  EXPECT_GT(tau_76 / tau_86, 2.0);
+}
+
+TEST(CommitteeAnalysisTest, BestThresholdAboveTwoThirds) {
+  ThresholdChoice c = BestThreshold(0.80, 2000);
+  EXPECT_GT(c.threshold, 2.0 / 3.0);
+  EXPECT_LT(c.threshold, 1.0);
+}
+
+TEST(CommitteeAnalysisTest, ImpossibleTargetReturnsZero) {
+  // With h barely above 2/3 and a tiny tau limit, no committee works.
+  EXPECT_EQ(RequiredCommitteeSize(0.68, 5e-9, /*tau_limit=*/100), 0);
+}
+
+TEST(CommitteeAnalysisTest, CertificateForgeryBoundMatchesPaper) {
+  // §8.3: "For tau_step > 1000, the probability of this attack is less than
+  // 2^-166 at every step." At the paper's parameters the bound is far below.
+  double log2_at_1000 = Log2CertificateForgeryProbability(0.80, 1000, 0.685);
+  EXPECT_LT(log2_at_1000, -166);
+  double log2_at_2000 = Log2CertificateForgeryProbability(0.80, 2000, 0.685);
+  EXPECT_LT(log2_at_2000, log2_at_1000);  // Bigger committees are safer.
+  // Tiny committees offer no such protection.
+  EXPECT_GT(Log2CertificateForgeryProbability(0.80, 50, 0.685), -60);
+}
+
+TEST(ParamsTest, PaperDefaultsMatchFigure4) {
+  ProtocolParams p = ProtocolParams::Paper();
+  EXPECT_DOUBLE_EQ(p.honest_fraction, 0.80);
+  EXPECT_EQ(p.seed_refresh_interval, 1000u);
+  EXPECT_DOUBLE_EQ(p.tau_proposer, 26);
+  EXPECT_DOUBLE_EQ(p.tau_step, 2000);
+  EXPECT_DOUBLE_EQ(p.t_step, 0.685);
+  EXPECT_DOUBLE_EQ(p.tau_final, 10000);
+  EXPECT_DOUBLE_EQ(p.t_final, 0.74);
+  EXPECT_EQ(p.max_steps, 150);
+  EXPECT_EQ(p.lambda_priority, Seconds(5));
+  EXPECT_EQ(p.lambda_block, Minutes(1));
+  EXPECT_EQ(p.lambda_step, Seconds(20));
+  EXPECT_EQ(p.lambda_stepvar, Seconds(5));
+}
+
+TEST(ParamsTest, ScaledCommitteesShrinkOnlyTaus) {
+  ProtocolParams p = ProtocolParams::ScaledCommittees(0.05);
+  EXPECT_DOUBLE_EQ(p.tau_step, 100);
+  EXPECT_DOUBLE_EQ(p.tau_final, 500);
+  EXPECT_DOUBLE_EQ(p.t_step, 0.685);       // unchanged
+  EXPECT_EQ(p.lambda_step, Seconds(20));   // unchanged
+  EXPECT_GE(p.tau_proposer, 5.0);          // floored
+}
+
+TEST(ParamsTest, ThresholdHelpers) {
+  ProtocolParams p = ProtocolParams::Paper();
+  EXPECT_DOUBLE_EQ(p.StepThreshold(), 0.685 * 2000);
+  EXPECT_DOUBLE_EQ(p.FinalThreshold(), 0.74 * 10000);
+}
+
+}  // namespace
+}  // namespace algorand

@@ -1,0 +1,309 @@
+// Unit tests for src/common: byte types, hex, serialization, RNG, stats.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/bytes.h"
+#include "src/common/hex.h"
+#include "src/common/rng.h"
+#include "src/common/serialize.h"
+#include "src/common/stats.h"
+#include "src/common/time_units.h"
+
+namespace algorand {
+namespace {
+
+TEST(FixedBytesTest, DefaultIsZero) {
+  Hash256 h;
+  EXPECT_TRUE(h.is_zero());
+  EXPECT_EQ(h.prefix_u64(), 0u);
+}
+
+TEST(FixedBytesTest, OrderingIsLexicographic) {
+  Hash256 a, b;
+  a[0] = 1;
+  b[0] = 2;
+  EXPECT_LT(a, b);
+  b[0] = 1;
+  EXPECT_EQ(a, b);
+  a[31] = 5;
+  EXPECT_GT(a, b);
+}
+
+TEST(FixedBytesTest, HexRoundTrip) {
+  Hash256 h;
+  for (size_t i = 0; i < h.size(); ++i) {
+    h[i] = static_cast<uint8_t>(i * 7 + 3);
+  }
+  Hash256 back = Hash256::FromHex(h.ToHex());
+  EXPECT_EQ(h, back);
+}
+
+TEST(FixedBytesTest, FromHexRejectsWrongLength) {
+  EXPECT_TRUE(Hash256::FromHex("abcd").is_zero());
+  EXPECT_TRUE(Hash256::FromHex("zz").is_zero());
+}
+
+TEST(FixedBytesTest, PrefixU64IsBigEndian) {
+  Hash256 h;
+  h[0] = 0x01;
+  h[7] = 0xff;
+  EXPECT_EQ(h.prefix_u64(), 0x01000000000000ffULL);
+}
+
+TEST(FixedBytesTest, UsableAsUnorderedKey) {
+  std::set<Hash256> s;
+  Hash256 a;
+  a[3] = 9;
+  s.insert(a);
+  s.insert(Hash256());
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(HexTest, EncodeKnown) {
+  std::vector<uint8_t> v = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(HexEncode(v), "0001abff");
+}
+
+TEST(HexTest, DecodeKnown) {
+  auto v = HexDecode("0001ABff");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, (std::vector<uint8_t>{0x00, 0x01, 0xab, 0xff}));
+}
+
+TEST(HexTest, DecodeRejectsOddLength) { EXPECT_FALSE(HexDecode("abc").has_value()); }
+
+TEST(HexTest, DecodeRejectsNonHex) { EXPECT_FALSE(HexDecode("zz").has_value()); }
+
+TEST(HexTest, EmptyRoundTrip) {
+  auto v = HexDecode("");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->empty());
+  EXPECT_EQ(HexEncode(*v), "");
+}
+
+TEST(SerializeTest, IntegerRoundTrip) {
+  Writer w;
+  w.U8(0xab);
+  w.U16(0x1234);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefULL);
+  w.I64(-42);
+
+  Reader r(w.buffer());
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_EQ(r.U16(), 0x1234);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.I64(), -42);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, FixedRoundTrip) {
+  Hash256 h;
+  h[0] = 0x42;
+  h[31] = 0x24;
+  Writer w;
+  w.Fixed(h);
+  Reader r(w.buffer());
+  EXPECT_EQ(r.Fixed<32>(), h);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, BytesRoundTrip) {
+  std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  Writer w;
+  w.Bytes(payload);
+  Reader r(w.buffer());
+  EXPECT_EQ(r.Bytes(), payload);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, ReaderDetectsTruncation) {
+  Writer w;
+  w.U32(7);
+  std::vector<uint8_t> buf = w.buffer();
+  buf.pop_back();
+  Reader r(buf);
+  (void)r.U32();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializeTest, ReaderDetectsOversizedBytesLength) {
+  Writer w;
+  w.U32(1000);  // Claims 1000 bytes follow; none do.
+  Reader r(w.buffer());
+  (void)r.Bytes();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializeTest, AtEndFailsWithLeftover) {
+  Writer w;
+  w.U8(1);
+  w.U8(2);
+  Reader r(w.buffer());
+  (void)r.U8();
+  EXPECT_FALSE(r.AtEnd());
+}
+
+TEST(SerializeTest, FailedReaderReturnsZeroes) {
+  Reader r{std::span<const uint8_t>()};
+  EXPECT_EQ(r.U64(), 0u);
+  EXPECT_TRUE(r.Fixed<32>().is_zero());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  DeterministicRng a(1234);
+  DeterministicRng b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  DeterministicRng a(1);
+  DeterministicRng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, LabelledStreamsDiffer) {
+  DeterministicRng a(7, "alpha");
+  DeterministicRng b(7, "beta");
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, UniformU64InRange) {
+  DeterministicRng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformU64(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformU64CoversRange) {
+  DeterministicRng rng(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.UniformU64(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  DeterministicRng rng(5);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= (v == -3);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  DeterministicRng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  DeterministicRng rng(77);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(10.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyCorrect) {
+  DeterministicRng rng(78);
+  double sum = 0, sumsq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(5.0, 2.0);
+    sum += v;
+    sumsq += v * v;
+  }
+  double mean = sum / n;
+  double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  DeterministicRng rng(3);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, FillBytesDeterministic) {
+  DeterministicRng a(11), b(11);
+  uint8_t x[33], y[33];
+  a.FillBytes(x, sizeof(x));
+  b.FillBytes(y, sizeof(y));
+  EXPECT_EQ(0, memcmp(x, y, sizeof(x)));
+}
+
+TEST(StatsTest, SummaryOfKnownValues) {
+  Summary s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_DOUBLE_EQ(s.p25, 2);
+  EXPECT_DOUBLE_EQ(s.p75, 4);
+  EXPECT_DOUBLE_EQ(s.mean, 3);
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(StatsTest, SummaryEmpty) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.median, 0);
+}
+
+TEST(StatsTest, SingleValue) {
+  Summary s = Summarize({42});
+  EXPECT_DOUBLE_EQ(s.min, 42);
+  EXPECT_DOUBLE_EQ(s.max, 42);
+  EXPECT_DOUBLE_EQ(s.median, 42);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 0.25), 2.5);
+}
+
+TEST(TimeUnitsTest, Conversions) {
+  EXPECT_EQ(Seconds(2), 2 * kSecond);
+  EXPECT_EQ(Minutes(1), 60 * kSecond);
+  EXPECT_EQ(Millis(1500), kSecond + 500 * kMillisecond);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
+  EXPECT_EQ(FromSeconds(2.5), Seconds(2) + Millis(500));
+}
+
+TEST(BytesTest, AppendBytesAndBytesOfString) {
+  std::vector<uint8_t> out = BytesOfString("ab");
+  AppendBytes(&out, BytesOfString("cd"));
+  EXPECT_EQ(out, (std::vector<uint8_t>{'a', 'b', 'c', 'd'}));
+}
+
+}  // namespace
+}  // namespace algorand

@@ -1,0 +1,150 @@
+// Ed25519 tests: RFC 8032 known-answer vectors plus behavioural properties.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/hex.h"
+#include "src/common/rng.h"
+#include "src/crypto/ed25519.h"
+
+namespace algorand {
+namespace {
+
+Ed25519KeyPair KeyFromRng(DeterministicRng* rng) {
+  FixedBytes<32> seed;
+  rng->FillBytes(seed.data(), 32);
+  return Ed25519KeyFromSeed(seed);
+}
+
+// RFC 8032 §7.1 TEST 1, verification side: the published public key and
+// signature over the empty message must verify (and reject perturbations).
+TEST(Ed25519Test, Rfc8032Test1VerifyKat) {
+  PublicKey pk =
+      PublicKey::FromHex("d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a");
+  Signature sig =
+      Signature::FromHex("e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+                         "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b");
+  ASSERT_FALSE(pk.is_zero());
+  ASSERT_FALSE(sig.is_zero());
+  EXPECT_TRUE(Ed25519Verify(pk, std::span<const uint8_t>(), sig));
+  // The same signature must not verify for a non-empty message.
+  EXPECT_FALSE(Ed25519Verify(pk, BytesOfString("x"), sig));
+  Signature bad = sig;
+  bad[0] ^= 1;
+  EXPECT_FALSE(Ed25519Verify(pk, std::span<const uint8_t>(), bad));
+}
+
+// RFC 8032 §7.1 TEST 2 (one-byte message 0x72).
+TEST(Ed25519Test, Rfc8032Test2) {
+  FixedBytes<32> seed =
+      FixedBytes<32>::FromHex("4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+  Ed25519KeyPair kp = Ed25519KeyFromSeed(seed);
+  EXPECT_EQ(kp.public_key.ToHex(),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c");
+  uint8_t msg[1] = {0x72};
+  Signature sig = Ed25519Sign(kp, msg);
+  EXPECT_EQ(sig.ToHex(),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00");
+  EXPECT_TRUE(Ed25519Verify(kp.public_key, msg, sig));
+}
+
+TEST(Ed25519Test, SignVerifyRoundTrip) {
+  DeterministicRng rng(100);
+  for (int i = 0; i < 10; ++i) {
+    Ed25519KeyPair kp = KeyFromRng(&rng);
+    std::vector<uint8_t> msg(static_cast<size_t>(1 + i * 13));
+    rng.FillBytes(msg.data(), msg.size());
+    Signature sig = Ed25519Sign(kp, msg);
+    EXPECT_TRUE(Ed25519Verify(kp.public_key, msg, sig));
+  }
+}
+
+TEST(Ed25519Test, SigningIsDeterministic) {
+  DeterministicRng rng(101);
+  Ed25519KeyPair kp = KeyFromRng(&rng);
+  auto msg = BytesOfString("hello algorand");
+  EXPECT_EQ(Ed25519Sign(kp, msg), Ed25519Sign(kp, msg));
+}
+
+TEST(Ed25519Test, VerifyRejectsWrongMessage) {
+  DeterministicRng rng(102);
+  Ed25519KeyPair kp = KeyFromRng(&rng);
+  Signature sig = Ed25519Sign(kp, BytesOfString("message A"));
+  EXPECT_FALSE(Ed25519Verify(kp.public_key, BytesOfString("message B"), sig));
+}
+
+TEST(Ed25519Test, VerifyRejectsWrongKey) {
+  DeterministicRng rng(103);
+  Ed25519KeyPair kp1 = KeyFromRng(&rng);
+  Ed25519KeyPair kp2 = KeyFromRng(&rng);
+  auto msg = BytesOfString("message");
+  Signature sig = Ed25519Sign(kp1, msg);
+  EXPECT_FALSE(Ed25519Verify(kp2.public_key, msg, sig));
+}
+
+TEST(Ed25519Test, VerifyRejectsBitFlips) {
+  DeterministicRng rng(104);
+  Ed25519KeyPair kp = KeyFromRng(&rng);
+  auto msg = BytesOfString("flip test");
+  Signature sig = Ed25519Sign(kp, msg);
+  for (size_t i = 0; i < sig.size(); i += 7) {
+    Signature bad = sig;
+    bad[i] ^= 1;
+    EXPECT_FALSE(Ed25519Verify(kp.public_key, msg, bad)) << "flip at byte " << i;
+  }
+}
+
+TEST(Ed25519Test, VerifyRejectsNonCanonicalS) {
+  // S >= L must be rejected (malleability protection).
+  DeterministicRng rng(105);
+  Ed25519KeyPair kp = KeyFromRng(&rng);
+  auto msg = BytesOfString("canon");
+  Signature sig = Ed25519Sign(kp, msg);
+  Signature bad = sig;
+  // Set S to L itself: bytes 32..63 little-endian.
+  auto l_hex = HexDecode("edd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");
+  ASSERT_TRUE(l_hex.has_value());
+  for (int i = 0; i < 32; ++i) {
+    bad[32 + static_cast<size_t>(i)] = (*l_hex)[static_cast<size_t>(i)];
+  }
+  EXPECT_FALSE(Ed25519Verify(kp.public_key, msg, bad));
+}
+
+TEST(Ed25519Test, VerifyRejectsGarbagePublicKey) {
+  // An all-0xff key is not a valid point encoding.
+  PublicKey bad;
+  for (size_t i = 0; i < bad.size(); ++i) {
+    bad[i] = 0xff;
+  }
+  Signature sig;
+  EXPECT_FALSE(Ed25519Verify(bad, BytesOfString("x"), sig));
+}
+
+TEST(Ed25519Test, DistinctSeedsDistinctKeys) {
+  DeterministicRng rng(106);
+  std::vector<PublicKey> keys;
+  for (int i = 0; i < 50; ++i) {
+    keys.push_back(KeyFromRng(&rng).public_key);
+  }
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(Ed25519Test, EmptyAndLargeMessages) {
+  DeterministicRng rng(107);
+  Ed25519KeyPair kp = KeyFromRng(&rng);
+  std::vector<uint8_t> empty;
+  Signature s1 = Ed25519Sign(kp, empty);
+  EXPECT_TRUE(Ed25519Verify(kp.public_key, empty, s1));
+
+  std::vector<uint8_t> big(100 * 1024);
+  rng.FillBytes(big.data(), big.size());
+  Signature s2 = Ed25519Sign(kp, big);
+  EXPECT_TRUE(Ed25519Verify(kp.public_key, big, s2));
+  big[50000] ^= 1;
+  EXPECT_FALSE(Ed25519Verify(kp.public_key, big, s2));
+}
+
+}  // namespace
+}  // namespace algorand

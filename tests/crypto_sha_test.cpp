@@ -1,0 +1,128 @@
+// Known-answer and property tests for the from-scratch SHA-256 / SHA-512.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+#include "src/crypto/sha512.h"
+
+namespace algorand {
+namespace {
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(Sha256::Hash("").ToHex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(Sha256::Hash("abc").ToHex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  // NIST FIPS 180-4 example vector.
+  EXPECT_EQ(Sha256::Hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").ToHex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(h.Finish().ToHex(), "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha512Test, EmptyString) {
+  EXPECT_EQ(Sha512::Hash("").ToHex(),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512Test, Abc) {
+  EXPECT_EQ(Sha512::Hash("abc").ToHex(),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512Test, TwoBlockMessage) {
+  EXPECT_EQ(Sha512::Hash("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                         "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")
+                .ToHex(),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+            "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512Test, MillionA) {
+  Sha512 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(h.Finish().ToHex(),
+            "e718483d0ce769644e2e42c7bc15b4638e1f98b13b2044285632a803afa973eb"
+            "de0ff244877ea60a4cb0432ce577c31beb009c5c2c49aa2e4eadb217ad8cc09b");
+}
+
+// Incremental hashing must agree with one-shot hashing across all chunkings.
+class ShaIncrementalTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ShaIncrementalTest, Sha256ChunkedMatchesOneShot) {
+  std::string msg;
+  for (int i = 0; i < 500; ++i) {
+    msg.push_back(static_cast<char>('a' + (i % 26)));
+  }
+  size_t chunk = GetParam();
+  Sha256 h;
+  for (size_t i = 0; i < msg.size(); i += chunk) {
+    h.Update(std::string_view(msg).substr(i, chunk));
+  }
+  EXPECT_EQ(h.Finish(), Sha256::Hash(msg));
+}
+
+TEST_P(ShaIncrementalTest, Sha512ChunkedMatchesOneShot) {
+  std::string msg;
+  for (int i = 0; i < 700; ++i) {
+    msg.push_back(static_cast<char>('A' + (i % 26)));
+  }
+  size_t chunk = GetParam();
+  Sha512 h;
+  for (size_t i = 0; i < msg.size(); i += chunk) {
+    h.Update(std::string_view(msg).substr(i, chunk));
+  }
+  EXPECT_EQ(h.Finish(), Sha512::Hash(msg));
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunkings, ShaIncrementalTest,
+                         ::testing::Values(1, 3, 7, 55, 56, 63, 64, 65, 111, 112, 127, 128, 129,
+                                           256));
+
+// Boundary lengths around the padding edge cases.
+class ShaPaddingBoundaryTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ShaPaddingBoundaryTest, DigestsDifferAtAdjacentLengths) {
+  size_t n = GetParam();
+  std::string a(n, 'x');
+  std::string b(n + 1, 'x');
+  EXPECT_NE(Sha256::Hash(a), Sha256::Hash(b));
+  EXPECT_NE(Sha512::Hash(a), Sha512::Hash(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, ShaPaddingBoundaryTest,
+                         ::testing::Values(0, 54, 55, 56, 57, 63, 64, 65, 110, 111, 112, 113, 119,
+                                           127, 128, 129));
+
+TEST(ShaTest, DistinctInputsDistinctDigests) {
+  // Tiny sanity sweep: 200 distinct short strings, no collisions.
+  std::vector<Hash256> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.push_back(Sha256::Hash("input-" + std::to_string(i)));
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+}  // namespace
+}  // namespace algorand

@@ -1,0 +1,460 @@
+// Ledger substrate tests: transactions, accounts, blocks, chain state, seed
+// schedule, look-back weights, fork switching.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/ledger/ledger.h"
+
+namespace algorand {
+namespace {
+
+const Ed25519Signer kSigner;
+
+struct Fixture {
+  Fixture() : bundle(MakeTestGenesis(4, 1000, 42)), ledger(bundle.config) {}
+  GenesisBundle bundle;
+  Ledger ledger;
+
+  const Ed25519KeyPair& key(size_t i) const { return bundle.keys[i]; }
+  PublicKey pk(size_t i) const { return bundle.keys[i].public_key; }
+
+  Block NextEmptyBlock() const {
+    return Block::MakeEmpty(ledger.next_round(), ledger.tip_hash(),
+                            ledger.SeedForRound(ledger.Tip().round + 1 - 1));
+  }
+};
+
+TEST(TransactionTest, SignAndVerify) {
+  DeterministicRng rng(1);
+  FixedBytes<32> s;
+  rng.FillBytes(s.data(), 32);
+  Ed25519KeyPair sender = Ed25519KeyFromSeed(s);
+  rng.FillBytes(s.data(), 32);
+  Ed25519KeyPair receiver = Ed25519KeyFromSeed(s);
+  Transaction tx = MakeTransaction(sender, receiver.public_key, 100, 0, kSigner);
+  EXPECT_TRUE(VerifyTransactionSignature(tx, kSigner));
+  tx.amount = 200;
+  EXPECT_FALSE(VerifyTransactionSignature(tx, kSigner));
+}
+
+TEST(TransactionTest, SerializeRoundTrip) {
+  DeterministicRng rng(2);
+  FixedBytes<32> s;
+  rng.FillBytes(s.data(), 32);
+  Ed25519KeyPair sender = Ed25519KeyFromSeed(s);
+  Transaction tx = MakeTransaction(sender, sender.public_key, 5, 3, kSigner, 1);
+  auto bytes = tx.Serialize();
+  EXPECT_EQ(bytes.size(), Transaction::kWireSize);
+  Reader r(bytes);
+  auto back = Transaction::Deserialize(&r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->Id(), tx.Id());
+  EXPECT_EQ(back->amount, 5u);
+  EXPECT_EQ(back->fee, 1u);
+  EXPECT_EQ(back->nonce, 3u);
+}
+
+TEST(TransactionTest, DeserializeRejectsTruncation) {
+  Transaction tx;
+  auto bytes = tx.Serialize();
+  bytes.pop_back();
+  Reader r(bytes);
+  EXPECT_FALSE(Transaction::Deserialize(&r).has_value());
+}
+
+TEST(AccountTableTest, CreditAndBalances) {
+  AccountTable t;
+  PublicKey a, b;
+  a[0] = 1;
+  b[0] = 2;
+  t.Credit(a, 100);
+  t.Credit(b, 50);
+  t.Credit(a, 10);
+  EXPECT_EQ(t.BalanceOf(a), 110u);
+  EXPECT_EQ(t.BalanceOf(b), 50u);
+  EXPECT_EQ(t.total_weight(), 160u);
+  EXPECT_EQ(t.account_count(), 2u);
+}
+
+TEST(AccountTableTest, ApplyTransfersValue) {
+  AccountTable t;
+  PublicKey a, b;
+  a[0] = 1;
+  b[0] = 2;
+  t.Credit(a, 100);
+  Transaction tx;
+  tx.from = a;
+  tx.to = b;
+  tx.amount = 30;
+  tx.nonce = 0;
+  EXPECT_TRUE(t.ApplyTransaction(tx));
+  EXPECT_EQ(t.BalanceOf(a), 70u);
+  EXPECT_EQ(t.BalanceOf(b), 30u);
+  EXPECT_EQ(t.total_weight(), 100u);
+}
+
+TEST(AccountTableTest, RejectsWrongNonce) {
+  AccountTable t;
+  PublicKey a, b;
+  a[0] = 1;
+  b[0] = 2;
+  t.Credit(a, 100);
+  Transaction tx;
+  tx.from = a;
+  tx.to = b;
+  tx.amount = 10;
+  tx.nonce = 5;
+  EXPECT_FALSE(t.ApplyTransaction(tx));
+  EXPECT_EQ(t.BalanceOf(a), 100u);
+}
+
+TEST(AccountTableTest, RejectsOverdraft) {
+  AccountTable t;
+  PublicKey a, b;
+  a[0] = 1;
+  b[0] = 2;
+  t.Credit(a, 100);
+  Transaction tx;
+  tx.from = a;
+  tx.to = b;
+  tx.amount = 101;
+  tx.nonce = 0;
+  EXPECT_FALSE(t.ApplyTransaction(tx));
+}
+
+TEST(AccountTableTest, RejectsOverdraftViaFee) {
+  AccountTable t;
+  PublicKey a, b;
+  a[0] = 1;
+  b[0] = 2;
+  t.Credit(a, 100);
+  Transaction tx;
+  tx.from = a;
+  tx.to = b;
+  tx.amount = 95;
+  tx.fee = 10;
+  tx.nonce = 0;
+  EXPECT_FALSE(t.ApplyTransaction(tx));
+}
+
+TEST(AccountTableTest, FeesAreBurned) {
+  AccountTable t;
+  PublicKey a, b;
+  a[0] = 1;
+  b[0] = 2;
+  t.Credit(a, 100);
+  Transaction tx;
+  tx.from = a;
+  tx.to = b;
+  tx.amount = 40;
+  tx.fee = 5;
+  tx.nonce = 0;
+  EXPECT_TRUE(t.ApplyTransaction(tx));
+  EXPECT_EQ(t.total_weight(), 95u);
+}
+
+TEST(AccountTableTest, NoncePreventsDoubleSpendReplay) {
+  AccountTable t;
+  PublicKey a, b;
+  a[0] = 1;
+  b[0] = 2;
+  t.Credit(a, 100);
+  Transaction tx;
+  tx.from = a;
+  tx.to = b;
+  tx.amount = 60;
+  tx.nonce = 0;
+  EXPECT_TRUE(t.ApplyTransaction(tx));
+  EXPECT_FALSE(t.ApplyTransaction(tx));  // Same nonce again: rejected.
+}
+
+TEST(AccountTableTest, UnknownSenderRejected) {
+  AccountTable t;
+  PublicKey a, b;
+  a[0] = 1;
+  b[0] = 2;
+  Transaction tx;
+  tx.from = a;
+  tx.to = b;
+  tx.amount = 0;
+  EXPECT_FALSE(t.CheckTransaction(tx));
+}
+
+TEST(BlockTest, SerializeRoundTrip) {
+  Fixture f;
+  Block b;
+  b.round = 1;
+  b.prev_hash = f.ledger.tip_hash();
+  b.timestamp = Seconds(30);
+  b.proposer = f.pk(0);
+  b.padding_bytes = 1000;
+  b.txns.push_back(MakeTransaction(f.key(0), f.pk(1), 10, 0, kSigner));
+  auto bytes = b.Serialize();
+  auto back = Block::Deserialize(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->Hash(), b.Hash());
+  EXPECT_EQ(back->txns.size(), 1u);
+  EXPECT_EQ(back->padding_bytes, 1000u);
+}
+
+TEST(BlockTest, DeserializeRejectsGarbage) {
+  std::vector<uint8_t> junk(10, 0xab);
+  EXPECT_FALSE(Block::Deserialize(junk).has_value());
+}
+
+TEST(BlockTest, WireSizeIncludesPadding) {
+  Block b;
+  uint64_t base = b.WireSize();
+  b.padding_bytes = 5000;
+  EXPECT_EQ(b.WireSize(), base + 5000);
+}
+
+TEST(BlockTest, HashChangesWithContent) {
+  Block a;
+  Block b;
+  b.round = 1;
+  EXPECT_NE(a.Hash(), b.Hash());
+  Block c;
+  c.padding_digest[0] = 1;  // Different synthetic payload -> different hash.
+  EXPECT_NE(a.Hash(), c.Hash());
+}
+
+TEST(BlockTest, EmptyBlockIsDeterministic) {
+  Fixture f;
+  SeedBytes seed = f.ledger.SeedForRound(1);
+  Block e1 = Block::MakeEmpty(1, f.ledger.tip_hash(), seed);
+  Block e2 = Block::MakeEmpty(1, f.ledger.tip_hash(), seed);
+  EXPECT_EQ(e1.Hash(), e2.Hash());
+  EXPECT_TRUE(e1.is_empty);
+}
+
+TEST(LedgerTest, GenesisState) {
+  Fixture f;
+  EXPECT_EQ(f.ledger.chain_length(), 1u);
+  EXPECT_EQ(f.ledger.next_round(), 1u);
+  EXPECT_EQ(f.ledger.total_weight(), 4000u);
+  EXPECT_EQ(f.ledger.WeightOf(f.pk(0)), 1000u);
+  EXPECT_EQ(f.ledger.ConsensusAtRound(0), ConsensusKind::kFinal);
+}
+
+TEST(LedgerTest, AppendExtendsChain) {
+  Fixture f;
+  Block b = Block::MakeEmpty(1, f.ledger.tip_hash(), f.ledger.SeedForRound(1));
+  EXPECT_TRUE(f.ledger.Append(b, ConsensusKind::kFinal));
+  EXPECT_EQ(f.ledger.next_round(), 2u);
+  EXPECT_EQ(f.ledger.tip_hash(), b.Hash());
+}
+
+TEST(LedgerTest, AppendRejectsWrongRound) {
+  Fixture f;
+  Block b = Block::MakeEmpty(2, f.ledger.tip_hash(), f.ledger.SeedForRound(1));
+  EXPECT_FALSE(f.ledger.Append(b, ConsensusKind::kFinal));
+}
+
+TEST(LedgerTest, AppendRejectsWrongPrevHash) {
+  Fixture f;
+  Hash256 wrong;
+  wrong[0] = 9;
+  Block b = Block::MakeEmpty(1, wrong, f.ledger.SeedForRound(1));
+  EXPECT_FALSE(f.ledger.Append(b, ConsensusKind::kFinal));
+}
+
+TEST(LedgerTest, AppendAppliesTransactions) {
+  Fixture f;
+  Block b;
+  b.round = 1;
+  b.prev_hash = f.ledger.tip_hash();
+  b.next_seed = Block::DerivedSeed(f.ledger.SeedForRound(1), 1);
+  b.txns.push_back(MakeTransaction(f.key(0), f.pk(1), 250, 0, kSigner));
+  ASSERT_TRUE(f.ledger.Append(b, ConsensusKind::kFinal));
+  EXPECT_EQ(f.ledger.WeightOf(f.pk(0)), 750u);
+  EXPECT_EQ(f.ledger.WeightOf(f.pk(1)), 1250u);
+}
+
+TEST(LedgerTest, AppendRejectsBlockWithBadTransaction) {
+  Fixture f;
+  Block b;
+  b.round = 1;
+  b.prev_hash = f.ledger.tip_hash();
+  b.txns.push_back(MakeTransaction(f.key(0), f.pk(1), 9999, 0, kSigner));  // Overdraft.
+  EXPECT_FALSE(f.ledger.Append(b, ConsensusKind::kFinal));
+  EXPECT_EQ(f.ledger.chain_length(), 1u);
+  EXPECT_EQ(f.ledger.WeightOf(f.pk(0)), 1000u);
+}
+
+TEST(LedgerTest, ConfirmationSemantics) {
+  Fixture f;
+  Block b;
+  b.round = 1;
+  b.prev_hash = f.ledger.tip_hash();
+  Transaction tx = MakeTransaction(f.key(0), f.pk(1), 5, 0, kSigner);
+  b.txns.push_back(tx);
+  ASSERT_TRUE(f.ledger.Append(b, ConsensusKind::kTentative));
+  // Tentative only: not confirmed yet (§4).
+  EXPECT_FALSE(f.ledger.IsConfirmed(tx.Id()));
+  // A final successor confirms it.
+  Block next = Block::MakeEmpty(2, f.ledger.tip_hash(), f.ledger.SeedForRound(2));
+  ASSERT_TRUE(f.ledger.Append(next, ConsensusKind::kFinal));
+  EXPECT_TRUE(f.ledger.IsConfirmed(tx.Id()));
+}
+
+TEST(LedgerTest, FinalBlockConfirmsPredecessors) {
+  Fixture f;
+  for (int r = 1; r <= 3; ++r) {
+    Block b = Block::MakeEmpty(static_cast<uint64_t>(r), f.ledger.tip_hash(),
+                               f.ledger.SeedForRound(static_cast<uint64_t>(r)));
+    ASSERT_TRUE(f.ledger.Append(
+        b, r == 3 ? ConsensusKind::kFinal : ConsensusKind::kTentative));
+  }
+  EXPECT_EQ(f.ledger.ConsensusAtRound(1), ConsensusKind::kFinal);
+  EXPECT_EQ(f.ledger.ConsensusAtRound(2), ConsensusKind::kFinal);
+  EXPECT_EQ(f.ledger.HighestFinalRound(), 3u);
+}
+
+TEST(LedgerTest, SeedScheduleAdvances) {
+  Fixture f;
+  SeedBytes s1 = f.ledger.SeedForRound(1);
+  Block b = Block::MakeEmpty(1, f.ledger.tip_hash(), s1);
+  ASSERT_TRUE(f.ledger.Append(b, ConsensusKind::kFinal));
+  SeedBytes s2 = f.ledger.SeedForRound(2);
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(s2, b.next_seed);
+}
+
+TEST(LedgerTest, SortitionSeedRefreshInterval) {
+  Fixture f;
+  for (int r = 1; r <= 10; ++r) {
+    Block b = Block::MakeEmpty(static_cast<uint64_t>(r), f.ledger.tip_hash(),
+                               f.ledger.SeedForRound(static_cast<uint64_t>(r)));
+    ASSERT_TRUE(f.ledger.Append(b, ConsensusKind::kFinal));
+  }
+  // With R = 4: rounds 4..7 use seed_3, rounds 8..11 use seed_7.
+  EXPECT_EQ(f.ledger.SortitionSeed(4, 4), f.ledger.SeedForRound(3));
+  EXPECT_EQ(f.ledger.SortitionSeed(5, 4), f.ledger.SeedForRound(3));
+  EXPECT_EQ(f.ledger.SortitionSeed(7, 4), f.ledger.SeedForRound(3));
+  EXPECT_EQ(f.ledger.SortitionSeed(8, 4), f.ledger.SeedForRound(7));
+  // Early rounds clamp to the genesis seed.
+  EXPECT_EQ(f.ledger.SortitionSeed(1, 4), f.ledger.SeedForRound(0));
+}
+
+TEST(LedgerTest, BlockByHashFindsChainBlocks) {
+  Fixture f;
+  Block b = Block::MakeEmpty(1, f.ledger.tip_hash(), f.ledger.SeedForRound(1));
+  ASSERT_TRUE(f.ledger.Append(b, ConsensusKind::kFinal));
+  auto found = f.ledger.BlockByHash(b.Hash());
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->round, 1u);
+  Hash256 unknown;
+  unknown[5] = 1;
+  EXPECT_FALSE(f.ledger.BlockByHash(unknown).has_value());
+}
+
+TEST(LedgerTest, ReplaceSuffixSwitchesFork) {
+  Fixture f;
+  // Build chain: rounds 1, 2 (tentative).
+  Block b1 = Block::MakeEmpty(1, f.ledger.tip_hash(), f.ledger.SeedForRound(1));
+  ASSERT_TRUE(f.ledger.Append(b1, ConsensusKind::kTentative));
+  Block b2 = Block::MakeEmpty(2, f.ledger.tip_hash(), f.ledger.SeedForRound(2));
+  ASSERT_TRUE(f.ledger.Append(b2, ConsensusKind::kTentative));
+
+  // Alternative round-2 block with a transaction.
+  Block alt2;
+  alt2.round = 2;
+  alt2.prev_hash = b1.Hash();
+  alt2.next_seed = Block::DerivedSeed(b1.next_seed, 2);
+  alt2.txns.push_back(MakeTransaction(f.key(1), f.pk(2), 100, 0, kSigner));
+  ASSERT_TRUE(f.ledger.ReplaceSuffix(2, {alt2}));
+  EXPECT_EQ(f.ledger.tip_hash(), alt2.Hash());
+  EXPECT_EQ(f.ledger.WeightOf(f.pk(2)), 1100u);
+}
+
+TEST(LedgerTest, ReplaceSuffixRejectsBrokenChain) {
+  Fixture f;
+  Block b1 = Block::MakeEmpty(1, f.ledger.tip_hash(), f.ledger.SeedForRound(1));
+  ASSERT_TRUE(f.ledger.Append(b1, ConsensusKind::kTentative));
+  Block bad;
+  bad.round = 2;
+  bad.prev_hash[0] = 77;  // Does not match b1.
+  EXPECT_FALSE(f.ledger.ReplaceSuffix(2, {bad}));
+  EXPECT_EQ(f.ledger.tip_hash(), b1.Hash());
+}
+
+TEST(LedgerTest, ReplaceSuffixRejectsBadTransactions) {
+  Fixture f;
+  Block b1 = Block::MakeEmpty(1, f.ledger.tip_hash(), f.ledger.SeedForRound(1));
+  ASSERT_TRUE(f.ledger.Append(b1, ConsensusKind::kTentative));
+  Block alt1;
+  alt1.round = 1;
+  alt1.prev_hash = f.ledger.genesis().Hash();
+  alt1.next_seed = Block::DerivedSeed(f.ledger.SeedForRound(1), 1);
+  alt1.txns.push_back(MakeTransaction(f.key(0), f.pk(1), 99999, 0, kSigner));
+  EXPECT_FALSE(f.ledger.ReplaceSuffix(1, {alt1}));
+  EXPECT_EQ(f.ledger.tip_hash(), b1.Hash());
+  EXPECT_EQ(f.ledger.WeightOf(f.pk(0)), 1000u);
+}
+
+TEST(LedgerTest, LookbackWeightsLagTransfers) {
+  GenesisBundle bundle = MakeTestGenesis(3, 1000, 7);
+  bundle.config.weight_lookback_rounds = 2;
+  Ledger ledger(bundle.config);
+  const auto& k0 = bundle.keys[0];
+  PublicKey p1 = bundle.keys[1].public_key;
+
+  // Round 1: k0 sends 500 to p1.
+  Block b1;
+  b1.round = 1;
+  b1.prev_hash = ledger.tip_hash();
+  b1.next_seed = Block::DerivedSeed(ledger.SeedForRound(1), 1);
+  b1.txns.push_back(MakeTransaction(k0, p1, 500, 0, kSigner));
+  ASSERT_TRUE(ledger.Append(b1, ConsensusKind::kFinal));
+
+  // Immediately after, look-back weights still reflect genesis.
+  // (Snapshots: genesis, round1 -> not deep enough yet; falls back to current
+  // until history exceeds the lookback.)
+  Block b2 = Block::MakeEmpty(2, ledger.tip_hash(), ledger.SeedForRound(2));
+  ASSERT_TRUE(ledger.Append(b2, ConsensusKind::kFinal));
+  // Now snapshots = {genesis, r1, r2}, lookback 2 -> use genesis weights.
+  EXPECT_EQ(ledger.WeightOf(k0.public_key), 1000u);
+  EXPECT_EQ(ledger.accounts().WeightOf(k0.public_key), 500u);
+}
+
+TEST(LedgerTest, AccountsAtRoundReplaysHistory) {
+  Fixture f;
+  // Round 1: pk0 -> pk1 100. Round 2: pk1 -> pk2 50.
+  Block b1;
+  b1.round = 1;
+  b1.prev_hash = f.ledger.tip_hash();
+  b1.next_seed = Block::DerivedSeed(f.ledger.SeedForRound(1), 1);
+  b1.txns.push_back(MakeTransaction(f.key(0), f.pk(1), 100, 0, kSigner));
+  ASSERT_TRUE(f.ledger.Append(b1, ConsensusKind::kFinal));
+  Block b2;
+  b2.round = 2;
+  b2.prev_hash = f.ledger.tip_hash();
+  b2.next_seed = Block::DerivedSeed(f.ledger.SeedForRound(2), 2);
+  b2.txns.push_back(MakeTransaction(f.key(1), f.pk(2), 50, 0, kSigner));
+  ASSERT_TRUE(f.ledger.Append(b2, ConsensusKind::kFinal));
+
+  AccountTable at0 = f.ledger.AccountsAtRound(0);
+  EXPECT_EQ(at0.BalanceOf(f.pk(0)), 1000u);
+  EXPECT_EQ(at0.BalanceOf(f.pk(1)), 1000u);
+  AccountTable at1 = f.ledger.AccountsAtRound(1);
+  EXPECT_EQ(at1.BalanceOf(f.pk(0)), 900u);
+  EXPECT_EQ(at1.BalanceOf(f.pk(1)), 1100u);
+  AccountTable at2 = f.ledger.AccountsAtRound(2);
+  EXPECT_EQ(at2.BalanceOf(f.pk(1)), 1050u);
+  EXPECT_EQ(at2.BalanceOf(f.pk(2)), 1050u);
+  // Beyond the chain: same as the tip.
+  EXPECT_EQ(f.ledger.AccountsAtRound(99).BalanceOf(f.pk(2)), 1050u);
+}
+
+TEST(LedgerTest, MakeTestGenesisIsDeterministic) {
+  GenesisBundle a = MakeTestGenesis(5, 10, 99);
+  GenesisBundle b = MakeTestGenesis(5, 10, 99);
+  EXPECT_EQ(a.keys[3].public_key, b.keys[3].public_key);
+  EXPECT_EQ(a.config.seed0, b.config.seed0);
+  GenesisBundle c = MakeTestGenesis(5, 10, 100);
+  EXPECT_NE(a.keys[0].public_key, c.keys[0].public_key);
+}
+
+}  // namespace
+}  // namespace algorand

@@ -1,0 +1,456 @@
+// Discrete-event simulator, latency/bandwidth models, gossip overlay, and
+// adversary tests.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/common/serialize.h"
+#include "src/crypto/sha256.h"
+#include "src/netsim/adversary.h"
+#include "src/netsim/gossip.h"
+#include "src/netsim/latency.h"
+#include "src/netsim/network.h"
+#include "src/netsim/simulation.h"
+
+namespace algorand {
+namespace {
+
+// A trivial message carrying a numbered payload of a declared size.
+class TestMessage : public SimMessage {
+ public:
+  TestMessage(uint64_t id, uint64_t size) : id_(id), size_(size) {}
+  uint64_t WireSize() const override { return size_; }
+  Hash256 DedupId() const override {
+    Writer w;
+    w.U64(id_);
+    return Sha256::Hash(w.buffer());
+  }
+  const char* TypeName() const override { return "test"; }
+  uint64_t id() const { return id_; }
+
+ private:
+  uint64_t id_;
+  uint64_t size_;
+};
+
+MessagePtr Msg(uint64_t id, uint64_t size = 100) {
+  return std::make_shared<TestMessage>(id, size);
+}
+
+TEST(SimulationTest, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(Seconds(3), [&] { order.push_back(3); });
+  sim.Schedule(Seconds(1), [&] { order.push_back(1); });
+  sim.Schedule(Seconds(2), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Seconds(3));
+}
+
+TEST(SimulationTest, SameTimeEventsRunFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(Seconds(1), [&, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, NestedScheduling) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(Seconds(1), [&] {
+    ++fired;
+    sim.Schedule(Seconds(1), [&] { ++fired; });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), Seconds(2));
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(Seconds(1), [&] { ++fired; });
+  sim.Schedule(Seconds(5), [&] { ++fired; });
+  sim.RunUntil(Seconds(3));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Seconds(3));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, StopHaltsRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(Seconds(1), [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(Seconds(2), [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulationTest, PastSchedulingClampsToNow) {
+  Simulation sim;
+  sim.Schedule(Seconds(2), [] {});
+  sim.Run();
+  bool ran = false;
+  sim.ScheduleAt(Seconds(1), [&] { ran = true; });  // In the past.
+  sim.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), Seconds(2));
+}
+
+TEST(UniformLatencyTest, WithinBounds) {
+  UniformLatencyModel model(Millis(50), Millis(10), 1);
+  for (int i = 0; i < 100; ++i) {
+    SimTime s = model.Sample(0, 1);
+    EXPECT_GE(s, Millis(50));
+    EXPECT_LT(s, Millis(60));
+  }
+}
+
+TEST(CityLatencyTest, IntraCityIsFast) {
+  CityLatencyModel model(40, 7);
+  // Nodes 0 and 20 are both in city 0 (round-robin assignment).
+  EXPECT_EQ(model.city_of(0), model.city_of(20));
+  EXPECT_LT(model.BaseLatency(0, 0), Millis(2));
+}
+
+TEST(CityLatencyTest, CrossOceanIsSlow) {
+  CityLatencyModel model(40, 7);
+  // New York (0) <-> Tokyo (14): tens of milliseconds one-way.
+  SimTime base = model.BaseLatency(0, 14);
+  EXPECT_GT(base, Millis(60));
+  EXPECT_LT(base, Millis(200));
+}
+
+TEST(CityLatencyTest, SymmetricBase) {
+  CityLatencyModel model(40, 7);
+  for (int a = 0; a < 20; ++a) {
+    for (int b = 0; b < 20; ++b) {
+      EXPECT_EQ(model.BaseLatency(a, b), model.BaseLatency(b, a));
+    }
+  }
+}
+
+TEST(CityLatencyTest, JitterIsNonNegative) {
+  CityLatencyModel model(40, 7);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(model.Sample(0, 14), model.BaseLatency(0, 14));
+  }
+}
+
+struct NetFixture {
+  NetFixture(size_t n, NetworkConfig cfg = {})
+      : latency(Millis(10), 0, 1), network(&sim, &latency, cfg, n) {
+    network.set_delivery_handler([this](NodeId to, NodeId from, const MessagePtr& msg) {
+      deliveries.push_back({to, from, std::static_pointer_cast<const TestMessage>(msg)->id(),
+                            sim.now()});
+    });
+  }
+  struct Delivery {
+    NodeId to;
+    NodeId from;
+    uint64_t id;
+    SimTime at;
+  };
+  Simulation sim;
+  UniformLatencyModel latency;
+  Network network;
+  std::vector<Delivery> deliveries;
+};
+
+TEST(NetworkTest, DeliversWithLatency) {
+  NetFixture f(2);
+  f.network.Send(0, 1, Msg(7, 1000));
+  f.sim.Run();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_EQ(f.deliveries[0].to, 1u);
+  EXPECT_EQ(f.deliveries[0].id, 7u);
+  // 1000 bytes at 2.5 MB/s = 0.4 ms tx + 10 ms latency + 50 us overhead.
+  EXPECT_GT(f.deliveries[0].at, Millis(10));
+  EXPECT_LT(f.deliveries[0].at, Millis(12));
+}
+
+TEST(NetworkTest, UplinkSerializesConcurrentSends) {
+  // Two 1 MB messages sent back-to-back: the second waits for the first's
+  // transmission to finish, so it arrives ~0.42 s later.
+  NetFixture f(3);
+  f.network.Send(0, 1, Msg(1, 1 << 20));
+  f.network.Send(0, 2, Msg(2, 1 << 20));
+  f.sim.Run();
+  ASSERT_EQ(f.deliveries.size(), 2u);
+  SimTime gap = f.deliveries[1].at - f.deliveries[0].at;
+  SimTime expected_tx = static_cast<SimTime>((1 << 20) / (20e6 / 8) * kSecond);
+  EXPECT_NEAR(static_cast<double>(gap), static_cast<double>(expected_tx),
+              static_cast<double>(Millis(1)));
+}
+
+TEST(NetworkTest, TracksTraffic) {
+  NetFixture f(2);
+  f.network.Send(0, 1, Msg(1, 500));
+  f.network.Send(0, 1, Msg(2, 300));
+  f.sim.Run();
+  EXPECT_EQ(f.network.traffic(0).bytes_sent, 800u);
+  EXPECT_EQ(f.network.traffic(0).messages_sent, 2u);
+  EXPECT_EQ(f.network.traffic(1).bytes_received, 800u);
+  EXPECT_EQ(f.network.traffic(1).messages_received, 2u);
+  EXPECT_EQ(f.network.total_bytes_sent(), 800u);
+  EXPECT_EQ(f.network.message_counts_by_type().at("test"), 2u);
+}
+
+TEST(NetworkTest, PerNodeUplinkOverride) {
+  NetFixture f(2);
+  f.network.set_uplink(0, 1000.0);  // 1 KB/s: 1000 bytes takes a second.
+  f.network.Send(0, 1, Msg(1, 1000));
+  f.sim.Run();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_GT(f.deliveries[0].at, Seconds(1));
+}
+
+TEST(AdversaryTest, PartitionBlocksCrossGroupTraffic) {
+  NetFixture f(4);
+  PartitionAdversary adversary({0, 1}, 0, Seconds(100));
+  f.network.set_adversary(&adversary);
+  f.network.Send(0, 1, Msg(1));  // Same group: delivered.
+  f.network.Send(0, 2, Msg(2));  // Cross group: dropped.
+  f.sim.Run();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_EQ(f.deliveries[0].id, 1u);
+}
+
+TEST(AdversaryTest, PartitionHealsAfterEnd) {
+  NetFixture f(4);
+  PartitionAdversary adversary({0, 1}, 0, Seconds(5));
+  f.network.set_adversary(&adversary);
+  f.sim.Schedule(Seconds(10), [&] { f.network.Send(0, 2, Msg(3)); });
+  f.sim.Run();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_EQ(f.deliveries[0].id, 3u);
+}
+
+TEST(AdversaryTest, TargetedDosSilencesVictim) {
+  NetFixture f(3);
+  TargetedDosAdversary adversary({1}, 0, Seconds(100));
+  f.network.set_adversary(&adversary);
+  f.network.Send(0, 1, Msg(1));  // To victim: dropped.
+  f.network.Send(1, 2, Msg(2));  // From victim: dropped.
+  f.network.Send(0, 2, Msg(3));  // Unrelated: delivered.
+  f.sim.Run();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_EQ(f.deliveries[0].id, 3u);
+}
+
+TEST(AdversaryTest, LossyDropsApproximatelyAtRate) {
+  NetFixture f(2);
+  LossyAdversary adversary(0.3, 99);
+  f.network.set_adversary(&adversary);
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    f.network.Send(0, 1, Msg(static_cast<uint64_t>(i), 10));
+  }
+  f.sim.Run();
+  double rate = 1.0 - static_cast<double>(f.deliveries.size()) / n;
+  EXPECT_NEAR(rate, 0.3, 0.05);
+}
+
+TEST(AdversaryTest, DelayedDeliveryArrivesLater) {
+  NetFixture f(2);
+  class DelayAll : public NetworkAdversary {
+   public:
+    AdversaryAction OnTransmit(NodeId, NodeId, const MessagePtr&, SimTime) override {
+      return AdversaryAction::Delay(Seconds(30));
+    }
+  } adversary;
+  f.network.set_adversary(&adversary);
+  f.network.Send(0, 1, Msg(1));
+  f.sim.Run();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_GT(f.deliveries[0].at, Seconds(30));
+}
+
+TEST(TopologyTest, DegreeAveragesTwiceOutDegree) {
+  DeterministicRng rng(5);
+  GossipTopology topo(200, 4, &rng);
+  EXPECT_NEAR(topo.average_degree(), 8.0, 1.0);
+}
+
+TEST(TopologyTest, NeighborsAreSymmetric) {
+  DeterministicRng rng(6);
+  GossipTopology topo(50, 4, &rng);
+  for (NodeId n = 0; n < 50; ++n) {
+    for (NodeId peer : topo.neighbors(n)) {
+      const auto& back = topo.neighbors(peer);
+      EXPECT_NE(std::find(back.begin(), back.end(), n), back.end());
+    }
+  }
+}
+
+TEST(TopologyTest, NoSelfLoops) {
+  DeterministicRng rng(7);
+  GossipTopology topo(50, 4, &rng);
+  for (NodeId n = 0; n < 50; ++n) {
+    const auto& nbrs = topo.neighbors(n);
+    EXPECT_EQ(std::find(nbrs.begin(), nbrs.end(), n), nbrs.end());
+  }
+}
+
+TEST(TopologyTest, GiantComponentCoversAlmostEveryone) {
+  DeterministicRng rng(8);
+  GossipTopology topo(500, 4, &rng);
+  EXPECT_GE(topo.LargestComponentLowerBound(), 495u);
+}
+
+TEST(TopologyTest, TinyNetworks) {
+  DeterministicRng rng(9);
+  GossipTopology one(1, 4, &rng);
+  EXPECT_TRUE(one.neighbors(0).empty());
+  GossipTopology two(2, 4, &rng);
+  EXPECT_EQ(two.neighbors(0).size(), 1u);
+}
+
+struct GossipFixture {
+  explicit GossipFixture(size_t n, uint64_t seed = 11)
+      : rng(seed), latency(Millis(10), Millis(2), seed), network(&sim, &latency, {}, n),
+        topology(n, 4, &rng) {
+    agents.reserve(n);
+    received.resize(n);
+    for (NodeId i = 0; i < n; ++i) {
+      agents.push_back(std::make_unique<GossipAgent>(i, &network, &topology));
+      agents.back()->set_handler([this, i](const MessagePtr& msg) {
+        received[i].insert(std::static_pointer_cast<const TestMessage>(msg)->id());
+      });
+    }
+    network.set_delivery_handler([this](NodeId to, NodeId from, const MessagePtr& msg) {
+      agents[to]->OnReceive(from, msg);
+    });
+  }
+  DeterministicRng rng;
+  Simulation sim;
+  UniformLatencyModel latency;
+  Network network;
+  GossipTopology topology;
+  std::vector<std::unique_ptr<GossipAgent>> agents;
+  std::vector<std::set<uint64_t>> received;
+};
+
+TEST(GossipTest, BroadcastReachesEveryone) {
+  GossipFixture f(100);
+  f.agents[0]->Gossip(Msg(42));
+  f.sim.Run();
+  size_t got = 0;
+  for (const auto& r : f.received) {
+    got += r.count(42);
+  }
+  EXPECT_GE(got, 99u);  // Tiny disconnected components are tolerated.
+}
+
+TEST(GossipTest, DuplicatesAreDropped) {
+  GossipFixture f(50);
+  f.agents[0]->Gossip(Msg(1));
+  f.sim.Run();
+  uint64_t dupes = 0;
+  for (const auto& agent : f.agents) {
+    dupes += agent->duplicates_dropped();
+  }
+  // With ~8 average degree, every node receives the message several times.
+  EXPECT_GT(dupes, 50u);
+  // But each node delivered it exactly once.
+  for (const auto& r : f.received) {
+    EXPECT_LE(r.size(), 1u);
+  }
+}
+
+TEST(GossipTest, RejectedMessagesAreNotRelayedOrDelivered) {
+  GossipFixture f(30);
+  for (auto& agent : f.agents) {
+    agent->set_validator([](const MessagePtr&) { return GossipVerdict::kReject; });
+  }
+  // Originator bypasses its own validator (it built the message).
+  f.agents[0]->Gossip(Msg(5));
+  f.sim.Run();
+  size_t got = 0;
+  for (NodeId i = 1; i < 30; ++i) {
+    got += f.received[i].size();
+  }
+  EXPECT_EQ(got, 0u);
+  // Only the originator's direct neighbours saw it at all.
+  uint64_t rejected = 0;
+  for (const auto& agent : f.agents) {
+    rejected += agent->rejected();
+  }
+  EXPECT_EQ(rejected, f.topology.neighbors(0).size());
+}
+
+TEST(GossipTest, DeliverOnlyStopsPropagation) {
+  GossipFixture f(100);
+  for (auto& agent : f.agents) {
+    agent->set_validator([](const MessagePtr&) { return GossipVerdict::kDeliverOnly; });
+  }
+  f.agents[0]->Gossip(Msg(9));
+  f.sim.Run();
+  // Only direct neighbours of the originator receive it.
+  size_t got = 0;
+  for (NodeId i = 1; i < 100; ++i) {
+    got += f.received[i].size();
+  }
+  EXPECT_EQ(got, f.topology.neighbors(0).size());
+}
+
+TEST(GossipTest, PropagationTimeGrowsLogarithmically) {
+  // Gossip dissemination time should grow slowly with network size (§8.4).
+  auto measure = [](size_t n) {
+    GossipFixture f(n, 13);
+    SimTime done = 0;
+    size_t target = n - n / 50;  // 98% coverage.
+    f.agents[0]->Gossip(Msg(1, 200));
+    // Track the time the target-th node first receives.
+    size_t got = 0;
+    for (NodeId i = 0; i < n; ++i) {
+      f.agents[i]->set_handler([&, i](const MessagePtr&) {
+        f.received[i].insert(1);
+        if (++got == target) {
+          done = f.sim.now();
+        }
+      });
+    }
+    f.sim.Run();
+    return done;
+  };
+  SimTime t100 = measure(100);
+  SimTime t400 = measure(400);
+  EXPECT_GT(t100, 0);
+  EXPECT_GT(t400, 0);
+  // 4x nodes should cost far less than 4x time (log diameter).
+  EXPECT_LT(t400, t100 * 3);
+}
+
+TEST(GossipTest, EquivocationViaDirectSends) {
+  // A malicious origin can send different payloads to different neighbours
+  // using SendTo; honest relays then spread both versions.
+  GossipFixture f(60);
+  const auto& nbrs = f.topology.neighbors(0);
+  ASSERT_GE(nbrs.size(), 2u);
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    f.agents[0]->SendTo(nbrs[i], Msg(i % 2 == 0 ? 100 : 200));
+  }
+  f.sim.Run();
+  size_t saw_100 = 0, saw_200 = 0;
+  for (const auto& r : f.received) {
+    saw_100 += r.count(100);
+    saw_200 += r.count(200);
+  }
+  EXPECT_GT(saw_100, 10u);
+  EXPECT_GT(saw_200, 10u);
+}
+
+}  // namespace
+}  // namespace algorand

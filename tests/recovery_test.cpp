@@ -1,0 +1,260 @@
+// Fork-recovery (§8.2) and catch-up (§8.3) tests.
+#include <gtest/gtest.h>
+
+#include "src/core/catchup.h"
+#include "src/core/sim_harness.h"
+
+namespace algorand {
+namespace {
+
+HarnessConfig RecoveryConfig(uint64_t seed) {
+  HarnessConfig cfg;
+  cfg.n_nodes = 20;
+  cfg.rng_seed = seed;
+  cfg.params = ProtocolParams::ScaledCommittees(0.02);
+  cfg.params.block_size_bytes = 32 * 1024;
+  cfg.params.max_steps = 9;  // Hang quickly when stuck.
+  cfg.params.recovery_interval = Minutes(10);
+  cfg.latency = HarnessConfig::Latency::kUniform;
+  // Recovery logic is crypto-agnostic; the Sim backends keep these long
+  // partition scenarios fast. Real-crypto paths are covered elsewhere.
+  cfg.use_sim_crypto = true;
+  return cfg;
+}
+
+TEST(RecoveryTest, NodesHangDuringLongPartition) {
+  SimHarness h(RecoveryConfig(1));
+  std::set<NodeId> group_a;
+  for (NodeId i = 0; i < 10; ++i) {
+    group_a.insert(i);
+  }
+  // Partition for long enough that BinaryBA* exhausts max_steps (9 steps at
+  // 20 s plus reduction ~= 4 minutes).
+  h.SetNetworkAdversary(std::make_unique<PartitionAdversary>(group_a, 0, Minutes(9)));
+  h.Start();
+  h.sim().RunUntil(Minutes(9));
+  size_t hung = 0;
+  for (size_t i = 0; i < h.node_count(); ++i) {
+    hung += h.node(i).hung() || h.node(i).in_recovery();
+  }
+  EXPECT_GE(hung, h.node_count() / 2);
+  EXPECT_TRUE(h.CheckSafety().ok);
+}
+
+TEST(RecoveryTest, RecoversAfterPartitionHealsAndResumesProgress) {
+  SimHarness h(RecoveryConfig(2));
+  std::set<NodeId> group_a;
+  for (NodeId i = 0; i < 10; ++i) {
+    group_a.insert(i);
+  }
+  h.SetNetworkAdversary(std::make_unique<PartitionAdversary>(group_a, 0, Minutes(9)));
+  h.Start();
+  // Recovery fires at the 10-minute boundary (after the heal); give it time
+  // to converge and then make fresh progress.
+  h.sim().RunUntil(Minutes(40));
+
+  auto safety = h.CheckSafety();
+  EXPECT_TRUE(safety.ok) << safety.violation;
+
+  size_t recovered = 0;
+  uint64_t min_chain = UINT64_MAX;
+  for (size_t i = 0; i < h.node_count(); ++i) {
+    recovered += h.node(i).recoveries_completed() > 0;
+    min_chain = std::min<uint64_t>(min_chain, h.node(i).ledger().chain_length());
+    EXPECT_FALSE(h.node(i).hung()) << "node " << i << " still hung";
+  }
+  EXPECT_GT(recovered, h.node_count() / 2);
+  // Progress resumed beyond the recovery block.
+  EXPECT_GT(min_chain, 2u);
+  EXPECT_TRUE(h.ChainsConsistent());
+}
+
+TEST(RecoveryTest, NoRecoveryTriggeredOnHealthyNetwork) {
+  SimHarness h(RecoveryConfig(3));
+  h.Start();
+  h.sim().RunUntil(Minutes(25));  // Two recovery checks pass.
+  for (size_t i = 0; i < h.node_count(); ++i) {
+    EXPECT_EQ(h.node(i).recoveries_completed(), 0u);
+    EXPECT_FALSE(h.node(i).in_recovery());
+  }
+  EXPECT_TRUE(h.CheckSafety().ok);
+}
+
+TEST(RecoveryTest, FinalBlocksSurviveRecovery) {
+  // Run a few healthy (final) rounds, then partition until both sides hang,
+  // heal, recover: the pre-partition final prefix must be untouched on every
+  // node afterwards.
+  SimHarness h(RecoveryConfig(8));
+  h.Start();
+  ASSERT_TRUE(h.RunRounds(2, Hours(1)));
+  Hash256 final_tip = h.node(0).ledger().BlockAtRound(2).Hash();
+  ASSERT_EQ(h.node(0).ledger().ConsensusAtRound(2), ConsensusKind::kFinal);
+
+  std::set<NodeId> group_a;
+  for (NodeId i = 0; i < 10; ++i) {
+    group_a.insert(i);
+  }
+  SimTime heal = h.sim().now() + Minutes(9);
+  h.SetNetworkAdversary(
+      std::make_unique<PartitionAdversary>(group_a, h.sim().now(), heal));
+  h.sim().RunUntil(heal + Minutes(25));
+
+  for (size_t i = 0; i < h.node_count(); ++i) {
+    const Ledger& ledger = h.node(i).ledger();
+    ASSERT_GE(ledger.chain_length(), 3u) << "node " << i;
+    EXPECT_EQ(ledger.BlockAtRound(2).Hash(), final_tip) << "node " << i;
+  }
+  EXPECT_TRUE(h.CheckSafety().ok);
+}
+
+TEST(RecoveryTest, RecoveryAnchorsAtHighestFinalRound) {
+  // After recovery, every node's chain extends the final prefix; rounds
+  // beyond it that were only tentative on a dead fork may be truncated.
+  SimHarness h(RecoveryConfig(9));
+  h.Start();
+  ASSERT_TRUE(h.RunRounds(1, Hours(1)));
+  std::set<NodeId> group_a;
+  for (NodeId i = 0; i < 10; ++i) {
+    group_a.insert(i);
+  }
+  SimTime start = h.sim().now();
+  h.SetNetworkAdversary(std::make_unique<PartitionAdversary>(group_a, start, start + Minutes(9)));
+  h.sim().RunUntil(start + Minutes(35));
+  EXPECT_TRUE(h.ChainsConsistent());
+  // Everyone moved past recovery and is making progress again.
+  for (size_t i = 0; i < h.node_count(); ++i) {
+    EXPECT_FALSE(h.node(i).in_recovery()) << "node " << i;
+    EXPECT_FALSE(h.node(i).hung()) << "node " << i;
+  }
+}
+
+TEST(CatchupTest, NewUserValidatesChainFromCertificates) {
+  HarnessConfig cfg = RecoveryConfig(4);
+  SimHarness h(cfg);
+  h.Start();
+  ASSERT_TRUE(h.RunRounds(3, Hours(2)));
+
+  // Collect blocks + certificates from node 0 as a bootstrap server would.
+  const Node& server = h.node(0);
+  std::vector<Block> blocks;
+  std::vector<Certificate> certs;
+  for (uint64_t r = 1; r < server.ledger().chain_length(); ++r) {
+    if (!server.certificates().count(r)) {
+      break;
+    }
+    blocks.push_back(server.ledger().BlockAtRound(r));
+    certs.push_back(server.certificates().at(r));
+  }
+  ASSERT_GE(blocks.size(), 3u);
+
+  CatchupResult result = CatchupFromGenesis(h.genesis().config, cfg.params, blocks, certs,
+                                            h.vrf(), h.signer());
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.verified_rounds, blocks.size());
+  EXPECT_EQ(result.ledger->tip_hash(), blocks.back().Hash());
+}
+
+TEST(CatchupTest, FinalCertificateMarksChainFinal) {
+  HarnessConfig cfg = RecoveryConfig(5);
+  SimHarness h(cfg);
+  h.Start();
+  ASSERT_TRUE(h.RunRounds(2, Hours(2)));
+  const Node& server = h.node(0);
+  std::vector<Block> blocks;
+  std::vector<Certificate> certs;
+  uint64_t last = 0;
+  for (uint64_t r = 1; r < server.ledger().chain_length(); ++r) {
+    if (!server.certificates().count(r)) {
+      break;
+    }
+    blocks.push_back(server.ledger().BlockAtRound(r));
+    certs.push_back(server.certificates().at(r));
+    last = r;
+  }
+  ASSERT_GE(last, 2u);
+  // Find the highest final certificate at or below `last`.
+  const Certificate* final_cert = nullptr;
+  for (uint64_t r = last; r >= 1; --r) {
+    auto it = server.final_certificates().find(r);
+    if (it != server.final_certificates().end()) {
+      final_cert = &it->second;
+      break;
+    }
+  }
+  ASSERT_NE(final_cert, nullptr);
+  CatchupResult result = CatchupFromGenesis(h.genesis().config, cfg.params, blocks, certs,
+                                            h.vrf(), h.signer(), final_cert);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.ledger->ConsensusAtRound(final_cert->round), ConsensusKind::kFinal);
+  for (uint64_t r = 1; r < final_cert->round; ++r) {
+    EXPECT_EQ(result.ledger->ConsensusAtRound(r), ConsensusKind::kFinal);
+  }
+}
+
+TEST(CatchupTest, RejectsTamperedHistory) {
+  HarnessConfig cfg = RecoveryConfig(6);
+  SimHarness h(cfg);
+  h.Start();
+  ASSERT_TRUE(h.RunRounds(2, Hours(2)));
+  const Node& server = h.node(0);
+  std::vector<Block> blocks;
+  std::vector<Certificate> certs;
+  for (uint64_t r = 1; r <= 2; ++r) {
+    ASSERT_TRUE(server.certificates().count(r));
+    blocks.push_back(server.ledger().BlockAtRound(r));
+    certs.push_back(server.certificates().at(r));
+  }
+
+  // Tamper with a block: the certificate no longer covers it.
+  auto tampered_blocks = blocks;
+  tampered_blocks[0].timestamp += 1;
+  auto result = CatchupFromGenesis(h.genesis().config, cfg.params, tampered_blocks, certs,
+                                   h.vrf(), h.signer());
+  EXPECT_FALSE(result.ok);
+
+  // Swap certificates between rounds: context mismatch.
+  auto swapped = certs;
+  std::swap(swapped[0], swapped[1]);
+  result = CatchupFromGenesis(h.genesis().config, cfg.params, blocks, swapped, h.vrf(),
+                              h.signer());
+  EXPECT_FALSE(result.ok);
+
+  // Truncate certificate votes below the threshold.
+  auto weak = certs;
+  weak[0].votes.resize(1);
+  result = CatchupFromGenesis(h.genesis().config, cfg.params, blocks, weak, h.vrf(), h.signer());
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(CatchupTest, ShardedStorageKeepsOnlyOwnRounds) {
+  HarnessConfig cfg = RecoveryConfig(7);
+  cfg.node_factory = [](NodeId id, Simulation* sim, GossipAgent* gossip,
+                        const Ed25519KeyPair& key, const GenesisConfig& genesis,
+                        const ProtocolParams& params, CryptoSuite crypto,
+                        AdversaryCoordinator*) -> std::unique_ptr<Node> {
+    auto node = std::make_unique<Node>(id, sim, gossip, key, genesis, params, crypto);
+    node->ConfigureCertificateSharding(4);
+    return node;
+  };
+  SimHarness h(cfg);
+  h.Start();
+  ASSERT_TRUE(h.RunRounds(4, Hours(3)));
+  for (size_t i = 0; i < 4; ++i) {
+    for (const auto& [round, cert] : h.node(i).certificates()) {
+      EXPECT_EQ(round % 4, i % 4) << "node " << i << " stored round " << round;
+    }
+  }
+  // Together the first four nodes cover every round.
+  std::set<uint64_t> covered;
+  for (size_t i = 0; i < 4; ++i) {
+    for (const auto& [round, cert] : h.node(i).certificates()) {
+      covered.insert(round);
+    }
+  }
+  for (uint64_t r = 1; r <= 4; ++r) {
+    EXPECT_TRUE(covered.count(r)) << "round " << r;
+  }
+}
+
+}  // namespace
+}  // namespace algorand

@@ -1,0 +1,119 @@
+// Exact, deterministic tests of the binomial CDF inversion at the heart of
+// sortition: craft VRF hashes landing at precise fractions and compare the
+// selected sub-user count against a directly computed binomial CDF.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/sortition.h"
+
+namespace algorand {
+namespace {
+
+// Builds a VrfOutput whose HashToFraction is (approximately, within 2^-64)
+// the given fraction.
+VrfOutput HashAtFraction(long double fraction) {
+  VrfOutput h;
+  auto hi = static_cast<uint64_t>(fraction * 0x1.0p64L);
+  for (int i = 0; i < 8; ++i) {
+    h[static_cast<size_t>(i)] = static_cast<uint8_t>(hi >> (56 - 8 * i));
+  }
+  return h;
+}
+
+// Direct binomial pmf/cdf for small w.
+double Pmf(uint64_t k, uint64_t w, double p) {
+  double c = 1.0;
+  for (uint64_t i = 0; i < k; ++i) {
+    c *= static_cast<double>(w - i) / static_cast<double>(i + 1);
+  }
+  return c * std::pow(p, static_cast<double>(k)) *
+         std::pow(1 - p, static_cast<double>(w - k));
+}
+
+double Cdf(uint64_t k_inclusive, uint64_t w, double p) {
+  double s = 0;
+  for (uint64_t k = 0; k <= k_inclusive; ++k) {
+    s += Pmf(k, w, p);
+  }
+  return s;
+}
+
+struct Case {
+  uint64_t w;
+  double p;
+};
+
+class ExactSortitionTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ExactSortitionTest, MatchesDirectCdfInversion) {
+  const auto [w, p] = GetParam();
+  // Probe fractions straddling each CDF boundary.
+  for (uint64_t j = 0; j <= w; ++j) {
+    double boundary = Cdf(j, w, p);  // P(X <= j) = upper edge of interval j.
+    if (boundary >= 1.0 - 2e-9) {
+      break;  // Probes of +-1e-9 around the boundary would leave [0, 1).
+    }
+    // Just below the boundary: should select exactly j.
+    EXPECT_EQ(SelectSubUsers(HashAtFraction(boundary - 1e-9), w, p), j)
+        << "w=" << w << " p=" << p << " j=" << j;
+    // Just above: should select j+1 (or more only if pmf(j+1) < 2e-9).
+    uint64_t above = SelectSubUsers(HashAtFraction(boundary + 1e-9), w, p);
+    EXPECT_GE(above, j + 1) << "w=" << w << " p=" << p << " j=" << j;
+    if (Pmf(j + 1, w, p) > 1e-7) {
+      EXPECT_EQ(above, j + 1) << "w=" << w << " p=" << p << " j=" << j;
+    }
+  }
+}
+
+TEST_P(ExactSortitionTest, ZeroFractionSelectsZeroOrMode) {
+  const auto [w, p] = GetParam();
+  // Fraction 0 always lands in interval 0 when pmf(0) > 0.
+  EXPECT_EQ(SelectSubUsers(HashAtFraction(0.0L), w, p), 0u);
+}
+
+TEST_P(ExactSortitionTest, NearOneFractionSelectsTail) {
+  const auto [w, p] = GetParam();
+  uint64_t j = SelectSubUsers(HashAtFraction(1.0L - 0x1.0p-40L), w, p);
+  // The fraction lies in [CDF(j-1), CDF(j)); near 1 that means CDF(j) ~ 1
+  // and the interval below j cannot already cover ~everything.
+  EXPECT_GT(Cdf(j, w, p), 1.0 - 1e-9);
+  if (j > 0) {
+    EXPECT_LT(Cdf(j - 1, w, p), 1.0 - 1e-12);
+  }
+  EXPECT_LE(j, w);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallCases, ExactSortitionTest,
+    ::testing::Values(Case{1, 0.5}, Case{2, 0.25}, Case{5, 0.1}, Case{8, 0.3}, Case{10, 0.05},
+                      Case{12, 0.5}, Case{6, 0.9}, Case{20, 0.02}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return "w" + std::to_string(info.param.w) + "_p" +
+             std::to_string(static_cast<int>(info.param.p * 100));
+    });
+
+TEST(ExactSortitionEdgeTest, WeightOneIsBernoulli) {
+  // With w=1, selection is a Bernoulli(p) draw on the hash fraction.
+  const double p = 0.37;
+  EXPECT_EQ(SelectSubUsers(HashAtFraction(0.62999L), 1, p), 0u);  // < 1-p
+  EXPECT_EQ(SelectSubUsers(HashAtFraction(0.63001L), 1, p), 1u);  // > 1-p
+}
+
+TEST(ExactSortitionEdgeTest, HugeWeightTinyPIsPoissonLike) {
+  // w=10^6, p=3e-6: mean 3. The CDF walk must stay stable; check a couple of
+  // Poisson quantiles (binomial ~ Poisson here).
+  const uint64_t w = 1000000;
+  const double p = 3e-6;
+  // P(X=0) = e^-3 ~ 0.0498.
+  EXPECT_EQ(SelectSubUsers(HashAtFraction(0.0497L), w, p), 0u);
+  EXPECT_EQ(SelectSubUsers(HashAtFraction(0.0499L), w, p), 1u);
+  // Median of Poisson(3) is 3: fraction 0.5 should land at 2..4.
+  uint64_t mid = SelectSubUsers(HashAtFraction(0.5L), w, p);
+  EXPECT_GE(mid, 2u);
+  EXPECT_LE(mid, 4u);
+}
+
+}  // namespace
+}  // namespace algorand
