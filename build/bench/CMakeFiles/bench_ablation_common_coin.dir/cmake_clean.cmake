@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_common_coin.dir/bench_ablation_common_coin.cpp.o"
+  "CMakeFiles/bench_ablation_common_coin.dir/bench_ablation_common_coin.cpp.o.d"
+  "bench_ablation_common_coin"
+  "bench_ablation_common_coin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_common_coin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_costs_micro.dir/bench_costs_micro.cpp.o"
+  "CMakeFiles/bench_costs_micro.dir/bench_costs_micro.cpp.o.d"
+  "bench_costs_micro"
+  "bench_costs_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_costs_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_parameters.dir/bench_fig4_parameters.cpp.o"
+  "CMakeFiles/bench_fig4_parameters.dir/bench_fig4_parameters.cpp.o.d"
+  "bench_fig4_parameters"
+  "bench_fig4_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_latency_500users.dir/bench_fig6_latency_500users.cpp.o"
+  "CMakeFiles/bench_fig6_latency_500users.dir/bench_fig6_latency_500users.cpp.o.d"
+  "bench_fig6_latency_500users"
+  "bench_fig6_latency_500users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_latency_500users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_malicious.dir/bench_fig8_malicious.cpp.o"
+  "CMakeFiles/bench_fig8_malicious.dir/bench_fig8_malicious.cpp.o.d"
+  "bench_fig8_malicious"
+  "bench_fig8_malicious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_malicious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

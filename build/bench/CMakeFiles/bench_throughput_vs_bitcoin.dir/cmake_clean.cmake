@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_throughput_vs_bitcoin.dir/bench_throughput_vs_bitcoin.cpp.o"
+  "CMakeFiles/bench_throughput_vs_bitcoin.dir/bench_throughput_vs_bitcoin.cpp.o.d"
+  "bench_throughput_vs_bitcoin"
+  "bench_throughput_vs_bitcoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throughput_vs_bitcoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timeouts.dir/bench_timeouts.cpp.o"
+  "CMakeFiles/bench_timeouts.dir/bench_timeouts.cpp.o.d"
+  "bench_timeouts"
+  "bench_timeouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catchup_node.dir/catchup_node.cpp.o"
+  "CMakeFiles/catchup_node.dir/catchup_node.cpp.o.d"
+  "catchup_node"
+  "catchup_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catchup_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

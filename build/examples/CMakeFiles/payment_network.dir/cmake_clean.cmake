@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payment_network.dir/payment_network.cpp.o"
+  "CMakeFiles/payment_network.dir/payment_network.cpp.o.d"
+  "payment_network"
+  "payment_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payment_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

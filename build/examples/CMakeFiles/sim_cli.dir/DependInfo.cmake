@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sim_cli.cpp" "examples/CMakeFiles/sim_cli.dir/sim_cli.cpp.o" "gcc" "examples/CMakeFiles/sim_cli.dir/sim_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/algorand_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/algorand_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/algorand_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/algorand_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/algorand_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/algorand_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

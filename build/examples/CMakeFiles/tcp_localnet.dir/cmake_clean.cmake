@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_localnet.dir/tcp_localnet.cpp.o"
+  "CMakeFiles/tcp_localnet.dir/tcp_localnet.cpp.o.d"
+  "tcp_localnet"
+  "tcp_localnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_localnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tcp_localnet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorand_baseline.dir/nakamoto.cpp.o"
+  "CMakeFiles/algorand_baseline.dir/nakamoto.cpp.o.d"
+  "libalgorand_baseline.a"
+  "libalgorand_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorand_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

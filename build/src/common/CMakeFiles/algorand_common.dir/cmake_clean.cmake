@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorand_common.dir/bytes.cpp.o"
+  "CMakeFiles/algorand_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/algorand_common.dir/hex.cpp.o"
+  "CMakeFiles/algorand_common.dir/hex.cpp.o.d"
+  "CMakeFiles/algorand_common.dir/rng.cpp.o"
+  "CMakeFiles/algorand_common.dir/rng.cpp.o.d"
+  "CMakeFiles/algorand_common.dir/stats.cpp.o"
+  "CMakeFiles/algorand_common.dir/stats.cpp.o.d"
+  "libalgorand_common.a"
+  "libalgorand_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorand_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adversary_nodes.cpp" "src/core/CMakeFiles/algorand_core.dir/adversary_nodes.cpp.o" "gcc" "src/core/CMakeFiles/algorand_core.dir/adversary_nodes.cpp.o.d"
+  "/root/repo/src/core/ba_star.cpp" "src/core/CMakeFiles/algorand_core.dir/ba_star.cpp.o" "gcc" "src/core/CMakeFiles/algorand_core.dir/ba_star.cpp.o.d"
+  "/root/repo/src/core/catchup.cpp" "src/core/CMakeFiles/algorand_core.dir/catchup.cpp.o" "gcc" "src/core/CMakeFiles/algorand_core.dir/catchup.cpp.o.d"
+  "/root/repo/src/core/certificate.cpp" "src/core/CMakeFiles/algorand_core.dir/certificate.cpp.o" "gcc" "src/core/CMakeFiles/algorand_core.dir/certificate.cpp.o.d"
+  "/root/repo/src/core/committee_analysis.cpp" "src/core/CMakeFiles/algorand_core.dir/committee_analysis.cpp.o" "gcc" "src/core/CMakeFiles/algorand_core.dir/committee_analysis.cpp.o.d"
+  "/root/repo/src/core/messages.cpp" "src/core/CMakeFiles/algorand_core.dir/messages.cpp.o" "gcc" "src/core/CMakeFiles/algorand_core.dir/messages.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/core/CMakeFiles/algorand_core.dir/node.cpp.o" "gcc" "src/core/CMakeFiles/algorand_core.dir/node.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/algorand_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/algorand_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/sim_harness.cpp" "src/core/CMakeFiles/algorand_core.dir/sim_harness.cpp.o" "gcc" "src/core/CMakeFiles/algorand_core.dir/sim_harness.cpp.o.d"
+  "/root/repo/src/core/sortition.cpp" "src/core/CMakeFiles/algorand_core.dir/sortition.cpp.o" "gcc" "src/core/CMakeFiles/algorand_core.dir/sortition.cpp.o.d"
+  "/root/repo/src/core/vote_counter.cpp" "src/core/CMakeFiles/algorand_core.dir/vote_counter.cpp.o" "gcc" "src/core/CMakeFiles/algorand_core.dir/vote_counter.cpp.o.d"
+  "/root/repo/src/core/wire_codec.cpp" "src/core/CMakeFiles/algorand_core.dir/wire_codec.cpp.o" "gcc" "src/core/CMakeFiles/algorand_core.dir/wire_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/algorand_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/algorand_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/algorand_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/algorand_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorand_core.dir/adversary_nodes.cpp.o"
+  "CMakeFiles/algorand_core.dir/adversary_nodes.cpp.o.d"
+  "CMakeFiles/algorand_core.dir/ba_star.cpp.o"
+  "CMakeFiles/algorand_core.dir/ba_star.cpp.o.d"
+  "CMakeFiles/algorand_core.dir/catchup.cpp.o"
+  "CMakeFiles/algorand_core.dir/catchup.cpp.o.d"
+  "CMakeFiles/algorand_core.dir/certificate.cpp.o"
+  "CMakeFiles/algorand_core.dir/certificate.cpp.o.d"
+  "CMakeFiles/algorand_core.dir/committee_analysis.cpp.o"
+  "CMakeFiles/algorand_core.dir/committee_analysis.cpp.o.d"
+  "CMakeFiles/algorand_core.dir/messages.cpp.o"
+  "CMakeFiles/algorand_core.dir/messages.cpp.o.d"
+  "CMakeFiles/algorand_core.dir/node.cpp.o"
+  "CMakeFiles/algorand_core.dir/node.cpp.o.d"
+  "CMakeFiles/algorand_core.dir/params.cpp.o"
+  "CMakeFiles/algorand_core.dir/params.cpp.o.d"
+  "CMakeFiles/algorand_core.dir/sim_harness.cpp.o"
+  "CMakeFiles/algorand_core.dir/sim_harness.cpp.o.d"
+  "CMakeFiles/algorand_core.dir/sortition.cpp.o"
+  "CMakeFiles/algorand_core.dir/sortition.cpp.o.d"
+  "CMakeFiles/algorand_core.dir/vote_counter.cpp.o"
+  "CMakeFiles/algorand_core.dir/vote_counter.cpp.o.d"
+  "CMakeFiles/algorand_core.dir/wire_codec.cpp.o"
+  "CMakeFiles/algorand_core.dir/wire_codec.cpp.o.d"
+  "libalgorand_core.a"
+  "libalgorand_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorand_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

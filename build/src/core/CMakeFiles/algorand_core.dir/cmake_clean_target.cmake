@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalgorand_core.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/ed25519.cpp" "src/crypto/CMakeFiles/algorand_crypto.dir/ed25519.cpp.o" "gcc" "src/crypto/CMakeFiles/algorand_crypto.dir/ed25519.cpp.o.d"
+  "/root/repo/src/crypto/internal/fe25519.cpp" "src/crypto/CMakeFiles/algorand_crypto.dir/internal/fe25519.cpp.o" "gcc" "src/crypto/CMakeFiles/algorand_crypto.dir/internal/fe25519.cpp.o.d"
+  "/root/repo/src/crypto/internal/ge25519.cpp" "src/crypto/CMakeFiles/algorand_crypto.dir/internal/ge25519.cpp.o" "gcc" "src/crypto/CMakeFiles/algorand_crypto.dir/internal/ge25519.cpp.o.d"
+  "/root/repo/src/crypto/internal/sc25519.cpp" "src/crypto/CMakeFiles/algorand_crypto.dir/internal/sc25519.cpp.o" "gcc" "src/crypto/CMakeFiles/algorand_crypto.dir/internal/sc25519.cpp.o.d"
+  "/root/repo/src/crypto/internal/u256.cpp" "src/crypto/CMakeFiles/algorand_crypto.dir/internal/u256.cpp.o" "gcc" "src/crypto/CMakeFiles/algorand_crypto.dir/internal/u256.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/algorand_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/algorand_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/sha512.cpp" "src/crypto/CMakeFiles/algorand_crypto.dir/sha512.cpp.o" "gcc" "src/crypto/CMakeFiles/algorand_crypto.dir/sha512.cpp.o.d"
+  "/root/repo/src/crypto/signer.cpp" "src/crypto/CMakeFiles/algorand_crypto.dir/signer.cpp.o" "gcc" "src/crypto/CMakeFiles/algorand_crypto.dir/signer.cpp.o.d"
+  "/root/repo/src/crypto/vrf.cpp" "src/crypto/CMakeFiles/algorand_crypto.dir/vrf.cpp.o" "gcc" "src/crypto/CMakeFiles/algorand_crypto.dir/vrf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/algorand_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

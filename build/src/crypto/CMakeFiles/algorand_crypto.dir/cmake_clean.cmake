@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorand_crypto.dir/ed25519.cpp.o"
+  "CMakeFiles/algorand_crypto.dir/ed25519.cpp.o.d"
+  "CMakeFiles/algorand_crypto.dir/internal/fe25519.cpp.o"
+  "CMakeFiles/algorand_crypto.dir/internal/fe25519.cpp.o.d"
+  "CMakeFiles/algorand_crypto.dir/internal/ge25519.cpp.o"
+  "CMakeFiles/algorand_crypto.dir/internal/ge25519.cpp.o.d"
+  "CMakeFiles/algorand_crypto.dir/internal/sc25519.cpp.o"
+  "CMakeFiles/algorand_crypto.dir/internal/sc25519.cpp.o.d"
+  "CMakeFiles/algorand_crypto.dir/internal/u256.cpp.o"
+  "CMakeFiles/algorand_crypto.dir/internal/u256.cpp.o.d"
+  "CMakeFiles/algorand_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/algorand_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/algorand_crypto.dir/sha512.cpp.o"
+  "CMakeFiles/algorand_crypto.dir/sha512.cpp.o.d"
+  "CMakeFiles/algorand_crypto.dir/signer.cpp.o"
+  "CMakeFiles/algorand_crypto.dir/signer.cpp.o.d"
+  "CMakeFiles/algorand_crypto.dir/vrf.cpp.o"
+  "CMakeFiles/algorand_crypto.dir/vrf.cpp.o.d"
+  "libalgorand_crypto.a"
+  "libalgorand_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorand_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ledger/account_table.cpp" "src/ledger/CMakeFiles/algorand_ledger.dir/account_table.cpp.o" "gcc" "src/ledger/CMakeFiles/algorand_ledger.dir/account_table.cpp.o.d"
+  "/root/repo/src/ledger/block.cpp" "src/ledger/CMakeFiles/algorand_ledger.dir/block.cpp.o" "gcc" "src/ledger/CMakeFiles/algorand_ledger.dir/block.cpp.o.d"
+  "/root/repo/src/ledger/ledger.cpp" "src/ledger/CMakeFiles/algorand_ledger.dir/ledger.cpp.o" "gcc" "src/ledger/CMakeFiles/algorand_ledger.dir/ledger.cpp.o.d"
+  "/root/repo/src/ledger/transaction.cpp" "src/ledger/CMakeFiles/algorand_ledger.dir/transaction.cpp.o" "gcc" "src/ledger/CMakeFiles/algorand_ledger.dir/transaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/algorand_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/algorand_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

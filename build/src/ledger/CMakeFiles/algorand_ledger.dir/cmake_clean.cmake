@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorand_ledger.dir/account_table.cpp.o"
+  "CMakeFiles/algorand_ledger.dir/account_table.cpp.o.d"
+  "CMakeFiles/algorand_ledger.dir/block.cpp.o"
+  "CMakeFiles/algorand_ledger.dir/block.cpp.o.d"
+  "CMakeFiles/algorand_ledger.dir/ledger.cpp.o"
+  "CMakeFiles/algorand_ledger.dir/ledger.cpp.o.d"
+  "CMakeFiles/algorand_ledger.dir/transaction.cpp.o"
+  "CMakeFiles/algorand_ledger.dir/transaction.cpp.o.d"
+  "libalgorand_ledger.a"
+  "libalgorand_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorand_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

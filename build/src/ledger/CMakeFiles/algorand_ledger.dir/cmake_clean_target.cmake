@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalgorand_ledger.a"
+)

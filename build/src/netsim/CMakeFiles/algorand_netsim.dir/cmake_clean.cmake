@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorand_netsim.dir/gossip.cpp.o"
+  "CMakeFiles/algorand_netsim.dir/gossip.cpp.o.d"
+  "CMakeFiles/algorand_netsim.dir/latency.cpp.o"
+  "CMakeFiles/algorand_netsim.dir/latency.cpp.o.d"
+  "CMakeFiles/algorand_netsim.dir/network.cpp.o"
+  "CMakeFiles/algorand_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/algorand_netsim.dir/simulation.cpp.o"
+  "CMakeFiles/algorand_netsim.dir/simulation.cpp.o.d"
+  "libalgorand_netsim.a"
+  "libalgorand_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorand_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorand_tcp.dir/event_loop.cpp.o"
+  "CMakeFiles/algorand_tcp.dir/event_loop.cpp.o.d"
+  "CMakeFiles/algorand_tcp.dir/framing.cpp.o"
+  "CMakeFiles/algorand_tcp.dir/framing.cpp.o.d"
+  "CMakeFiles/algorand_tcp.dir/local_cluster.cpp.o"
+  "CMakeFiles/algorand_tcp.dir/local_cluster.cpp.o.d"
+  "CMakeFiles/algorand_tcp.dir/tcp_transport.cpp.o"
+  "CMakeFiles/algorand_tcp.dir/tcp_transport.cpp.o.d"
+  "libalgorand_tcp.a"
+  "libalgorand_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorand_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

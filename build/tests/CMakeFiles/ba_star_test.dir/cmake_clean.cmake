@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ba_star_test.dir/ba_star_test.cpp.o"
+  "CMakeFiles/ba_star_test.dir/ba_star_test.cpp.o.d"
+  "ba_star_test"
+  "ba_star_test.pdb"
+  "ba_star_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ba_star_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/committee_analysis_test.dir/committee_analysis_test.cpp.o"
+  "CMakeFiles/committee_analysis_test.dir/committee_analysis_test.cpp.o.d"
+  "committee_analysis_test"
+  "committee_analysis_test.pdb"
+  "committee_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/committee_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

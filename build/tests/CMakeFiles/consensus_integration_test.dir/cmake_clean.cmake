@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_integration_test.dir/consensus_integration_test.cpp.o"
+  "CMakeFiles/consensus_integration_test.dir/consensus_integration_test.cpp.o.d"
+  "consensus_integration_test"
+  "consensus_integration_test.pdb"
+  "consensus_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_field_test.dir/crypto_field_test.cpp.o"
+  "CMakeFiles/crypto_field_test.dir/crypto_field_test.cpp.o.d"
+  "crypto_field_test"
+  "crypto_field_test.pdb"
+  "crypto_field_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_field_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_sha_test.dir/crypto_sha_test.cpp.o"
+  "CMakeFiles/crypto_sha_test.dir/crypto_sha_test.cpp.o.d"
+  "crypto_sha_test"
+  "crypto_sha_test.pdb"
+  "crypto_sha_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_sha_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_sha_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_field_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_ed25519_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_vrf_test[1]_include.cmake")
+include("/root/repo/build/tests/sortition_test[1]_include.cmake")
+include("/root/repo/build/tests/committee_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/ledger_test[1]_include.cmake")
+include("/root/repo/build/tests/netsim_test[1]_include.cmake")
+include("/root/repo/build/tests/messages_test[1]_include.cmake")
+include("/root/repo/build/tests/vote_counter_test[1]_include.cmake")
+include("/root/repo/build/tests/ba_star_test[1]_include.cmake")
+include("/root/repo/build/tests/consensus_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/node_test[1]_include.cmake")
+include("/root/repo/build/tests/sortition_exact_test[1]_include.cmake")
+include("/root/repo/build/tests/certificate_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
