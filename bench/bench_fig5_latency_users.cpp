@@ -15,8 +15,9 @@ int main() {
          "round latency well under a minute and ~flat as users scale "
          "(paper: ~22 s from 5k to 50k users)");
 
-  printf("%-8s %-8s %-8s %-8s %-8s %-8s %-10s %-8s\n", "users", "min(s)", "p25(s)", "med(s)",
-         "p75(s)", "max(s)", "bytes/usr", "safety");
+  printf("%-8s %-8s %-8s %-8s %-8s %-8s %-10s %-8s | %-9s %-9s %-9s\n", "users", "min(s)",
+         "p25(s)", "med(s)", "p75(s)", "max(s)", "bytes/usr", "safety", "prop(s)", "ba(s)",
+         "final(s)");
   const size_t kUserCounts[] = {50, 100, 200, 300, 400};
   for (size_t n : kUserCounts) {
     RunSpec spec;
@@ -24,12 +25,23 @@ int main() {
     spec.rounds = 3;
     spec.seed = 42;
     RunResult r = RunScenario(spec);
-    printf("%-8zu %-8.1f %-8.1f %-8.1f %-8.1f %-8.1f %-10.0f %-8s%s\n", n, r.latency.min,
-           r.latency.p25, r.latency.median, r.latency.p75, r.latency.max,
-           r.bytes_per_user_per_round, r.safety_ok ? "ok" : "VIOLATED",
+    // Phase columns come from the metrics registry: the medians of the
+    // per-node "ba.*_time_ms" histograms every round records (the Figure 5
+    // latency decomposed the way §10.2 reports it).
+    auto phase_median_s = [&r](const char* name) {
+      auto it = r.metrics.histograms.find(name);
+      return it == r.metrics.histograms.end() ? 0.0 : it->second.Percentile(0.5) / 1e3;
+    };
+    double prop = phase_median_s("ba.proposal_time_ms");
+    double ba = phase_median_s("ba.reduction_time_ms") + phase_median_s("ba.binary_time_ms");
+    double fin = phase_median_s("ba.final_time_ms");
+    printf("%-8zu %-8.1f %-8.1f %-8.1f %-8.1f %-8.1f %-10.0f %-8s | %-9.1f %-9.1f %-9.1f%s\n",
+           n, r.latency.min, r.latency.p25, r.latency.median, r.latency.p75, r.latency.max,
+           r.bytes_per_user_per_round, r.safety_ok ? "ok" : "VIOLATED", prop, ba, fin,
            r.completed ? "" : "  [incomplete]");
   }
   Note("committee sizes fixed (tau_step=100, tau_final=300) across the sweep, as in the paper");
   Note("per-user bandwidth is ~independent of user count: the committee does the talking");
+  Note("phase columns are registry-histogram medians (ba.*_time_ms) from the same runs");
   return 0;
 }

@@ -42,6 +42,9 @@ struct RunResult {
   SimHarness::PhaseBreakdown phases;
   double bytes_per_user_per_round = 0;
   uint64_t executed_events = 0;
+  // Merged cross-node metrics snapshot; the registry-backed view of the same
+  // run ("ba.round_time_ms", "gossip.msgs_in.*", ...).
+  MetricsSnapshot metrics;
 };
 
 inline RunResult RunScenario(const RunSpec& spec) {
@@ -80,6 +83,7 @@ inline RunResult RunScenario(const RunSpec& spec) {
                                     static_cast<double>(h.node_count()) /
                                     static_cast<double>(spec.rounds);
   result.executed_events = h.sim().executed_events();
+  result.metrics = h.AggregateMetrics();
   return result;
 }
 

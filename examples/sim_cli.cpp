@@ -7,9 +7,12 @@
 //
 // Prints one row per round (latency percentiles across honest users) plus a
 // summary with safety status, phase breakdown, and per-user bandwidth.
+// --metrics-json=FILE dumps the merged cross-node MetricsRegistry snapshot;
+// --trace-jsonl=FILE dumps the BA* round tracer (one JSON event per line).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "src/common/stats.h"
@@ -32,12 +35,26 @@ struct CliOptions {
   bool real_crypto = false;
   bool uniform_latency = false;
   bool help = false;
+  std::string metrics_json;
+  std::string trace_jsonl;
 };
 
-bool ParseFlag(const char* arg, const char* name, std::string* value) {
-  std::string prefix = std::string("--") + name + "=";
-  if (strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
-    *value = arg + prefix.size();
+// Accepts both `--name=value` and `--name value`. On a match, *value is set
+// and *i advances past any consumed extra argument.
+bool ParseFlag(int argc, char** argv, int* i, const char* name, std::string* value) {
+  const char* arg = argv[*i];
+  std::string prefix = std::string("--") + name;
+  if (strncmp(arg, prefix.c_str(), prefix.size()) != 0) {
+    return false;
+  }
+  const char* rest = arg + prefix.size();
+  if (*rest == '=') {
+    *value = rest + 1;
+    return true;
+  }
+  if (*rest == '\0' && *i + 1 < argc) {
+    *value = argv[*i + 1];
+    ++*i;
     return true;
   }
   return false;
@@ -47,24 +64,28 @@ CliOptions Parse(int argc, char** argv) {
   CliOptions opt;
   for (int i = 1; i < argc; ++i) {
     std::string v;
-    if (ParseFlag(argv[i], "users", &v)) {
+    if (ParseFlag(argc, argv, &i, "users", &v)) {
       opt.users = static_cast<size_t>(std::stoul(v));
-    } else if (ParseFlag(argv[i], "rounds", &v)) {
+    } else if (ParseFlag(argc, argv, &i, "rounds", &v)) {
       opt.rounds = std::stoull(v);
-    } else if (ParseFlag(argv[i], "block-kb", &v)) {
+    } else if (ParseFlag(argc, argv, &i, "block-kb", &v)) {
       opt.block_kb = std::stoull(v);
-    } else if (ParseFlag(argv[i], "malicious", &v)) {
+    } else if (ParseFlag(argc, argv, &i, "malicious", &v)) {
       opt.malicious = std::stod(v);
-    } else if (ParseFlag(argv[i], "tau-step", &v)) {
+    } else if (ParseFlag(argc, argv, &i, "tau-step", &v)) {
       opt.tau_step = std::stod(v);
-    } else if (ParseFlag(argv[i], "tau-final", &v)) {
+    } else if (ParseFlag(argc, argv, &i, "tau-final", &v)) {
       opt.tau_final = std::stod(v);
-    } else if (ParseFlag(argv[i], "tau-proposer", &v)) {
+    } else if (ParseFlag(argc, argv, &i, "tau-proposer", &v)) {
       opt.tau_proposer = std::stod(v);
-    } else if (ParseFlag(argv[i], "seed", &v)) {
+    } else if (ParseFlag(argc, argv, &i, "seed", &v)) {
       opt.seed = std::stoull(v);
-    } else if (ParseFlag(argv[i], "uplink-mbit", &v)) {
+    } else if (ParseFlag(argc, argv, &i, "uplink-mbit", &v)) {
       opt.uplink_mbit = std::stod(v);
+    } else if (ParseFlag(argc, argv, &i, "metrics-json", &v)) {
+      opt.metrics_json = v;
+    } else if (ParseFlag(argc, argv, &i, "trace-jsonl", &v)) {
+      opt.trace_jsonl = v;
     } else if (strcmp(argv[i], "--real-crypto") == 0) {
       opt.real_crypto = true;
     } else if (strcmp(argv[i], "--uniform-latency") == 0) {
@@ -74,6 +95,15 @@ CliOptions Parse(int argc, char** argv) {
     }
   }
   return opt;
+}
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  out << contents;
+  return static_cast<bool>(out);
 }
 
 void PrintHelp() {
@@ -89,7 +119,10 @@ void PrintHelp() {
       "  --uplink-mbit=F     per-user uplink in Mbit/s (default 20)\n"
       "  --seed=N            deterministic seed (default 1)\n"
       "  --real-crypto       real Ed25519+ECVRF instead of the sim backends\n"
-      "  --uniform-latency   50ms uniform links instead of the 20-city model\n");
+      "  --uniform-latency   50ms uniform links instead of the 20-city model\n"
+      "  --metrics-json=FILE write the merged metrics snapshot as JSON\n"
+      "  --trace-jsonl=FILE  write the BA* round trace (one JSON event/line)\n"
+      "flags also accept the space-separated form: --rounds 5\n");
 }
 
 }  // namespace
@@ -150,5 +183,27 @@ int main(int argc, char** argv) {
              static_cast<double>(opt.rounds) / 1e6);
   printf("completed: %s | safety: %s | chains consistent: %s\n", done ? "yes" : "NO",
          safety.ok ? "holds" : safety.violation.c_str(), h.ChainsConsistent() ? "yes" : "no");
-  return done && safety.ok ? 0 : 1;
+
+  bool dumps_ok = true;
+  if (!opt.metrics_json.empty()) {
+    MetricsSnapshot snapshot = h.AggregateMetrics();
+    if (WriteFile(opt.metrics_json, snapshot.ToJson())) {
+      printf("metrics: wrote %zu counters, %zu histograms to %s\n", snapshot.counters.size(),
+             snapshot.histograms.size(), opt.metrics_json.c_str());
+    } else {
+      fprintf(stderr, "metrics: failed to write %s\n", opt.metrics_json.c_str());
+      dumps_ok = false;
+    }
+  }
+  if (!opt.trace_jsonl.empty()) {
+    if (WriteFile(opt.trace_jsonl, h.tracer().ToJsonl())) {
+      printf("trace: wrote %llu events (%llu dropped) to %s\n",
+             static_cast<unsigned long long>(h.tracer().recorded() - h.tracer().dropped()),
+             static_cast<unsigned long long>(h.tracer().dropped()), opt.trace_jsonl.c_str());
+    } else {
+      fprintf(stderr, "trace: failed to write %s\n", opt.trace_jsonl.c_str());
+      dumps_ok = false;
+    }
+  }
+  return done && safety.ok && dumps_ok ? 0 : 1;
 }

@@ -29,8 +29,17 @@ void BaStar::WaitCountVotes(uint32_t step_code, double threshold, SimTime timeou
   waiting_ = true;
   wait_step_ = step_code;
   wait_threshold_ = threshold;
+  wait_entered_at_ = env_->Now();
   wait_k_ = std::move(k);
   uint64_t epoch = ++wait_epoch_;
+
+  if (observer_) {
+    BaStepEvent ev;
+    ev.kind = BaStepEvent::Kind::kStepEnter;
+    ev.step = step_code;
+    ev.at = wait_entered_at_;
+    Emit(ev);
+  }
 
   // Votes that arrived before we entered this step may already decide it.
   auto it = tallies_.find(step_code);
@@ -50,6 +59,20 @@ void BaStar::WaitCountVotes(uint32_t step_code, double threshold, SimTime timeou
 
 void BaStar::CompleteWait(std::optional<Hash256> value) {
   waiting_ = false;
+  if (observer_) {
+    BaStepEvent ev;
+    ev.kind = BaStepEvent::Kind::kStepExit;
+    ev.step = wait_step_;
+    ev.at = env_->Now();
+    ev.entered_at = wait_entered_at_;
+    ev.timed_out = !value.has_value();
+    if (value) {
+      ev.value = *value;
+      auto it = tallies_.find(wait_step_);
+      ev.votes = it == tallies_.end() ? 0 : it->second.CountFor(*value);
+    }
+    Emit(ev);
+  }
   WaitContinuation k = std::move(wait_k_);
   wait_k_ = nullptr;
   k(value);
@@ -80,6 +103,13 @@ void BaStar::Start(const Hash256& proposed_hash, const Hash256& empty_hash) {
 }
 
 void BaStar::StartBinary(const Hash256& hblock) {
+  if (observer_) {
+    BaStepEvent ev;
+    ev.kind = BaStepEvent::Kind::kReductionDone;
+    ev.at = env_->Now();
+    ev.value = hblock;
+    Emit(ev);
+  }
   // BinaryBA* (Algorithm 8): consensus on hblock or the empty hash.
   block_hash_ = hblock;
   r_ = hblock;
@@ -163,6 +193,14 @@ void BaStar::BinaryStepC() {
                        const StepTally* tally = TallyFor(code);
                        coin = tally ? tally->CommonCoin() : 0;
                      }
+                     if (observer_) {
+                       BaStepEvent ev;
+                       ev.kind = BaStepEvent::Kind::kCoinFlip;
+                       ev.step = code;
+                       ev.at = env_->Now();
+                       ev.coin = coin;
+                       Emit(ev);
+                     }
                      r_ = (coin == 0) ? block_hash_ : empty_;
                    } else {
                      r_ = *r;
@@ -181,6 +219,15 @@ void BaStar::VoteAheadThreeSteps(const Hash256& value) {
 }
 
 void BaStar::FinishBinary(const Hash256& value, uint32_t deciding_step, bool from_first_step) {
+  if (observer_) {
+    BaStepEvent ev;
+    ev.kind = BaStepEvent::Kind::kBinaryDecided;
+    ev.step = deciding_step;
+    ev.at = env_->Now();
+    ev.binary_steps = bba_step_;
+    ev.value = value;
+    Emit(ev);
+  }
   VoteAheadThreeSteps(value);
   if (from_first_step && params_.final_step_enabled) {
     // Consensus in the very first step can be declared final if the final

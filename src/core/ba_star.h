@@ -51,11 +51,38 @@ struct BaResult {
   SimTime final_done_at = 0;
 };
 
+// Observability callout emitted at BA* step transitions. The host translates
+// these into tracer events and step-latency histograms; BaStar itself stays
+// free of any metrics dependency.
+struct BaStepEvent {
+  enum class Kind {
+    kStepEnter,      // Entered a CountVotes wait on `step`.
+    kStepExit,       // Left the wait: value decided or timeout.
+    kReductionDone,  // Reduction output chosen; `value` feeds BinaryBA*.
+    kCoinFlip,       // Step-3 common coin consulted; `coin` is the bit.
+    kBinaryDecided,  // BinaryBA* reached consensus on `value`.
+  };
+  Kind kind = Kind::kStepEnter;
+  uint32_t step = 0;       // Wire step code.
+  SimTime at = 0;
+  SimTime entered_at = 0;  // kStepExit: when the wait began.
+  uint64_t votes = 0;      // kStepExit: weighted votes for the winning value.
+  bool timed_out = false;  // kStepExit: wait expired without a leader.
+  int coin = 0;            // kCoinFlip.
+  int binary_steps = 0;    // kBinaryDecided.
+  Hash256 value{};
+};
+
 class BaStar {
  public:
   using CompletionHandler = std::function<void(const BaResult&)>;
+  using StepObserver = std::function<void(const BaStepEvent&)>;
 
   BaStar(const ProtocolParams& params, BaEnvironment* env, CompletionHandler on_complete);
+
+  // Optional: receives a BaStepEvent at every step transition. Set before
+  // Start().
+  void set_observer(StepObserver observer) { observer_ = std::move(observer); }
 
   // Begins the round with the node's candidate block hash (from block
   // proposal) and the canonical empty-block hash for this round.
@@ -95,9 +122,16 @@ class BaStar {
 
   uint32_t CurrentBinaryCode() const { return BinaryStepCode(bba_step_); }
 
+  void Emit(const BaStepEvent& event) {
+    if (observer_) {
+      observer_(event);
+    }
+  }
+
   ProtocolParams params_;
   BaEnvironment* env_;
   CompletionHandler on_complete_;
+  StepObserver observer_;
 
   std::map<uint32_t, StepTally> tallies_;
 
@@ -115,6 +149,7 @@ class BaStar {
   bool waiting_ = false;
   uint32_t wait_step_ = 0;
   double wait_threshold_ = 0;
+  SimTime wait_entered_at_ = 0;
   uint64_t wait_epoch_ = 0;  // Invalidates stale timers.
   WaitContinuation wait_k_;
 };

@@ -17,6 +17,19 @@ Hash256 ContextKey(const Hash256& dedup_id, const SeedBytes& seed, uint64_t tota
   return Sha256::Hash(w.buffer());
 }
 
+// First 8 bytes of a hash, big-endian — enough identity for a trace line.
+uint64_t HashPrefix(const Hash256& h) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    v = (v << 8) | h[i];
+  }
+  return v;
+}
+
+constexpr double kMsPerSecond = 1e3;
+
+double ToMillis(SimTime t) { return ToSeconds(t) * kMsPerSecond; }
+
 }  // namespace
 
 Node::Node(NodeId id, Executor* sim, GossipAgent* gossip, const Ed25519KeyPair& key,
@@ -35,6 +48,100 @@ Node::Node(NodeId id, Executor* sim, GossipAgent* gossip, const Ed25519KeyPair& 
 void Node::Start() {
   StartRound(ledger_.next_round());
   ScheduleRecoveryCheck();
+}
+
+void Node::AttachObservability(MetricsRegistry* metrics, RoundTracer* tracer) {
+  metrics_ = metrics;
+  tracer_ = tracer;
+  if (metrics == nullptr) {
+    obs_ = Instruments{};
+    return;
+  }
+  obs_.blocks_proposed = &metrics->GetCounter("node.blocks.proposed");
+  obs_.blocks_validated = &metrics->GetCounter("node.blocks.validated");
+  obs_.votes_cast = &metrics->GetCounter("node.votes.cast");
+  obs_.votes_counted = &metrics->GetCounter("node.votes.counted");
+  obs_.rounds_completed = &metrics->GetCounter("node.rounds.completed");
+  obs_.rounds_final = &metrics->GetCounter("node.rounds.final");
+  obs_.rounds_empty = &metrics->GetCounter("node.rounds.empty");
+  obs_.rounds_hung = &metrics->GetCounter("node.rounds.hung");
+  obs_.recoveries = &metrics->GetCounter("node.recoveries");
+  obs_.step_time_ms = &metrics->GetHistogram("ba.step_time_ms");
+  obs_.proposal_time_ms = &metrics->GetHistogram("ba.proposal_time_ms");
+  obs_.reduction_time_ms = &metrics->GetHistogram("ba.reduction_time_ms");
+  obs_.binary_time_ms = &metrics->GetHistogram("ba.binary_time_ms");
+  obs_.final_time_ms = &metrics->GetHistogram("ba.final_time_ms");
+  obs_.round_time_ms = &metrics->GetHistogram("ba.round_time_ms");
+  obs_.binary_steps =
+      &metrics->GetHistogram("ba.binary_steps", MetricsRegistry::DefaultCountBuckets());
+}
+
+void Node::Trace(TraceKind kind, uint32_t step, uint64_t a, uint64_t b, uint64_t value_prefix,
+                 uint8_t flag) {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  TraceEvent ev;
+  ev.at = sim_->now();
+  ev.node = id_;
+  ev.round = in_recovery_ ? recovery_code_ : current_round_;
+  ev.kind = kind;
+  ev.step = step;
+  ev.a = a;
+  ev.b = b;
+  ev.value_prefix = value_prefix;
+  ev.flag = flag;
+  tracer_->Record(ev);
+}
+
+void Node::ObserveBaStep(const BaStepEvent& event) {
+  switch (event.kind) {
+    case BaStepEvent::Kind::kStepEnter:
+      Trace(TraceKind::kStepEnter, event.step);
+      break;
+    case BaStepEvent::Kind::kStepExit:
+      if (obs_.step_time_ms != nullptr) {
+        obs_.step_time_ms->Observe(ToMillis(event.at - event.entered_at));
+      }
+      Trace(TraceKind::kStepExit, event.step, event.votes, 0, HashPrefix(event.value),
+            event.timed_out ? 1 : 0);
+      break;
+    case BaStepEvent::Kind::kReductionDone:
+      Trace(TraceKind::kReductionDone, 0, 0, 0, HashPrefix(event.value));
+      break;
+    case BaStepEvent::Kind::kCoinFlip:
+      Trace(TraceKind::kCoinFlip, event.step, static_cast<uint64_t>(event.coin));
+      break;
+    case BaStepEvent::Kind::kBinaryDecided:
+      Trace(TraceKind::kBinaryDecided, event.step, static_cast<uint64_t>(event.binary_steps), 0,
+            HashPrefix(event.value));
+      break;
+  }
+}
+
+void Node::RecordRoundMetrics(const RoundRecord& rec) {
+  if (metrics_ == nullptr) {
+    return;
+  }
+  obs_.rounds_completed->Increment();
+  if (rec.final) {
+    obs_.rounds_final->Increment();
+  }
+  if (rec.empty) {
+    obs_.rounds_empty->Increment();
+  }
+  obs_.round_time_ms->Observe(ToMillis(rec.end_time - rec.start_time));
+  obs_.proposal_time_ms->Observe(ToMillis(rec.proposal_done_at - rec.start_time));
+  if (rec.reduction_done_at >= rec.proposal_done_at) {
+    obs_.reduction_time_ms->Observe(ToMillis(rec.reduction_done_at - rec.proposal_done_at));
+  }
+  if (rec.binary_done_at >= rec.reduction_done_at) {
+    obs_.binary_time_ms->Observe(ToMillis(rec.binary_done_at - rec.reduction_done_at));
+  }
+  if (rec.end_time >= rec.binary_done_at) {
+    obs_.final_time_ms->Observe(ToMillis(rec.end_time - rec.binary_done_at));
+  }
+  obs_.binary_steps->Observe(static_cast<double>(rec.binary_steps));
 }
 
 void Node::SubmitTransaction(const Transaction& tx) {
@@ -97,11 +204,13 @@ void Node::StartRound(uint64_t round) {
   prev_ba_ = std::move(ba_);  // Defer destruction past the caller's frames.
   ba_ = std::make_unique<BaStar>(params_, this,
                                  [this](const BaResult& result) { OnBaComplete(result); });
+  ba_->set_observer([this](const BaStepEvent& event) { ObserveBaStep(event); });
   phase_ = Phase::kWaitPriority;
 
   records_.push_back(RoundRecord{});
   records_.back().round = round;
   records_.back().start_time = sim_->now();
+  Trace(TraceKind::kRoundStart, 0, ledger_.chain_length());
 
   MaybePropose();
 
@@ -165,6 +274,10 @@ void Node::OnBaComplete(const BaResult& result) {
     rec.hung = true;
     rec.end_time = sim_->now();
     hung_ = true;
+    if (obs_.rounds_hung != nullptr) {
+      obs_.rounds_hung->Increment();
+    }
+    Trace(TraceKind::kRoundEnd, 0, 0, 0, 0, kTraceHung);
     phase_ = Phase::kIdle;  // Recovery (§8.2) is the only way forward.
     return;
   }
@@ -215,6 +328,9 @@ void Node::AppendAgreedBlock(const Block& block) {
   RoundRecord& rec = records_.back();
   rec.end_time = sim_->now();
   rec.empty = block.is_empty;
+  RecordRoundMetrics(rec);
+  Trace(TraceKind::kRoundEnd, ba_result_.deciding_step, 0, 0, HashPrefix(ba_result_.value),
+        static_cast<uint8_t>((rec.final ? kTraceFinal : 0) | (rec.empty ? kTraceEmpty : 0)));
 
   // Certificate: votes of the deciding step (§8.3), sharded if configured.
   Certificate cert = BuildCertificateForStep(ba_result_.deciding_step, params_.StepThreshold());
@@ -301,8 +417,12 @@ void Node::MaybePropose() {
   SortitionResult sort =
       RunSortition(*crypto_.vrf, key_, ctx_.seed, params_.tau_proposer, Role::kProposer,
                    current_round_, 0, SelfWeight(), ctx_.total_weight);
+  Trace(TraceKind::kSortition, 0, sort.votes, kTraceRoleProposer);
   if (sort.votes == 0) {
     return;
+  }
+  if (obs_.blocks_proposed != nullptr) {
+    obs_.blocks_proposed->Increment();
   }
   Block block = BuildBlockProposal();
   block.proposer_vrf = sort.hash;
@@ -343,6 +463,10 @@ void Node::CastVote(uint32_t step_code, double tau, const Hash256& value) {
   if (sort.votes == 0) {
     return;  // Not on this step's committee.
   }
+  if (obs_.votes_cast != nullptr) {
+    obs_.votes_cast->Increment();
+  }
+  Trace(TraceKind::kSortition, step_code, sort.votes, kTraceRoleCommittee);
   EmitVotes(step_code, sort, value);
 }
 
@@ -602,6 +726,9 @@ void Node::HandleVote(const std::shared_ptr<const VoteMessage>& vote) {
   if (weight == 0) {
     return;
   }
+  if (obs_.votes_counted != nullptr) {
+    obs_.votes_counted->Increment();
+  }
   round_votes_.emplace(std::make_pair(vote->step, vote->pk), *vote);
   ba_->OnVote(vote->step, vote->pk, weight, vote->value, vote->sorthash);
 }
@@ -638,6 +765,9 @@ void Node::HandleBlock(const std::shared_ptr<const BlockMessage>& msg) {
   }
   Hash256 hash = block.Hash();
   Hash256 priority = ProposalPriority(block.proposer_vrf, votes);
+  if (obs_.blocks_validated != nullptr) {
+    obs_.blocks_validated->Increment();
+  }
 
   if (proposal_.banned_proposers.count(block.proposer)) {
     return;  // Known equivocator this round.
@@ -781,6 +911,8 @@ void Node::EnterRecovery() {
   prev_recovery_ba_ = std::move(recovery_ba_);
   recovery_ba_ = std::make_unique<BaStar>(
       params_, this, [this](const BaResult& result) { OnRecoveryBaComplete(result); });
+  recovery_ba_->set_observer([this](const BaStepEvent& event) { ObserveBaStep(event); });
+  Trace(TraceKind::kRecoveryEnter, 0, recovery_attempt_);
 
   MaybeProposeRecovery();
 
@@ -919,6 +1051,9 @@ void Node::OnRecoveryBaComplete(const BaResult& result) {
   hung_ = false;
   recovery_attempt_ = 0;
   ++recoveries_completed_;
+  if (obs_.recoveries != nullptr) {
+    obs_.recoveries->Increment();
+  }
   fork_monitor_.Clear();
   StartRound(ledger_.next_round());
 }

@@ -29,6 +29,8 @@
 #include "src/ledger/ledger.h"
 #include "src/netsim/gossip.h"
 #include "src/netsim/simulation.h"
+#include "src/obs/metrics.h"
+#include "src/obs/round_tracer.h"
 
 namespace algorand {
 
@@ -63,6 +65,13 @@ class Node : public BaEnvironment {
 
   // Begins round 1 at the current simulation time.
   void Start();
+
+  // Routes this node's per-round instrumentation through `metrics` ("node.*"
+  // counters, "ba.*" timing histograms) and structured BA* events through
+  // `tracer`. Either may be null. Call before Start(); instrument pointers
+  // are resolved once here so the per-event path never takes the registry
+  // lock.
+  void AttachObservability(MetricsRegistry* metrics, RoundTracer* tracer);
 
   // Adds a payment to the pending pool (§4, Figure 1).
   void SubmitTransaction(const Transaction& tx);
@@ -159,6 +168,18 @@ class Node : public BaEnvironment {
   void RememberFutureMessage(uint64_t round, const MessagePtr& msg);
   void ReplayBufferedMessages(uint64_t round);
 
+  // --- Observability ---
+  // Translates BaStar step transitions into tracer events and the
+  // "ba.step_time_ms" histogram (shared by the normal and recovery machines).
+  void ObserveBaStep(const BaStepEvent& event);
+  // Records a trace event stamped with this node's id and current time; the
+  // round defaults to the active one (recovery session code in recovery).
+  void Trace(TraceKind kind, uint32_t step = 0, uint64_t a = 0, uint64_t b = 0,
+             uint64_t value_prefix = 0, uint8_t flag = 0);
+  // Observes the completed round's phase durations into the "ba.*"
+  // histograms and bumps the round-outcome counters.
+  void RecordRoundMetrics(const RoundRecord& rec);
+
   // --- Fork recovery (§8.2) ---
   // Periodic clock-driven check: enters recovery when the node is hung or
   // has fork evidence.
@@ -183,6 +204,30 @@ class Node : public BaEnvironment {
   ProtocolParams params_;
   CryptoSuite crypto_;
   Ledger ledger_;
+
+  // Observability (null when not attached). Instrument pointers are resolved
+  // once in AttachObservability.
+  MetricsRegistry* metrics_ = nullptr;
+  RoundTracer* tracer_ = nullptr;
+  struct Instruments {
+    Counter* blocks_proposed = nullptr;
+    Counter* blocks_validated = nullptr;
+    Counter* votes_cast = nullptr;
+    Counter* votes_counted = nullptr;
+    Counter* rounds_completed = nullptr;
+    Counter* rounds_final = nullptr;
+    Counter* rounds_empty = nullptr;
+    Counter* rounds_hung = nullptr;
+    Counter* recoveries = nullptr;
+    Histogram* step_time_ms = nullptr;
+    Histogram* proposal_time_ms = nullptr;
+    Histogram* reduction_time_ms = nullptr;
+    Histogram* binary_time_ms = nullptr;
+    Histogram* final_time_ms = nullptr;
+    Histogram* round_time_ms = nullptr;
+    Histogram* binary_steps = nullptr;
+  };
+  Instruments obs_;
 
   Phase phase_ = Phase::kIdle;
   uint64_t current_round_ = 0;

@@ -32,11 +32,16 @@ SimHarness::SimHarness(HarnessConfig config)
   malicious_count_ =
       static_cast<size_t>(static_cast<double>(config_.n_nodes) * config_.malicious_fraction);
 
+  cache_.AttachMetrics(&global_metrics_);
+
   CryptoSuite crypto{vrf_, signer_, &cache_};
   agents_.reserve(config_.n_nodes);
   nodes_.reserve(config_.n_nodes);
+  metrics_.reserve(config_.n_nodes);
   for (NodeId i = 0; i < config_.n_nodes; ++i) {
+    metrics_.push_back(std::make_unique<MetricsRegistry>());
     agents_.push_back(std::make_unique<GossipAgent>(i, network_.get(), topology_.get()));
+    agents_.back()->AttachMetrics(metrics_.back().get());
     std::unique_ptr<Node> node;
     if (config_.node_factory) {
       node = config_.node_factory(i, &sim_, agents_.back().get(), genesis_.keys[i],
@@ -52,6 +57,7 @@ SimHarness::SimHarness(HarnessConfig config)
                                       genesis_.config, config_.params, crypto);
       }
     }
+    node->AttachObservability(metrics_.back().get(), &tracer_);
     nodes_.push_back(std::move(node));
   }
   network_->set_delivery_handler([this](NodeId to, NodeId from, const MessagePtr& msg) {
@@ -83,9 +89,12 @@ bool SimHarness::RunRounds(uint64_t rounds, SimTime deadline) {
   };
   // Periodic completion probe: cheap relative to protocol traffic. The
   // generation stamp kills probes left over from earlier RunRounds calls.
+  // The probe holds itself only weakly — the local shared_ptr (alive across
+  // RunUntil) is the sole owner, so no reference cycle outlives this call.
   const uint64_t generation = ++probe_generation_;
   auto probe = std::make_shared<std::function<void()>>();
-  *probe = [this, probe, honest_done, generation] {
+  std::weak_ptr<std::function<void()>> weak = probe;
+  *probe = [this, weak, honest_done, generation] {
     if (generation != probe_generation_) {
       return;  // Stale probe from a previous RunRounds call.
     }
@@ -93,7 +102,9 @@ bool SimHarness::RunRounds(uint64_t rounds, SimTime deadline) {
       sim_.Stop();
       return;
     }
-    sim_.Schedule(Seconds(1), *probe);
+    if (auto self = weak.lock()) {
+      sim_.Schedule(Seconds(1), *self);
+    }
   };
   sim_.Schedule(Seconds(1), *probe);
   sim_.RunUntil(deadline);
@@ -198,6 +209,22 @@ bool SimHarness::ChainsConsistent() const {
     }
   }
   return true;
+}
+
+MetricsSnapshot SimHarness::AggregateMetrics() const {
+  MetricsSnapshot merged = global_metrics_.Snapshot();
+  for (const auto& registry : metrics_) {
+    merged.Merge(registry->Snapshot());
+  }
+  // Fold in simulator/network totals so one snapshot describes the run.
+  merged.counters["sim.events_executed"] += sim_.executed_events();
+  merged.counters["net.bytes_sent"] += network_->total_bytes_sent();
+  for (const auto& [type, count] : network_->message_counts_by_type()) {
+    merged.counters["net.msgs." + type] += count;
+  }
+  merged.counters["trace.events_recorded"] += tracer_.recorded();
+  merged.counters["trace.events_dropped"] += tracer_.dropped();
+  return merged;
 }
 
 Transaction SimHarness::SubmitPayment(size_t from_idx, size_t to_idx, uint64_t amount,

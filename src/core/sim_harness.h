@@ -14,6 +14,8 @@
 #include "src/core/adversary_nodes.h"
 #include "src/core/node.h"
 #include "src/netsim/latency.h"
+#include "src/obs/metrics.h"
+#include "src/obs/round_tracer.h"
 
 namespace algorand {
 
@@ -78,6 +80,16 @@ class SimHarness {
   NetworkAdversary* network_adversary() const { return net_adversary_.get(); }
   void SetNetworkAdversary(std::unique_ptr<NetworkAdversary> adversary);
 
+  // Observability. Each node owns a private MetricsRegistry (lock-free hot
+  // path, no cross-node contention); AggregateMetrics() merges them with the
+  // harness-wide registry (verification cache, sim/network totals) into one
+  // deployment-level snapshot. All nodes share one RoundTracer — trace events
+  // carry the node id.
+  MetricsRegistry& node_metrics(size_t i) { return *metrics_[i]; }
+  MetricsRegistry& global_metrics() { return global_metrics_; }
+  RoundTracer& tracer() { return tracer_; }
+  MetricsSnapshot AggregateMetrics() const;
+
   // Per-honest-node completion time (seconds) of `round`, for nodes that
   // finished it.
   std::vector<double> RoundLatencies(uint64_t round) const;
@@ -119,6 +131,9 @@ class SimHarness {
   std::vector<std::unique_ptr<GossipAgent>> agents_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<NetworkAdversary> net_adversary_;
+  std::vector<std::unique_ptr<MetricsRegistry>> metrics_;
+  MetricsRegistry global_metrics_;
+  RoundTracer tracer_;
 
   EcVrf ec_vrf_;
   SimVrf sim_vrf_;

@@ -14,33 +14,49 @@
 #include <unordered_map>
 
 #include "src/common/bytes.h"
+#include "src/obs/metrics.h"
 
 namespace algorand {
 
 class VerificationCache {
  public:
+  // Routes hit/miss counts through `registry` ("verify.cache_hits" /
+  // "verify.cache_misses"); without a registry the private fallback counters
+  // keep the accessors working.
+  void AttachMetrics(MetricsRegistry* registry) {
+    if (registry == nullptr) {
+      hits_ = &fallback_hits_;
+      misses_ = &fallback_misses_;
+      return;
+    }
+    hits_ = &registry->GetCounter("verify.cache_hits");
+    misses_ = &registry->GetCounter("verify.cache_misses");
+  }
+
   // Returns the cached value or computes, stores and returns it.
   uint64_t GetOrCompute(const Hash256& id, const std::function<uint64_t()>& compute) {
     auto it = cache_.find(id);
     if (it != cache_.end()) {
-      ++hits_;
+      hits_->Increment();
       return it->second;
     }
-    ++misses_;
+    misses_->Increment();
     uint64_t v = compute();
     cache_.emplace(id, v);
     return v;
   }
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const { return hits_->Value(); }
+  uint64_t misses() const { return misses_->Value(); }
   size_t size() const { return cache_.size(); }
   void Clear() { cache_.clear(); }
 
  private:
   std::unordered_map<Hash256, uint64_t, FixedBytesHasher> cache_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  Counter fallback_hits_;
+  Counter fallback_misses_;
+  Counter* hits_ = &fallback_hits_;
+  Counter* misses_ = &fallback_misses_;
 };
 
 }  // namespace algorand

@@ -75,6 +75,9 @@ void Sha256::Compress(const uint8_t block[64]) {
 }
 
 Sha256& Sha256::Update(std::span<const uint8_t> data) {
+  if (data.empty()) {
+    return *this;  // Also avoids memcpy from a null span (UB even at size 0).
+  }
   length_ += data.size();
   size_t i = 0;
   if (buf_len_ > 0) {

@@ -89,6 +89,9 @@ void Sha512::Compress(const uint8_t block[128]) {
 }
 
 Sha512& Sha512::Update(std::span<const uint8_t> data) {
+  if (data.empty()) {
+    return *this;  // Also avoids memcpy from a null span (UB even at size 0).
+  }
   length_ += data.size();
   size_t i = 0;
   if (buf_len_ > 0) {

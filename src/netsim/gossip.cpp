@@ -71,6 +71,47 @@ size_t GossipTopology::LargestComponentLowerBound() const {
 GossipAgent::GossipAgent(NodeId self, Transport* network, const GossipTopology* topology)
     : self_(self), network_(network), topology_(topology) {}
 
+void GossipAgent::AttachMetrics(MetricsRegistry* registry) {
+  metrics_ = registry;
+  msgs_in_by_type_.clear();
+  msgs_out_by_type_.clear();
+  if (registry == nullptr) {
+    duplicates_dropped_ = &fallback_duplicates_;
+    rejected_ = &fallback_rejected_;
+    delivered_ = relayed_ = bytes_in_ = bytes_out_ = nullptr;
+    return;
+  }
+  duplicates_dropped_ = &registry->GetCounter("gossip.dup_dropped");
+  rejected_ = &registry->GetCounter("gossip.rejected");
+  delivered_ = &registry->GetCounter("gossip.delivered");
+  relayed_ = &registry->GetCounter("gossip.relayed");
+  bytes_in_ = &registry->GetCounter("gossip.bytes_in");
+  bytes_out_ = &registry->GetCounter("gossip.bytes_out");
+}
+
+Counter* GossipAgent::TypeCounter(std::unordered_map<const char*, Counter*>* cache,
+                                  const char* direction, const MessagePtr& msg) {
+  if (metrics_ == nullptr) {
+    return nullptr;
+  }
+  const char* type = msg->TypeName();
+  auto it = cache->find(type);
+  if (it != cache->end()) {
+    return it->second;
+  }
+  Counter* counter = &metrics_->GetCounter(std::string("gossip.") + direction + "." + type);
+  cache->emplace(type, counter);
+  return counter;
+}
+
+void GossipAgent::CountSend(const MessagePtr& msg, size_t copies) {
+  if (metrics_ == nullptr || copies == 0) {
+    return;
+  }
+  TypeCounter(&msgs_out_by_type_, "msgs_out", msg)->Increment(copies);
+  bytes_out_->Increment(msg->WireSize() * copies);
+}
+
 void GossipAgent::Gossip(const MessagePtr& msg) {
   if (!seen_.insert(msg->DedupId()).second) {
     return;  // Already originated/relayed.
@@ -88,34 +129,48 @@ void GossipAgent::SendToNeighbors(const MessagePtr& msg) {
 
 void GossipAgent::SendTo(NodeId peer, const MessagePtr& msg) {
   seen_.insert(msg->DedupId());
+  CountSend(msg, 1);
   network_->Send(self_, peer, msg);
 }
 
 void GossipAgent::OnReceive(NodeId from, const MessagePtr& msg) {
+  if (metrics_ != nullptr) {
+    TypeCounter(&msgs_in_by_type_, "msgs_in", msg)->Increment();
+    bytes_in_->Increment(msg->WireSize());
+  }
   if (seen_.count(msg->DedupId())) {
-    ++duplicates_dropped_;
+    duplicates_dropped_->Increment();
     return;
   }
   GossipVerdict verdict = validator_ ? validator_(msg) : GossipVerdict::kRelay;
   if (verdict == GossipVerdict::kReject) {
-    ++rejected_;
+    rejected_->Increment();
     return;  // Not marked seen: a valid copy arriving later is still usable.
   }
   seen_.insert(msg->DedupId());
+  if (delivered_ != nullptr) {
+    delivered_->Increment();
+  }
   if (handler_) {
     handler_(msg);
   }
   if (verdict == GossipVerdict::kRelay) {
+    if (relayed_ != nullptr) {
+      relayed_->Increment();
+    }
     Forward(msg, from);
   }
 }
 
 void GossipAgent::Forward(const MessagePtr& msg, NodeId except) {
+  size_t copies = 0;
   for (NodeId peer : topology_->neighbors(self_)) {
     if (peer != except) {
       network_->Send(self_, peer, msg);
+      ++copies;
     }
   }
+  CountSend(msg, copies);
 }
 
 }  // namespace algorand

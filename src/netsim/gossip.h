@@ -12,11 +12,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/netsim/network.h"
+#include "src/obs/metrics.h"
 
 namespace algorand {
 
@@ -57,6 +59,12 @@ class GossipAgent {
   void set_validator(Validator v) { validator_ = std::move(v); }
   void set_handler(Handler h) { handler_ = std::move(h); }
 
+  // Routes this agent's relay counters through `registry` ("gossip.*"
+  // namespace, per-message-type ins/outs plus byte totals). Without a
+  // registry the agent still counts into private fallback instruments so the
+  // accessors below always work. Call before traffic flows.
+  void AttachMetrics(MetricsRegistry* registry);
+
   // Originates a message: delivers locally and forwards to all neighbours.
   void Gossip(const MessagePtr& msg);
 
@@ -69,11 +77,16 @@ class GossipAgent {
   void OnReceive(NodeId from, const MessagePtr& msg);
 
   const std::vector<NodeId>& neighbors() const { return topology_->neighbors(self_); }
-  uint64_t duplicates_dropped() const { return duplicates_dropped_; }
-  uint64_t rejected() const { return rejected_; }
+  uint64_t duplicates_dropped() const { return duplicates_dropped_->Value(); }
+  uint64_t rejected() const { return rejected_->Value(); }
 
  private:
   void Forward(const MessagePtr& msg, NodeId except);
+  void CountSend(const MessagePtr& msg, size_t copies);
+  // Per-message-type counter, cached by TypeName()'s (static) pointer so the
+  // hot path does one hash-map probe instead of a string concatenation.
+  Counter* TypeCounter(std::unordered_map<const char*, Counter*>* cache,
+                       const char* direction, const MessagePtr& msg);
 
   NodeId self_;
   Transport* network_;
@@ -81,8 +94,20 @@ class GossipAgent {
   Validator validator_;
   Handler handler_;
   std::unordered_set<Hash256, FixedBytesHasher> seen_;
-  uint64_t duplicates_dropped_ = 0;
-  uint64_t rejected_ = 0;
+
+  // Metrics: pointers target the attached registry, or the private fallback
+  // instruments when none is attached (one observability path either way).
+  MetricsRegistry* metrics_ = nullptr;
+  Counter fallback_duplicates_;
+  Counter fallback_rejected_;
+  Counter* duplicates_dropped_ = &fallback_duplicates_;
+  Counter* rejected_ = &fallback_rejected_;
+  Counter* delivered_ = nullptr;
+  Counter* relayed_ = nullptr;
+  Counter* bytes_in_ = nullptr;
+  Counter* bytes_out_ = nullptr;
+  std::unordered_map<const char*, Counter*> msgs_in_by_type_;
+  std::unordered_map<const char*, Counter*> msgs_out_by_type_;
 };
 
 }  // namespace algorand

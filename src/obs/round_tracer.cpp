@@ -1,0 +1,111 @@
+#include "src/obs/round_tracer.h"
+
+#include <cstdio>
+
+namespace algorand {
+
+RoundTracer::RoundTracer(size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+
+void RoundTracer::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[static_cast<size_t>(total_ % ring_.size())] = event;
+  ++total_;
+}
+
+uint64_t RoundTracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+uint64_t RoundTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+std::vector<TraceEvent> RoundTracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  uint64_t kept = total_ < ring_.size() ? total_ : ring_.size();
+  out.reserve(static_cast<size_t>(kept));
+  uint64_t start = total_ - kept;
+  for (uint64_t i = start; i < total_; ++i) {
+    out.push_back(ring_[static_cast<size_t>(i % ring_.size())]);
+  }
+  return out;
+}
+
+const char* RoundTracer::KindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kRoundStart: return "round_start";
+    case TraceKind::kSortition: return "sortition";
+    case TraceKind::kStepEnter: return "step_enter";
+    case TraceKind::kStepExit: return "step_exit";
+    case TraceKind::kReductionDone: return "reduction_done";
+    case TraceKind::kCoinFlip: return "coin_flip";
+    case TraceKind::kBinaryDecided: return "binary_decided";
+    case TraceKind::kRoundEnd: return "round_end";
+    case TraceKind::kRecoveryEnter: return "recovery_enter";
+  }
+  return "unknown";
+}
+
+std::string RoundTracer::ToJsonl() const {
+  std::string out;
+  char buf[256];
+  for (const TraceEvent& ev : Events()) {
+    int n = snprintf(buf, sizeof(buf),
+                     "{\"t\":%.6f,\"node\":%u,\"round\":%llu,\"ev\":\"%s\"",
+                     ToSeconds(ev.at), ev.node, static_cast<unsigned long long>(ev.round),
+                     KindName(ev.kind));
+    out.append(buf, static_cast<size_t>(n));
+    if (ev.step != 0) {
+      n = snprintf(buf, sizeof(buf), ",\"step\":%u", ev.step);
+      out.append(buf, static_cast<size_t>(n));
+    }
+    switch (ev.kind) {
+      case TraceKind::kSortition:
+        n = snprintf(buf, sizeof(buf), ",\"votes\":%llu,\"role\":\"%s\"",
+                     static_cast<unsigned long long>(ev.a),
+                     ev.b == kTraceRoleProposer ? "proposer" : "committee");
+        out.append(buf, static_cast<size_t>(n));
+        break;
+      case TraceKind::kStepExit:
+        n = snprintf(buf, sizeof(buf), ",\"votes\":%llu,\"timed_out\":%s",
+                     static_cast<unsigned long long>(ev.a), ev.flag ? "true" : "false");
+        out.append(buf, static_cast<size_t>(n));
+        break;
+      case TraceKind::kCoinFlip:
+        n = snprintf(buf, sizeof(buf), ",\"coin\":%llu", static_cast<unsigned long long>(ev.a));
+        out.append(buf, static_cast<size_t>(n));
+        break;
+      case TraceKind::kBinaryDecided:
+        n = snprintf(buf, sizeof(buf), ",\"binary_steps\":%llu",
+                     static_cast<unsigned long long>(ev.a));
+        out.append(buf, static_cast<size_t>(n));
+        break;
+      case TraceKind::kRoundEnd:
+        n = snprintf(buf, sizeof(buf), ",\"final\":%s,\"empty\":%s,\"hung\":%s",
+                     (ev.flag & kTraceFinal) ? "true" : "false",
+                     (ev.flag & kTraceEmpty) ? "true" : "false",
+                     (ev.flag & kTraceHung) ? "true" : "false");
+        out.append(buf, static_cast<size_t>(n));
+        break;
+      case TraceKind::kRecoveryEnter:
+        n = snprintf(buf, sizeof(buf), ",\"attempt\":%llu",
+                     static_cast<unsigned long long>(ev.a));
+        out.append(buf, static_cast<size_t>(n));
+        break;
+      default:
+        break;
+    }
+    if (ev.value_prefix != 0) {
+      n = snprintf(buf, sizeof(buf), ",\"value\":\"%016llx\"",
+                   static_cast<unsigned long long>(ev.value_prefix));
+      out.append(buf, static_cast<size_t>(n));
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace algorand

@@ -1,0 +1,82 @@
+// RoundTracer: structured per-node BA* event traces.
+//
+// The paper describes BA* as a sequence of observable per-user steps
+// (propose, reduce, binary steps with an occasional coin flip, the final
+// determination); formal-verification work on Algorand leans on exactly such
+// per-step event sequences. The tracer records them as compact fixed-size
+// events in a bounded ring buffer — a Byzantine flood or a very long run
+// overwrites the oldest events instead of growing memory — and dumps JSONL
+// (one event per line) for offline analysis.
+#ifndef ALGORAND_SRC_OBS_ROUND_TRACER_H_
+#define ALGORAND_SRC_OBS_ROUND_TRACER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/time_units.h"
+
+namespace algorand {
+
+enum class TraceKind : uint8_t {
+  kRoundStart = 0,     // a = round's chain length (tip round).
+  kSortition = 1,      // a = weighted votes won (0: not selected), b = role.
+  kStepEnter = 2,      // step = wire step code entered.
+  kStepExit = 3,       // a = weighted votes for the winning value, flag = timed out.
+  kReductionDone = 4,  // value = reduction output.
+  kCoinFlip = 5,       // a = coin bit.
+  kBinaryDecided = 6,  // a = BinaryBA* steps used, value = decided hash.
+  kRoundEnd = 7,       // flag bits: 1 final, 2 empty, 4 hung.
+  kRecoveryEnter = 8,  // a = recovery attempt, round = session code.
+};
+
+// Role codes for kSortition events.
+constexpr uint64_t kTraceRoleProposer = 0;
+constexpr uint64_t kTraceRoleCommittee = 1;
+
+// Flag bits for kRoundEnd.
+constexpr uint8_t kTraceFinal = 1;
+constexpr uint8_t kTraceEmpty = 2;
+constexpr uint8_t kTraceHung = 4;
+
+struct TraceEvent {
+  SimTime at = 0;
+  uint32_t node = 0;
+  uint64_t round = 0;  // Chain round, or recovery session code (top bit set).
+  TraceKind kind = TraceKind::kRoundStart;
+  uint32_t step = 0;         // Wire step code where applicable.
+  uint64_t a = 0;            // Kind-specific detail (votes, steps, coin...).
+  uint64_t b = 0;
+  uint64_t value_prefix = 0; // First 8 bytes (big-endian) of the relevant hash.
+  uint8_t flag = 0;
+};
+
+class RoundTracer {
+ public:
+  explicit RoundTracer(size_t capacity = 1 << 16);
+
+  void Record(const TraceEvent& event);
+
+  // Events in recording order (oldest surviving first).
+  std::vector<TraceEvent> Events() const;
+
+  size_t capacity() const { return ring_.size(); }
+  uint64_t recorded() const;                    // Total ever recorded.
+  uint64_t dropped() const;                     // Overwritten by wraparound.
+
+  // One JSON object per line:
+  // {"t":1.25,"node":3,"round":2,"ev":"step_exit","step":4,"votes":87,...}
+  std::string ToJsonl() const;
+
+  static const char* KindName(TraceKind kind);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  uint64_t total_ = 0;  // Next write index = total_ % ring_.size().
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_OBS_ROUND_TRACER_H_

@@ -20,16 +20,21 @@ LocalCluster::LocalCluster(const LocalClusterConfig& config)
     endpoints_.push_back(std::make_unique<TcpEndpoint>(&loop_, i, /*listen_port=*/0));
     address_book[i] = endpoints_.back()->port();
   }
+  cache_.AttachMetrics(&cluster_metrics_);
   CryptoSuite crypto{vrf_, signer_, &cache_};
   for (NodeId i = 0; i < config_.n_nodes; ++i) {
+    metrics_.push_back(std::make_unique<MetricsRegistry>());
     endpoints_[i]->SetAddressBook(address_book);
+    endpoints_[i]->AttachMetrics(metrics_.back().get());
     agents_.push_back(std::make_unique<GossipAgent>(i, endpoints_[i].get(), topology_.get()));
+    agents_.back()->AttachMetrics(metrics_.back().get());
     TcpEndpoint* endpoint = endpoints_[i].get();
     GossipAgent* agent = agents_.back().get();
     endpoint->set_receiver(
         [agent](NodeId from, const MessagePtr& msg) { agent->OnReceive(from, msg); });
     nodes_.push_back(std::make_unique<Node>(i, &loop_, agent, genesis_.keys[i], genesis_.config,
                                             config_.params, crypto));
+    nodes_.back()->AttachObservability(metrics_.back().get(), &tracer_);
   }
   // Dial out-peers up front so the first round's gossip flows immediately.
   for (NodeId i = 0; i < config_.n_nodes; ++i) {
@@ -55,6 +60,16 @@ bool LocalCluster::RunRounds(uint64_t rounds, SimTime wall_budget) {
   SimTime deadline = loop_.now() + wall_budget;
   loop_.Run([&] { return done() || loop_.now() >= deadline; });
   return done();
+}
+
+MetricsSnapshot LocalCluster::AggregateMetrics() const {
+  MetricsSnapshot merged = cluster_metrics_.Snapshot();
+  for (const auto& registry : metrics_) {
+    merged.Merge(registry->Snapshot());
+  }
+  merged.counters["trace.events_recorded"] += tracer_.recorded();
+  merged.counters["trace.events_dropped"] += tracer_.dropped();
+  return merged;
 }
 
 bool LocalCluster::ChainsConsistent() const {

@@ -10,6 +10,8 @@
 
 #include "src/core/node.h"
 #include "src/core/verification_cache.h"
+#include "src/obs/metrics.h"
+#include "src/obs/round_tracer.h"
 #include "src/tcp/tcp_transport.h"
 
 namespace algorand {
@@ -44,6 +46,13 @@ class LocalCluster {
   // True if every pair of nodes agrees on all common rounds.
   bool ChainsConsistent() const;
 
+  // Observability: per-node registries (endpoint + gossip + node) merged with
+  // the cluster-wide registry (verification cache) into one snapshot. All
+  // nodes share one RoundTracer.
+  MetricsRegistry& node_metrics(size_t i) { return *metrics_[i]; }
+  RoundTracer& tracer() { return tracer_; }
+  MetricsSnapshot AggregateMetrics() const;
+
  private:
   LocalClusterConfig config_;
   GenesisBundle genesis_;
@@ -60,6 +69,9 @@ class LocalCluster {
   const VrfBackend* vrf_ = nullptr;
   const SignerBackend* signer_ = nullptr;
   VerificationCache cache_;
+  std::vector<std::unique_ptr<MetricsRegistry>> metrics_;
+  MetricsRegistry cluster_metrics_;
+  RoundTracer tracer_;
 };
 
 }  // namespace algorand

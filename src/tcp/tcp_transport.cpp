@@ -89,11 +89,29 @@ void TcpEndpoint::AcceptReady() {
     }
     SetNonBlocking(fd);
     SetNoDelay(fd);
+    if (obs_.accepts != nullptr) {
+      obs_.accepts->Increment();
+    }
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     RegisterConnection(std::move(conn));
     SendHello(connections_.at(fd).get());
   }
+}
+
+void TcpEndpoint::AttachMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    obs_ = Instruments{};
+    return;
+  }
+  obs_.frames_in = &registry->GetCounter("tcp.frames_in");
+  obs_.frames_out = &registry->GetCounter("tcp.frames_out");
+  obs_.bytes_in = &registry->GetCounter("tcp.bytes_in");
+  obs_.bytes_out = &registry->GetCounter("tcp.bytes_out");
+  obs_.accepts = &registry->GetCounter("tcp.accepts");
+  obs_.connects = &registry->GetCounter("tcp.connects");
+  obs_.disconnects = &registry->GetCounter("tcp.disconnects");
+  obs_.decode_failures = &registry->GetCounter("tcp.decode_failures");
 }
 
 void TcpEndpoint::RegisterConnection(std::unique_ptr<Connection> conn) {
@@ -131,6 +149,9 @@ void TcpEndpoint::ReadReady(Connection* conn) {
     ssize_t n = read(conn->fd, buf, sizeof(buf));
     if (n > 0) {
       stats_.bytes_received += static_cast<uint64_t>(n);
+      if (obs_.bytes_in != nullptr) {
+        obs_.bytes_in->Increment(static_cast<uint64_t>(n));
+      }
       conn->reader.Append(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
       continue;
     }
@@ -166,9 +187,15 @@ void TcpEndpoint::ReadReady(Connection* conn) {
     MessagePtr msg = DecodeMessage(*frame);
     if (!msg) {
       ++stats_.decode_failures;
+      if (obs_.decode_failures != nullptr) {
+        obs_.decode_failures->Increment();
+      }
       continue;
     }
     ++stats_.messages_received;
+    if (obs_.frames_in != nullptr) {
+      obs_.frames_in->Increment();
+    }
     if (receiver_) {
       receiver_(conn->peer, msg);
     }
@@ -186,6 +213,9 @@ void TcpEndpoint::FlushWrites(Connection* conn) {
                       conn->out.size() - conn->out_pos);
     if (n > 0) {
       stats_.bytes_sent += static_cast<uint64_t>(n);
+      if (obs_.bytes_out != nullptr) {
+        obs_.bytes_out->Increment(static_cast<uint64_t>(n));
+      }
       conn->out_pos += static_cast<size_t>(n);
       continue;
     }
@@ -242,6 +272,9 @@ TcpEndpoint::Connection* TcpEndpoint::OpenConnection(NodeId peer) {
   Connection* raw = conn.get();
   RegisterConnection(std::move(conn));
   fd_by_peer_.emplace(peer, fd);
+  if (obs_.connects != nullptr) {
+    obs_.connects->Increment();
+  }
   SendHello(raw);
   return raw;
 }
@@ -261,6 +294,9 @@ void TcpEndpoint::CloseConnection(int fd) {
   loop_->RemoveFd(fd);
   close(fd);
   connections_.erase(it);
+  if (obs_.disconnects != nullptr) {
+    obs_.disconnects->Increment();
+  }
   auto pit = fd_by_peer_.find(peer);
   if (pit != fd_by_peer_.end() && pit->second == fd) {
     fd_by_peer_.erase(pit);
@@ -280,6 +316,9 @@ void TcpEndpoint::Send(NodeId from, NodeId to, const MessagePtr& msg) {
     return;
   }
   ++stats_.messages_sent;
+  if (obs_.frames_out != nullptr) {
+    obs_.frames_out->Increment();
+  }
   QueueBytes(conn, EncodeFrame(payload));
 }
 

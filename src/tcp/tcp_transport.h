@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/netsim/transport.h"
+#include "src/obs/metrics.h"
 #include "src/tcp/event_loop.h"
 #include "src/tcp/framing.h"
 
@@ -53,6 +54,11 @@ class TcpEndpoint : public Transport {
   void ConnectToPeers(const std::vector<NodeId>& peers);
 
   void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+  // Mirrors TcpEndpointStats into `registry` ("tcp.frames_in", "tcp.bytes_out",
+  // "tcp.accepts", "tcp.connects", "tcp.disconnects", "tcp.decode_failures").
+  // The stats_ struct remains the registry-free accessor.
+  void AttachMetrics(MetricsRegistry* registry);
 
   // Transport: `from` must be this endpoint's own id.
   void Send(NodeId from, NodeId to, const MessagePtr& msg) override;
@@ -92,6 +98,19 @@ class TcpEndpoint : public Transport {
   std::map<int, std::unique_ptr<Connection>> connections_;  // By fd.
   std::map<NodeId, int> fd_by_peer_;  // Preferred connection per peer.
   TcpEndpointStats stats_;
+
+  // Registry-backed mirrors (null when unattached).
+  struct Instruments {
+    Counter* frames_in = nullptr;
+    Counter* frames_out = nullptr;
+    Counter* bytes_in = nullptr;
+    Counter* bytes_out = nullptr;
+    Counter* accepts = nullptr;
+    Counter* connects = nullptr;
+    Counter* disconnects = nullptr;
+    Counter* decode_failures = nullptr;
+  };
+  Instruments obs_;
 };
 
 }  // namespace algorand

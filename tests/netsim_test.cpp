@@ -325,6 +325,8 @@ struct GossipFixture {
     received.resize(n);
     for (NodeId i = 0; i < n; ++i) {
       agents.push_back(std::make_unique<GossipAgent>(i, &network, &topology));
+      // One shared registry: same-named counters aggregate across agents.
+      agents.back()->AttachMetrics(&metrics);
       agents.back()->set_handler([this, i](const MessagePtr& msg) {
         received[i].insert(std::static_pointer_cast<const TestMessage>(msg)->id());
       });
@@ -338,6 +340,7 @@ struct GossipFixture {
   UniformLatencyModel latency;
   Network network;
   GossipTopology topology;
+  MetricsRegistry metrics;
   std::vector<std::unique_ptr<GossipAgent>> agents;
   std::vector<std::set<uint64_t>> received;
 };
@@ -357,16 +360,36 @@ TEST(GossipTest, DuplicatesAreDropped) {
   GossipFixture f(50);
   f.agents[0]->Gossip(Msg(1));
   f.sim.Run();
-  uint64_t dupes = 0;
-  for (const auto& agent : f.agents) {
-    dupes += agent->duplicates_dropped();
-  }
+  // The fixture attaches every agent to one shared registry, so any agent's
+  // accessor reads the network-wide total — one observability path.
+  uint64_t dupes = f.agents[0]->duplicates_dropped();
   // With ~8 average degree, every node receives the message several times.
   EXPECT_GT(dupes, 50u);
+  MetricsSnapshot snap = f.metrics.Snapshot();
+  EXPECT_EQ(snap.CounterValue("gossip.dup_dropped"), dupes);
   // But each node delivered it exactly once.
   for (const auto& r : f.received) {
     EXPECT_LE(r.size(), 1u);
   }
+}
+
+TEST(GossipTest, RegistryCountersBalance) {
+  GossipFixture f(50);
+  f.agents[0]->Gossip(Msg(7));
+  f.agents[1]->Gossip(Msg(8));
+  f.sim.Run();
+  MetricsSnapshot snap = f.metrics.Snapshot();
+  uint64_t in = snap.CounterSumByPrefix("gossip.msgs_in.");
+  uint64_t out = snap.CounterSumByPrefix("gossip.msgs_out.");
+  // The simulated network loses nothing: every sent copy arrives.
+  EXPECT_EQ(in, out);
+  EXPECT_GT(in, 0u);
+  // Every arrival is classified exactly once: new (delivered) or duplicate.
+  EXPECT_EQ(in, snap.CounterValue("gossip.delivered") + snap.CounterValue("gossip.dup_dropped") +
+                    snap.CounterValue("gossip.rejected"));
+  // Bytes flow matches message flow.
+  EXPECT_EQ(snap.CounterValue("gossip.bytes_in"), snap.CounterValue("gossip.bytes_out"));
+  EXPECT_GT(snap.CounterValue("gossip.bytes_in"), 0u);
 }
 
 TEST(GossipTest, RejectedMessagesAreNotRelayedOrDelivered) {
@@ -382,12 +405,9 @@ TEST(GossipTest, RejectedMessagesAreNotRelayedOrDelivered) {
     got += f.received[i].size();
   }
   EXPECT_EQ(got, 0u);
-  // Only the originator's direct neighbours saw it at all.
-  uint64_t rejected = 0;
-  for (const auto& agent : f.agents) {
-    rejected += agent->rejected();
-  }
-  EXPECT_EQ(rejected, f.topology.neighbors(0).size());
+  // Only the originator's direct neighbours saw it at all. The registry is
+  // shared, so one agent's accessor is the network-wide rejection count.
+  EXPECT_EQ(f.agents[0]->rejected(), f.topology.neighbors(0).size());
 }
 
 TEST(GossipTest, DeliverOnlyStopsPropagation) {
