@@ -3,9 +3,15 @@
 // verifying signatures and VRFs").
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <vector>
+
 #include "src/common/rng.h"
+#include "src/common/verify_pool.h"
 #include "src/core/sortition.h"
 #include "src/crypto/ed25519.h"
+#include "src/crypto/internal/ge25519.h"
+#include "src/crypto/internal/sc25519.h"
 #include "src/crypto/sha256.h"
 #include "src/crypto/sha512.h"
 #include "src/crypto/vrf.h"
@@ -84,6 +90,119 @@ void BM_EcVrf_Verify(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EcVrf_Verify);
+
+// Pre-optimization reference paths (the seed's four independent scalar
+// multiplications), kept for the before/after numbers in BENCH_crypto.json.
+void BM_Ed25519_Verify_Legacy(benchmark::State& state) {
+  Ed25519KeyPair key = BenchKey();
+  auto msg = BytesOfString("a typical 316-byte committee vote message body padded out to size....");
+  Signature sig = Ed25519Sign(key, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ed25519VerifyLegacy(key.public_key, msg, sig));
+  }
+}
+BENCHMARK(BM_Ed25519_Verify_Legacy);
+
+void BM_EcVrf_Verify_Legacy(benchmark::State& state) {
+  Ed25519KeyPair key = BenchKey();
+  auto alpha = BytesOfString("seed||role||round||step");
+  VrfResult res = EcVrfProve(key, alpha);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EcVrfVerifyLegacy(key.public_key, alpha, res.proof));
+  }
+}
+BENCHMARK(BM_EcVrf_Verify_Legacy);
+
+// Curve-level breakdown of the verify cost: textbook ladder vs w-NAF single
+// scalar vs the interleaved double-scalar form verification actually uses.
+internal::GePoint BenchPoint() {
+  DeterministicRng rng(3);
+  uint8_t wide[64], s[32];
+  rng.FillBytes(wide, 64);
+  internal::ScReduce64(s, wide);
+  return internal::GeScalarMultBase(s);
+}
+
+void BM_GeScalarMult(benchmark::State& state) {
+  internal::GePoint p = BenchPoint();
+  uint8_t s[32];
+  DeterministicRng rng(4);
+  rng.FillBytes(s, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(internal::GeScalarMult(s, p));
+  }
+}
+BENCHMARK(BM_GeScalarMult);
+
+void BM_GeScalarMultVartime(benchmark::State& state) {
+  internal::GePoint p = BenchPoint();
+  uint8_t s[32];
+  DeterministicRng rng(5);
+  rng.FillBytes(s, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(internal::GeScalarMultVartime(s, p));
+  }
+}
+BENCHMARK(BM_GeScalarMultVartime);
+
+void BM_GeDoubleScalarMult(benchmark::State& state) {
+  internal::GePoint p = BenchPoint();
+  uint8_t a[32], b[32];
+  DeterministicRng rng(6);
+  rng.FillBytes(a, 32);
+  rng.FillBytes(b, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(internal::GeDoubleScalarMultVartime(a, p, b));
+  }
+}
+BENCHMARK(BM_GeDoubleScalarMult);
+
+// Batch verification throughput through the VerifyPool: 64 distinct vote-
+// sized signatures per batch, verified inline (workers = 0) or fanned out to
+// worker threads. Reported per signature. This is where the pipeline pays
+// off: a round's burst of committee votes verifies in parallel while the
+// protocol thread keeps dequeueing.
+void BM_BatchVerify_Pool(benchmark::State& state) {
+  const size_t workers = static_cast<size_t>(state.range(0));
+  constexpr size_t kBatch = 64;
+  DeterministicRng rng(7);
+  std::vector<Ed25519KeyPair> keys;
+  std::vector<std::vector<uint8_t>> msgs;
+  std::vector<Signature> sigs;
+  for (size_t i = 0; i < kBatch; ++i) {
+    FixedBytes<32> seed;
+    rng.FillBytes(seed.data(), 32);
+    keys.push_back(Ed25519KeyFromSeed(seed));
+    msgs.emplace_back(316);
+    rng.FillBytes(msgs.back().data(), msgs.back().size());
+    sigs.push_back(Ed25519Sign(keys.back(), msgs.back()));
+  }
+  VerifyPool pool(workers);
+  std::atomic<uint32_t> ok{0};
+  for (auto _ : state) {
+    ok.store(0, std::memory_order_relaxed);
+    if (pool.worker_count() == 0) {
+      for (size_t i = 0; i < kBatch; ++i) {
+        ok.fetch_add(Ed25519Verify(keys[i].public_key, msgs[i], sigs[i]) ? 1 : 0,
+                     std::memory_order_relaxed);
+      }
+    } else {
+      for (size_t i = 0; i < kBatch; ++i) {
+        pool.Submit([&, i] {
+          ok.fetch_add(Ed25519Verify(keys[i].public_key, msgs[i], sigs[i]) ? 1 : 0,
+                       std::memory_order_relaxed);
+        });
+      }
+      pool.Drain();
+    }
+    if (ok.load(std::memory_order_relaxed) != kBatch) {
+      state.SkipWithError("verification failed");
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBatch));
+}
+BENCHMARK(BM_BatchVerify_Pool)->Arg(0)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_Sortition_SelectSubUsers(benchmark::State& state) {
   DeterministicRng rng(2);

@@ -32,6 +32,7 @@ struct CliOptions {
   double tau_proposer = 26;
   uint64_t seed = 1;
   double uplink_mbit = 20;
+  int verify_workers = -1;
   bool real_crypto = false;
   bool uniform_latency = false;
   bool help = false;
@@ -82,6 +83,8 @@ CliOptions Parse(int argc, char** argv) {
       opt.seed = std::stoull(v);
     } else if (ParseFlag(argc, argv, &i, "uplink-mbit", &v)) {
       opt.uplink_mbit = std::stod(v);
+    } else if (ParseFlag(argc, argv, &i, "verify-workers", &v)) {
+      opt.verify_workers = std::stoi(v);
     } else if (ParseFlag(argc, argv, &i, "metrics-json", &v)) {
       opt.metrics_json = v;
     } else if (ParseFlag(argc, argv, &i, "trace-jsonl", &v)) {
@@ -117,6 +120,8 @@ void PrintHelp() {
       "  --tau-final=F       expected final-step committee (default 300)\n"
       "  --tau-proposer=F    expected proposers (default 26)\n"
       "  --uplink-mbit=F     per-user uplink in Mbit/s (default 20)\n"
+      "  --verify-workers=N  verification worker threads; 0 = inline,\n"
+      "                      default reads ALGORAND_VERIFY_WORKERS\n"
       "  --seed=N            deterministic seed (default 1)\n"
       "  --real-crypto       real Ed25519+ECVRF instead of the sim backends\n"
       "  --uniform-latency   50ms uniform links instead of the 20-city model\n"
@@ -144,6 +149,7 @@ int main(int argc, char** argv) {
   cfg.params.block_size_bytes = opt.block_kb << 10;
   cfg.net.uplink_bytes_per_sec = opt.uplink_mbit * 1e6 / 8;
   cfg.use_sim_crypto = !opt.real_crypto;
+  cfg.verify_workers = opt.verify_workers;
   cfg.malicious_fraction = opt.malicious;
   cfg.latency =
       opt.uniform_latency ? HarnessConfig::Latency::kUniform : HarnessConfig::Latency::kCity;

@@ -1,0 +1,92 @@
+#include "src/common/verify_pool.h"
+
+#include <cstdlib>
+
+namespace algorand {
+
+VerifyPool::VerifyPool(size_t workers) {
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+VerifyPool::~VerifyPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void VerifyPool::Submit(std::function<void()> job) {
+  if (threads_.empty()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+    jobs_->Increment();
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Observe(static_cast<double>(queue_.size()));
+    }
+  }
+  cv_.notify_one();
+}
+
+void VerifyPool::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void VerifyPool::AttachMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    jobs_ = &fallback_jobs_;
+    queue_depth_ = nullptr;
+    return;
+  }
+  jobs_ = &registry->GetCounter("verify.pool_jobs");
+  queue_depth_ =
+      &registry->GetHistogram("verify.pool_queue_depth", MetricsRegistry::DefaultCountBuckets());
+}
+
+void VerifyPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and nothing left: the destructor drains first.
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+size_t ResolveVerifyWorkers(int configured) {
+  if (configured >= 0) {
+    return static_cast<size_t>(configured);
+  }
+  const char* env = std::getenv("ALGORAND_VERIFY_WORKERS");
+  if (env == nullptr || *env == '\0') {
+    return 0;
+  }
+  long v = std::strtol(env, nullptr, 10);
+  return v > 0 ? static_cast<size_t>(v) : 0;
+}
+
+}  // namespace algorand

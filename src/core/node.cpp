@@ -1,6 +1,7 @@
 #include "src/core/node.h"
 
 #include "src/common/serialize.h"
+#include "src/common/verify_pool.h"
 #include "src/crypto/sha256.h"
 
 namespace algorand {
@@ -194,6 +195,9 @@ void Node::StartRound(uint64_t round) {
   current_round_ = round;
   ++sched_epoch_;
   ctx_ = MakeContext();
+  if (crypto_.cache != nullptr) {
+    crypto_.cache->NoteRound(round);  // Prunes entries from finished rounds.
+  }
   empty_block_ = Block::MakeEmpty(round, ledger_.tip_hash(), ledger_.SeedForRound(round));
   empty_hash_ = empty_block_.Hash();
   proposal_ = ProposalState{};
@@ -443,7 +447,15 @@ void Node::MaybePropose() {
   GossipMessage(block_msg);
 }
 
-void Node::GossipMessage(const MessagePtr& msg) { gossip_->Gossip(msg); }
+void Node::GossipMessage(const MessagePtr& msg) {
+  // Start verifying our own outbound message on a worker before the gossip
+  // agent's local delivery asks for the verdict; the inline lookup then joins
+  // the in-flight computation instead of running it on the protocol thread.
+  if (crypto_.pool != nullptr) {
+    PrewarmMessage(msg, crypto_.pool);
+  }
+  gossip_->Gossip(msg);
+}
 
 // ---------------------------------------------------------------------------
 // Voting (BaEnvironment)
@@ -516,6 +528,88 @@ uint64_t Node::VerifyProposerSortition(const PublicKey& pk, const VrfOutput& sor
         ContextKey(Sha256::Hash(w.buffer()), ctx.seed, ctx.total_weight), compute);
   }
   return compute();
+}
+
+void Node::PrewarmMessage(const MessagePtr& msg, VerifyPool* pool) {
+  if (pool == nullptr || pool->worker_count() == 0 || crypto_.cache == nullptr) {
+    return;
+  }
+  VerificationCache* cache = crypto_.cache;
+  const VrfBackend* vrf = crypto_.vrf;
+  const SignerBackend* signer = crypto_.signer;
+
+  if (auto vote = std::dynamic_pointer_cast<const VoteMessage>(msg)) {
+    // Recovery votes need session context and future/stale votes are not
+    // verifiable yet (unknown seed) — both are skipped, exactly the cases the
+    // inline path also cannot cache usefully.
+    if ((vote->round & kRecoveryRoundBit) != 0 || vote->round != current_round_) {
+      return;
+    }
+    const bool final_step = vote->step == kStepFinal;
+    const double tau = final_step ? params_.tau_final : params_.tau_step;
+    const uint32_t sort_step = params_.participant_replacement_enabled ? vote->step : 0;
+    // Resolved on the protocol thread: the job must not touch the ledger.
+    const uint64_t weight = ctx_.weight_of(vote->pk);
+    const SeedBytes seed = ctx_.seed;
+    const uint64_t total = ctx_.total_weight;
+    const Hash256 key = ContextKey(vote->DedupId(), seed, total);
+    if (cache->Contains(key)) {
+      return;
+    }
+    pool->Submit([cache, key, vote, vrf, signer, seed, tau, sort_step, weight, total] {
+      cache->Prewarm(key, [&]() -> uint64_t {
+        if (!signer->Verify(vote->pk, vote->SignedBody(), vote->signature)) {
+          return 0;
+        }
+        return VerifySortition(*vrf, vote->pk, vote->sorthash, vote->sort_proof, seed, tau,
+                               Role::kCommittee, vote->round, sort_step, weight, total);
+      });
+    });
+    return;
+  }
+
+  // Priority and block messages share the cached proposer-sortition check;
+  // the rest of block validation (contents, seed VRF) stays on the protocol
+  // thread, which is fine — the sortition proof is the expensive part.
+  PublicKey pk;
+  VrfOutput sorthash;
+  VrfProof proof;
+  uint64_t msg_round = 0;
+  if (auto pri = std::dynamic_pointer_cast<const PriorityMessage>(msg)) {
+    pk = pri->pk;
+    sorthash = pri->sorthash;
+    proof = pri->sort_proof;
+    msg_round = pri->round;
+  } else if (auto blk = std::dynamic_pointer_cast<const BlockMessage>(msg)) {
+    pk = blk->block.proposer;
+    sorthash = blk->block.proposer_vrf;
+    proof = blk->block.proposer_proof;
+    msg_round = blk->block.round;
+  } else {
+    return;
+  }
+  if (msg_round != current_round_) {
+    return;
+  }
+  const uint64_t weight = ctx_.weight_of(pk);
+  const SeedBytes seed = ctx_.seed;
+  const uint64_t total = ctx_.total_weight;
+  const uint64_t round = ctx_.round;
+  const double tau = params_.tau_proposer;
+  Writer w;
+  w.Fixed(pk);
+  w.Fixed(sorthash);
+  w.U64(round);
+  const Hash256 key = ContextKey(Sha256::Hash(w.buffer()), seed, total);
+  if (cache->Contains(key)) {
+    return;
+  }
+  pool->Submit([cache, key, vrf, pk, sorthash, proof, seed, tau, round, weight, total] {
+    cache->Prewarm(key, [&]() -> uint64_t {
+      return VerifySortition(*vrf, pk, sorthash, proof, seed, tau, Role::kProposer, round, 0,
+                             weight, total);
+    });
+  });
 }
 
 bool Node::ValidateBlockContents(const Block& block) const {

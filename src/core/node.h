@@ -34,11 +34,18 @@
 
 namespace algorand {
 
+class VerifyPool;
+
 // Crypto backends shared by all nodes of a simulation.
 struct CryptoSuite {
   const VrfBackend* vrf = nullptr;
   const SignerBackend* signer = nullptr;
   VerificationCache* cache = nullptr;  // Optional.
+  // Optional verification worker pool. With a shared cache the first
+  // verification of a message happens at its origin (every later receiver
+  // hits the cache), so nodes prewarm their own outbound messages here and
+  // the pool carries the compute off the protocol thread.
+  VerifyPool* pool = nullptr;
 };
 
 // Per-round timing/outcome record, the raw data behind Figures 5-8.
@@ -98,6 +105,15 @@ class Node : public BaEnvironment {
   uint64_t recoveries_completed() const { return recoveries_completed_; }
   uint64_t current_round() const { return current_round_; }
   size_t pending_txn_count() const { return txn_pool_.size(); }
+
+  // Verification pipeline hook: if `msg` carries a signature/VRF payload
+  // verifiable in this node's *current* round context, submits a job to
+  // `pool` that prewarms the shared VerificationCache. Everything the job
+  // needs (seed, weights, committee size) is resolved here on the protocol
+  // thread; the job itself is a pure function, so running it on a worker
+  // changes wall-clock timing but never a protocol decision. Called by the
+  // harness/cluster transport while the message is still in flight.
+  void PrewarmMessage(const MessagePtr& msg, VerifyPool* pool);
 
   // Serves block/certificate history to catching-up peers (§8.3). When
   // sharding is configured (shard_count > 1) a node persists certificates

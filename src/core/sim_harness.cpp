@@ -33,8 +33,13 @@ SimHarness::SimHarness(HarnessConfig config)
       static_cast<size_t>(static_cast<double>(config_.n_nodes) * config_.malicious_fraction);
 
   cache_.AttachMetrics(&global_metrics_);
+  const size_t workers = ResolveVerifyWorkers(config_.verify_workers);
+  if (workers > 0) {
+    pool_ = std::make_unique<VerifyPool>(workers);
+    pool_->AttachMetrics(&global_metrics_);
+  }
 
-  CryptoSuite crypto{vrf_, signer_, &cache_};
+  CryptoSuite crypto{vrf_, signer_, &cache_, pool_.get()};
   agents_.reserve(config_.n_nodes);
   nodes_.reserve(config_.n_nodes);
   metrics_.reserve(config_.n_nodes);

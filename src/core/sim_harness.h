@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/verify_pool.h"
 #include "src/core/adversary_nodes.h"
 #include "src/core/node.h"
 #include "src/netsim/latency.h"
@@ -40,6 +41,15 @@ struct HarnessConfig {
   // Crypto: real Ed25519 + ECVRF by default; the Sim backends reproduce the
   // paper's replace-crypto-with-sleeps methodology for very large runs.
   bool use_sim_crypto = false;
+
+  // Verification pipeline: worker threads that prewarm the shared
+  // VerificationCache while messages are in flight. 0 = single-threaded
+  // (fully deterministic, the tier-1 test configuration); the pipeline only
+  // changes wall-clock speed, never protocol decisions, because every cached
+  // value is identical to what the inline path computes. -1 (default) reads
+  // the ALGORAND_VERIFY_WORKERS environment variable, else 0 — the hook CI
+  // uses to run the whole suite threaded under TSan.
+  int verify_workers = -1;
 
   // Adversary: the first floor(n * malicious_fraction) node ids run the
   // equivocation attack of §10.4 (their stake is the malicious stake, since
@@ -74,6 +84,8 @@ class SimHarness {
   size_t malicious_count() const { return malicious_count_; }
   const GenesisBundle& genesis() const { return genesis_; }
   VerificationCache& cache() { return cache_; }
+  // The verification worker pool; null when running single-threaded.
+  VerifyPool* verify_pool() { return pool_.get(); }
   AdversaryCoordinator& coordinator() { return coordinator_; }
   const VrfBackend& vrf() const { return *vrf_; }
   const SignerBackend& signer() const { return *signer_; }
@@ -142,6 +154,9 @@ class SimHarness {
   const VrfBackend* vrf_ = nullptr;
   const SignerBackend* signer_ = nullptr;
   VerificationCache cache_;
+  // Declared after cache_ (and the crypto backends) so workers are joined
+  // before anything they touch is destroyed.
+  std::unique_ptr<VerifyPool> pool_;
   AdversaryCoordinator coordinator_;
   size_t malicious_count_ = 0;
   uint64_t probe_generation_ = 0;

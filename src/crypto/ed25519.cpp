@@ -9,8 +9,10 @@
 namespace algorand {
 
 using internal::GeAdd;
+using internal::GeDoubleScalarMultVartime;
 using internal::GeEq;
 using internal::GeFromBytes;
+using internal::GeNeg;
 using internal::GePoint;
 using internal::GeScalarMult;
 using internal::GeScalarMultBase;
@@ -59,32 +61,61 @@ Signature Ed25519Sign(const Ed25519KeyPair& key, std::span<const uint8_t> messag
   return sig;
 }
 
-bool Ed25519Verify(const PublicKey& pk, std::span<const uint8_t> message, const Signature& sig) {
+namespace {
+
+// Shared preamble of both verify paths: canonicality and point decoding
+// checks, then k = SHA-512(R || A || M) mod L. Returns false on malformed
+// input. Both paths must reject exactly the same encodings — decision parity
+// is a tested invariant.
+bool VerifyPreamble(const PublicKey& pk, std::span<const uint8_t> message, const Signature& sig,
+                    GePoint* a, GePoint* r, uint8_t k[32]) {
   const uint8_t* r_bytes = sig.data();
   const uint8_t* s_bytes = sig.data() + 32;
   if (!ScIsCanonical(s_bytes)) {
     return false;
   }
-  auto a = GeFromBytes(pk.data());
-  if (!a) {
+  auto a_opt = GeFromBytes(pk.data());
+  if (!a_opt) {
     return false;
   }
-  auto r = GeFromBytes(r_bytes);
-  if (!r) {
+  auto r_opt = GeFromBytes(r_bytes);
+  if (!r_opt) {
     return false;
   }
-
+  *a = *a_opt;
+  *r = *r_opt;
   Hash512 kh = Sha512()
                    .Update(std::span<const uint8_t>(r_bytes, 32))
                    .Update(pk.span())
                    .Update(message)
                    .Finish();
-  uint8_t k[32];
   ScReduce64(k, kh.data());
+  return true;
+}
 
-  // Check [S]B == R + [k]A.
-  GePoint sb = GeScalarMultBase(s_bytes);
-  GePoint rka = GeAdd(*r, GeScalarMult(k, *a));
+}  // namespace
+
+bool Ed25519Verify(const PublicKey& pk, std::span<const uint8_t> message, const Signature& sig) {
+  GePoint a, r;
+  uint8_t k[32];
+  if (!VerifyPreamble(pk, message, sig, &a, &r, k)) {
+    return false;
+  }
+  // [S]B == R + [k]A  <=>  [k](-A) + [S]B == R, one Straus pass.
+  GePoint check = GeDoubleScalarMultVartime(k, GeNeg(a), sig.data() + 32);
+  return GeEq(check, r);
+}
+
+bool Ed25519VerifyLegacy(const PublicKey& pk, std::span<const uint8_t> message,
+                         const Signature& sig) {
+  GePoint a, r;
+  uint8_t k[32];
+  if (!VerifyPreamble(pk, message, sig, &a, &r, k)) {
+    return false;
+  }
+  // Check [S]B == R + [k]A with two independent multiplications.
+  GePoint sb = GeScalarMultBase(sig.data() + 32);
+  GePoint rka = GeAdd(r, GeScalarMult(k, a));
   return GeEq(sb, rka);
 }
 

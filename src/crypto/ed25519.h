@@ -26,8 +26,19 @@ Ed25519KeyPair Ed25519KeyFromSeed(const FixedBytes<32>& seed);
 // Signs `message` with the key pair.
 Signature Ed25519Sign(const Ed25519KeyPair& key, std::span<const uint8_t> message);
 
-// Verifies; rejects malformed points and non-canonical scalars.
+// Verifies; rejects malformed points and non-canonical scalars. Evaluates
+// [k](-A) + [S]B with one interleaved w-NAF double-scalar multiplication and
+// compares against R as group elements — the exact accept set of the
+// textbook [S]B == R + [k]A check, at under half the cost.
 bool Ed25519Verify(const PublicKey& pk, std::span<const uint8_t> message, const Signature& sig);
+
+// The original two-multiplication verification ([S]B == R + [k]A evaluated
+// independently). Kept as the reference implementation: the test suite
+// asserts decision parity with Ed25519Verify on RFC 8032 vectors, crafted
+// negative encodings, and randomized signatures, and the benchmarks report
+// both so the speedup stays measured. Not used by production paths.
+bool Ed25519VerifyLegacy(const PublicKey& pk, std::span<const uint8_t> message,
+                         const Signature& sig);
 
 }  // namespace algorand
 

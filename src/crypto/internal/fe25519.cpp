@@ -51,28 +51,153 @@ Fe FeSub(const Fe& a, const Fe& b) {
   return r;
 }
 
-Fe FeMul(const Fe& a, const Fe& b) {
-  U512 wide = MulWide(a.v, b.v);
-  // lo + 38 * hi.
-  U256 lo{wide[0], wide[1], wide[2], wide[3]};
-  U256 hi{wide[4], wide[5], wide[6], wide[7]};
-  // hi * 38 produces at most 262 bits; accumulate into 5 limbs.
-  U256 hi38{};
-  unsigned __int128 carry = 0;
-  for (int i = 0; i < 4; ++i) {
-    unsigned __int128 cur =
-        static_cast<unsigned __int128>(hi[static_cast<size_t>(i)]) * 38 + carry;
-    hi38[static_cast<size_t>(i)] = static_cast<uint64_t>(cur);
-    carry = cur >> 64;
-  }
-  uint64_t top = static_cast<uint64_t>(carry);  // < 38.
+namespace {
+
+using u128 = unsigned __int128;
+
+// Folds an 8-limb (512-bit) product down to 4 limbs with 2^256 = 38 mod p:
+// r = lo + 38 * hi, then the (< 6-bit) carry out is folded again. FeMul and
+// FeSq sit under every curve operation, so this path is fully unrolled.
+inline Fe ReduceWide(const uint64_t w[8]) {
   Fe r;
-  uint64_t c2 = Add(&r.v, lo, hi38);
-  FoldCarry(&r.v, c2 + top);
+  u128 s;
+  s = static_cast<u128>(w[0]) + static_cast<u128>(w[4]) * 38;
+  r.v[0] = static_cast<uint64_t>(s);
+  s = static_cast<u128>(w[1]) + static_cast<u128>(w[5]) * 38 + static_cast<uint64_t>(s >> 64);
+  r.v[1] = static_cast<uint64_t>(s);
+  s = static_cast<u128>(w[2]) + static_cast<u128>(w[6]) * 38 + static_cast<uint64_t>(s >> 64);
+  r.v[2] = static_cast<uint64_t>(s);
+  s = static_cast<u128>(w[3]) + static_cast<u128>(w[7]) * 38 + static_cast<uint64_t>(s >> 64);
+  r.v[3] = static_cast<uint64_t>(s);
+  FoldCarry(&r.v, static_cast<uint64_t>(s >> 64));
   return r;
 }
 
-Fe FeSq(const Fe& a) { return FeMul(a, a); }
+}  // namespace
+
+Fe FeMul(const Fe& a, const Fe& b) {
+  // Unrolled 4x4 schoolbook product (16 hardware multiplies), row by row so
+  // every partial sum fits in 128 bits, then the 38-fold reduction.
+  const uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3];
+  const uint64_t b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3];
+  uint64_t w[8];
+  u128 t, c;
+  t = static_cast<u128>(a0) * b0;
+  w[0] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(a0) * b1 + c;
+  w[1] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(a0) * b2 + c;
+  w[2] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(a0) * b3 + c;
+  w[3] = static_cast<uint64_t>(t);
+  w[4] = static_cast<uint64_t>(t >> 64);
+
+  t = static_cast<u128>(a1) * b0 + w[1];
+  w[1] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(a1) * b1 + w[2] + c;
+  w[2] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(a1) * b2 + w[3] + c;
+  w[3] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(a1) * b3 + w[4] + c;
+  w[4] = static_cast<uint64_t>(t);
+  w[5] = static_cast<uint64_t>(t >> 64);
+
+  t = static_cast<u128>(a2) * b0 + w[2];
+  w[2] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(a2) * b1 + w[3] + c;
+  w[3] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(a2) * b2 + w[4] + c;
+  w[4] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(a2) * b3 + w[5] + c;
+  w[5] = static_cast<uint64_t>(t);
+  w[6] = static_cast<uint64_t>(t >> 64);
+
+  t = static_cast<u128>(a3) * b0 + w[3];
+  w[3] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(a3) * b1 + w[4] + c;
+  w[4] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(a3) * b2 + w[5] + c;
+  w[5] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(a3) * b3 + w[6] + c;
+  w[6] = static_cast<uint64_t>(t);
+  w[7] = static_cast<uint64_t>(t >> 64);
+
+  return ReduceWide(w);
+}
+
+Fe FeSq(const Fe& a) {
+  // Squaring: the six off-diagonal products are computed once and doubled by
+  // a word shift, then the four diagonal squares are added — 10 hardware
+  // multiplies to FeMul's 16.
+  const uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3];
+  uint64_t w[8];
+  u128 t, c;
+  t = static_cast<u128>(a1) * a0;
+  w[1] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(a2) * a0 + c;
+  w[2] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(a3) * a0 + c;
+  w[3] = static_cast<uint64_t>(t);
+  w[4] = static_cast<uint64_t>(t >> 64);
+
+  t = static_cast<u128>(a2) * a1 + w[3];
+  w[3] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(a3) * a1 + w[4] + c;
+  w[4] = static_cast<uint64_t>(t);
+  w[5] = static_cast<uint64_t>(t >> 64);
+
+  t = static_cast<u128>(a3) * a2 + w[5];
+  w[5] = static_cast<uint64_t>(t);
+  w[6] = static_cast<uint64_t>(t >> 64);
+
+  // Double the cross sum: it is < 2^511, so the shift cannot overflow.
+  w[7] = w[6] >> 63;
+  w[6] = (w[6] << 1) | (w[5] >> 63);
+  w[5] = (w[5] << 1) | (w[4] >> 63);
+  w[4] = (w[4] << 1) | (w[3] >> 63);
+  w[3] = (w[3] << 1) | (w[2] >> 63);
+  w[2] = (w[2] << 1) | (w[1] >> 63);
+  w[1] = w[1] << 1;
+
+  t = static_cast<u128>(a0) * a0;
+  w[0] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(w[1]) + c;
+  w[1] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(a1) * a1 + w[2] + c;
+  w[2] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(w[3]) + c;
+  w[3] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(a2) * a2 + w[4] + c;
+  w[4] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(w[5]) + c;
+  w[5] = static_cast<uint64_t>(t);
+  c = t >> 64;
+  t = static_cast<u128>(a3) * a3 + w[6] + c;
+  w[6] = static_cast<uint64_t>(t);
+  w[7] += static_cast<uint64_t>(t >> 64);
+
+  return ReduceWide(w);
+}
 
 Fe FeNeg(const Fe& a) { return FeSub(FeZero(), a); }
 
@@ -88,12 +213,51 @@ Fe FePow(const Fe& a, const U256& e) {
   return result;
 }
 
+namespace {
+
+// a^(2^n), n repeated squarings.
+Fe FeSqN(Fe a, int n) {
+  for (int i = 0; i < n; ++i) {
+    a = FeSq(a);
+  }
+  return a;
+}
+
+// The shared prefix of the inversion and decompression chains: returns
+// (a^(2^250 - 1), a^11). Classic curve25519 ladder: build a^(2^k - 1) for
+// k = 5, 10, 20, 40, 50, 100, 200, 250 by square-and-merge.
+struct ChainPrefix {
+  Fe t250;  // a^(2^250 - 1)
+  Fe t11;   // a^11
+};
+
+ChainPrefix FeChain250(const Fe& a) {
+  Fe a2 = FeSq(a);                      // a^2
+  Fe a9 = FeMul(FeSqN(a2, 2), a);       // a^9
+  Fe a11 = FeMul(a9, a2);               // a^11
+  Fe t5 = FeMul(FeSq(a11), a9);         // a^31 = a^(2^5 - 1)
+  Fe t10 = FeMul(FeSqN(t5, 5), t5);     // a^(2^10 - 1)
+  Fe t20 = FeMul(FeSqN(t10, 10), t10);  // a^(2^20 - 1)
+  Fe t40 = FeMul(FeSqN(t20, 20), t20);  // a^(2^40 - 1)
+  Fe t50 = FeMul(FeSqN(t40, 10), t10);  // a^(2^50 - 1)
+  Fe t100 = FeMul(FeSqN(t50, 50), t50);    // a^(2^100 - 1)
+  Fe t200 = FeMul(FeSqN(t100, 100), t100);  // a^(2^200 - 1)
+  Fe t250 = FeMul(FeSqN(t200, 50), t50);    // a^(2^250 - 1)
+  return {t250, a11};
+}
+
+}  // namespace
+
 Fe FeInvert(const Fe& a) {
-  // a^(p-2) by Fermat.
-  U256 e = FieldPrime();
-  U256 two{2, 0, 0, 0};
-  Sub(&e, e, two);
-  return FePow(a, e);
+  // a^(p-2) by Fermat; p - 2 = 2^255 - 21 = (2^250 - 1) * 2^5 + 11.
+  ChainPrefix c = FeChain250(a);
+  return FeMul(FeSqN(c.t250, 5), c.t11);
+}
+
+Fe FePow22523(const Fe& a) {
+  // 2^252 - 3 = (2^250 - 1) * 2^2 + 1.
+  ChainPrefix c = FeChain250(a);
+  return FeMul(FeSqN(c.t250, 2), a);
 }
 
 void FeCanonicalize(Fe* a) {

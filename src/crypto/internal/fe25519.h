@@ -38,7 +38,12 @@ Fe FeNeg(const Fe& a);
 // a^e (mod p), e an arbitrary 256-bit exponent. Variable time.
 Fe FePow(const Fe& a, const U256& e);
 
-// Multiplicative inverse; FeInvert(0) == 0.
+// a^(2^252 - 3): the fixed exponent of RFC 8032 point decompression
+// (x = uv^3 * (uv^7)^(2^252-3)), via an addition chain (~254 squarings +
+// 11 multiplies instead of ~250 multiplies through the generic FePow).
+Fe FePow22523(const Fe& a);
+
+// Multiplicative inverse; FeInvert(0) == 0. Addition chain for a^(p-2).
 Fe FeInvert(const Fe& a);
 
 // Reduces to the canonical representative in [0, p).

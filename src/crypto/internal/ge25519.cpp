@@ -1,5 +1,9 @@
 #include "src/crypto/internal/ge25519.h"
 
+#include <algorithm>
+
+#include "src/crypto/internal/sc25519.h"
+
 namespace algorand {
 namespace internal {
 namespace {
@@ -73,11 +77,57 @@ GePoint GeNeg(const GePoint& p) {
 
 GePoint GeSub(const GePoint& p, const GePoint& q) { return GeAdd(p, GeNeg(q)); }
 
+GeCached GeToCached(const GePoint& p) {
+  GeCached c;
+  c.YplusX = FeAdd(p.Y, p.X);
+  c.YminusX = FeSub(p.Y, p.X);
+  c.Z = p.Z;
+  c.T2d = FeMul(p.T, GeConst2D());
+  return c;
+}
+
+GePoint GeAddCached(const GePoint& p, const GeCached& q) {
+  // GeAdd with q's sums and 2d*T precomputed: 8 multiplies instead of 9.
+  Fe a = FeMul(FeSub(p.Y, p.X), q.YminusX);
+  Fe b = FeMul(FeAdd(p.Y, p.X), q.YplusX);
+  Fe c = FeMul(p.T, q.T2d);
+  Fe d = FeMul(FeAdd(p.Z, p.Z), q.Z);
+  Fe e = FeSub(b, a);
+  Fe f = FeSub(d, c);
+  Fe g = FeAdd(d, c);
+  Fe h = FeAdd(b, a);
+  GePoint r;
+  r.X = FeMul(e, f);
+  r.Y = FeMul(g, h);
+  r.T = FeMul(e, h);
+  r.Z = FeMul(f, g);
+  return r;
+}
+
+GePoint GeSubCached(const GePoint& p, const GeCached& q) {
+  // Adding -q swaps q's Y±X and negates its T, so C changes sign and F/G swap.
+  Fe a = FeMul(FeSub(p.Y, p.X), q.YplusX);
+  Fe b = FeMul(FeAdd(p.Y, p.X), q.YminusX);
+  Fe c = FeMul(p.T, q.T2d);
+  Fe d = FeMul(FeAdd(p.Z, p.Z), q.Z);
+  Fe e = FeSub(b, a);
+  Fe f = FeAdd(d, c);
+  Fe g = FeSub(d, c);
+  Fe h = FeAdd(b, a);
+  GePoint r;
+  r.X = FeMul(e, f);
+  r.Y = FeMul(g, h);
+  r.T = FeMul(e, h);
+  r.Z = FeMul(f, g);
+  return r;
+}
+
 GePoint GeDouble(const GePoint& p) {
   // dbl-2008-hwcd specialized to a = -1 (signs folded; see fe tests).
   Fe a = FeSq(p.X);
   Fe b = FeSq(p.Y);
-  Fe c = FeAdd(FeSq(p.Z), FeSq(p.Z));
+  Fe zz = FeSq(p.Z);
+  Fe c = FeAdd(zz, zz);
   Fe h = FeAdd(a, b);
   Fe xy = FeAdd(p.X, p.Y);
   Fe e = FeSub(h, FeSq(xy));
@@ -145,6 +195,160 @@ GePoint GeScalarMultBase(const uint8_t scalar[32]) {
   return r;
 }
 
+namespace {
+
+// Table of the odd multiples {1, 3, 5, ..., 15} * p in cached form, for
+// width-5 w-NAF evaluation. Costs one doubling plus seven additions.
+struct OddTable {
+  GeCached entry[8];
+};
+
+OddTable BuildOddTable(const GePoint& p) {
+  OddTable table;
+  GeCached twice = GeToCached(GeDouble(p));
+  GePoint cur = p;
+  table.entry[0] = GeToCached(cur);
+  for (int i = 1; i < 8; ++i) {
+    cur = GeAddCached(cur, twice);
+    table.entry[i] = GeToCached(cur);
+  }
+  return table;
+}
+
+// Affine precomputed multiple (Z == 1): y+x, y-x, 2d*x*y. Addition against
+// one of these skips the Z multiplication (7 multiplies).
+struct GePrecomp {
+  Fe YplusX, YminusX, XY2d;
+};
+
+GePrecomp ToPrecomp(const GePoint& p) {
+  Fe zinv = FeInvert(p.Z);
+  Fe x = FeMul(p.X, zinv);
+  Fe y = FeMul(p.Y, zinv);
+  GePrecomp q;
+  q.YplusX = FeAdd(y, x);
+  q.YminusX = FeSub(y, x);
+  q.XY2d = FeMul(FeMul(x, y), GeConst2D());
+  return q;
+}
+
+GePoint GeAddPrecomp(const GePoint& p, const GePrecomp& q) {
+  Fe a = FeMul(FeSub(p.Y, p.X), q.YminusX);
+  Fe b = FeMul(FeAdd(p.Y, p.X), q.YplusX);
+  Fe c = FeMul(p.T, q.XY2d);
+  Fe d = FeAdd(p.Z, p.Z);
+  Fe e = FeSub(b, a);
+  Fe f = FeSub(d, c);
+  Fe g = FeAdd(d, c);
+  Fe h = FeAdd(b, a);
+  GePoint r;
+  r.X = FeMul(e, f);
+  r.Y = FeMul(g, h);
+  r.T = FeMul(e, h);
+  r.Z = FeMul(f, g);
+  return r;
+}
+
+GePoint GeSubPrecomp(const GePoint& p, const GePrecomp& q) {
+  Fe a = FeMul(FeSub(p.Y, p.X), q.YplusX);
+  Fe b = FeMul(FeAdd(p.Y, p.X), q.YminusX);
+  Fe c = FeMul(p.T, q.XY2d);
+  Fe d = FeAdd(p.Z, p.Z);
+  Fe e = FeSub(b, a);
+  Fe f = FeAdd(d, c);
+  Fe g = FeSub(d, c);
+  Fe h = FeAdd(b, a);
+  GePoint r;
+  r.X = FeMul(e, f);
+  r.Y = FeMul(g, h);
+  r.T = FeMul(e, h);
+  r.Z = FeMul(f, g);
+  return r;
+}
+
+// w-NAF window width for the static base-point table: odd multiples
+// {1, 3, ..., 2^(kBaseWNafWidth-1) - 1} * B in affine form.
+constexpr int kBaseWNafWidth = 7;
+constexpr int kBaseWNafTableSize = 1 << (kBaseWNafWidth - 2);  // 32 entries.
+
+struct BaseWNafTable {
+  GePrecomp entry[kBaseWNafTableSize];
+};
+
+const BaseWNafTable& GetBaseWNafTable() {
+  static const BaseWNafTable* kTable = [] {
+    auto* table = new BaseWNafTable;
+    GePoint twice = GeDouble(GeBasePoint());
+    GePoint cur = GeBasePoint();
+    table->entry[0] = ToPrecomp(cur);
+    for (int i = 1; i < kBaseWNafTableSize; ++i) {
+      cur = GeAdd(cur, twice);
+      table->entry[i] = ToPrecomp(cur);
+    }
+    return table;
+  }();
+  return *kTable;
+}
+
+// Shared Straus/Shamir loop: one doubling chain, `naf_a` digits applied
+// against `ta`, optional `naf_b` digits against either a cached table `tb`
+// or the static base table (when `tb` is null). Digit d indexes entry
+// (|d| - 1) / 2 == |d| >> 1 for odd d.
+GePoint WNafEvaluate(const int8_t* naf_a, int len_a, const OddTable& ta, const int8_t* naf_b,
+                     int len_b, const OddTable* tb) {
+  const BaseWNafTable* base = tb == nullptr ? &GetBaseWNafTable() : nullptr;
+  GePoint r = GeIdentity();
+  for (int i = std::max(len_a, len_b) - 1; i >= 0; --i) {
+    r = GeDouble(r);
+    if (i < len_a && naf_a[i] != 0) {
+      r = naf_a[i] > 0 ? GeAddCached(r, ta.entry[naf_a[i] >> 1])
+                       : GeSubCached(r, ta.entry[(-naf_a[i]) >> 1]);
+    }
+    if (i < len_b && naf_b[i] != 0) {
+      if (base != nullptr) {
+        r = naf_b[i] > 0 ? GeAddPrecomp(r, base->entry[naf_b[i] >> 1])
+                         : GeSubPrecomp(r, base->entry[(-naf_b[i]) >> 1]);
+      } else {
+        r = naf_b[i] > 0 ? GeAddCached(r, tb->entry[naf_b[i] >> 1])
+                         : GeSubCached(r, tb->entry[(-naf_b[i]) >> 1]);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+GePoint GeScalarMultVartime(const uint8_t scalar[32], const GePoint& p) {
+  int8_t naf[kWNafMaxDigits];
+  int len = ScWNaf(naf, scalar, 5);
+  if (len == 0) {
+    return GeIdentity();
+  }
+  OddTable table = BuildOddTable(p);
+  return WNafEvaluate(naf, len, table, naf, 0, &table);
+}
+
+GePoint GeDoubleScalarMultVartime(const uint8_t a[32], const GePoint& A, const uint8_t b[32]) {
+  int8_t naf_a[kWNafMaxDigits];
+  int8_t naf_b[kWNafMaxDigits];
+  int len_a = ScWNaf(naf_a, a, 5);
+  int len_b = ScWNaf(naf_b, b, kBaseWNafWidth);
+  OddTable table = BuildOddTable(A);
+  return WNafEvaluate(naf_a, len_a, table, naf_b, len_b, nullptr);
+}
+
+GePoint GeTwoScalarMultVartime(const uint8_t a[32], const GePoint& A, const uint8_t b[32],
+                               const GePoint& B) {
+  int8_t naf_a[kWNafMaxDigits];
+  int8_t naf_b[kWNafMaxDigits];
+  int len_a = ScWNaf(naf_a, a, 5);
+  int len_b = ScWNaf(naf_b, b, 5);
+  OddTable table_a = BuildOddTable(A);
+  OddTable table_b = BuildOddTable(B);
+  return WNafEvaluate(naf_a, len_a, table_a, naf_b, len_b, &table_b);
+}
+
 GePoint GeMulByCofactor(const GePoint& p) { return GeDouble(GeDouble(GeDouble(p))); }
 
 bool GeIsIdentity(const GePoint& p) { return FeIsZero(p.X) && FeEq(p.Y, p.Z); }
@@ -171,16 +375,11 @@ std::optional<GePoint> GeFromBytes(const uint8_t in[32]) {
   Fe u = FeSub(y2, FeOne());
   Fe v = FeAdd(FeMul(GeConstD(), y2), FeOne());
 
-  // Candidate root: x = u * v^3 * (u * v^7)^((p-5)/8).
+  // Candidate root: x = u * v^3 * (u * v^7)^((p-5)/8), with the fixed
+  // exponent (p-5)/8 = 2^252 - 3 evaluated by addition chain.
   Fe v3 = FeMul(FeSq(v), v);
   Fe v7 = FeMul(FeSq(v3), v);
-  U256 e = FieldPrime();
-  U256 five{5, 0, 0, 0};
-  Sub(&e, e, five);
-  Shr1(&e);
-  Shr1(&e);
-  Shr1(&e);
-  Fe x = FeMul(FeMul(u, v3), FePow(FeMul(u, v7), e));
+  Fe x = FeMul(FeMul(u, v3), FePow22523(FeMul(u, v7)));
 
   Fe vx2 = FeMul(v, FeSq(x));
   if (FeEq(vx2, u)) {

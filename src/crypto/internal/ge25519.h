@@ -36,9 +36,38 @@ GePoint GeSub(const GePoint& p, const GePoint& q);
 GePoint GeDouble(const GePoint& p);
 GePoint GeNeg(const GePoint& p);
 
+// A point preprocessed for repeated addition: the sums/differences and the
+// 2d-scaled T that GeAdd would otherwise recompute per call (Hisil et al.
+// "cached" form). Saves one field multiply and two adds per addition.
+struct GeCached {
+  Fe YplusX, YminusX, Z, T2d;
+};
+GeCached GeToCached(const GePoint& p);
+GePoint GeAddCached(const GePoint& p, const GeCached& q);
+GePoint GeSubCached(const GePoint& p, const GeCached& q);
+
 // scalar * point, scalar given as 32 little-endian bytes. Variable time.
+// The textbook MSB-first double-and-add ladder, kept as the reference
+// implementation the windowed paths are cross-checked against.
 GePoint GeScalarMult(const uint8_t scalar[32], const GePoint& p);
 GePoint GeScalarMultBase(const uint8_t scalar[32]);
+
+// --- Verification fast paths (variable time, public inputs only) ---
+//
+// Width-5 w-NAF over a per-call table of odd multiples {1,3,...,15}*p:
+// 256 doublings but only ~43 additions against GeScalarMult's ~128.
+GePoint GeScalarMultVartime(const uint8_t scalar[32], const GePoint& p);
+
+// [a]A + [b]B for the standard base point B (Straus/Shamir interleaving):
+// one shared doubling chain, w-NAF(5) digits of `a` against the per-call
+// table of A, w-NAF(7) digits of `b` against a static affine table of odd
+// base-point multiples. The workhorse of Ed25519 and ECVRF verification.
+GePoint GeDoubleScalarMultVartime(const uint8_t a[32], const GePoint& A, const uint8_t b[32]);
+
+// [a]A + [b]B for two arbitrary points (ECVRF's V = [s]H - [c]Gamma with
+// B = -Gamma): same interleaving, both tables built per call.
+GePoint GeTwoScalarMultVartime(const uint8_t a[32], const GePoint& A, const uint8_t b[32],
+                               const GePoint& B);
 
 // Multiplies by the cofactor 8 (three doublings).
 GePoint GeMulByCofactor(const GePoint& p);

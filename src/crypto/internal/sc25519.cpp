@@ -63,5 +63,49 @@ void ScMulAdd(uint8_t out[32], const uint8_t a[32], const uint8_t b[32], const u
 
 bool ScIsCanonical(const uint8_t s[32]) { return Cmp(ScFromBytes(s), ScOrder()) < 0; }
 
+int ScWNaf(int8_t out[kWNafMaxDigits], const uint8_t s[32], int width) {
+  // Work on the bit expansion; a window whose value exceeds 2^(width-1) is
+  // replaced by its (odd, negative) complement and a borrow carried upward.
+  // The carry can ripple through runs of set bits, but never past index 256.
+  int8_t bits[kWNafMaxDigits + 8] = {0};
+  for (int i = 0; i < 256; ++i) {
+    bits[i] = static_cast<int8_t>((s[i / 8] >> (i % 8)) & 1);
+  }
+  for (int i = 0; i < kWNafMaxDigits; ++i) {
+    out[i] = 0;
+  }
+  const int full = 1 << width;
+  const int half = full >> 1;
+  int len = 0;
+  for (int i = 0; i < kWNafMaxDigits;) {
+    if (bits[i] == 0) {
+      ++i;
+      continue;
+    }
+    int window = 0;
+    for (int j = 0; j < width; ++j) {
+      window |= bits[i + j] << j;
+    }
+    for (int j = 0; j < width; ++j) {
+      bits[i + j] = 0;
+    }
+    int digit = window;
+    if (digit >= half) {
+      digit -= full;
+      // Borrow: add 1 at position i + width, rippling over set bits.
+      int k = i + width;
+      while (bits[k] == 1) {
+        bits[k] = 0;
+        ++k;
+      }
+      bits[k] = 1;
+    }
+    out[i] = static_cast<int8_t>(digit);
+    len = i + 1;
+    i += width;
+  }
+  return len;
+}
+
 }  // namespace internal
 }  // namespace algorand

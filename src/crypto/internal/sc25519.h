@@ -28,6 +28,18 @@ bool ScIsCanonical(const uint8_t s[32]);
 U256 ScFromBytes(const uint8_t in[32]);
 void ScToBytes(uint8_t out[32], const U256& s);
 
+// Maximum digit count of a width-w NAF of a 256-bit scalar (the borrow of
+// the top window can carry one position past bit 255).
+constexpr int kWNafMaxDigits = 257;
+
+// Width-`width` non-adjacent form: writes little-endian digits such that
+// s = sum_i out[i] * 2^i, each digit zero or odd in
+// [-(2^(width-1) - 1), 2^(width-1) - 1], with at least width-1 zeros after
+// every nonzero digit. Returns the number of significant digits (index of
+// the highest nonzero digit + 1; 0 for s = 0). width must be in [2, 8].
+// Variable time — verification-side use only.
+int ScWNaf(int8_t out[kWNafMaxDigits], const uint8_t s[32], int width);
+
 }  // namespace internal
 }  // namespace algorand
 

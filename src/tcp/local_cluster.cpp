@@ -21,7 +21,12 @@ LocalCluster::LocalCluster(const LocalClusterConfig& config)
     address_book[i] = endpoints_.back()->port();
   }
   cache_.AttachMetrics(&cluster_metrics_);
-  CryptoSuite crypto{vrf_, signer_, &cache_};
+  const size_t workers = ResolveVerifyWorkers(config_.verify_workers);
+  if (workers > 0) {
+    pool_ = std::make_unique<VerifyPool>(workers);
+    pool_->AttachMetrics(&cluster_metrics_);
+  }
+  CryptoSuite crypto{vrf_, signer_, &cache_, pool_.get()};
   for (NodeId i = 0; i < config_.n_nodes; ++i) {
     metrics_.push_back(std::make_unique<MetricsRegistry>());
     endpoints_[i]->SetAddressBook(address_book);
@@ -30,11 +35,20 @@ LocalCluster::LocalCluster(const LocalClusterConfig& config)
     agents_.back()->AttachMetrics(metrics_.back().get());
     TcpEndpoint* endpoint = endpoints_[i].get();
     GossipAgent* agent = agents_.back().get();
-    endpoint->set_receiver(
-        [agent](NodeId from, const MessagePtr& msg) { agent->OnReceive(from, msg); });
     nodes_.push_back(std::make_unique<Node>(i, &loop_, agent, genesis_.keys[i], genesis_.config,
                                             config_.params, crypto));
     nodes_.back()->AttachObservability(metrics_.back().get(), &tracer_);
+    // With a pool, kick verification onto a worker as each frame is decoded;
+    // by the time the relay logic asks for the verdict, the entry is ready or
+    // in flight (worst case the protocol thread briefly waits).
+    Node* node = nodes_.back().get();
+    VerifyPool* pool = pool_.get();
+    endpoint->set_receiver([agent, node, pool](NodeId from, const MessagePtr& msg) {
+      if (pool != nullptr) {
+        node->PrewarmMessage(msg, pool);
+      }
+      agent->OnReceive(from, msg);
+    });
   }
   // Dial out-peers up front so the first round's gossip flows immediately.
   for (NodeId i = 0; i < config_.n_nodes; ++i) {

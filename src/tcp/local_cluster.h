@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/verify_pool.h"
 #include "src/core/node.h"
 #include "src/core/verification_cache.h"
 #include "src/obs/metrics.h"
@@ -23,6 +24,10 @@ struct LocalClusterConfig {
   size_t gossip_out_degree = 3;
   ProtocolParams params;  // Caller should scale lambdas to real-time budgets.
   bool use_sim_crypto = false;
+  // Verification worker threads (see HarnessConfig::verify_workers): 0 =
+  // verify inline on the event-loop thread; -1 (default) reads the
+  // ALGORAND_VERIFY_WORKERS environment variable, else 0.
+  int verify_workers = -1;
 };
 
 class LocalCluster {
@@ -69,6 +74,8 @@ class LocalCluster {
   const VrfBackend* vrf_ = nullptr;
   const SignerBackend* signer_ = nullptr;
   VerificationCache cache_;
+  // After cache_: workers join before the cache (or backends) go away.
+  std::unique_ptr<VerifyPool> pool_;
   std::vector<std::unique_ptr<MetricsRegistry>> metrics_;
   MetricsRegistry cluster_metrics_;
   RoundTracer tracer_;

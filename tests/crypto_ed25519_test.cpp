@@ -131,6 +131,104 @@ TEST(Ed25519Test, DistinctSeedsDistinctKeys) {
   EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
 }
 
+// RFC 8032 §7.1 TEST 3 (two-byte message af82): full sign KAT plus agreement
+// between the double-scalar verify and the legacy two-multiplication verify.
+TEST(Ed25519Test, Rfc8032Test3) {
+  FixedBytes<32> seed =
+      FixedBytes<32>::FromHex("c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7");
+  Ed25519KeyPair kp = Ed25519KeyFromSeed(seed);
+  EXPECT_EQ(kp.public_key.ToHex(),
+            "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025");
+  uint8_t msg[2] = {0xaf, 0x82};
+  Signature sig = Ed25519Sign(kp, msg);
+  EXPECT_EQ(sig.ToHex(),
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+            "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a");
+  EXPECT_TRUE(Ed25519Verify(kp.public_key, msg, sig));
+  EXPECT_TRUE(Ed25519VerifyLegacy(kp.public_key, msg, sig));
+}
+
+// The w-NAF verify must make the same accept/reject decision as the legacy
+// verify on every input: valid signatures, every single-byte corruption of
+// the signature, and corrupted keys/messages.
+TEST(Ed25519Test, LegacyDecisionParity) {
+  DeterministicRng rng(108);
+  for (int i = 0; i < 5; ++i) {
+    Ed25519KeyPair kp = KeyFromRng(&rng);
+    std::vector<uint8_t> msg(static_cast<size_t>(17 * i + 1));
+    rng.FillBytes(msg.data(), msg.size());
+    Signature sig = Ed25519Sign(kp, msg);
+    EXPECT_TRUE(Ed25519Verify(kp.public_key, msg, sig));
+    EXPECT_TRUE(Ed25519VerifyLegacy(kp.public_key, msg, sig));
+    for (size_t b = 0; b < sig.size(); b += 5) {
+      Signature bad = sig;
+      bad[b] ^= static_cast<uint8_t>(1 + (b % 7));
+      EXPECT_EQ(Ed25519Verify(kp.public_key, msg, bad),
+                Ed25519VerifyLegacy(kp.public_key, msg, bad))
+          << "sig corruption at byte " << b;
+    }
+    PublicKey bad_pk = kp.public_key;
+    bad_pk[static_cast<size_t>(i) % 32] ^= 0x40;
+    EXPECT_EQ(Ed25519Verify(bad_pk, msg, sig), Ed25519VerifyLegacy(bad_pk, msg, sig));
+    std::vector<uint8_t> bad_msg = msg;
+    bad_msg[0] ^= 1;
+    EXPECT_EQ(Ed25519Verify(kp.public_key, bad_msg, sig),
+              Ed25519VerifyLegacy(kp.public_key, bad_msg, sig));
+  }
+}
+
+// Crafted point encodings substituted for R and for A. The two verifiers
+// compare R differently (byte re-encoding vs projective GeEq), so these
+// pin the decisions down AND assert parity for each encoding.
+TEST(Ed25519Test, CraftedEncodingsRejectedIdentically) {
+  const char* encodings[] = {
+      // Canonical identity (y = 1).
+      "0100000000000000000000000000000000000000000000000000000000000000",
+      // Non-canonical identity: y = p + 1, decodes to the identity point.
+      "eeffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f",
+      // y = p: decodes to y = 0, a valid point of order 4.
+      "edffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f",
+      // "-0": x sign bit set on y = 1; not a valid encoding at all.
+      "0100000000000000000000000000000000000000000000000000000000000080",
+  };
+  DeterministicRng rng(109);
+  Ed25519KeyPair kp = KeyFromRng(&rng);
+  auto msg = BytesOfString("crafted encodings");
+  Signature sig = Ed25519Sign(kp, msg);
+  for (const char* hex : encodings) {
+    auto enc = HexDecode(hex);
+    ASSERT_TRUE(enc.has_value());
+    // Substituted for R: the challenge hash changes, so the equation cannot
+    // hold; both paths must reject.
+    Signature bad_r = sig;
+    for (int i = 0; i < 32; ++i) {
+      bad_r[static_cast<size_t>(i)] = (*enc)[static_cast<size_t>(i)];
+    }
+    EXPECT_FALSE(Ed25519Verify(kp.public_key, msg, bad_r)) << hex;
+    EXPECT_FALSE(Ed25519VerifyLegacy(kp.public_key, msg, bad_r)) << hex;
+    // Substituted for A: a small-order or invalid key with someone else's
+    // signature; both paths must reject.
+    PublicKey bad_pk;
+    for (int i = 0; i < 32; ++i) {
+      bad_pk[static_cast<size_t>(i)] = (*enc)[static_cast<size_t>(i)];
+    }
+    EXPECT_EQ(Ed25519Verify(bad_pk, msg, sig), Ed25519VerifyLegacy(bad_pk, msg, sig)) << hex;
+    EXPECT_FALSE(Ed25519Verify(bad_pk, msg, sig)) << hex;
+  }
+}
+
+TEST(Ed25519Test, VerifyRejectsHighBitS) {
+  // S with the top bit forced (far above L) must be rejected by both paths.
+  DeterministicRng rng(110);
+  Ed25519KeyPair kp = KeyFromRng(&rng);
+  auto msg = BytesOfString("high S");
+  Signature sig = Ed25519Sign(kp, msg);
+  Signature bad = sig;
+  bad[63] |= 0x80;
+  EXPECT_FALSE(Ed25519Verify(kp.public_key, msg, bad));
+  EXPECT_FALSE(Ed25519VerifyLegacy(kp.public_key, msg, bad));
+}
+
 TEST(Ed25519Test, EmptyAndLargeMessages) {
   DeterministicRng rng(107);
   Ed25519KeyPair kp = KeyFromRng(&rng);

@@ -420,6 +420,91 @@ TEST(Ge25519Test, MulByCofactorIsEightTimes) {
   EXPECT_TRUE(GeEq(GeMulByCofactor(b), GeScalarMult(eight, b)));
 }
 
+TEST(Fe25519Test, Pow22523MatchesGenericPow) {
+  // The addition chain for the decompression exponent 2^252 - 3 against the
+  // generic square-and-multiply ladder.
+  U256 e{0xFFFFFFFFFFFFFFFDULL, 0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL,
+         0x0FFFFFFFFFFFFFFFULL};
+  DeterministicRng rng(24);
+  for (int i = 0; i < 5; ++i) {
+    Fe a = RandomFe(&rng);
+    EXPECT_TRUE(FeEq(FePow22523(a), FePow(a, e))) << "iter " << i;
+  }
+}
+
+TEST(Fe25519Test, InvertMatchesGenericPow) {
+  // FeInvert's addition chain against a^(p-2) through FePow. p - 2 =
+  // 2^255 - 21.
+  U256 e{0xFFFFFFFFFFFFFFEBULL, 0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL,
+         0x7FFFFFFFFFFFFFFFULL};
+  DeterministicRng rng(25);
+  for (int i = 0; i < 5; ++i) {
+    Fe a = RandomFe(&rng);
+    EXPECT_TRUE(FeEq(FeInvert(a), FePow(a, e))) << "iter " << i;
+  }
+}
+
+// Random point distinct from the base point, for the vartime cross-checks.
+GePoint RandomPoint(DeterministicRng* rng) {
+  uint8_t wide[64], s[32];
+  rng->FillBytes(wide, 64);
+  ScReduce64(s, wide);
+  return GeScalarMultBase(s);
+}
+
+TEST(Ge25519Test, ScalarMultVartimeMatchesTextbook) {
+  DeterministicRng rng(26);
+  GePoint p = RandomPoint(&rng);
+  for (int i = 0; i < 10; ++i) {
+    // Full 256-bit scalars, not just reduced ones: the w-NAF recoding must
+    // agree with the plain ladder over the whole input domain.
+    uint8_t s[32];
+    rng.FillBytes(s, 32);
+    EXPECT_TRUE(GeEq(GeScalarMultVartime(s, p), GeScalarMult(s, p))) << "iter " << i;
+  }
+  uint8_t zero[32] = {};
+  EXPECT_TRUE(GeIsIdentity(GeScalarMultVartime(zero, p)));
+  uint8_t one[32] = {};
+  one[0] = 1;
+  EXPECT_TRUE(GeEq(GeScalarMultVartime(one, p), p));
+  uint8_t all_ff[32];
+  memset(all_ff, 0xff, 32);
+  EXPECT_TRUE(GeEq(GeScalarMultVartime(all_ff, p), GeScalarMult(all_ff, p)));
+}
+
+TEST(Ge25519Test, DoubleScalarMultVartimeMatchesComposition) {
+  // [a]A + [b]B against the composed textbook computation, including the
+  // degenerate scalar pairs that skip one side of the interleaving.
+  DeterministicRng rng(27);
+  for (int i = 0; i < 8; ++i) {
+    GePoint A = RandomPoint(&rng);
+    uint8_t a[32], b[32];
+    rng.FillBytes(a, 32);
+    rng.FillBytes(b, 32);
+    if (i == 6) {
+      memset(a, 0, 32);  // [0]A + [b]B: pure base-point table walk.
+    }
+    if (i == 7) {
+      memset(b, 0, 32);  // [a]A + [0]B: pure odd-multiples walk.
+    }
+    GePoint expected = GeAdd(GeScalarMult(a, A), GeScalarMult(b, GeBasePoint()));
+    EXPECT_TRUE(GeEq(GeDoubleScalarMultVartime(a, A, b), expected)) << "iter " << i;
+  }
+}
+
+TEST(Ge25519Test, TwoScalarMultVartimeMatchesComposition) {
+  DeterministicRng rng(28);
+  for (int i = 0; i < 8; ++i) {
+    GePoint A = RandomPoint(&rng);
+    GePoint B = RandomPoint(&rng);
+    uint8_t a[32], b[32];
+    rng.FillBytes(a, 32);
+    rng.FillBytes(b, 32);
+    GePoint expected = GeAdd(GeScalarMult(a, A), GeScalarMult(b, B));
+    EXPECT_TRUE(GeEq(GeTwoScalarMultVartime(a, A, b, B), expected)) << "iter " << i;
+  }
+}
+
 }  // namespace
 }  // namespace internal
 }  // namespace algorand

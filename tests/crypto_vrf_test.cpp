@@ -146,6 +146,41 @@ TEST(EcVrfTest, ProofsFromDifferentMessagesDiffer) {
   EXPECT_NE(a.proof, b.proof);
 }
 
+// The double-scalar verify must agree with the legacy four-multiplication
+// verify: same beta on valid proofs, same rejection on corrupted ones.
+TEST(EcVrfTest, LegacyDecisionParity) {
+  DeterministicRng rng(214);
+  for (int i = 0; i < 3; ++i) {
+    Ed25519KeyPair kp = KeyFromRng(&rng);
+    auto alpha = BytesOfString("parity-" + std::to_string(i));
+    VrfResult res = EcVrfProve(kp, alpha);
+    auto fast = EcVrfVerify(kp.public_key, alpha, res.proof);
+    auto legacy = EcVrfVerifyLegacy(kp.public_key, alpha, res.proof);
+    ASSERT_TRUE(fast.has_value());
+    ASSERT_TRUE(legacy.has_value());
+    EXPECT_EQ(*fast, *legacy);
+    EXPECT_EQ(*fast, res.output);
+    // Corrupt each of the proof's three components in turn: Gamma (0..31),
+    // c (32..47), s (48..79).
+    for (size_t b : {size_t{0}, size_t{33}, size_t{50}, size_t{79}}) {
+      VrfProof bad = res.proof;
+      bad[b] ^= 1;
+      EXPECT_EQ(EcVrfVerify(kp.public_key, alpha, bad).has_value(),
+                EcVrfVerifyLegacy(kp.public_key, alpha, bad).has_value())
+          << "corruption at byte " << b;
+      EXPECT_FALSE(EcVrfVerify(kp.public_key, alpha, bad).has_value())
+          << "corruption at byte " << b;
+    }
+    // Wrong alpha and wrong key must reject identically.
+    auto wrong_alpha = BytesOfString("other");
+    EXPECT_FALSE(EcVrfVerify(kp.public_key, wrong_alpha, res.proof).has_value());
+    EXPECT_FALSE(EcVrfVerifyLegacy(kp.public_key, wrong_alpha, res.proof).has_value());
+    Ed25519KeyPair other = KeyFromRng(&rng);
+    EXPECT_EQ(EcVrfVerify(other.public_key, alpha, res.proof).has_value(),
+              EcVrfVerifyLegacy(other.public_key, alpha, res.proof).has_value());
+  }
+}
+
 TEST(SimVrfTest, MatchesKeyedHashContract) {
   // SimVrf output must depend only on (pk, alpha), so two key pairs with the
   // same public key (impossible in practice, but the contract matters for

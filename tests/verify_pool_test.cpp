@@ -1,0 +1,190 @@
+// Verification pipeline tests: the VerifyPool worker pool, the thread-safe
+// VerificationCache it feeds, and the end-to-end property that matters for
+// tier-1 determinism — a SimHarness run produces the identical chain with the
+// pipeline off (workers = 0) and on (workers > 0), because prewarming only
+// ever caches values the inline path would compute anyway.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "src/common/verify_pool.h"
+#include "src/core/sim_harness.h"
+#include "src/core/verification_cache.h"
+
+namespace algorand {
+namespace {
+
+Hash256 Key(uint64_t i) {
+  Hash256 h;
+  for (size_t b = 0; b < 8; ++b) {
+    h[b] = static_cast<uint8_t>(i >> (8 * b));
+  }
+  return h;
+}
+
+TEST(VerifyPoolTest, ZeroWorkersIsInert) {
+  VerifyPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  std::atomic<int> ran{0};
+  pool.Submit([&] { ran.fetch_add(1); });
+  pool.Drain();
+  EXPECT_EQ(ran.load(), 0);  // Submit is a no-op; the caller verifies inline.
+}
+
+TEST(VerifyPoolTest, RunsAllSubmittedJobs) {
+  std::atomic<int> ran{0};
+  {
+    VerifyPool pool(3);
+    EXPECT_EQ(pool.worker_count(), 3u);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+    pool.Drain();
+    EXPECT_EQ(ran.load(), 100);
+    // Jobs submitted after a drain still run (destructor drains).
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 110);
+}
+
+TEST(VerifyPoolTest, ResolveWorkersPrefersExplicitConfig) {
+  unsetenv("ALGORAND_VERIFY_WORKERS");
+  EXPECT_EQ(ResolveVerifyWorkers(0), 0u);
+  EXPECT_EQ(ResolveVerifyWorkers(4), 4u);
+  EXPECT_EQ(ResolveVerifyWorkers(-1), 0u);  // No env, default single-threaded.
+  setenv("ALGORAND_VERIFY_WORKERS", "2", 1);
+  EXPECT_EQ(ResolveVerifyWorkers(-1), 2u);  // Env fills in the default...
+  EXPECT_EQ(ResolveVerifyWorkers(0), 0u);   // ...but never overrides config.
+  setenv("ALGORAND_VERIFY_WORKERS", "junk", 1);
+  EXPECT_EQ(ResolveVerifyWorkers(-1), 0u);
+  unsetenv("ALGORAND_VERIFY_WORKERS");
+}
+
+TEST(VerificationCacheTest, ComputesOncePerKey) {
+  VerificationCache cache;
+  int computes = 0;
+  EXPECT_EQ(cache.GetOrCompute(Key(1), [&] {
+    ++computes;
+    return uint64_t{7};
+  }),
+            7u);
+  EXPECT_EQ(cache.GetOrCompute(Key(1), [&] {
+    ++computes;
+    return uint64_t{99};
+  }),
+            7u);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(VerificationCacheTest, PrewarmServesLaterLookups) {
+  VerificationCache cache;
+  EXPECT_FALSE(cache.Contains(Key(5)));
+  cache.Prewarm(Key(5), [] { return uint64_t{42}; });
+  EXPECT_TRUE(cache.Contains(Key(5)));
+  EXPECT_EQ(cache.prewarms(), 1u);
+  // Re-prewarming an existing entry is a no-op.
+  cache.Prewarm(Key(5), [] { return uint64_t{0}; });
+  EXPECT_EQ(cache.prewarms(), 1u);
+  int computes = 0;
+  EXPECT_EQ(cache.GetOrCompute(Key(5), [&] {
+    ++computes;
+    return uint64_t{0};
+  }),
+            42u);
+  EXPECT_EQ(computes, 0);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(VerificationCacheTest, NoteRoundPrunesStaleEntries) {
+  VerificationCache cache;
+  cache.NoteRound(1);
+  cache.Prewarm(Key(10), [] { return uint64_t{1}; });
+  cache.NoteRound(2);
+  cache.Prewarm(Key(20), [] { return uint64_t{2}; });
+  EXPECT_EQ(cache.size(), 2u);
+  // kKeepRounds = 2: at round 4 the round-1 entry ages out, round-2 survives.
+  cache.NoteRound(4);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.Contains(Key(10)));
+  EXPECT_TRUE(cache.Contains(Key(20)));
+  EXPECT_EQ(cache.pruned(), 1u);
+  // Touching an entry refreshes its round stamp.
+  cache.GetOrCompute(Key(20), [] { return uint64_t{0}; });
+  cache.NoteRound(6);
+  EXPECT_TRUE(cache.Contains(Key(20)));
+  cache.NoteRound(10);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(VerificationCacheTest, ConcurrentPrewarmAndLookupComputeOnce) {
+  // Hammer the cache from a pool and the "protocol thread" at once: every
+  // key must be computed exactly once and every lookup must see that value.
+  VerificationCache cache;
+  constexpr int kKeys = 200;
+  std::vector<std::atomic<int>> computes(kKeys);
+  {
+    VerifyPool pool(4);
+    for (int k = 0; k < kKeys; ++k) {
+      pool.Submit([&cache, &computes, k] {
+        cache.Prewarm(Key(static_cast<uint64_t>(k)), [&computes, k] {
+          computes[static_cast<size_t>(k)].fetch_add(1);
+          return static_cast<uint64_t>(k) * 3 + 1;
+        });
+      });
+    }
+    for (int k = 0; k < kKeys; ++k) {
+      uint64_t v =
+          cache.GetOrCompute(Key(static_cast<uint64_t>(k)), [&computes, k] {
+            computes[static_cast<size_t>(k)].fetch_add(1);
+            return static_cast<uint64_t>(k) * 3 + 1;
+          });
+      EXPECT_EQ(v, static_cast<uint64_t>(k) * 3 + 1);
+    }
+    pool.Drain();
+  }
+  for (int k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(computes[static_cast<size_t>(k)].load(), 1) << "key " << k;
+  }
+  EXPECT_EQ(cache.prewarms() + cache.misses(), static_cast<uint64_t>(kKeys));
+}
+
+// The pipeline must not change any protocol decision: the same seed with
+// workers disabled and enabled yields byte-identical chains. Prewarming only
+// warms the cache with values the inline path computes, and the simulated
+// event sequence never depends on wall-clock worker timing.
+TEST(VerifyPipelineTest, HarnessChainIsIdenticalWithAndWithoutWorkers) {
+  auto run = [](int workers) {
+    HarnessConfig cfg;
+    cfg.n_nodes = 12;
+    cfg.rng_seed = 77;
+    cfg.verify_workers = workers;
+    cfg.use_sim_crypto = false;  // Exercise the real Ed25519/VRF pipeline.
+    SimHarness harness(cfg);
+    harness.Start();
+    EXPECT_TRUE(harness.RunRounds(2, Seconds(600)));
+    std::vector<Hash256> hashes;
+    const Ledger& ledger = harness.node(0).ledger();
+    for (uint64_t r = 0; r < ledger.chain_length(); ++r) {
+      hashes.push_back(ledger.BlockAtRound(r).Hash());
+    }
+    return hashes;
+  };
+  std::vector<Hash256> without = run(0);
+  std::vector<Hash256> with = run(2);
+  ASSERT_GT(without.size(), 2u);
+  ASSERT_EQ(without.size(), with.size());
+  for (size_t r = 0; r < without.size(); ++r) {
+    EXPECT_EQ(without[r], with[r]) << "round " << r;
+  }
+}
+
+}  // namespace
+}  // namespace algorand
