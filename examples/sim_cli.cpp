@@ -9,14 +9,17 @@
 // summary with safety status, phase breakdown, and per-user bandwidth.
 // --metrics-json=FILE dumps the merged cross-node MetricsRegistry snapshot;
 // --trace-jsonl=FILE dumps the BA* round tracer (one JSON event per line).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "src/common/stats.h"
 #include "src/core/sim_harness.h"
+#include "src/netsim/adversary.h"
 
 using namespace algorand;
 
@@ -38,7 +41,42 @@ struct CliOptions {
   bool help = false;
   std::string metrics_json;
   std::string trace_jsonl;
+  // Chaos knobs: crash schedule "node:crash_s:restart_s[:fresh][,...]" and
+  // uniform per-transmission loss probability.
+  std::string crash_schedule;
+  double loss_rate = 0.0;
 };
+
+// "3:20:50" -> node 3 crashes at t=20s, restarts (from snapshot) at t=50s.
+// "3:20:50:fresh" restarts with durable state wiped (fresh join);
+// "3:20:0" never restarts. Returns false on malformed input.
+bool ParseCrashSchedule(const std::string& spec,
+                        std::vector<HarnessConfig::CrashEvent>* out) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    HarnessConfig::CrashEvent ev;
+    int node = 0;
+    double crash_s = 0;
+    double restart_s = 0;
+    char tail[8] = {0};
+    int matched = sscanf(item.c_str(), "%d:%lf:%lf:%7s", &node, &crash_s, &restart_s, tail);
+    if (matched < 3 || node < 0 || crash_s < 0) {
+      return false;
+    }
+    ev.node = static_cast<size_t>(node);
+    ev.crash_at = Seconds(crash_s);
+    ev.restart_at = Seconds(restart_s);
+    ev.from_snapshot = !(matched == 4 && strcmp(tail, "fresh") == 0);
+    out->push_back(ev);
+  }
+  return true;
+}
 
 // Accepts both `--name=value` and `--name value`. On a match, *value is set
 // and *i advances past any consumed extra argument.
@@ -89,6 +127,10 @@ CliOptions Parse(int argc, char** argv) {
       opt.metrics_json = v;
     } else if (ParseFlag(argc, argv, &i, "trace-jsonl", &v)) {
       opt.trace_jsonl = v;
+    } else if (ParseFlag(argc, argv, &i, "crash-schedule", &v)) {
+      opt.crash_schedule = v;
+    } else if (ParseFlag(argc, argv, &i, "loss-rate", &v)) {
+      opt.loss_rate = std::stod(v);
     } else if (strcmp(argv[i], "--real-crypto") == 0) {
       opt.real_crypto = true;
     } else if (strcmp(argv[i], "--uniform-latency") == 0) {
@@ -127,6 +169,9 @@ void PrintHelp() {
       "  --uniform-latency   50ms uniform links instead of the 20-city model\n"
       "  --metrics-json=FILE write the merged metrics snapshot as JSON\n"
       "  --trace-jsonl=FILE  write the BA* round trace (one JSON event/line)\n"
+      "  --crash-schedule=S  chaos: node:crash_s:restart_s[:fresh][,...]\n"
+      "                      (restart_s <= crash_s = never restarts)\n"
+      "  --loss-rate=F       chaos: drop each transmission with prob. F\n"
       "flags also accept the space-separated form: --rounds 5\n");
 }
 
@@ -153,6 +198,11 @@ int main(int argc, char** argv) {
   cfg.malicious_fraction = opt.malicious;
   cfg.latency =
       opt.uniform_latency ? HarnessConfig::Latency::kUniform : HarnessConfig::Latency::kCity;
+  if (!opt.crash_schedule.empty() &&
+      !ParseCrashSchedule(opt.crash_schedule, &cfg.crash_schedule)) {
+    fprintf(stderr, "bad --crash-schedule (want node:crash_s:restart_s[:fresh][,...])\n");
+    return 2;
+  }
 
   printf("algorand-sim: %zu users (%.0f%% malicious), %llu KB blocks, "
          "tau_step=%.0f tau_final=%.0f, %s crypto, seed %llu\n\n",
@@ -161,6 +211,9 @@ int main(int argc, char** argv) {
          static_cast<unsigned long long>(opt.seed));
 
   SimHarness h(cfg);
+  if (opt.loss_rate > 0) {
+    h.SetNetworkAdversary(std::make_unique<LossyAdversary>(opt.loss_rate, opt.seed));
+  }
   h.Start();
   bool done = h.RunRounds(opt.rounds, Hours(24));
 
@@ -190,6 +243,37 @@ int main(int argc, char** argv) {
   printf("completed: %s | safety: %s | chains consistent: %s\n", done ? "yes" : "NO",
          safety.ok ? "holds" : safety.violation.c_str(), h.ChainsConsistent() ? "yes" : "no");
 
+  // Chaos convergence: every live node (including restarted ones) must be
+  // within one round of the longest honest chain.
+  bool converged = true;
+  if (!cfg.crash_schedule.empty()) {
+    uint64_t max_len = 0;
+    for (size_t i = h.malicious_count(); i < h.node_count(); ++i) {
+      if (h.node_alive(i)) {
+        max_len = std::max<uint64_t>(max_len, h.node(i).ledger().chain_length());
+      }
+    }
+    for (size_t i = h.malicious_count(); i < h.node_count(); ++i) {
+      if (h.node_alive(i) && h.node(i).ledger().chain_length() + 1 < max_len) {
+        converged = false;
+        printf("convergence: node %zu at round %llu, tip %llu\n", i,
+               static_cast<unsigned long long>(h.node(i).ledger().chain_length() - 1),
+               static_cast<unsigned long long>(max_len - 1));
+      }
+    }
+    MetricsSnapshot chaos = h.AggregateMetrics();
+    printf("chaos: kills %llu restarts %llu | catchup sessions %llu completed %llu "
+           "blocks %llu timeouts %llu rotations %llu | converged: %s\n",
+           static_cast<unsigned long long>(chaos.counters["restart.kills"]),
+           static_cast<unsigned long long>(chaos.counters["restart.restarts"]),
+           static_cast<unsigned long long>(chaos.counters["catchup.sessions"]),
+           static_cast<unsigned long long>(chaos.counters["catchup.completed"]),
+           static_cast<unsigned long long>(chaos.counters["catchup.blocks_applied"]),
+           static_cast<unsigned long long>(chaos.counters["catchup.timeouts"]),
+           static_cast<unsigned long long>(chaos.counters["catchup.peer_rotations"]),
+           converged ? "yes" : "NO");
+  }
+
   bool dumps_ok = true;
   if (!opt.metrics_json.empty()) {
     MetricsSnapshot snapshot = h.AggregateMetrics();
@@ -211,5 +295,5 @@ int main(int argc, char** argv) {
       dumps_ok = false;
     }
   }
-  return done && safety.ok && dumps_ok ? 0 : 1;
+  return done && safety.ok && converged && dumps_ok ? 0 : 1;
 }

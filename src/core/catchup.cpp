@@ -1,5 +1,7 @@
 #include "src/core/catchup.h"
 
+#include "src/crypto/sha256.h"
+
 namespace algorand {
 namespace {
 
@@ -86,5 +88,101 @@ CatchupResult CatchupFromGenesis(const GenesisConfig& genesis, const ProtocolPar
   result.ok = true;
   return result;
 }
+
+std::vector<uint8_t> CatchupRequestMessage::Serialize() const {
+  Writer w;
+  w.U32(requester);
+  w.U64(seq);
+  w.U64(from_round);
+  w.U32(limit);
+  return w.Take();
+}
+
+std::optional<CatchupRequestMessage> CatchupRequestMessage::Deserialize(
+    std::span<const uint8_t> data) {
+  Reader r(data);
+  CatchupRequestMessage m;
+  m.requester = r.U32();
+  m.seq = r.U64();
+  m.from_round = r.U64();
+  m.limit = r.U32();
+  if (!r.AtEnd()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+Hash256 CatchupRequestMessage::DedupId() const { return Sha256::Hash(Serialize()); }
+
+std::vector<uint8_t> CatchupResponseMessage::Serialize() const {
+  Writer w;
+  w.U32(responder);
+  w.U64(seq);
+  w.U64(from_round);
+  w.U64(tip_round);
+  w.U32(static_cast<uint32_t>(entries.size()));
+  for (const Entry& e : entries) {
+    w.Bytes(e.block.Serialize());
+    w.Bytes(e.cert.Serialize());
+  }
+  w.U8(final_cert.has_value() ? 1 : 0);
+  if (final_cert.has_value()) {
+    w.Bytes(final_cert->Serialize());
+  }
+  return w.Take();
+}
+
+std::optional<CatchupResponseMessage> CatchupResponseMessage::Deserialize(
+    std::span<const uint8_t> data) {
+  Reader r(data);
+  CatchupResponseMessage m;
+  m.responder = r.U32();
+  m.seq = r.U64();
+  m.from_round = r.U64();
+  m.tip_round = r.U64();
+  uint32_t n = r.U32();
+  if (!r.ok() || n > data.size()) {
+    return std::nullopt;
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    auto bb = r.Bytes();
+    auto block = Block::Deserialize(bb);
+    auto cb = r.Bytes();
+    auto cert = Certificate::Deserialize(cb);
+    if (!block || !cert) {
+      return std::nullopt;
+    }
+    m.entries.push_back(Entry{std::move(*block), std::move(*cert)});
+  }
+  uint8_t has_final = r.U8();
+  if (!r.ok() || has_final > 1) {
+    return std::nullopt;
+  }
+  if (has_final == 1) {
+    auto fb = r.Bytes();
+    auto cert = Certificate::Deserialize(fb);
+    if (!cert) {
+      return std::nullopt;
+    }
+    m.final_cert = std::move(*cert);
+  }
+  if (!r.AtEnd()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+uint64_t CatchupResponseMessage::WireSize() const {
+  uint64_t size = 4 + 8 + 8 + 8 + 4 + 1;
+  for (const Entry& e : entries) {
+    size += 8 + e.block.WireSize() + e.cert.WireSize();
+  }
+  if (final_cert.has_value()) {
+    size += 4 + final_cert->WireSize();
+  }
+  return size;
+}
+
+Hash256 CatchupResponseMessage::DedupId() const { return Sha256::Hash(Serialize()); }
 
 }  // namespace algorand

@@ -34,6 +34,52 @@ CatchupResult CatchupFromGenesis(const GenesisConfig& genesis, const ProtocolPar
                                  const SignerBackend& signer,
                                  const Certificate* final_cert = nullptr);
 
+// --- Live catch-up wire protocol (§8.3) ---
+//
+// A lagging node that sees votes for rounds ahead of its tip asks a random
+// peer for a batch of blocks + certificates starting at `from_round`. The
+// response is verified through ValidateCertificate before any block is
+// appended; a tampered batch costs the peer its turn (rotation) but can
+// never corrupt the requester's chain.
+
+class CatchupRequestMessage : public SimMessage {
+ public:
+  uint32_t requester = 0;   // NodeId to answer to (point-to-point reply).
+  uint64_t seq = 0;         // Per-requester nonce: retries defeat gossip dedup.
+  uint64_t from_round = 0;  // First round wanted (requester's next_round).
+  uint32_t limit = 0;       // Max rounds in the response batch.
+
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<CatchupRequestMessage> Deserialize(std::span<const uint8_t> data);
+
+  uint64_t WireSize() const override { return 4 + 8 + 8 + 4; }
+  Hash256 DedupId() const override;
+  const char* TypeName() const override { return "catchup_req"; }
+};
+
+class CatchupResponseMessage : public SimMessage {
+ public:
+  struct Entry {
+    Block block;
+    Certificate cert;  // Deciding-step certificate covering the block.
+  };
+
+  uint32_t responder = 0;
+  uint64_t seq = 0;         // Echo of the request nonce.
+  uint64_t from_round = 0;  // Round of entries.front() (echo of the request).
+  uint64_t tip_round = 0;   // Responder's highest stored round (informational).
+  std::vector<Entry> entries;  // Consecutive rounds; may be a partial batch
+                               // when the responder's cert shard has gaps.
+  std::optional<Certificate> final_cert;  // Highest final-step cert ≤ batch end.
+
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<CatchupResponseMessage> Deserialize(std::span<const uint8_t> data);
+
+  uint64_t WireSize() const override;
+  Hash256 DedupId() const override;
+  const char* TypeName() const override { return "catchup_resp"; }
+};
+
 }  // namespace algorand
 
 #endif  // ALGORAND_SRC_CORE_CATCHUP_H_

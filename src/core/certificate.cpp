@@ -12,6 +12,42 @@ uint64_t Certificate::WireSize() const {
   return size;
 }
 
+std::vector<uint8_t> Certificate::Serialize() const {
+  Writer w;
+  w.U64(round);
+  w.U32(step);
+  w.Fixed(block_hash);
+  w.U32(static_cast<uint32_t>(votes.size()));
+  for (const VoteMessage& v : votes) {
+    w.Bytes(v.Serialize());
+  }
+  return w.Take();
+}
+
+std::optional<Certificate> Certificate::Deserialize(std::span<const uint8_t> data) {
+  Reader r(data);
+  Certificate c;
+  c.round = r.U64();
+  c.step = r.U32();
+  c.block_hash = r.Fixed<32>();
+  uint32_t n = r.U32();
+  if (!r.ok() || n > data.size()) {
+    return std::nullopt;
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    auto vb = r.Bytes();
+    auto vote = VoteMessage::Deserialize(vb);
+    if (!vote) {
+      return std::nullopt;
+    }
+    c.votes.push_back(std::move(*vote));
+  }
+  if (!r.AtEnd()) {
+    return std::nullopt;
+  }
+  return c;
+}
+
 bool ValidateCertificate(const Certificate& cert, const RoundContext& ctx,
                          const ProtocolParams& params, const VrfBackend& vrf,
                          const SignerBackend& signer) {

@@ -7,6 +7,8 @@
 #define ALGORAND_SRC_CORE_CERTIFICATE_H_
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "src/core/context.h"
@@ -25,6 +27,9 @@ struct Certificate {
 
   // Bytes this certificate would occupy on the wire.
   uint64_t WireSize() const;
+
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<Certificate> Deserialize(std::span<const uint8_t> data);
 };
 
 // Validates a certificate against the round context (seed, weights, previous

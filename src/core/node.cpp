@@ -41,7 +41,8 @@ Node::Node(NodeId id, Executor* sim, GossipAgent* gossip, const Ed25519KeyPair& 
       key_(key),
       params_(params),
       crypto_(crypto),
-      ledger_(genesis) {
+      ledger_(genesis),
+      catchup_rng_(id, "catchup") {
   gossip_->set_validator([this](const MessagePtr& msg) { return ValidateForRelay(msg); });
   gossip_->set_handler([this](const MessagePtr& msg) { HandleMessage(msg); });
 }
@@ -67,6 +68,15 @@ void Node::AttachObservability(MetricsRegistry* metrics, RoundTracer* tracer) {
   obs_.rounds_empty = &metrics->GetCounter("node.rounds.empty");
   obs_.rounds_hung = &metrics->GetCounter("node.rounds.hung");
   obs_.recoveries = &metrics->GetCounter("node.recoveries");
+  obs_.catchup_sessions = &metrics->GetCounter("catchup.sessions");
+  obs_.catchup_requests = &metrics->GetCounter("catchup.requests");
+  obs_.catchup_served = &metrics->GetCounter("catchup.served");
+  obs_.catchup_timeouts = &metrics->GetCounter("catchup.timeouts");
+  obs_.catchup_bad_batches = &metrics->GetCounter("catchup.bad_batches");
+  obs_.catchup_blocks = &metrics->GetCounter("catchup.blocks_applied");
+  obs_.catchup_completed = &metrics->GetCounter("catchup.completed");
+  obs_.catchup_rotations = &metrics->GetCounter("catchup.peer_rotations");
+  obs_.catchup_aborted = &metrics->GetCounter("catchup.aborted");
   obs_.step_time_ms = &metrics->GetHistogram("ba.step_time_ms");
   obs_.proposal_time_ms = &metrics->GetHistogram("ba.proposal_time_ms");
   obs_.reduction_time_ms = &metrics->GetHistogram("ba.reduction_time_ms");
@@ -344,6 +354,8 @@ void Node::AppendAgreedBlock(const Block& block) {
   if (ba_result_.final) {
     final_certificates_[cert.round] =
         BuildCertificateForStep(kStepFinal, params_.FinalThreshold());
+    // Finality supersedes fork suspicions up to this round.
+    fork_monitor_.Prune(ledger_.HighestFinalRound().value_or(0));
   }
 
   StartRound(current_round_ + 1);
@@ -750,6 +762,9 @@ GossipVerdict Node::ValidateForRelay(const MessagePtr& msg) {
 }
 
 void Node::HandleMessage(const MessagePtr& msg) {
+  if (halted_) {
+    return;  // A crashed node processes nothing.
+  }
   if (auto rec = std::dynamic_pointer_cast<const RecoveryProposalMessage>(msg)) {
     HandleRecoveryProposal(rec);
     return;
@@ -762,6 +777,7 @@ void Node::HandleMessage(const MessagePtr& msg) {
     }
     if (vote->round > current_round_) {
       RememberFutureMessage(vote->round, msg);
+      NoteCatchupEvidence(vote->round);
       return;
     }
     if (vote->round == current_round_) {
@@ -772,6 +788,7 @@ void Node::HandleMessage(const MessagePtr& msg) {
   if (auto pri = std::dynamic_pointer_cast<const PriorityMessage>(msg)) {
     if (pri->round > current_round_) {
       RememberFutureMessage(pri->round, msg);
+      NoteCatchupEvidence(pri->round);
       return;
     }
     if (pri->round == current_round_) {
@@ -782,6 +799,7 @@ void Node::HandleMessage(const MessagePtr& msg) {
   if (auto blk = std::dynamic_pointer_cast<const BlockMessage>(msg)) {
     if (blk->block.round > current_round_) {
       RememberFutureMessage(blk->block.round, msg);
+      NoteCatchupEvidence(blk->block.round);
       return;
     }
     if (blk->block.round == current_round_) {
@@ -793,6 +811,14 @@ void Node::HandleMessage(const MessagePtr& msg) {
     HandleBlockRequest(req);
     return;
   }
+  if (auto creq = std::dynamic_pointer_cast<const CatchupRequestMessage>(msg)) {
+    HandleCatchupRequest(creq);
+    return;
+  }
+  if (auto cresp = std::dynamic_pointer_cast<const CatchupResponseMessage>(msg)) {
+    HandleCatchupResponse(cresp);
+    return;
+  }
   if (auto txn = std::dynamic_pointer_cast<const TransactionMessage>(msg)) {
     SubmitTransaction(txn->tx);
     return;
@@ -800,6 +826,9 @@ void Node::HandleMessage(const MessagePtr& msg) {
 }
 
 void Node::HandleVote(const std::shared_ptr<const VoteMessage>& vote) {
+  if (catchup_.active) {
+    return;  // A stale BA* must not complete mid-catch-up.
+  }
   if (vote->round & kRecoveryRoundBit) {
     if (!in_recovery_ || vote->round != recovery_code_ ||
         vote->prev_hash != recovery_ctx_.prev_hash) {
@@ -828,6 +857,9 @@ void Node::HandleVote(const std::shared_ptr<const VoteMessage>& vote) {
 }
 
 void Node::HandlePriority(const std::shared_ptr<const PriorityMessage>& msg) {
+  if (catchup_.active) {
+    return;
+  }
   if (!crypto_.signer->Verify(msg->pk, msg->SignedBody(), msg->signature)) {
     return;
   }
@@ -848,6 +880,9 @@ void Node::HandlePriority(const std::shared_ptr<const PriorityMessage>& msg) {
 }
 
 void Node::HandleBlock(const std::shared_ptr<const BlockMessage>& msg) {
+  if (catchup_.active) {
+    return;
+  }
   const Block& block = msg->block;
   if (!ValidateBlockContents(block)) {
     return;
@@ -923,6 +958,464 @@ void Node::HandleBlockRequest(const std::shared_ptr<const BlockRequestMessage>& 
 }
 
 // ---------------------------------------------------------------------------
+// Live catch-up (§8.3): a lagging or restarted node fetches block+certificate
+// batches from peers instead of waiting for the chain to come to it.
+// ---------------------------------------------------------------------------
+
+void Node::NoteCatchupEvidence(uint64_t round) {
+  if (halted_) {
+    return;
+  }
+  if (catchup_.active) {
+    // Already fetching; only widen the target. The target always comes from
+    // gossip evidence (a vote/block for `round` implies rounds < round are
+    // settled somewhere), never from a responder's self-reported tip — a
+    // Byzantine responder must not be able to inflate it.
+    if (round > 0 && round - 1 > catchup_.target_round) {
+      catchup_.target_round = round - 1;
+    }
+    return;
+  }
+  if (round > current_round_ + params_.catchup_trigger_lead) {
+    StartCatchup(round - 1);
+  }
+}
+
+void Node::StartCatchup(uint64_t target_round) {
+  ++catchup_session_;
+  ++sched_epoch_;  // Kill BA*/proposal timers for the round we are leaving.
+  // Catch-up preempts an in-progress recovery session: certificate-backed
+  // evidence of rounds ahead means the network moved on without us, so
+  // fetching that chain beats re-agreeing on a stale suffix — and a stalled
+  // recovery (stragglers hung at different rounds never form a committee)
+  // must not lock the node out of catch-up forever.
+  in_recovery_ = false;
+  phase_ = Phase::kCatchup;
+  catchup_.active = true;
+  catchup_.target_round = target_round;
+  catchup_.started_at_round = ledger_.next_round() - 1;
+  catchup_.attempt = 0;
+  catchup_.empty_streak = 0;
+  catchup_.blocked_until = 0;
+  catchup_.peers.clear();
+  catchup_.peer_cursor = 0;
+  catchup_.inflight.clear();
+  catchup_.ready.clear();
+  if (obs_.catchup_sessions != nullptr) {
+    obs_.catchup_sessions->Increment();
+  }
+  Trace(TraceKind::kCatchupStart, 0, target_round);
+  PumpCatchup();
+}
+
+void Node::PumpCatchup() {
+  if (!catchup_.active || halted_) {
+    return;
+  }
+  // Apply every ready batch that starts at (or before) the next needed round.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = catchup_.ready.begin(); it != catchup_.ready.end(); ++it) {
+      if (it->first > ledger_.next_round()) {
+        continue;
+      }
+      auto resp = it->second;
+      catchup_.ready.erase(it);
+      uint64_t applied = 0;
+      if (!ApplyCatchupResponse(*resp, &applied)) {
+        if (obs_.catchup_bad_batches != nullptr) {
+          obs_.catchup_bad_batches->Increment();
+        }
+        FailCatchupAttempt();  // Rotates to a different peer with backoff.
+        return;
+      }
+      if (applied > 0) {
+        catchup_.attempt = 0;  // Progress resets the failure streaks.
+        catchup_.empty_streak = 0;
+      }
+      progressed = true;
+      break;  // Iterator invalidated; rescan.
+    }
+  }
+  if (ledger_.next_round() > catchup_.target_round) {
+    FinishCatchup();
+    return;
+  }
+  if (sim_->now() < catchup_.blocked_until) {
+    return;  // Backing off; the scheduled wakeup will re-pump.
+  }
+  while (catchup_.inflight.size() < params_.catchup_max_inflight) {
+    uint64_t from = CatchupFrontier();
+    if (from > catchup_.target_round) {
+      break;  // Everything up to the target is applied, inflight, or ready.
+    }
+    SendCatchupRequest(from);
+    if (catchup_.inflight.find(from) == catchup_.inflight.end()) {
+      break;  // No peers available; evidence will retrigger later.
+    }
+  }
+}
+
+uint64_t Node::CatchupFrontier() const {
+  // Lowest round not yet applied and not covered by an inflight request's
+  // window or a ready batch. Sharded peers may answer with partial batches;
+  // the frontier then lands exactly on the gap so the next request (to a
+  // different peer) fills it.
+  uint64_t frontier = ledger_.next_round();
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const auto& [from, pending] : catchup_.inflight) {
+      if (frontier >= from && frontier < from + pending.limit) {
+        frontier = from + pending.limit;
+        moved = true;
+      }
+    }
+    for (const auto& [from, resp] : catchup_.ready) {
+      if (frontier >= from && frontier < from + resp->entries.size()) {
+        frontier = from + resp->entries.size();
+        moved = true;
+      }
+    }
+  }
+  return frontier;
+}
+
+NodeId Node::NextCatchupPeer() {
+  if (catchup_.peers.empty()) {
+    // Draw from every addressable node (§9 address book), not just gossip
+    // neighbours: certificates may be sharded across the network, and the
+    // shard class holding the frontier round is not guaranteed to appear in
+    // a small neighbour set.
+    size_t n = gossip_->network_size();
+    for (NodeId p = 0; p < n; ++p) {
+      if (p != id_) {
+        catchup_.peers.push_back(p);
+      }
+    }
+    if (catchup_.peers.empty()) {
+      catchup_.peers = gossip_->neighbors();
+    }
+    catchup_rng_.Shuffle(&catchup_.peers);
+    catchup_.peer_cursor = 0;
+  }
+  NodeId peer = catchup_.peers[catchup_.peer_cursor % catchup_.peers.size()];
+  ++catchup_.peer_cursor;
+  return peer;
+}
+
+void Node::SendCatchupRequest(uint64_t from_round) {
+  if (catchup_.peers.empty() && gossip_->neighbors().empty()) {
+    return;
+  }
+  NodeId peer = NextCatchupPeer();
+  auto req = std::make_shared<CatchupRequestMessage>();
+  req->requester = id_;
+  req->seq = catchup_seq_++;
+  req->from_round = from_round;
+  req->limit = params_.catchup_batch_limit;
+  catchup_.inflight[from_round] = CatchupState::Pending{peer, req->seq, req->limit};
+  if (obs_.catchup_requests != nullptr) {
+    obs_.catchup_requests->Increment();
+  }
+  gossip_->SendTo(peer, req);
+  // Per-request timeout: if the answer never lands, drop the slot and rotate.
+  uint64_t session = catchup_session_;
+  uint64_t seq = req->seq;
+  sim_->Schedule(params_.catchup_timeout, [this, session, seq, from_round] {
+    if (halted_ || !catchup_.active || catchup_session_ != session) {
+      return;
+    }
+    auto it = catchup_.inflight.find(from_round);
+    if (it == catchup_.inflight.end() || it->second.seq != seq) {
+      return;  // Answered (or superseded) in time.
+    }
+    catchup_.inflight.erase(it);
+    if (obs_.catchup_timeouts != nullptr) {
+      obs_.catchup_timeouts->Increment();
+    }
+    FailCatchupAttempt();
+  });
+}
+
+void Node::FailCatchupAttempt() {
+  if (!catchup_.active) {
+    return;
+  }
+  ++catchup_.attempt;
+  if (obs_.catchup_rotations != nullptr) {
+    obs_.catchup_rotations->Increment();
+  }
+  if (catchup_.attempt > 10) {
+    // Evidence may have been fabricated (an unreachable target keeps every
+    // peer "failing"); abort rather than wedge. Fresh evidence retriggers.
+    AbortCatchup();
+    return;
+  }
+  // Exponential backoff with jitter before asking the next peer.
+  SimTime backoff = params_.catchup_backoff_base;
+  for (uint32_t i = 1; i < catchup_.attempt && backoff < params_.catchup_backoff_max; ++i) {
+    backoff *= 2;
+  }
+  if (backoff > params_.catchup_backoff_max) {
+    backoff = params_.catchup_backoff_max;
+  }
+  backoff += static_cast<SimTime>(
+      catchup_rng_.UniformU64(static_cast<uint64_t>(params_.catchup_backoff_base)));
+  catchup_.blocked_until = sim_->now() + backoff;
+  uint64_t session = catchup_session_;
+  sim_->Schedule(backoff, [this, session] {
+    if (halted_ || !catchup_.active || catchup_session_ != session) {
+      return;
+    }
+    catchup_.blocked_until = 0;
+    PumpCatchup();
+  });
+}
+
+void Node::HandleCatchupRequest(const std::shared_ptr<const CatchupRequestMessage>& msg) {
+  auto resp = BuildCatchupResponse(*msg);
+  if (resp == nullptr) {
+    return;
+  }
+  if (obs_.catchup_served != nullptr) {
+    obs_.catchup_served->Increment();
+  }
+  gossip_->SendTo(msg->requester, resp);
+}
+
+std::shared_ptr<CatchupResponseMessage> Node::BuildCatchupResponse(
+    const CatchupRequestMessage& req) const {
+  auto resp = std::make_shared<CatchupResponseMessage>();
+  resp->responder = id_;
+  resp->seq = req.seq;
+  resp->from_round = req.from_round;
+  resp->tip_round = ledger_.chain_length() - 1;
+  uint32_t limit = req.limit == 0 ? 1 : req.limit;
+  if (limit > 64) {
+    limit = 64;  // Bound the response a single request can make us build.
+  }
+  uint64_t r = req.from_round < 1 ? 1 : req.from_round;
+  uint64_t last_served = 0;
+  while (r < ledger_.chain_length() && resp->entries.size() < limit) {
+    auto it = certificates_.find(r);
+    if (it == certificates_.end()) {
+      break;  // Sharded storage: serve the prefix we hold (partial batch).
+    }
+    resp->entries.push_back(
+        CatchupResponseMessage::Entry{ledger_.BlockAtRound(r), it->second});
+    last_served = r;
+    ++r;
+  }
+  // Attach the highest final-step certificate covering the served prefix so
+  // the requester can mark finality (final blocks are totally ordered, §8.3).
+  for (auto it = final_certificates_.rbegin(); it != final_certificates_.rend(); ++it) {
+    if (it->first <= last_served) {
+      resp->final_cert = it->second;
+      break;
+    }
+  }
+  return resp;
+}
+
+void Node::HandleCatchupResponse(const std::shared_ptr<const CatchupResponseMessage>& msg) {
+  if (halted_ || !catchup_.active) {
+    return;
+  }
+  auto it = catchup_.inflight.find(msg->from_round);
+  if (it == catchup_.inflight.end() || it->second.seq != msg->seq ||
+      it->second.peer != msg->responder) {
+    return;  // Unsolicited, stale, or spoofed; only the asked peer may answer.
+  }
+  catchup_.inflight.erase(it);
+  if (msg->entries.empty()) {
+    // The peer answered but had nothing for this window — under sharded
+    // certificate storage that is routine (wrong shard class), so rotate to
+    // the next peer immediately instead of paying exponential backoff: the
+    // round-trip itself paces the loop, and backing off here loses the race
+    // against a live network advancing one round per agreement interval.
+    // The streak bound still catches fabricated evidence (a target beyond
+    // every honest tip makes every peer answer empty forever).
+    ++catchup_.empty_streak;
+    if (obs_.catchup_rotations != nullptr) {
+      obs_.catchup_rotations->Increment();
+    }
+    if (catchup_.empty_streak > 32 + catchup_.peers.size()) {
+      AbortCatchup();
+      return;
+    }
+    PumpCatchup();
+    return;
+  }
+  catchup_.ready[msg->from_round] = msg;
+  PumpCatchup();
+}
+
+bool Node::ApplyCatchupResponse(const CatchupResponseMessage& resp, uint64_t* applied) {
+  for (const CatchupResponseMessage::Entry& e : resp.entries) {
+    uint64_t next = ledger_.next_round();
+    if (e.block.round < next) {
+      continue;  // Overlap with already-applied rounds is harmless.
+    }
+    if (e.block.round > next) {
+      break;  // Gap inside the batch; stop at the contiguous prefix.
+    }
+    if (e.cert.round != e.block.round || e.cert.block_hash != e.block.Hash()) {
+      return false;
+    }
+    RoundContext ctx = CatchupContext(next);
+    if (!ValidateCertificate(e.cert, ctx, params_, *crypto_.vrf, *crypto_.signer)) {
+      return false;
+    }
+    ConsensusKind kind =
+        e.cert.step == kStepFinal ? ConsensusKind::kFinal : ConsensusKind::kTentative;
+    if (!ledger_.Append(e.block, kind)) {
+      return false;
+    }
+    if (kind == ConsensusKind::kFinal) {
+      for (uint64_t r = 1; r < e.cert.round; ++r) {
+        ledger_.MarkFinal(r);
+      }
+    }
+    if (shard_count_ <= 1 || (e.cert.round % shard_count_) == (id_ % shard_count_)) {
+      certificates_[e.cert.round] = e.cert;
+    }
+    for (const Transaction& tx : e.block.txns) {
+      txn_pool_.erase(tx.Id());
+    }
+    ++*applied;
+    if (obs_.catchup_blocks != nullptr) {
+      obs_.catchup_blocks->Increment();
+    }
+  }
+  if (resp.final_cert.has_value()) {
+    const Certificate& fc = *resp.final_cert;
+    if (fc.round >= 1 && fc.round < ledger_.next_round()) {
+      if (fc.step != kStepFinal) {
+        return false;
+      }
+      const Block& covered = ledger_.BlockAtRound(fc.round);
+      if (fc.block_hash != covered.Hash()) {
+        return false;
+      }
+      RoundContext ctx;
+      ctx.round = fc.round;
+      ctx.seed = ledger_.SortitionSeed(fc.round, params_.seed_refresh_interval);
+      ctx.prev_hash = covered.prev_hash;
+      ctx.total_weight = ledger_.total_weight();
+      const Ledger* ledger = &ledger_;
+      ctx.weight_of = [ledger](const PublicKey& pk) { return ledger->WeightOf(pk); };
+      if (!ValidateCertificate(fc, ctx, params_, *crypto_.vrf, *crypto_.signer)) {
+        return false;
+      }
+      for (uint64_t r = 1; r <= fc.round; ++r) {
+        ledger_.MarkFinal(r);
+      }
+      if (shard_count_ <= 1 || (fc.round % shard_count_) == (id_ % shard_count_)) {
+        final_certificates_[fc.round] = fc;
+      }
+    }
+    // A final cert beyond what we applied is simply ignored (not an error):
+    // a partial batch legitimately undershoots the responder's final round.
+  }
+  if (*applied > 0) {
+    Trace(TraceKind::kCatchupBatch, 0, *applied, resp.responder);
+  }
+  return true;
+}
+
+RoundContext Node::CatchupContext(uint64_t round) const {
+  RoundContext ctx;
+  ctx.round = round;
+  ctx.seed = ledger_.SortitionSeed(round, params_.seed_refresh_interval);
+  ctx.prev_hash = ledger_.tip_hash();
+  ctx.total_weight = ledger_.total_weight();
+  const Ledger* ledger = &ledger_;
+  ctx.weight_of = [ledger](const PublicKey& pk) { return ledger->WeightOf(pk); };
+  return ctx;
+}
+
+void Node::FinishCatchup() {
+  uint64_t gained = ledger_.next_round() - 1 - catchup_.started_at_round;
+  catchup_.active = false;
+  catchup_.inflight.clear();
+  catchup_.ready.clear();
+  ++catchup_session_;  // Orphans any pending timeout/backoff lambdas.
+  ++catchups_completed_;
+  hung_ = false;
+  fork_monitor_.Prune(ledger_.HighestFinalRound().value_or(0));
+  if (obs_.catchup_completed != nullptr) {
+    obs_.catchup_completed->Increment();
+  }
+  Trace(TraceKind::kCatchupDone, 0, gained);
+  // Rejoin live BA* at the new tip; buffered tip-round traffic replays there.
+  StartRound(ledger_.next_round());
+}
+
+void Node::AbortCatchup() {
+  catchup_.active = false;
+  catchup_.inflight.clear();
+  catchup_.ready.clear();
+  ++catchup_session_;
+  if (obs_.catchup_aborted != nullptr) {
+    obs_.catchup_aborted->Increment();
+  }
+  StartRound(ledger_.next_round());
+}
+
+// ---------------------------------------------------------------------------
+// Crash/restart support
+// ---------------------------------------------------------------------------
+
+NodeSnapshot Node::Snapshot() const {
+  NodeSnapshot snap;
+  snap.shard_count = shard_count_;
+  for (uint64_t r = 1; r < ledger_.chain_length(); ++r) {
+    snap.blocks.push_back(ledger_.BlockAtRound(r));
+    snap.kinds.push_back(static_cast<uint8_t>(ledger_.ConsensusAtRound(r)));
+  }
+  for (const auto& [round, cert] : certificates_) {
+    snap.certificates.push_back(cert);
+  }
+  for (const auto& [round, cert] : final_certificates_) {
+    snap.final_certificates.push_back(cert);
+  }
+  return snap;
+}
+
+bool Node::RestoreSnapshot(const NodeSnapshot& snapshot) {
+  if (ledger_.chain_length() != 1 || snapshot.blocks.size() != snapshot.kinds.size()) {
+    return false;  // Restore only into a genesis-fresh node.
+  }
+  for (size_t i = 0; i < snapshot.blocks.size(); ++i) {
+    ConsensusKind kind = static_cast<ConsensusKind>(snapshot.kinds[i]);
+    if (!ledger_.Append(snapshot.blocks[i], kind)) {
+      return false;
+    }
+  }
+  shard_count_ = snapshot.shard_count == 0 ? 1 : snapshot.shard_count;
+  for (const Certificate& cert : snapshot.certificates) {
+    certificates_[cert.round] = cert;
+  }
+  for (const Certificate& cert : snapshot.final_certificates) {
+    final_certificates_[cert.round] = cert;
+  }
+  return true;
+}
+
+void Node::Halt() {
+  halted_ = true;
+  ++sched_epoch_;  // Dead: every pending lambda must find a changed epoch...
+  ++catchup_session_;  // ...or session, and the halted_ flag backstops both.
+  phase_ = Phase::kIdle;
+  in_recovery_ = false;
+  catchup_.active = false;
+  catchup_.inflight.clear();
+  catchup_.ready.clear();
+}
+
+// ---------------------------------------------------------------------------
 // Fork recovery (§8.2)
 // ---------------------------------------------------------------------------
 
@@ -939,7 +1432,10 @@ void Node::ScheduleRecoveryCheck() {
   // observed fork evidence.
   SimTime next = (sim_->now() / params_.recovery_interval + 1) * params_.recovery_interval;
   sim_->ScheduleAt(next, [this] {
-    if (!in_recovery_ && (hung_ || fork_monitor_.ForkSuspected())) {
+    if (halted_) {
+      return;  // A crashed node must stop rescheduling itself.
+    }
+    if (!in_recovery_ && !catchup_.active && (hung_ || fork_monitor_.ForkSuspected())) {
       recovery_attempt_ = 0;
       recovery_window_ = static_cast<uint64_t>(sim_->now() / params_.recovery_interval);
       EnterRecovery();
@@ -949,6 +1445,9 @@ void Node::ScheduleRecoveryCheck() {
 }
 
 void Node::MaybeJoinRecoverySession(uint64_t code) {
+  if (halted_ || catchup_.active) {
+    return;  // Catch-up owns the node until it finishes or aborts.
+  }
   if (!hung_ && !fork_monitor_.ForkSuspected() && !in_recovery_) {
     return;  // Healthy nodes ignore recovery chatter.
   }

@@ -19,11 +19,14 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/core/ba_star.h"
+#include "src/core/catchup.h"
 #include "src/core/certificate.h"
 #include "src/core/context.h"
 #include "src/core/fork_monitor.h"
 #include "src/core/params.h"
+#include "src/core/snapshot.h"
 #include "src/core/sortition.h"
 #include "src/core/verification_cache.h"
 #include "src/ledger/ledger.h"
@@ -105,6 +108,24 @@ class Node : public BaEnvironment {
   uint64_t recoveries_completed() const { return recoveries_completed_; }
   uint64_t current_round() const { return current_round_; }
   size_t pending_txn_count() const { return txn_pool_.size(); }
+  bool in_catchup() const { return catchup_.active; }
+  uint64_t catchups_completed() const { return catchups_completed_; }
+  bool halted() const { return halted_; }
+
+  // --- Crash/restart (fault injection) ---
+  // Serializes the node's durable state: chain, consensus kinds, stored
+  // certificates and the shard configuration. Volatile state (BA* progress,
+  // buffered messages, the transaction pool) is deliberately excluded — a
+  // crash loses it.
+  NodeSnapshot Snapshot() const;
+  // Loads a snapshot into a freshly constructed node (chain still at
+  // genesis). Returns false if the node already made progress or the
+  // snapshot's chain does not apply.
+  bool RestoreSnapshot(const NodeSnapshot& snapshot);
+  // Permanently stops this node: kills all pending timers via the scheduling
+  // epoch and makes every handler a no-op. Used by the harness to park a
+  // "crashed" node whose callbacks may still sit in the event queue.
+  void Halt();
 
   // Verification pipeline hook: if `msg` carries a signature/VRF payload
   // verifiable in this node's *current* round context, submits a job to
@@ -138,6 +159,12 @@ class Node : public BaEnvironment {
   // Builds this node's block proposal for the current round.
   Block BuildBlockProposal();
 
+  // Serves a catch-up request from local chain + certificate storage. A
+  // sharded node stops at its first certificate gap (partial batch). Virtual
+  // so adversarial subclasses can serve tampered batches in tests.
+  virtual std::shared_ptr<CatchupResponseMessage> BuildCatchupResponse(
+      const CatchupRequestMessage& req) const;
+
   // Shared helpers for subclasses.
   void GossipMessage(const MessagePtr& msg);
   RoundContext MakeContext() const;
@@ -150,7 +177,15 @@ class Node : public BaEnvironment {
  private:
   friend class SimHarness;
 
-  enum class Phase { kIdle, kWaitPriority, kWaitBlock, kAgreement, kFetchBlock, kRecovery };
+  enum class Phase {
+    kIdle,
+    kWaitPriority,
+    kWaitBlock,
+    kAgreement,
+    kFetchBlock,
+    kRecovery,
+    kCatchup,
+  };
 
   void StartRound(uint64_t round);
   void OnPriorityWindowClosed();
@@ -170,6 +205,31 @@ class Node : public BaEnvironment {
   void HandlePriority(const std::shared_ptr<const PriorityMessage>& msg);
   void HandleBlock(const std::shared_ptr<const BlockMessage>& msg);
   void HandleBlockRequest(const std::shared_ptr<const BlockRequestMessage>& msg);
+
+  // --- Live catch-up (§8.3) ---
+  // Called when gossip shows traffic for a round ahead of ours; triggers or
+  // extends a catch-up session.
+  void NoteCatchupEvidence(uint64_t round);
+  void StartCatchup(uint64_t target_round);
+  // The session driver: applies ready batches, finishes or aborts, and keeps
+  // the in-flight request window full.
+  void PumpCatchup();
+  void SendCatchupRequest(uint64_t from_round);
+  // Lowest round not covered by an in-flight request or ready batch.
+  uint64_t CatchupFrontier() const;
+  NodeId NextCatchupPeer();
+  // Timeout or bad batch: bump the attempt counter, rotate peers, back off
+  // exponentially (with jitter), and abort the session if it keeps failing.
+  void FailCatchupAttempt();
+  void FinishCatchup();
+  void AbortCatchup();
+  void HandleCatchupRequest(const std::shared_ptr<const CatchupRequestMessage>& msg);
+  void HandleCatchupResponse(const std::shared_ptr<const CatchupResponseMessage>& msg);
+  // Validates and appends a response batch in round order. Returns false on
+  // the first invalid entry (the whole batch is then charged to the peer).
+  bool ApplyCatchupResponse(const CatchupResponseMessage& resp, uint64_t* applied);
+  // Context for validating the certificate of `round` == ledger_.next_round().
+  RoundContext CatchupContext(uint64_t round) const;
 
   // Verifies a vote's signature and sortition for the current round context;
   // returns the weighted vote count (0 = invalid). Uses the shared cache.
@@ -235,6 +295,15 @@ class Node : public BaEnvironment {
     Counter* rounds_empty = nullptr;
     Counter* rounds_hung = nullptr;
     Counter* recoveries = nullptr;
+    Counter* catchup_sessions = nullptr;
+    Counter* catchup_requests = nullptr;
+    Counter* catchup_served = nullptr;
+    Counter* catchup_timeouts = nullptr;
+    Counter* catchup_bad_batches = nullptr;
+    Counter* catchup_blocks = nullptr;
+    Counter* catchup_completed = nullptr;
+    Counter* catchup_rotations = nullptr;
+    Counter* catchup_aborted = nullptr;
     Histogram* step_time_ms = nullptr;
     Histogram* proposal_time_ms = nullptr;
     Histogram* reduction_time_ms = nullptr;
@@ -293,6 +362,37 @@ class Node : public BaEnvironment {
   // Scheduling epoch: bumped on round changes and recovery transitions so
   // timers scheduled for a dead state never fire into it.
   uint64_t sched_epoch_ = 0;
+
+  // Set by Halt(): the node is a parked zombie (crashed); every handler and
+  // periodic check returns immediately.
+  bool halted_ = false;
+
+  // --- Live catch-up state (§8.3) ---
+  struct CatchupState {
+    bool active = false;
+    uint64_t target_round = 0;      // Catch up through this round.
+    uint64_t started_at_round = 0;  // Tip round when the session began.
+    uint32_t attempt = 0;           // Consecutive failures; reset on progress.
+    uint32_t empty_streak = 0;      // Consecutive empty answers; reset on progress.
+    SimTime blocked_until = 0;      // Backoff gate for new requests.
+    std::vector<NodeId> peers;      // Shuffled peer pool, rotated per request.
+    size_t peer_cursor = 0;
+    struct Pending {
+      NodeId peer = 0;
+      uint64_t seq = 0;
+      uint32_t limit = 0;
+    };
+    std::map<uint64_t, Pending> inflight;  // from_round -> outstanding request.
+    // Verified-later batches keyed by from_round, applied in chain order.
+    std::map<uint64_t, std::shared_ptr<const CatchupResponseMessage>> ready;
+  };
+  CatchupState catchup_;
+  // Bumped when a session starts/ends so timers for dead sessions no-op.
+  uint64_t catchup_session_ = 0;
+  // Request nonce; never reset, so responses to old sessions cannot alias.
+  uint64_t catchup_seq_ = 0;
+  uint64_t catchups_completed_ = 0;
+  DeterministicRng catchup_rng_;
 
   // Recovery state (§8.2).
   bool in_recovery_ = false;

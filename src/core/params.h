@@ -55,6 +55,21 @@ struct ProtocolParams {
   // synchronized clocks at this interval.
   SimTime recovery_interval = Hours(1);
 
+  // --- Live catch-up (§8.3) ---
+  // A node seeing votes this many rounds ahead of its own tip starts a
+  // catch-up session instead of waiting for the chain to come to it.
+  uint64_t catchup_trigger_lead = 2;
+  // Rounds requested per CatchupRequestMessage (responders clamp to 64).
+  uint32_t catchup_batch_limit = 16;
+  // Cap on concurrently outstanding catch-up requests.
+  uint32_t catchup_max_inflight = 2;
+  // Per-request timeout; an unanswered request rotates to another peer.
+  SimTime catchup_timeout = Seconds(10);
+  // Exponential backoff after a timeout or bad batch: base * 2^(attempt-1)
+  // plus deterministic jitter in [0, base), capped at the max.
+  SimTime catchup_backoff_base = Seconds(2);
+  SimTime catchup_backoff_max = Minutes(1);
+
   // --- Ablation switches (all on in the real protocol) ---
   // Step-3 common coin (§7.4 "getting unstuck"); when off, the third step's
   // timeout deterministically falls back to the block hash, which a

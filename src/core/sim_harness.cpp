@@ -65,7 +65,12 @@ SimHarness::SimHarness(HarnessConfig config)
     node->AttachObservability(metrics_.back().get(), &tracer_);
     nodes_.push_back(std::move(node));
   }
+  alive_.assign(config_.n_nodes, true);
+  snapshots_.resize(config_.n_nodes);
   network_->set_delivery_handler([this](NodeId to, NodeId from, const MessagePtr& msg) {
+    if (!alive_[to]) {
+      return;  // Crashed nodes receive nothing until restarted.
+    }
     agents_[to]->OnReceive(from, msg);
   });
 }
@@ -81,11 +86,79 @@ void SimHarness::Start() {
   for (auto& node : nodes_) {
     node->Start();
   }
+  for (const HarnessConfig::CrashEvent& ev : config_.crash_schedule) {
+    if (ev.node >= nodes_.size()) {
+      continue;
+    }
+    sim_.ScheduleAt(ev.crash_at, [this, ev] { KillNode(ev.node); });
+    if (ev.restart_at > ev.crash_at) {
+      sim_.ScheduleAt(ev.restart_at, [this, ev] { RestartNode(ev.node, ev.from_snapshot); });
+    }
+  }
+}
+
+void SimHarness::KillNode(size_t i) {
+  if (i >= nodes_.size() || !alive_[i]) {
+    return;
+  }
+  // Durable state survives the crash; everything in-memory is lost.
+  snapshots_[i] = nodes_[i]->Snapshot().Serialize();
+  TraceEvent ev;
+  ev.at = sim_.now();
+  ev.node = static_cast<uint32_t>(i);
+  ev.round = nodes_[i]->ledger().chain_length();
+  ev.kind = TraceKind::kCrash;
+  tracer_.Record(ev);
+  nodes_[i]->Halt();
+  alive_[i] = false;
+  global_metrics_.GetCounter("restart.kills").Increment();
+}
+
+void SimHarness::RestartNode(size_t i, bool from_snapshot) {
+  if (i >= nodes_.size() || alive_[i]) {
+    return;
+  }
+  // The old node may still be referenced by queued simulator lambdas; park it
+  // (halted) instead of destroying it.
+  graveyard_.push_back(std::move(nodes_[i]));
+  CryptoSuite crypto{vrf_, signer_, &cache_, pool_.get()};
+  // Reproduce the node's original configuration (sharding, subclass hooks):
+  // a restart changes state, not deployment shape.
+  std::unique_ptr<Node> node;
+  if (config_.node_factory) {
+    node = config_.node_factory(static_cast<NodeId>(i), &sim_, agents_[i].get(),
+                                genesis_.keys[i], genesis_.config, config_.params, crypto,
+                                &coordinator_);
+  }
+  if (!node) {
+    node = std::make_unique<Node>(static_cast<NodeId>(i), &sim_, agents_[i].get(),
+                                  genesis_.keys[i], genesis_.config, config_.params, crypto);
+  }
+  bool restored = false;
+  if (from_snapshot && !snapshots_[i].empty()) {
+    auto snap = NodeSnapshot::Deserialize(snapshots_[i]);
+    restored = snap.has_value() && node->RestoreSnapshot(*snap);
+  }
+  node->AttachObservability(metrics_[i].get(), &tracer_);
+  TraceEvent ev;
+  ev.at = sim_.now();
+  ev.node = static_cast<uint32_t>(i);
+  ev.round = node->ledger().chain_length();
+  ev.kind = TraceKind::kRestart;
+  ev.flag = restored ? 1 : 0;
+  tracer_.Record(ev);
+  nodes_[i] = std::move(node);
+  alive_[i] = true;
+  global_metrics_.GetCounter("restart.restarts").Increment();
+  nodes_[i]->Start();
 }
 
 bool SimHarness::RunRounds(uint64_t rounds, SimTime deadline) {
   auto honest_done = [this, rounds] {
     for (size_t i = malicious_count_; i < nodes_.size(); ++i) {
+      if (!alive_[i]) {
+        continue;  // Permanently-crashed nodes must not stall the run.
+      }
       if (nodes_[i]->ledger().chain_length() <= rounds) {
         return false;
       }

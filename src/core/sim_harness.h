@@ -56,6 +56,18 @@ struct HarnessConfig {
   // stakes are equal).
   double malicious_fraction = 0.0;
 
+  // Fault injection: declarative crash/restart schedule, applied at Start().
+  // A crashed node stops processing and receiving; at restart_at it comes
+  // back from its snapshotted durable state (or empty, simulating a fresh
+  // join) and catches up to the live chain via the peer catch-up protocol.
+  struct CrashEvent {
+    size_t node = 0;
+    SimTime crash_at = 0;
+    SimTime restart_at = 0;     // 0 (or <= crash_at) = never restarts.
+    bool from_snapshot = true;  // false = lose durable state, rejoin fresh.
+  };
+  std::vector<CrashEvent> crash_schedule;
+
   // Override to build custom node types; return nullptr to get the default
   // behaviour for that id.
   using NodeFactory = std::function<std::unique_ptr<Node>(
@@ -132,6 +144,15 @@ class SimHarness {
   // node's pool (clients gossip transactions network-wide).
   Transaction SubmitPayment(size_t from_idx, size_t to_idx, uint64_t amount, uint64_t nonce);
 
+  // Fault injection (usable directly or via config.crash_schedule).
+  // KillNode snapshots the node's durable state, halts it and stops
+  // delivering to it. RestartNode replaces it with a fresh Node — restored
+  // from the snapshot taken at kill time, or genesis-fresh — and starts it;
+  // the catch-up protocol brings it to the live tip.
+  void KillNode(size_t i);
+  void RestartNode(size_t i, bool from_snapshot = true);
+  bool node_alive(size_t i) const { return alive_[i]; }
+
  private:
   HarnessConfig config_;
   DeterministicRng rng_;
@@ -142,6 +163,12 @@ class SimHarness {
   std::unique_ptr<GossipTopology> topology_;
   std::vector<std::unique_ptr<GossipAgent>> agents_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  // Crash/restart bookkeeping. Halted nodes move to the graveyard instead of
+  // being destroyed: the simulator's event queue may still hold lambdas that
+  // capture their raw `this`.
+  std::vector<bool> alive_;
+  std::vector<std::vector<uint8_t>> snapshots_;
+  std::vector<std::unique_ptr<Node>> graveyard_;
   std::unique_ptr<NetworkAdversary> net_adversary_;
   std::vector<std::unique_ptr<MetricsRegistry>> metrics_;
   MetricsRegistry global_metrics_;

@@ -1,0 +1,64 @@
+#include "src/core/snapshot.h"
+
+#include "src/common/serialize.h"
+
+namespace algorand {
+
+std::vector<uint8_t> NodeSnapshot::Serialize() const {
+  Writer w;
+  w.U32(shard_count);
+  w.U32(static_cast<uint32_t>(blocks.size()));
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    w.Bytes(blocks[i].Serialize());
+    w.U8(i < kinds.size() ? kinds[i] : 1);
+  }
+  w.U32(static_cast<uint32_t>(certificates.size()));
+  for (const Certificate& c : certificates) {
+    w.Bytes(c.Serialize());
+  }
+  w.U32(static_cast<uint32_t>(final_certificates.size()));
+  for (const Certificate& c : final_certificates) {
+    w.Bytes(c.Serialize());
+  }
+  return w.Take();
+}
+
+std::optional<NodeSnapshot> NodeSnapshot::Deserialize(std::span<const uint8_t> data) {
+  Reader r(data);
+  NodeSnapshot s;
+  s.shard_count = r.U32();
+  uint32_t n_blocks = r.U32();
+  if (!r.ok() || n_blocks > data.size()) {
+    return std::nullopt;
+  }
+  for (uint32_t i = 0; i < n_blocks; ++i) {
+    auto bb = r.Bytes();
+    auto block = Block::Deserialize(bb);
+    uint8_t kind = r.U8();
+    if (!block || !r.ok() || kind > 1) {
+      return std::nullopt;
+    }
+    s.blocks.push_back(std::move(*block));
+    s.kinds.push_back(kind);
+  }
+  for (auto* out : {&s.certificates, &s.final_certificates}) {
+    uint32_t n = r.U32();
+    if (!r.ok() || n > data.size()) {
+      return std::nullopt;
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      auto cb = r.Bytes();
+      auto cert = Certificate::Deserialize(cb);
+      if (!cert) {
+        return std::nullopt;
+      }
+      out->push_back(std::move(*cert));
+    }
+  }
+  if (!r.AtEnd()) {
+    return std::nullopt;
+  }
+  return s;
+}
+
+}  // namespace algorand

@@ -1,0 +1,37 @@
+// Durable node state for crash-restart fault injection (§8.3: a user who
+// was offline "can catch up" — but first it must come back with whatever it
+// had persisted). A NodeSnapshot captures the chain of agreed blocks with
+// their consensus kinds, the stored step/final certificates, and the
+// certificate shard configuration. Restoring a snapshot into a fresh Node
+// reproduces exactly the durable state; everything else (votes, buffered
+// messages, BA* progress) is volatile and intentionally lost in a crash.
+#ifndef ALGORAND_SRC_CORE_SNAPSHOT_H_
+#define ALGORAND_SRC_CORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/core/certificate.h"
+#include "src/ledger/block.h"
+#include "src/ledger/ledger.h"
+
+namespace algorand {
+
+struct NodeSnapshot {
+  uint32_t shard_count = 0;  // 0 = store every round's certificate.
+  // Blocks for rounds 1..N (genesis is reproduced from config) and their
+  // consensus kinds, parallel arrays.
+  std::vector<Block> blocks;
+  std::vector<uint8_t> kinds;  // ConsensusKind per block.
+  std::vector<Certificate> certificates;        // Deciding-step certs.
+  std::vector<Certificate> final_certificates;  // Final-step certs.
+
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<NodeSnapshot> Deserialize(std::span<const uint8_t> data);
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CORE_SNAPSHOT_H_

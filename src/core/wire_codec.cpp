@@ -32,6 +32,12 @@ std::vector<uint8_t> EncodeMessage(const SimMessage& msg) {
   if (auto* t = dynamic_cast<const TransactionMessage*>(&msg)) {
     return Tagged(WireType::kTransaction, t->Serialize());
   }
+  if (auto* cq = dynamic_cast<const CatchupRequestMessage*>(&msg)) {
+    return Tagged(WireType::kCatchupRequest, cq->Serialize());
+  }
+  if (auto* cr = dynamic_cast<const CatchupResponseMessage*>(&msg)) {
+    return Tagged(WireType::kCatchupResponse, cr->Serialize());
+  }
   return {};
 }
 
@@ -70,6 +76,14 @@ MessagePtr DecodeMessage(std::span<const uint8_t> payload) {
     case WireType::kTransaction: {
       auto m = TransactionMessage::Deserialize(body);
       return m ? std::make_shared<TransactionMessage>(std::move(*m)) : nullptr;
+    }
+    case WireType::kCatchupRequest: {
+      auto m = CatchupRequestMessage::Deserialize(body);
+      return m ? std::make_shared<CatchupRequestMessage>(std::move(*m)) : nullptr;
+    }
+    case WireType::kCatchupResponse: {
+      auto m = CatchupResponseMessage::Deserialize(body);
+      return m ? std::make_shared<CatchupResponseMessage>(std::move(*m)) : nullptr;
     }
   }
   return nullptr;

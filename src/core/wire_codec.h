@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "src/core/catchup.h"
 #include "src/core/messages.h"
 
 namespace algorand {
@@ -21,6 +22,8 @@ enum class WireType : uint8_t {
   kBlockRequest = 4,
   kRecoveryProposal = 5,
   kTransaction = 6,
+  kCatchupRequest = 7,
+  kCatchupResponse = 8,
 };
 
 // Serializes a message with its type tag. Returns an empty vector for

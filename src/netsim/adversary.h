@@ -135,6 +135,47 @@ class VoterDosAdversary : public NetworkAdversary {
   uint64_t dropped_ = 0;
 };
 
+// Rolling churn: in every `period`-long window a different contiguous group
+// of `group_size` node ids is offline (all its traffic dropped) for the first
+// `offline_for` of the window, cycling through the whole population. Models
+// continuous membership churn — each group misses rounds, then must catch up
+// while the next group is down.
+class ChurnAdversary : public NetworkAdversary {
+ public:
+  ChurnAdversary(size_t n_nodes, size_t group_size, SimTime period, SimTime offline_for)
+      : n_nodes_(n_nodes == 0 ? 1 : n_nodes),
+        group_size_(group_size),
+        period_(period <= 0 ? Seconds(1) : period),
+        offline_for_(offline_for) {}
+
+  bool Offline(NodeId node, SimTime now) const {
+    if (group_size_ == 0 || (now % period_) >= offline_for_) {
+      return false;
+    }
+    uint64_t window = static_cast<uint64_t>(now / period_);
+    size_t base = static_cast<size_t>((window * group_size_) % n_nodes_);
+    size_t offset = (static_cast<size_t>(node) + n_nodes_ - base) % n_nodes_;
+    return offset < group_size_;
+  }
+
+  AdversaryAction OnTransmit(NodeId from, NodeId to, const MessagePtr&, SimTime now) override {
+    if (Offline(from, now) || Offline(to, now)) {
+      ++dropped_;
+      return AdversaryAction::Drop();
+    }
+    return AdversaryAction::Deliver();
+  }
+
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  size_t n_nodes_;
+  size_t group_size_;
+  SimTime period_;
+  SimTime offline_for_;
+  uint64_t dropped_ = 0;
+};
+
 // Drops each transmission independently with fixed probability.
 class LossyAdversary : public NetworkAdversary {
  public:

@@ -77,6 +77,9 @@ class GossipAgent {
   void OnReceive(NodeId from, const MessagePtr& msg);
 
   const std::vector<NodeId>& neighbors() const { return topology_->neighbors(self_); }
+  // Every node the transport can address (the paper's §9 address book spans
+  // all users, not just gossip neighbours).
+  size_t network_size() const { return topology_->node_count(); }
   uint64_t duplicates_dropped() const { return duplicates_dropped_->Value(); }
   uint64_t rejected() const { return rejected_->Value(); }
 

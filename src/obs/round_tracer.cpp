@@ -45,6 +45,11 @@ const char* RoundTracer::KindName(TraceKind kind) {
     case TraceKind::kBinaryDecided: return "binary_decided";
     case TraceKind::kRoundEnd: return "round_end";
     case TraceKind::kRecoveryEnter: return "recovery_enter";
+    case TraceKind::kCatchupStart: return "catchup_start";
+    case TraceKind::kCatchupBatch: return "catchup_batch";
+    case TraceKind::kCatchupDone: return "catchup_done";
+    case TraceKind::kCrash: return "crash";
+    case TraceKind::kRestart: return "restart";
   }
   return "unknown";
 }
@@ -93,6 +98,26 @@ std::string RoundTracer::ToJsonl() const {
       case TraceKind::kRecoveryEnter:
         n = snprintf(buf, sizeof(buf), ",\"attempt\":%llu",
                      static_cast<unsigned long long>(ev.a));
+        out.append(buf, static_cast<size_t>(n));
+        break;
+      case TraceKind::kCatchupStart:
+        n = snprintf(buf, sizeof(buf), ",\"target\":%llu",
+                     static_cast<unsigned long long>(ev.a));
+        out.append(buf, static_cast<size_t>(n));
+        break;
+      case TraceKind::kCatchupBatch:
+        n = snprintf(buf, sizeof(buf), ",\"applied\":%llu,\"peer\":%llu",
+                     static_cast<unsigned long long>(ev.a),
+                     static_cast<unsigned long long>(ev.b));
+        out.append(buf, static_cast<size_t>(n));
+        break;
+      case TraceKind::kCatchupDone:
+        n = snprintf(buf, sizeof(buf), ",\"gained\":%llu",
+                     static_cast<unsigned long long>(ev.a));
+        out.append(buf, static_cast<size_t>(n));
+        break;
+      case TraceKind::kRestart:
+        n = snprintf(buf, sizeof(buf), ",\"from_snapshot\":%s", ev.flag ? "true" : "false");
         out.append(buf, static_cast<size_t>(n));
         break;
       default:

@@ -29,6 +29,11 @@ enum class TraceKind : uint8_t {
   kBinaryDecided = 6,  // a = BinaryBA* steps used, value = decided hash.
   kRoundEnd = 7,       // flag bits: 1 final, 2 empty, 4 hung.
   kRecoveryEnter = 8,  // a = recovery attempt, round = session code.
+  kCatchupStart = 9,   // a = target round, round = tip round at start.
+  kCatchupBatch = 10,  // a = blocks applied, b = responding peer.
+  kCatchupDone = 11,   // a = rounds gained, round = new tip round.
+  kCrash = 12,         // round = chain length at crash (harness-injected).
+  kRestart = 13,       // flag = restarted from snapshot (1) or fresh (0).
 };
 
 // Role codes for kSortition events.

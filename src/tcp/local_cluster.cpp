@@ -15,10 +15,9 @@ LocalCluster::LocalCluster(const LocalClusterConfig& config)
 
   // Bind every endpoint on an ephemeral port, then distribute the address
   // book (the paper's per-user IP/port file, §9).
-  std::map<NodeId, uint16_t> address_book;
   for (NodeId i = 0; i < config_.n_nodes; ++i) {
     endpoints_.push_back(std::make_unique<TcpEndpoint>(&loop_, i, /*listen_port=*/0));
-    address_book[i] = endpoints_.back()->port();
+    address_book_[i] = endpoints_.back()->port();
   }
   cache_.AttachMetrics(&cluster_metrics_);
   const size_t workers = ResolveVerifyWorkers(config_.verify_workers);
@@ -26,34 +25,97 @@ LocalCluster::LocalCluster(const LocalClusterConfig& config)
     pool_ = std::make_unique<VerifyPool>(workers);
     pool_->AttachMetrics(&cluster_metrics_);
   }
-  CryptoSuite crypto{vrf_, signer_, &cache_, pool_.get()};
+  agents_.resize(config_.n_nodes);
+  nodes_.resize(config_.n_nodes);
+  alive_.assign(config_.n_nodes, true);
+  snapshots_.resize(config_.n_nodes);
   for (NodeId i = 0; i < config_.n_nodes; ++i) {
     metrics_.push_back(std::make_unique<MetricsRegistry>());
-    endpoints_[i]->SetAddressBook(address_book);
-    endpoints_[i]->AttachMetrics(metrics_.back().get());
-    agents_.push_back(std::make_unique<GossipAgent>(i, endpoints_[i].get(), topology_.get()));
-    agents_.back()->AttachMetrics(metrics_.back().get());
-    TcpEndpoint* endpoint = endpoints_[i].get();
-    GossipAgent* agent = agents_.back().get();
-    nodes_.push_back(std::make_unique<Node>(i, &loop_, agent, genesis_.keys[i], genesis_.config,
-                                            config_.params, crypto));
-    nodes_.back()->AttachObservability(metrics_.back().get(), &tracer_);
-    // With a pool, kick verification onto a worker as each frame is decoded;
-    // by the time the relay logic asks for the verdict, the entry is ready or
-    // in flight (worst case the protocol thread briefly waits).
-    Node* node = nodes_.back().get();
-    VerifyPool* pool = pool_.get();
-    endpoint->set_receiver([agent, node, pool](NodeId from, const MessagePtr& msg) {
-      if (pool != nullptr) {
-        node->PrewarmMessage(msg, pool);
-      }
-      agent->OnReceive(from, msg);
-    });
+  }
+  for (NodeId i = 0; i < config_.n_nodes; ++i) {
+    WireSlot(i);
   }
   // Dial out-peers up front so the first round's gossip flows immediately.
   for (NodeId i = 0; i < config_.n_nodes; ++i) {
     endpoints_[i]->ConnectToPeers(topology_->neighbors(i));
   }
+}
+
+void LocalCluster::WireSlot(size_t i) {
+  NodeId id = static_cast<NodeId>(i);
+  endpoints_[i]->SetAddressBook(address_book_);
+  endpoints_[i]->AttachMetrics(metrics_[i].get());
+  if (config_.enable_reconnect) {
+    endpoints_[i]->EnableReconnect(topology_->neighbors(id));
+  }
+  agents_[i] = std::make_unique<GossipAgent>(id, endpoints_[i].get(), topology_.get());
+  agents_[i]->AttachMetrics(metrics_[i].get());
+  CryptoSuite crypto{vrf_, signer_, &cache_, pool_.get()};
+  nodes_[i] = std::make_unique<Node>(id, &loop_, agents_[i].get(), genesis_.keys[i],
+                                     genesis_.config, config_.params, crypto);
+  nodes_[i]->AttachObservability(metrics_[i].get(), &tracer_);
+  // With a pool, kick verification onto a worker as each frame is decoded;
+  // by the time the relay logic asks for the verdict, the entry is ready or
+  // in flight (worst case the protocol thread briefly waits).
+  TcpEndpoint* endpoint = endpoints_[i].get();
+  GossipAgent* agent = agents_[i].get();
+  Node* node = nodes_[i].get();
+  VerifyPool* pool = pool_.get();
+  endpoint->set_receiver([agent, node, pool](NodeId from, const MessagePtr& msg) {
+    if (pool != nullptr) {
+      node->PrewarmMessage(msg, pool);
+    }
+    agent->OnReceive(from, msg);
+  });
+}
+
+void LocalCluster::KillNode(size_t i) {
+  if (i >= nodes_.size() || !alive_[i]) {
+    return;
+  }
+  snapshots_[i] = nodes_[i]->Snapshot().Serialize();
+  TraceEvent ev;
+  ev.at = loop_.now();
+  ev.node = static_cast<uint32_t>(i);
+  ev.round = nodes_[i]->ledger().chain_length();
+  ev.kind = TraceKind::kCrash;
+  tracer_.Record(ev);
+  nodes_[i]->Halt();
+  alive_[i] = false;
+  // Tearing down the endpoint closes the listener and every connection;
+  // peers observe EOF and (if enabled) start redialing with backoff.
+  endpoints_[i].reset();
+  cluster_metrics_.GetCounter("restart.kills").Increment();
+}
+
+void LocalCluster::RestartNode(size_t i, bool from_snapshot) {
+  if (i >= nodes_.size() || alive_[i]) {
+    return;
+  }
+  // The old node/agent may still be referenced by queued event-loop timers;
+  // park them instead of destroying them.
+  node_graveyard_.push_back(std::move(nodes_[i]));
+  agent_graveyard_.push_back(std::move(agents_[i]));
+  // Rebind the same port so every other node's address book stays valid.
+  endpoints_[i] = std::make_unique<TcpEndpoint>(&loop_, static_cast<NodeId>(i),
+                                                address_book_.at(static_cast<NodeId>(i)));
+  WireSlot(i);
+  bool restored = false;
+  if (from_snapshot && !snapshots_[i].empty()) {
+    auto snap = NodeSnapshot::Deserialize(snapshots_[i]);
+    restored = snap.has_value() && nodes_[i]->RestoreSnapshot(*snap);
+  }
+  TraceEvent ev;
+  ev.at = loop_.now();
+  ev.node = static_cast<uint32_t>(i);
+  ev.round = nodes_[i]->ledger().chain_length();
+  ev.kind = TraceKind::kRestart;
+  ev.flag = restored ? 1 : 0;
+  tracer_.Record(ev);
+  alive_[i] = true;
+  cluster_metrics_.GetCounter("restart.restarts").Increment();
+  endpoints_[i]->ConnectToPeers(topology_->neighbors(static_cast<NodeId>(i)));
+  nodes_[i]->Start();
 }
 
 void LocalCluster::Start() {
@@ -64,8 +126,11 @@ void LocalCluster::Start() {
 
 bool LocalCluster::RunRounds(uint64_t rounds, SimTime wall_budget) {
   auto done = [this, rounds] {
-    for (const auto& node : nodes_) {
-      if (node->ledger().chain_length() <= rounds) {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (!alive_[i]) {
+        continue;  // A permanently-dead node must not stall the run.
+      }
+      if (nodes_[i]->ledger().chain_length() <= rounds) {
         return false;
       }
     }

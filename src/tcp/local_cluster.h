@@ -28,6 +28,9 @@ struct LocalClusterConfig {
   // verify inline on the event-loop thread; -1 (default) reads the
   // ALGORAND_VERIFY_WORKERS environment variable, else 0.
   int verify_workers = -1;
+  // When a gossip connection drops (peer crash, socket error), redial with
+  // exponential backoff instead of staying disconnected.
+  bool enable_reconnect = false;
 };
 
 class LocalCluster {
@@ -51,6 +54,15 @@ class LocalCluster {
   // True if every pair of nodes agrees on all common rounds.
   bool ChainsConsistent() const;
 
+  // Fault injection: KillNode snapshots durable state, halts the node and
+  // tears down its sockets (peers see EOF and begin reconnect-with-backoff).
+  // RestartNode rebinds the same port, rebuilds endpoint/agent/node —
+  // restored from the snapshot or genesis-fresh — and starts it; catch-up
+  // brings it to the live tip.
+  void KillNode(size_t i);
+  void RestartNode(size_t i, bool from_snapshot = true);
+  bool node_alive(size_t i) const { return alive_[i]; }
+
   // Observability: per-node registries (endpoint + gossip + node) merged with
   // the cluster-wide registry (verification cache) into one snapshot. All
   // nodes share one RoundTracer.
@@ -59,6 +71,11 @@ class LocalCluster {
   MetricsSnapshot AggregateMetrics() const;
 
  private:
+  // Wires slot `i` around the already-bound endpoints_[i]: address book,
+  // metrics, reconnect policy, a fresh agent + node, and the receiver chain.
+  // Initial construction and RestartNode share this.
+  void WireSlot(size_t i);
+
   LocalClusterConfig config_;
   GenesisBundle genesis_;
   EventLoop loop_;
@@ -66,6 +83,13 @@ class LocalCluster {
   std::vector<std::unique_ptr<TcpEndpoint>> endpoints_;
   std::vector<std::unique_ptr<GossipAgent>> agents_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<NodeId, uint16_t> address_book_;
+  // Crash/restart bookkeeping: halted nodes (and their agents) are parked,
+  // not destroyed — event-loop timers may still hold their raw pointers.
+  std::vector<bool> alive_;
+  std::vector<std::vector<uint8_t>> snapshots_;
+  std::vector<std::unique_ptr<Node>> node_graveyard_;
+  std::vector<std::unique_ptr<GossipAgent>> agent_graveyard_;
 
   EcVrf ec_vrf_;
   SimVrf sim_vrf_;

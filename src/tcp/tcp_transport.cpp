@@ -112,6 +112,46 @@ void TcpEndpoint::AttachMetrics(MetricsRegistry* registry) {
   obs_.connects = &registry->GetCounter("tcp.connects");
   obs_.disconnects = &registry->GetCounter("tcp.disconnects");
   obs_.decode_failures = &registry->GetCounter("tcp.decode_failures");
+  obs_.reconnects = &registry->GetCounter("tcp.reconnects");
+}
+
+void TcpEndpoint::EnableReconnect(const std::vector<NodeId>& peers, SimTime backoff_base,
+                                  SimTime backoff_max) {
+  persistent_peers_.insert(peers.begin(), peers.end());
+  reconnect_base_ = backoff_base <= 0 ? Millis(1) : backoff_base;
+  reconnect_max_ = backoff_max < reconnect_base_ ? reconnect_base_ : backoff_max;
+}
+
+void TcpEndpoint::ScheduleReconnect(NodeId peer) {
+  if (reconnect_base_ <= 0 || persistent_peers_.count(peer) == 0 ||
+      !reconnect_pending_.insert(peer).second) {
+    return;
+  }
+  uint32_t attempt = reconnect_attempts_[peer]++;
+  SimTime backoff = reconnect_base_;
+  for (uint32_t i = 0; i < attempt && backoff < reconnect_max_; ++i) {
+    backoff *= 2;
+  }
+  if (backoff > reconnect_max_) {
+    backoff = reconnect_max_;
+  }
+  std::weak_ptr<char> weak = alive_;
+  loop_->Schedule(backoff, [this, weak, peer] {
+    if (weak.expired()) {
+      return;  // Endpoint destroyed while the timer was queued.
+    }
+    reconnect_pending_.erase(peer);
+    if (fd_by_peer_.count(peer) != 0) {
+      return;  // A connection (re)appeared meanwhile.
+    }
+    ++stats_.reconnects;
+    if (obs_.reconnects != nullptr) {
+      obs_.reconnects->Increment();
+    }
+    if (OpenConnection(peer) == nullptr) {
+      ScheduleReconnect(peer);  // Dial failed outright; back off further.
+    }
+  });
 }
 
 void TcpEndpoint::RegisterConnection(std::unique_ptr<Connection> conn) {
@@ -182,6 +222,7 @@ void TcpEndpoint::ReadReady(Connection* conn) {
       conn->peer = peer;
       conn->hello_received = true;
       fd_by_peer_.emplace(peer, conn->fd);  // First mapping wins.
+      reconnect_attempts_.erase(peer);      // Liveness proven; backoff resets.
       continue;
     }
     MessagePtr msg = DecodeMessage(*frame);
@@ -197,7 +238,11 @@ void TcpEndpoint::ReadReady(Connection* conn) {
       obs_.frames_in->Increment();
     }
     if (receiver_) {
+      const int fd = conn->fd;
       receiver_(conn->peer, msg);
+      if (connections_.count(fd) == 0) {
+        return;  // The receiver re-entered Send and closed this connection.
+      }
     }
   }
 }
@@ -209,8 +254,11 @@ void TcpEndpoint::QueueBytes(Connection* conn, std::span<const uint8_t> bytes) {
 
 void TcpEndpoint::FlushWrites(Connection* conn) {
   while (conn->out_pos < conn->out.size()) {
-    ssize_t n = write(conn->fd, conn->out.data() + conn->out_pos,
-                      conn->out.size() - conn->out_pos);
+    // MSG_NOSIGNAL: a peer that crashed between our epoll wakeup and this
+    // write must surface as EPIPE (-> CloseConnection -> reconnect), not kill
+    // the process with SIGPIPE.
+    ssize_t n = send(conn->fd, conn->out.data() + conn->out_pos,
+                     conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
     if (n > 0) {
       stats_.bytes_sent += static_cast<uint64_t>(n);
       if (obs_.bytes_out != nullptr) {
@@ -276,6 +324,9 @@ TcpEndpoint::Connection* TcpEndpoint::OpenConnection(NodeId peer) {
     obs_.connects->Increment();
   }
   SendHello(raw);
+  if (connections_.count(fd) == 0) {
+    return nullptr;  // The hello flush failed and closed the connection.
+  }
   return raw;
 }
 
@@ -300,6 +351,9 @@ void TcpEndpoint::CloseConnection(int fd) {
   auto pit = fd_by_peer_.find(peer);
   if (pit != fd_by_peer_.end() && pit->second == fd) {
     fd_by_peer_.erase(pit);
+  }
+  if (peer != UINT32_MAX && fd_by_peer_.count(peer) == 0) {
+    ScheduleReconnect(peer);  // No-op unless this peer is persistent.
   }
 }
 

@@ -19,6 +19,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "src/netsim/transport.h"
@@ -34,6 +35,7 @@ struct TcpEndpointStats {
   uint64_t messages_sent = 0;
   uint64_t messages_received = 0;
   uint64_t decode_failures = 0;
+  uint64_t reconnects = 0;  // Redial attempts made by the reconnect logic.
 };
 
 class TcpEndpoint : public Transport {
@@ -52,6 +54,12 @@ class TcpEndpoint : public Transport {
   // Dials the given peers now (otherwise connections open lazily on first
   // send).
   void ConnectToPeers(const std::vector<NodeId>& peers);
+
+  // Persistent peering: when a connection to one of `peers` drops or a dial
+  // fails, redial after an exponential backoff (base, doubling, capped at
+  // max). Attempts reset once the peer's hello arrives.
+  void EnableReconnect(const std::vector<NodeId>& peers, SimTime backoff_base = Millis(50),
+                       SimTime backoff_max = Seconds(2));
 
   void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
 
@@ -88,6 +96,7 @@ class TcpEndpoint : public Transport {
   void CloseConnection(int fd);
   void RegisterConnection(std::unique_ptr<Connection> conn);
   void SendHello(Connection* conn);
+  void ScheduleReconnect(NodeId peer);
 
   EventLoop* loop_;
   NodeId self_;
@@ -99,6 +108,16 @@ class TcpEndpoint : public Transport {
   std::map<NodeId, int> fd_by_peer_;  // Preferred connection per peer.
   TcpEndpointStats stats_;
 
+  // Reconnect-with-backoff state (inactive until EnableReconnect).
+  std::set<NodeId> persistent_peers_;
+  std::map<NodeId, uint32_t> reconnect_attempts_;
+  std::set<NodeId> reconnect_pending_;  // A retry timer is already queued.
+  SimTime reconnect_base_ = 0;          // 0 = reconnect disabled.
+  SimTime reconnect_max_ = 0;
+  // Timer guard: reconnect timers hold this weakly, so timers queued in the
+  // event loop become no-ops once the endpoint is destroyed.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+
   // Registry-backed mirrors (null when unattached).
   struct Instruments {
     Counter* frames_in = nullptr;
@@ -109,6 +128,7 @@ class TcpEndpoint : public Transport {
     Counter* connects = nullptr;
     Counter* disconnects = nullptr;
     Counter* decode_failures = nullptr;
+    Counter* reconnects = nullptr;
   };
   Instruments obs_;
 };

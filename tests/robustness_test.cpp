@@ -7,6 +7,7 @@
 #include "src/common/rng.h"
 #include "src/core/ba_star.h"
 #include "src/core/sim_harness.h"
+#include "src/core/snapshot.h"
 #include "src/core/wire_codec.h"
 #include "src/netsim/simulation.h"
 
@@ -28,6 +29,10 @@ TEST(FuzzTest, RandomBytesNeverCrashDecoders) {
     (void)PriorityMessage::Deserialize(junk);
     (void)BlockRequestMessage::Deserialize(junk);
     (void)RecoveryProposalMessage::Deserialize(junk);
+    (void)CatchupRequestMessage::Deserialize(junk);
+    (void)CatchupResponseMessage::Deserialize(junk);
+    (void)Certificate::Deserialize(junk);
+    (void)NodeSnapshot::Deserialize(junk);
     Reader r(junk);
     (void)Transaction::Deserialize(&r);
   }
@@ -74,6 +79,99 @@ TEST(FuzzTest, MutatedValidMessagesParseOrReject) {
   }
 }
 
+TEST(FuzzTest, MutatedCatchupResponsesParseOrReject) {
+  // Build a structurally valid (not cryptographically valid) response with
+  // blocks, certificates and a final cert, then mutate it heavily: the
+  // decoder must parse-or-reject, never crash.
+  DeterministicRng rng(4);
+  FixedBytes<32> seed;
+  rng.FillBytes(seed.data(), 32);
+  Ed25519KeyPair key = Ed25519KeyFromSeed(seed);
+  Ed25519Signer signer;
+  auto resp = std::make_shared<CatchupResponseMessage>();
+  resp->responder = 3;
+  resp->seq = 42;
+  resp->from_round = 1;
+  resp->tip_round = 2;
+  for (uint64_t r = 1; r <= 2; ++r) {
+    Block block;
+    block.round = r;
+    block.padding_bytes = 64;
+    Certificate cert;
+    cert.round = r;
+    cert.step = kStepFinal;
+    cert.block_hash = block.Hash();
+    VrfOutput sorthash;
+    VrfProof proof;
+    Hash256 prev;
+    cert.votes.push_back(
+        MakeVote(key, r, kStepFinal, sorthash, proof, prev, cert.block_hash, signer));
+    resp->entries.push_back(CatchupResponseMessage::Entry{block, cert});
+  }
+  resp->final_cert = resp->entries.back().cert;
+  std::vector<uint8_t> encoded = EncodeMessage(resp);
+  ASSERT_FALSE(encoded.empty());
+  // Round trip sanity before mutating.
+  ASSERT_NE(DecodeMessage(encoded), nullptr);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<uint8_t> mutated = encoded;
+    int edits = 1 + static_cast<int>(rng.UniformU64(3));
+    for (int e = 0; e < edits; ++e) {
+      switch (rng.UniformU64(3)) {
+        case 0:
+          if (!mutated.empty()) {
+            mutated[rng.UniformU64(mutated.size())] ^=
+                static_cast<uint8_t>(1 + rng.UniformU64(255));
+          }
+          break;
+        case 1:
+          if (!mutated.empty()) {
+            mutated.resize(rng.UniformU64(mutated.size()));
+          }
+          break;
+        default:
+          mutated.push_back(static_cast<uint8_t>(rng.UniformU64(256)));
+          break;
+      }
+    }
+    MessagePtr decoded = DecodeMessage(mutated);
+    if (decoded) {
+      (void)decoded->DedupId();
+      (void)decoded->WireSize();
+    }
+  }
+}
+
+TEST(FuzzTest, MutatedSnapshotsParseOrReject) {
+  NodeSnapshot snap;
+  snap.shard_count = 2;
+  for (uint64_t r = 1; r <= 3; ++r) {
+    Block block;
+    block.round = r;
+    block.padding_bytes = 32;
+    snap.blocks.push_back(block);
+    snap.kinds.push_back(r == 1 ? 1 : 0);
+    Certificate cert;
+    cert.round = r;
+    cert.block_hash = block.Hash();
+    snap.certificates.push_back(cert);
+  }
+  std::vector<uint8_t> encoded = snap.Serialize();
+  ASSERT_TRUE(NodeSnapshot::Deserialize(encoded).has_value());
+  DeterministicRng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<uint8_t> mutated = encoded;
+    mutated[rng.UniformU64(mutated.size())] ^= static_cast<uint8_t>(1 + rng.UniformU64(255));
+    if (rng.UniformU64(4) == 0) {
+      mutated.resize(rng.UniformU64(mutated.size()));
+    }
+    auto back = NodeSnapshot::Deserialize(mutated);
+    if (back) {
+      (void)back->Serialize();
+    }
+  }
+}
+
 TEST(FuzzTest, MutatedBlocksParseOrReject) {
   Block block;
   block.round = 7;
@@ -98,6 +196,72 @@ TEST(FuzzTest, MutatedBlocksParseOrReject) {
       (void)back->Hash();
     }
   }
+}
+
+// --- Catch-up under a Byzantine bootstrap server ---
+
+// Serves catch-up batches with one vote signature flipped in every
+// certificate: each batch must fail certificate validation at the requester.
+class TamperingNode : public Node {
+ public:
+  using Node::Node;
+
+ protected:
+  std::shared_ptr<CatchupResponseMessage> BuildCatchupResponse(
+      const CatchupRequestMessage& req) const override {
+    auto resp = Node::BuildCatchupResponse(req);
+    if (resp != nullptr) {
+      for (auto& e : resp->entries) {
+        if (!e.cert.votes.empty()) {
+          e.cert.votes[0].signature[0] ^= 0x01;
+        }
+      }
+      if (resp->final_cert.has_value() && !resp->final_cert->votes.empty()) {
+        resp->final_cert->votes[0].signature[0] ^= 0x01;
+      }
+    }
+    return resp;
+  }
+};
+
+TEST(CatchupRobustnessTest, TamperedCertificatesNeverAppendAndRotatePeers) {
+  // Every peer tampers with catch-up responses. The restarted node must
+  // reject each batch, rotate through peers with backoff, and never append a
+  // single tampered block — its chain stays frozen at the snapshot.
+  HarnessConfig cfg;
+  cfg.n_nodes = 20;
+  cfg.rng_seed = 21;
+  cfg.params = ProtocolParams::ScaledCommittees(0.02);
+  cfg.params.block_size_bytes = 32 * 1024;
+  cfg.latency = HarnessConfig::Latency::kUniform;
+  cfg.use_sim_crypto = true;
+  cfg.node_factory = [](NodeId id, Simulation* sim, GossipAgent* gossip,
+                        const Ed25519KeyPair& key, const GenesisConfig& genesis,
+                        const ProtocolParams& params, CryptoSuite crypto,
+                        AdversaryCoordinator*) -> std::unique_ptr<Node> {
+    return std::make_unique<TamperingNode>(id, sim, gossip, key, genesis, params, crypto);
+  };
+  SimHarness h(cfg);
+  h.Start();
+  ASSERT_TRUE(h.RunRounds(3, Hours(1)));
+  h.KillNode(9);
+  ASSERT_TRUE(h.RunRounds(7, Hours(1)));
+  // Restart from snapshot; RestartNode builds a plain (honest) Node, so node
+  // 9 is the only honest participant in its own catch-up.
+  h.RestartNode(9, /*from_snapshot=*/true);
+  uint64_t len_at_restart = h.node(9).ledger().chain_length();
+  h.sim().RunUntil(h.sim().now() + Minutes(12));
+
+  // Not one tampered block made it into the ledger.
+  EXPECT_EQ(h.node(9).ledger().chain_length(), len_at_restart);
+  EXPECT_EQ(h.node(9).catchups_completed(), 0u);
+  MetricsSnapshot m = h.AggregateMetrics();
+  EXPECT_GE(m.counters["catchup.bad_batches"], 1u);
+  EXPECT_GE(m.counters["catchup.peer_rotations"], 2u);
+  EXPECT_GE(m.counters["catchup.aborted"], 1u);
+  // The rest of the network is unaffected.
+  auto safety = h.CheckSafety();
+  EXPECT_TRUE(safety.ok) << safety.violation;
 }
 
 // --- Randomized BA* schedules ---

@@ -2,6 +2,9 @@
 // and a small live consensus network over localhost sockets.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+
 #include "src/core/wire_codec.h"
 #include "src/tcp/local_cluster.h"
 
@@ -250,6 +253,48 @@ TEST(TcpEndpointTest, LargeMessageCrossesIntact) {
   EXPECT_EQ(got, want);
 }
 
+TEST(TcpEndpointTest, ReconnectsAfterPeerRestart) {
+  EventLoop loop;
+  TcpEndpoint a(&loop, 0, 0);
+  auto b = std::make_unique<TcpEndpoint>(&loop, 1, 0);
+  uint16_t b_port = b->port();
+  std::map<NodeId, uint16_t> book = {{0, a.port()}, {1, b_port}};
+  a.SetAddressBook(book);
+  b->SetAddressBook(book);
+  a.EnableReconnect({1}, Millis(10), Millis(100));
+
+  int received_at_b = 0;
+  auto receiver = [&](NodeId, const MessagePtr&) { ++received_at_b; };
+  b->set_receiver(receiver);
+
+  auto req = std::make_shared<BlockRequestMessage>();
+  req->round = 1;
+  req->requester = 0;
+  a.Send(0, 1, req);
+  loop.Run([&] { return received_at_b >= 1; });
+  ASSERT_EQ(received_at_b, 1);
+
+  // Peer 1 "crashes": listener and every connection vanish, then the
+  // endpoint comes back on the same port. The persistent peering on `a`
+  // must observe the EOF and redial with backoff.
+  b.reset();
+  b = std::make_unique<TcpEndpoint>(&loop, 1, b_port);
+  ASSERT_TRUE(b->listening());
+  b->SetAddressBook(book);
+  b->set_receiver(receiver);
+
+  loop.Run([&] { return a.stats().reconnects >= 1 && a.connection_count() > 0; });
+  EXPECT_GE(a.stats().reconnects, 1u);
+
+  // Delivery resumes over the redialed connection.
+  auto req2 = std::make_shared<BlockRequestMessage>();
+  req2->round = 2;
+  req2->requester = 0;
+  a.Send(0, 1, req2);
+  loop.Run([&] { return received_at_b >= 2; });
+  EXPECT_EQ(received_at_b, 2);
+}
+
 TEST(TcpClusterTest, LiveConsensusOverLocalhost) {
   LocalClusterConfig cfg;
   cfg.n_nodes = 6;
@@ -279,6 +324,52 @@ TEST(TcpClusterTest, LiveConsensusOverLocalhost) {
   // Real bytes moved through real sockets.
   EXPECT_GT(cluster.endpoint(0).stats().bytes_sent, 1000u);
   EXPECT_GT(cluster.endpoint(0).stats().messages_received, 10u);
+}
+
+TEST(TcpClusterTest, KilledNodeRejoinsViaCatchupOverTcp) {
+  LocalClusterConfig cfg;
+  cfg.n_nodes = 6;
+  cfg.rng_seed = 78;
+  cfg.use_sim_crypto = true;
+  cfg.enable_reconnect = true;
+  cfg.params = ProtocolParams::ScaledCommittees(0.02);
+  cfg.params.block_size_bytes = 4096;
+  cfg.params.lambda_priority = Millis(100);
+  cfg.params.lambda_stepvar = Millis(100);
+  cfg.params.lambda_step = Millis(400);
+  cfg.params.lambda_block = Millis(1500);
+  cfg.params.recovery_interval = Minutes(5);
+  // Wall-clock-friendly catch-up pacing.
+  cfg.params.catchup_timeout = Seconds(2);
+  cfg.params.catchup_backoff_base = Millis(200);
+  cfg.params.catchup_backoff_max = Seconds(2);
+
+  LocalCluster cluster(cfg);
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunRounds(2, Seconds(30)));
+  cluster.KillNode(2);
+  EXPECT_FALSE(cluster.node_alive(2));
+  // Survivors keep agreeing while node 2's port is dark (peers redial it
+  // with backoff the whole time).
+  ASSERT_TRUE(cluster.RunRounds(6, Seconds(60)));
+  cluster.RestartNode(2, /*from_snapshot=*/true);
+  EXPECT_TRUE(cluster.node_alive(2));
+  // RunRounds counts node 2 again, so success implies it caught up.
+  ASSERT_TRUE(cluster.RunRounds(8, Seconds(90)));
+  EXPECT_TRUE(cluster.ChainsConsistent());
+
+  uint64_t max_len = 0;
+  for (size_t i = 0; i < cluster.node_count(); ++i) {
+    max_len = std::max<uint64_t>(max_len, cluster.node(i).ledger().chain_length());
+  }
+  EXPECT_GE(cluster.node(2).ledger().chain_length() + 1, max_len);
+  EXPECT_GE(cluster.node(2).catchups_completed(), 1u);
+
+  auto m = cluster.AggregateMetrics();
+  EXPECT_EQ(m.counters["restart.kills"], 1u);
+  EXPECT_EQ(m.counters["restart.restarts"], 1u);
+  EXPECT_GE(m.counters["catchup.completed"], 1u);
+  EXPECT_GE(m.counters["catchup.blocks_applied"], 1u);
 }
 
 }  // namespace
