@@ -8,7 +8,9 @@
 
 #include "src/common/rng.h"
 #include "src/common/verify_pool.h"
+#include "src/core/messages.h"
 #include "src/core/sortition.h"
+#include "src/netsim/simulation.h"
 #include "src/crypto/ed25519.h"
 #include "src/crypto/internal/ge25519.h"
 #include "src/crypto/internal/sc25519.h"
@@ -226,6 +228,74 @@ void BM_Sortition_FullRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Sortition_FullRun);
+
+void BM_Sortition_CdfCached(benchmark::State& state) {
+  DeterministicRng rng(3);
+  std::vector<VrfOutput> hashes(256);
+  for (auto& h : hashes) {
+    rng.FillBytes(h.data(), h.size());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectSubUsers(hashes[i++ % hashes.size()], 1000, 2000.0 / 50e6));
+  }
+}
+BENCHMARK(BM_Sortition_CdfCached);
+
+void BM_Sortition_CdfUncached(benchmark::State& state) {
+  DeterministicRng rng(3);
+  std::vector<VrfOutput> hashes(256);
+  for (auto& h : hashes) {
+    rng.FillBytes(h.data(), h.size());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SelectSubUsersUncached(hashes[i++ % hashes.size()], 1000, 2000.0 / 50e6));
+  }
+}
+BENCHMARK(BM_Sortition_CdfUncached);
+
+// --- Simulation engine ---
+
+void BM_Simulation_ScheduleStep(benchmark::State& state) {
+  const bool map_queue = state.range(0) != 0;
+  Simulation sim(map_queue ? Simulation::QueueKind::kMap : Simulation::QueueKind::kHeap);
+  // Steady-state queue of 4096 pending events, randomized delays: each
+  // iteration schedules one event and runs one, the simulator's hot loop.
+  DeterministicRng rng(7);
+  uint64_t x = 0;
+  for (int i = 0; i < 4096; ++i) {
+    sim.Schedule(static_cast<SimTime>(rng.NextU64() % Seconds(10)), [&x] { ++x; });
+  }
+  for (auto _ : state) {
+    sim.Schedule(static_cast<SimTime>(rng.NextU64() % Seconds(10)), [&x] { ++x; });
+    sim.Step();
+  }
+  benchmark::DoNotOptimize(x);
+  state.SetLabel(map_queue ? "map" : "heap");
+}
+BENCHMARK(BM_Simulation_ScheduleStep)->Arg(0)->Arg(1);
+
+void BM_DedupId_Cached_vs_Uncached(benchmark::State& state) {
+  const bool fresh_each_time = state.range(0) != 0;
+  VoteMessage vote;
+  vote.round = 12;
+  vote.step = 3;
+  DeterministicRng rng(9);
+  rng.FillBytes(vote.pk.data(), vote.pk.size());
+  rng.FillBytes(vote.value.data(), vote.value.size());
+  for (auto _ : state) {
+    if (fresh_each_time) {
+      VoteMessage copy = vote;  // Copying resets the memo: uncached path.
+      benchmark::DoNotOptimize(copy.DedupId());
+    } else {
+      benchmark::DoNotOptimize(vote.DedupId());  // Memoized after first call.
+    }
+  }
+  state.SetLabel(fresh_each_time ? "uncached" : "cached");
+}
+BENCHMARK(BM_DedupId_Cached_vs_Uncached)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace algorand

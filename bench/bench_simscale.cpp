@@ -1,0 +1,167 @@
+// Simulator scaling sweep: wall-clock and events/sec as the node count grows,
+// with committee sizes fixed (the paper's §8.4 scaling discipline). This is
+// the engine benchmark behind the Figure 5/6 reproductions — it measures the
+// simulator itself, not the protocol, so regressions in the event queue,
+// message memoization, or sortition cache show up here first.
+//
+//   $ ./bench/bench_simscale --nodes=100,200,500 --rounds=3 --workers=4 \
+//         --out=BENCH_sim.json [--map-queue] [--seed=N]
+//
+// Each node count runs as an independent share-nothing SimHarness; --workers
+// spreads the sweep across threads (results are identical to sequential).
+// --map-queue A/Bs the reference std::map event queue against the default
+// 4-ary heap. The JSON report records wall seconds, wall seconds per round,
+// executed events, and events/sec per sweep point.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/sim_runner.h"
+
+using namespace algorand;
+using namespace algorand::bench;
+
+namespace {
+
+struct Options {
+  std::vector<size_t> nodes = {100, 200, 500};
+  uint64_t rounds = 3;
+  size_t workers = 1;
+  uint64_t seed = 1;
+  bool map_queue = false;
+  bool help = false;
+  std::string out = "BENCH_sim.json";
+};
+
+bool ParseFlag(int argc, char** argv, int* i, const char* name, std::string* value) {
+  const char* arg = argv[*i];
+  std::string prefix = std::string("--") + name;
+  if (strncmp(arg, prefix.c_str(), prefix.size()) != 0) {
+    return false;
+  }
+  const char* rest = arg + prefix.size();
+  if (*rest == '=') {
+    *value = rest + 1;
+    return true;
+  }
+  if (*rest == '\0' && *i + 1 < argc) {
+    *value = argv[*i + 1];
+    ++*i;
+    return true;
+  }
+  return false;
+}
+
+std::vector<size_t> ParseNodeList(const std::string& spec) {
+  std::vector<size_t> out;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(static_cast<size_t>(std::stoul(item)));
+    }
+  }
+  return out;
+}
+
+Options Parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argc, argv, &i, "nodes", &v)) {
+      opt.nodes = ParseNodeList(v);
+    } else if (ParseFlag(argc, argv, &i, "rounds", &v)) {
+      opt.rounds = std::stoull(v);
+    } else if (ParseFlag(argc, argv, &i, "workers", &v)) {
+      opt.workers = static_cast<size_t>(std::stoul(v));
+    } else if (ParseFlag(argc, argv, &i, "seed", &v)) {
+      opt.seed = std::stoull(v);
+    } else if (ParseFlag(argc, argv, &i, "out", &v)) {
+      opt.out = v;
+    } else if (strcmp(argv[i], "--map-queue") == 0) {
+      opt.map_queue = true;
+    } else {
+      opt.help = true;
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = Parse(argc, argv);
+  if (opt.help || opt.nodes.empty()) {
+    printf(
+        "usage: bench_simscale [flags]\n"
+        "  --nodes=A,B,C   node counts to sweep (default 100,200,500)\n"
+        "  --rounds=N      rounds per point (default 3)\n"
+        "  --workers=N     sweep points run on N threads (default 1)\n"
+        "  --seed=N        rng seed (default 1)\n"
+        "  --map-queue     use the reference std::map event queue\n"
+        "  --out=FILE      JSON report path (default BENCH_sim.json)\n");
+    return opt.help ? 1 : 0;
+  }
+
+  Banner("simscale", "simulator scaling (engine benchmark, not a paper figure)",
+         "events/sec roughly flat as node count grows; wall-clock ~linear in events");
+
+  std::vector<RunSpec> specs;
+  for (size_t n : opt.nodes) {
+    RunSpec spec;
+    spec.n_nodes = n;
+    spec.rounds = opt.rounds;
+    spec.seed = opt.seed;
+    spec.use_map_event_queue = opt.map_queue;
+    specs.push_back(spec);
+  }
+  std::vector<RunResult> results = RunScenariosParallel(specs, opt.workers);
+
+  printf("%-8s %-10s %-12s %-12s %-12s %-10s %-8s\n", "nodes", "wall(s)", "wall/round",
+         "events", "events/sec", "med-lat(s)", "safety");
+  std::string json = "{\n  \"queue\": \"";
+  json += opt.map_queue ? "map" : "heap";
+  json += "\",\n  \"rounds\": " + std::to_string(opt.rounds);
+  json += ",\n  \"seed\": " + std::to_string(opt.seed);
+  json += ",\n  \"workers\": " + std::to_string(opt.workers);
+  json += ",\n  \"points\": [\n";
+  bool all_ok = true;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const RunResult& r = results[i];
+    double per_round = r.wall_seconds / static_cast<double>(opt.rounds);
+    double eps = r.wall_seconds > 0 ? static_cast<double>(r.executed_events) / r.wall_seconds : 0;
+    all_ok = all_ok && r.completed && r.safety_ok;
+    printf("%-8zu %-10.2f %-12.2f %-12llu %-12.0f %-10.1f %-8s%s\n", specs[i].n_nodes,
+           r.wall_seconds, per_round, static_cast<unsigned long long>(r.executed_events), eps,
+           r.latency.median, r.safety_ok ? "ok" : "VIOLATED",
+           r.completed ? "" : "  [incomplete]");
+    char buf[512];
+    snprintf(buf, sizeof(buf),
+             "    {\"nodes\": %zu, \"wall_seconds\": %.3f, \"wall_seconds_per_round\": %.3f, "
+             "\"executed_events\": %llu, \"events_per_sec\": %.0f, "
+             "\"median_round_latency_s\": %.2f, \"completed\": %s, \"safety_ok\": %s}%s\n",
+             specs[i].n_nodes, r.wall_seconds, per_round,
+             static_cast<unsigned long long>(r.executed_events), eps, r.latency.median,
+             r.completed ? "true" : "false", r.safety_ok ? "true" : "false",
+             i + 1 < specs.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  std::ofstream out(opt.out, std::ios::binary);
+  if (out) {
+    out << json;
+    printf("report: %s\n", opt.out.c_str());
+  } else {
+    fprintf(stderr, "error: cannot write %s\n", opt.out.c_str());
+    return 1;
+  }
+  Note("sim crypto + verification cache (the paper's methodology); committee sizes fixed");
+  Note("--map-queue reruns the sweep on the reference std::map event queue for A/B");
+  return all_ok ? 0 : 2;
+}

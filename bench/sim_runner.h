@@ -10,7 +10,12 @@
 #ifndef ALGORAND_BENCH_SIM_RUNNER_H_
 #define ALGORAND_BENCH_SIM_RUNNER_H_
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "src/common/stats.h"
 #include "src/core/sim_harness.h"
@@ -33,6 +38,8 @@ struct RunSpec {
   double malicious_fraction = 0;
   bool real_crypto = false;
   SimTime deadline = Hours(6);
+  // A/B switch for the event-queue benchmark; kMap is the reference queue.
+  bool use_map_event_queue = false;
 };
 
 struct RunResult {
@@ -42,6 +49,7 @@ struct RunResult {
   SimHarness::PhaseBreakdown phases;
   double bytes_per_user_per_round = 0;
   uint64_t executed_events = 0;
+  double wall_seconds = 0;  // Real time spent inside RunRounds.
   // Merged cross-node metrics snapshot; the registry-backed view of the same
   // run ("ba.round_time_ms", "gossip.msgs_in.*", ...).
   MetricsSnapshot metrics;
@@ -61,11 +69,15 @@ inline RunResult RunScenario(const RunSpec& spec) {
   cfg.latency = HarnessConfig::Latency::kCity;
   cfg.use_sim_crypto = !spec.real_crypto;
   cfg.malicious_fraction = spec.malicious_fraction;
+  cfg.use_map_event_queue = spec.use_map_event_queue;
 
   SimHarness h(cfg);
   h.Start();
   RunResult result;
+  auto wall_start = std::chrono::steady_clock::now();
   result.completed = h.RunRounds(spec.rounds, spec.deadline);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   result.safety_ok = h.CheckSafety().ok;
   std::vector<double> latencies;
   for (uint64_t r = 1; r <= spec.rounds; ++r) {
@@ -85,6 +97,43 @@ inline RunResult RunScenario(const RunSpec& spec) {
   result.executed_events = h.sim().executed_events();
   result.metrics = h.AggregateMetrics();
   return result;
+}
+
+// Runs a batch of scenarios across `workers` threads. Each worker owns a
+// complete SimHarness per scenario (share-nothing: separate event queues,
+// networks, metrics registries), so results are identical to running the
+// specs sequentially — the only shared state is the work index. Results land
+// at the same index as their spec.
+inline std::vector<RunResult> RunScenariosParallel(const std::vector<RunSpec>& specs,
+                                                   size_t workers) {
+  std::vector<RunResult> results(specs.size());
+  if (workers == 0) {
+    workers = 1;
+  }
+  workers = std::min(workers, specs.size());
+  std::atomic<size_t> next{0};
+  auto work = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) {
+        return;
+      }
+      results[i] = RunScenario(specs[i]);
+    }
+  };
+  if (workers <= 1) {
+    work();
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back(work);
+  }
+  for (auto& t : pool) {
+    t.join();
+  }
+  return results;
 }
 
 }  // namespace bench

@@ -10,6 +10,7 @@
 // --metrics-json=FILE dumps the merged cross-node MetricsRegistry snapshot;
 // --trace-jsonl=FILE dumps the BA* round tracer (one JSON event per line).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +39,7 @@ struct CliOptions {
   int verify_workers = -1;
   bool real_crypto = false;
   bool uniform_latency = false;
+  bool map_queue = false;
   bool help = false;
   std::string metrics_json;
   std::string trace_jsonl;
@@ -135,6 +137,8 @@ CliOptions Parse(int argc, char** argv) {
       opt.real_crypto = true;
     } else if (strcmp(argv[i], "--uniform-latency") == 0) {
       opt.uniform_latency = true;
+    } else if (strcmp(argv[i], "--map-queue") == 0) {
+      opt.map_queue = true;
     } else {
       opt.help = true;
     }
@@ -167,6 +171,7 @@ void PrintHelp() {
       "  --seed=N            deterministic seed (default 1)\n"
       "  --real-crypto       real Ed25519+ECVRF instead of the sim backends\n"
       "  --uniform-latency   50ms uniform links instead of the 20-city model\n"
+      "  --map-queue         reference std::map event queue (A/B testing)\n"
       "  --metrics-json=FILE write the merged metrics snapshot as JSON\n"
       "  --trace-jsonl=FILE  write the BA* round trace (one JSON event/line)\n"
       "  --crash-schedule=S  chaos: node:crash_s:restart_s[:fresh][,...]\n"
@@ -196,6 +201,7 @@ int main(int argc, char** argv) {
   cfg.use_sim_crypto = !opt.real_crypto;
   cfg.verify_workers = opt.verify_workers;
   cfg.malicious_fraction = opt.malicious;
+  cfg.use_map_event_queue = opt.map_queue;
   cfg.latency =
       opt.uniform_latency ? HarnessConfig::Latency::kUniform : HarnessConfig::Latency::kCity;
   if (!opt.crash_schedule.empty() &&
@@ -215,7 +221,10 @@ int main(int argc, char** argv) {
     h.SetNetworkAdversary(std::make_unique<LossyAdversary>(opt.loss_rate, opt.seed));
   }
   h.Start();
+  auto wall_start = std::chrono::steady_clock::now();
   bool done = h.RunRounds(opt.rounds, Hours(24));
+  double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
   printf("%-7s %-9s %-9s %-9s %-9s %-9s\n", "round", "min(s)", "p25(s)", "med(s)", "p75(s)",
          "max(s)");
@@ -242,6 +251,10 @@ int main(int argc, char** argv) {
              static_cast<double>(opt.rounds) / 1e6);
   printf("completed: %s | safety: %s | chains consistent: %s\n", done ? "yes" : "NO",
          safety.ok ? "holds" : safety.violation.c_str(), h.ChainsConsistent() ? "yes" : "no");
+  uint64_t events = h.sim().executed_events();
+  printf("engine: %s queue | wall %.2fs | %llu events | %.0f events/sec\n",
+         opt.map_queue ? "map" : "heap", wall_s, static_cast<unsigned long long>(events),
+         wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0);
 
   // Chaos convergence: every live node (including restarted ones) must be
   // within one round of the longest honest chain.

@@ -7,14 +7,18 @@
 #ifndef ALGORAND_SRC_COMMON_EXECUTOR_H_
 #define ALGORAND_SRC_COMMON_EXECUTOR_H_
 
-#include <functional>
-
+#include "src/common/callback.h"
 #include "src/common/time_units.h"
 
 namespace algorand {
 
 class Executor {
  public:
+  // Move-only with inline storage: scheduling a typical protocol closure
+  // neither copies it nor heap-allocates (see callback.h). Any callable —
+  // lambdas, std::function, move-only captures — converts implicitly.
+  using Callback = UniqueCallback;
+
   virtual ~Executor() = default;
 
   // Current time: simulated nanoseconds, or monotonic wall-clock nanoseconds
@@ -22,10 +26,10 @@ class Executor {
   virtual SimTime now() const = 0;
 
   // Runs `fn` after `delay` (clamped at now for non-positive delays).
-  virtual void Schedule(SimTime delay, std::function<void()> fn) = 0;
+  virtual void Schedule(SimTime delay, Callback fn) = 0;
 
   // Runs `fn` at the absolute time `when` (clamped at now).
-  virtual void ScheduleAt(SimTime when, std::function<void()> fn) = 0;
+  virtual void ScheduleAt(SimTime when, Callback fn) = 0;
 };
 
 }  // namespace algorand

@@ -112,7 +112,7 @@ std::optional<CatchupRequestMessage> CatchupRequestMessage::Deserialize(
   return m;
 }
 
-Hash256 CatchupRequestMessage::DedupId() const { return Sha256::Hash(Serialize()); }
+Hash256 CatchupRequestMessage::ComputeDedupId() const { return Sha256::Hash(Serialize()); }
 
 std::vector<uint8_t> CatchupResponseMessage::Serialize() const {
   Writer w;
@@ -172,7 +172,7 @@ std::optional<CatchupResponseMessage> CatchupResponseMessage::Deserialize(
   return m;
 }
 
-uint64_t CatchupResponseMessage::WireSize() const {
+uint64_t CatchupResponseMessage::ComputeWireSize() const {
   uint64_t size = 4 + 8 + 8 + 8 + 4 + 1;
   for (const Entry& e : entries) {
     size += 8 + e.block.WireSize() + e.cert.WireSize();
@@ -183,6 +183,6 @@ uint64_t CatchupResponseMessage::WireSize() const {
   return size;
 }
 
-Hash256 CatchupResponseMessage::DedupId() const { return Sha256::Hash(Serialize()); }
+Hash256 CatchupResponseMessage::ComputeDedupId() const { return Sha256::Hash(Serialize()); }
 
 }  // namespace algorand

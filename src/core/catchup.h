@@ -49,12 +49,16 @@ class CatchupRequestMessage : public SimMessage {
   uint64_t from_round = 0;  // First round wanted (requester's next_round).
   uint32_t limit = 0;       // Max rounds in the response batch.
 
+  static constexpr uint64_t kWireSize = 4 + 8 + 8 + 4;
+
   std::vector<uint8_t> Serialize() const;
   static std::optional<CatchupRequestMessage> Deserialize(std::span<const uint8_t> data);
 
-  uint64_t WireSize() const override { return 4 + 8 + 8 + 4; }
-  Hash256 DedupId() const override;
   const char* TypeName() const override { return "catchup_req"; }
+
+ protected:
+  uint64_t ComputeWireSize() const override { return kWireSize; }
+  Hash256 ComputeDedupId() const override;
 };
 
 class CatchupResponseMessage : public SimMessage {
@@ -75,9 +79,11 @@ class CatchupResponseMessage : public SimMessage {
   std::vector<uint8_t> Serialize() const;
   static std::optional<CatchupResponseMessage> Deserialize(std::span<const uint8_t> data);
 
-  uint64_t WireSize() const override;
-  Hash256 DedupId() const override;
   const char* TypeName() const override { return "catchup_resp"; }
+
+ protected:
+  uint64_t ComputeWireSize() const override;
+  Hash256 ComputeDedupId() const override;
 };
 
 }  // namespace algorand

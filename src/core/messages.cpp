@@ -40,9 +40,7 @@ std::optional<VoteMessage> VoteMessage::Deserialize(std::span<const uint8_t> dat
   return m;
 }
 
-uint64_t VoteMessage::WireSize() const { return Serialize().size(); }
-
-Hash256 VoteMessage::DedupId() const { return Sha256::Hash(Serialize()); }
+Hash256 VoteMessage::ComputeDedupId() const { return Sha256::Hash(Serialize()); }
 
 std::vector<uint8_t> PriorityMessage::SignedBody() const {
   Writer w;
@@ -76,9 +74,7 @@ std::optional<PriorityMessage> PriorityMessage::Deserialize(std::span<const uint
   return m;
 }
 
-uint64_t PriorityMessage::WireSize() const { return Serialize().size(); }
-
-Hash256 PriorityMessage::DedupId() const { return Sha256::Hash(Serialize()); }
+Hash256 PriorityMessage::ComputeDedupId() const { return Sha256::Hash(Serialize()); }
 
 std::vector<uint8_t> BlockRequestMessage::Serialize() const {
   Writer w;
@@ -101,7 +97,7 @@ std::optional<BlockRequestMessage> BlockRequestMessage::Deserialize(
   return m;
 }
 
-Hash256 BlockRequestMessage::DedupId() const { return Sha256::Hash(Serialize()); }
+Hash256 BlockRequestMessage::ComputeDedupId() const { return Sha256::Hash(Serialize()); }
 
 std::optional<TransactionMessage> TransactionMessage::Deserialize(std::span<const uint8_t> data) {
   Reader r(data);
@@ -127,7 +123,7 @@ std::vector<uint8_t> RecoveryProposalMessage::SignedBody() const {
   return w.Take();
 }
 
-uint64_t RecoveryProposalMessage::WireSize() const {
+uint64_t RecoveryProposalMessage::ComputeWireSize() const {
   uint64_t size = 32 + 8 + 64 + 80 + 64 + block.WireSize();
   for (const Block& b : suffix) {
     size += b.WireSize();
@@ -135,7 +131,7 @@ uint64_t RecoveryProposalMessage::WireSize() const {
   return size;
 }
 
-Hash256 RecoveryProposalMessage::DedupId() const { return Sha256::Hash(SignedBody()); }
+Hash256 RecoveryProposalMessage::ComputeDedupId() const { return Sha256::Hash(SignedBody()); }
 
 std::vector<uint8_t> RecoveryProposalMessage::Serialize() const {
   Writer w;

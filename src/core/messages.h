@@ -36,6 +36,10 @@ inline uint32_t BinaryStepCode(int step) { return kStepBinaryBase + static_cast<
 // "about 200 bytes" small-message claim.
 class VoteMessage : public SimMessage {
  public:
+  // Fixed layout: pk || round || step || sorthash || sort_proof || prev_hash
+  // || value || signature. Tests assert this equals Serialize().size().
+  static constexpr uint64_t kWireSize = 32 + 8 + 4 + 64 + 80 + 32 + 32 + 64;
+
   PublicKey pk;
   uint64_t round = 0;
   uint32_t step = 0;
@@ -49,15 +53,20 @@ class VoteMessage : public SimMessage {
   std::vector<uint8_t> Serialize() const;
   static std::optional<VoteMessage> Deserialize(std::span<const uint8_t> data);
 
-  uint64_t WireSize() const override;
-  Hash256 DedupId() const override;
   const char* TypeName() const override { return "vote"; }
+
+ protected:
+  uint64_t ComputeWireSize() const override { return kWireSize; }
+  Hash256 ComputeDedupId() const override;
 };
 
 // First proposal message (§6): small, carries only the proposer's priority
 // credentials so the network quickly learns who won.
 class PriorityMessage : public SimMessage {
  public:
+  // Fixed layout: pk || round || sorthash || sort_proof || sub_users || sig.
+  static constexpr uint64_t kWireSize = 32 + 8 + 64 + 80 + 8 + 64;
+
   PublicKey pk;
   uint64_t round = 0;
   VrfOutput sorthash;
@@ -69,9 +78,11 @@ class PriorityMessage : public SimMessage {
   std::vector<uint8_t> Serialize() const;
   static std::optional<PriorityMessage> Deserialize(std::span<const uint8_t> data);
 
-  uint64_t WireSize() const override;
-  Hash256 DedupId() const override;
   const char* TypeName() const override { return "priority"; }
+
+ protected:
+  uint64_t ComputeWireSize() const override { return kWireSize; }
+  Hash256 ComputeDedupId() const override;
 };
 
 // Second proposal message: the full block (§6). The block embeds the
@@ -80,9 +91,11 @@ class BlockMessage : public SimMessage {
  public:
   Block block;
 
-  uint64_t WireSize() const override { return block.WireSize(); }
-  Hash256 DedupId() const override { return block.Hash(); }
   const char* TypeName() const override { return "block"; }
+
+ protected:
+  uint64_t ComputeWireSize() const override { return block.WireSize(); }
+  Hash256 ComputeDedupId() const override { return block.Hash(); }
 };
 
 // Request for a block pre-image after BA* agreed on a hash the node never
@@ -90,6 +103,8 @@ class BlockMessage : public SimMessage {
 // BlockMessage.
 class BlockRequestMessage : public SimMessage {
  public:
+  static constexpr uint64_t kWireSize = 8 + 32 + 4;
+
   uint64_t round = 0;
   Hash256 block_hash;
   uint32_t requester = 0;  // NodeId to answer to.
@@ -97,9 +112,11 @@ class BlockRequestMessage : public SimMessage {
   std::vector<uint8_t> Serialize() const;
   static std::optional<BlockRequestMessage> Deserialize(std::span<const uint8_t> data);
 
-  uint64_t WireSize() const override { return 8 + 32 + 4; }
-  Hash256 DedupId() const override;
   const char* TypeName() const override { return "block_req"; }
+
+ protected:
+  uint64_t ComputeWireSize() const override { return kWireSize; }
+  Hash256 ComputeDedupId() const override;
 };
 
 // A payment submitted by a client, gossiped to reach whoever proposes the
@@ -111,9 +128,11 @@ class TransactionMessage : public SimMessage {
   std::vector<uint8_t> Serialize() const { return tx.Serialize(); }
   static std::optional<TransactionMessage> Deserialize(std::span<const uint8_t> data);
 
-  uint64_t WireSize() const override { return Transaction::kWireSize; }
-  Hash256 DedupId() const override { return tx.Id(); }
   const char* TypeName() const override { return "txn"; }
+
+ protected:
+  uint64_t ComputeWireSize() const override { return Transaction::kWireSize; }
+  Hash256 ComputeDedupId() const override { return tx.Id(); }
 };
 
 // Fork-recovery proposal (§8.2): a "fork proposer" proposes an empty block
@@ -133,9 +152,11 @@ class RecoveryProposalMessage : public SimMessage {
   std::vector<uint8_t> SignedBody() const;
   std::vector<uint8_t> Serialize() const;
   static std::optional<RecoveryProposalMessage> Deserialize(std::span<const uint8_t> data);
-  uint64_t WireSize() const override;
-  Hash256 DedupId() const override;
   const char* TypeName() const override { return "recovery"; }
+
+ protected:
+  uint64_t ComputeWireSize() const override;
+  Hash256 ComputeDedupId() const override;
 };
 
 // Builds and signs a vote.

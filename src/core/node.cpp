@@ -215,6 +215,9 @@ void Node::StartRound(uint64_t round) {
   // Prune relay bookkeeping for finished rounds.
   relayed_votes_.erase(relayed_votes_.begin(),
                        relayed_votes_.lower_bound(std::make_tuple(round, 0u, PublicKey())));
+  if (gossip_ != nullptr) {
+    gossip_->AdvanceSeenWindow(round);  // Round-windowed dedup pruning.
+  }
   prev_ba_ = std::move(ba_);  // Defer destruction past the caller's frames.
   ba_ = std::make_unique<BaStar>(params_, this,
                                  [this](const BaResult& result) { OnBaComplete(result); });

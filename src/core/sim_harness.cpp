@@ -7,7 +7,9 @@ namespace algorand {
 SimHarness::SimHarness(HarnessConfig config)
     : config_(std::move(config)),
       rng_(config_.rng_seed, "harness"),
-      genesis_(MakeTestGenesis(config_.n_nodes, config_.stake_per_user, config_.rng_seed)) {
+      genesis_(MakeTestGenesis(config_.n_nodes, config_.stake_per_user, config_.rng_seed)),
+      sim_(config_.use_map_event_queue ? Simulation::QueueKind::kMap
+                                       : Simulation::QueueKind::kHeap) {
   if (config_.stake_of) {
     for (size_t i = 0; i < genesis_.config.allocations.size(); ++i) {
       genesis_.config.allocations[i].second = config_.stake_of(i);

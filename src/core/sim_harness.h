@@ -42,6 +42,11 @@ struct HarnessConfig {
   // paper's replace-crypto-with-sleeps methodology for very large runs.
   bool use_sim_crypto = false;
 
+  // Event-queue implementation. The 4-ary heap is the default; the std::map
+  // queue is kept for determinism regression tests (both produce identical
+  // executions — see Simulation::QueueKind).
+  bool use_map_event_queue = false;
+
   // Verification pipeline: worker threads that prewarm the shared
   // VerificationCache while messages are in flight. 0 = single-threaded
   // (fully deterministic, the tier-1 test configuration); the pipeline only

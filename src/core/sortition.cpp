@@ -1,6 +1,14 @@
 #include "src/core/sortition.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstring>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 
 #include "src/common/serialize.h"
 #include "src/crypto/sha256.h"
@@ -36,7 +44,7 @@ long double HashToFraction(const VrfOutput& hash) {
   return frac;
 }
 
-uint64_t SelectSubUsers(const VrfOutput& hash, uint64_t weight, double p) {
+uint64_t SelectSubUsersUncached(const VrfOutput& hash, uint64_t weight, double p) {
   if (weight == 0 || p <= 0.0) {
     return 0;
   }
@@ -77,6 +85,183 @@ uint64_t SelectSubUsers(const VrfOutput& hash, uint64_t weight, double p) {
     }
   }
 }
+
+namespace {
+
+// Precomputed CDF prefix for one (weight, p) pair: cdf[k] is the exact
+// cumulative long double the recurrence produces after adding term k, so the
+// cached lookup reproduces the uncached loop's result bit-for-bit.
+struct CdfTable {
+  std::vector<long double> cdf;
+  // Why the table ended. Exactly one of these is true unless truncated.
+  bool ended_by_guard = false;   // cumulative >= 1 - 1e-30 after cdf.size()-1.
+  bool ended_by_weight = false;  // Last entry is k == weight.
+  // Resume state when truncated at kSortitionCdfMaxTableEntries: the loop
+  // variables as they stood entering iteration k == cdf.size().
+  long double tail_log_term = 0.0L;
+  long double tail_cumulative = 0.0L;
+  long double log_ratio_base = 0.0L;
+};
+
+std::shared_ptr<const CdfTable> BuildCdfTable(uint64_t weight, double p) {
+  auto table = std::make_shared<CdfTable>();
+  const long double w = static_cast<long double>(weight);
+  const long double lp = static_cast<long double>(p);
+  table->log_ratio_base = std::log(lp) - std::log1p(-lp);
+  long double log_term = w * std::log1p(-lp);
+  long double cumulative = 0.0L;
+  uint64_t k = 0;
+  for (;;) {
+    cumulative += std::exp(log_term);
+    table->cdf.push_back(cumulative);
+    if (k >= weight) {
+      table->ended_by_weight = true;
+      break;
+    }
+    log_term += std::log(w - static_cast<long double>(k)) -
+                std::log(static_cast<long double>(k) + 1.0L) + table->log_ratio_base;
+    ++k;
+    if (cumulative >= 1.0L - 1e-30L) {
+      table->ended_by_guard = true;
+      break;
+    }
+    if (table->cdf.size() >= kSortitionCdfMaxTableEntries) {
+      table->tail_log_term = log_term;
+      table->tail_cumulative = cumulative;
+      break;
+    }
+  }
+  return table;
+}
+
+uint64_t LookupCdf(const CdfTable& table, long double frac, uint64_t weight) {
+  // The uncached loop returns the first k with frac < CDF(k); the cumulative
+  // sequence is non-decreasing (terms are exp(...) >= 0), so that k is a
+  // binary search.
+  auto it = std::upper_bound(table.cdf.begin(), table.cdf.end(), frac);
+  if (it != table.cdf.end()) {
+    return static_cast<uint64_t>(it - table.cdf.begin());
+  }
+  if (table.ended_by_weight) {
+    return weight;  // The rounding sliver above CDF(w): everything selected.
+  }
+  if (table.ended_by_guard) {
+    return table.cdf.size();  // The loop's post-increment guard exit.
+  }
+  // Truncated table: resume the exact recurrence where the table stopped.
+  const long double w = static_cast<long double>(weight);
+  long double log_term = table.tail_log_term;
+  long double cumulative = table.tail_cumulative;
+  uint64_t k = table.cdf.size();
+  for (;;) {
+    cumulative += std::exp(log_term);
+    if (frac < cumulative) {
+      return k;
+    }
+    if (k >= weight) {
+      return weight;
+    }
+    log_term += std::log(w - static_cast<long double>(k)) -
+                std::log(static_cast<long double>(k) + 1.0L) + table.log_ratio_base;
+    ++k;
+    if (cumulative >= 1.0L - 1e-30L) {
+      return k;
+    }
+  }
+}
+
+// LRU keyed by (weight, exact p bits). Thread-safe: sortition runs on the
+// protocol thread and on VerifyPool workers concurrently. The lock covers
+// only map/list maintenance; misses build their table outside it (a racing
+// duplicate build is harmless — last insert wins).
+class CdfCache {
+ public:
+  static constexpr size_t kMaxEntries = 256;
+
+  std::shared_ptr<const CdfTable> Get(uint64_t weight, double p) {
+    Key key{weight, BitsOf(p)};
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second->second;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<const CdfTable> table = BuildCdfTable(weight, p);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      return it->second->second;  // Lost the build race; use the winner's.
+    }
+    lru_.emplace_front(key, table);
+    index_[key] = lru_.begin();
+    if (lru_.size() > kMaxEntries) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return table;
+  }
+
+  SortitionCdfCacheStats Stats() const {
+    SortitionCdfCacheStats out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    out.entries = lru_.size();
+    return out;
+  }
+
+ private:
+  struct Key {
+    uint64_t weight;
+    uint64_t p_bits;
+    bool operator==(const Key& o) const { return weight == o.weight && p_bits == o.p_bits; }
+  };
+  struct KeyHasher {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(k.weight * 0x9e3779b97f4a7c15ULL ^ k.p_bits);
+    }
+  };
+
+  static uint64_t BitsOf(double p) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &p, sizeof(bits));
+    return bits;
+  }
+
+  mutable std::mutex mu_;
+  std::list<std::pair<Key, std::shared_ptr<const CdfTable>>> lru_;
+  std::unordered_map<Key, decltype(lru_)::iterator, KeyHasher> index_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+CdfCache& GlobalCdfCache() {
+  static CdfCache* cache = new CdfCache();  // Leaked: outlives worker threads.
+  return *cache;
+}
+
+}  // namespace
+
+uint64_t SelectSubUsers(const VrfOutput& hash, uint64_t weight, double p) {
+  if (weight == 0 || p <= 0.0) {
+    return 0;
+  }
+  if (p >= 1.0) {
+    return weight;
+  }
+  const long double frac = HashToFraction(hash);
+  std::shared_ptr<const CdfTable> table = GlobalCdfCache().Get(weight, p);
+  return LookupCdf(*table, frac, weight);
+}
+
+SortitionCdfCacheStats GetSortitionCdfCacheStats() { return GlobalCdfCache().Stats(); }
 
 SortitionResult RunSortition(const VrfBackend& vrf, const Ed25519KeyPair& key,
                              const SeedBytes& seed, double tau, Role role, uint64_t round,

@@ -51,7 +51,35 @@ uint64_t VerifySortition(const VrfBackend& vrf, const PublicKey& pk, const VrfOu
 // The binomial CDF inversion at the heart of both algorithms: given the
 // uniform fraction encoded by `hash`, returns j such that the fraction lies
 // in [CDF(j-1), CDF(j)) for Binomial(weight, p). Exposed for direct testing.
+//
+// The CDF depends only on (weight, p), and a simulation evaluates it for the
+// same pair millions of times (every node, every step, every round — stakes
+// are few distinct values and p is tau/W). SelectSubUsers therefore serves
+// lookups from a process-wide LRU of precomputed CDF prefix tables; the
+// cached path is bit-identical to the uncached recurrence because the tables
+// store the exact cumulative long-double sequence the loop would produce
+// (the lookup is a binary search over a non-decreasing sequence for the
+// first k with frac < CDF(k), which is precisely the loop's exit test).
+// Tables past kSortitionCdfMaxTableEntries terms store the loop's resume
+// state instead of growing without bound.
 uint64_t SelectSubUsers(const VrfOutput& hash, uint64_t weight, double p);
+
+// The original uncached log-space recurrence; reference for equivalence
+// tests and the cached-vs-uncached microbenchmark.
+uint64_t SelectSubUsersUncached(const VrfOutput& hash, uint64_t weight, double p);
+
+// Cap on precomputed CDF terms per (weight, p) table; beyond it the lookup
+// resumes the exact recurrence from the stored tail state.
+constexpr size_t kSortitionCdfMaxTableEntries = 4096;
+
+// Process-wide cache statistics (relaxed counters; safe to read any time).
+struct SortitionCdfCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+};
+SortitionCdfCacheStats GetSortitionCdfCacheStats();
 
 // Maps a VRF output to a uniform fraction of [0,1) using its top 128 bits.
 long double HashToFraction(const VrfOutput& hash);

@@ -41,6 +41,12 @@ std::vector<uint8_t> EncodeMessage(const SimMessage& msg) {
   return {};
 }
 
+const std::vector<uint8_t>& EncodeMessageCached(const SimMessage& msg) {
+  // The encoder must be a plain function pointer for the memo slot;
+  // EncodeMessage is overloaded, so name it through a captureless lambda.
+  return msg.EncodedWire(+[](const SimMessage& m) { return EncodeMessage(m); });
+}
+
 MessagePtr DecodeMessage(std::span<const uint8_t> payload) {
   if (payload.empty()) {
     return nullptr;

@@ -31,6 +31,14 @@ enum class WireType : uint8_t {
 std::vector<uint8_t> EncodeMessage(const SimMessage& msg);
 inline std::vector<uint8_t> EncodeMessage(const MessagePtr& msg) { return EncodeMessage(*msg); }
 
+// Same bytes, memoized on the message: the first call encodes and caches,
+// later calls (e.g. relaying one gossip message to many TCP peers) return the
+// cached buffer. Requires the usual immutable-after-first-send contract.
+const std::vector<uint8_t>& EncodeMessageCached(const SimMessage& msg);
+inline const std::vector<uint8_t>& EncodeMessageCached(const MessagePtr& msg) {
+  return EncodeMessageCached(*msg);
+}
+
 // Parses a tagged payload back into a message; nullptr on malformed input.
 MessagePtr DecodeMessage(std::span<const uint8_t> payload);
 

@@ -78,11 +78,13 @@ void GossipAgent::AttachMetrics(MetricsRegistry* registry) {
   if (registry == nullptr) {
     duplicates_dropped_ = &fallback_duplicates_;
     rejected_ = &fallback_rejected_;
+    seen_size_gauge_ = &fallback_seen_size_;
     delivered_ = relayed_ = bytes_in_ = bytes_out_ = nullptr;
     return;
   }
   duplicates_dropped_ = &registry->GetCounter("gossip.dup_dropped");
   rejected_ = &registry->GetCounter("gossip.rejected");
+  seen_size_gauge_ = &registry->GetGauge("gossip.seen_size");
   delivered_ = &registry->GetCounter("gossip.delivered");
   relayed_ = &registry->GetCounter("gossip.relayed");
   bytes_in_ = &registry->GetCounter("gossip.bytes_in");
@@ -112,8 +114,34 @@ void GossipAgent::CountSend(const MessagePtr& msg, size_t copies) {
   bytes_out_->Increment(msg->WireSize() * copies);
 }
 
+bool GossipAgent::MarkSeen(const Hash256& id) {
+  if (seen_prev_.count(id) != 0) {
+    return false;
+  }
+  bool inserted = seen_current_.insert(id).second;
+  if (inserted) {
+    seen_size_gauge_->Set(static_cast<int64_t>(seen_size()));
+  }
+  return inserted;
+}
+
+void GossipAgent::AdvanceSeenWindow(uint64_t window) {
+  if (window <= seen_window_) {
+    return;
+  }
+  if (window == seen_window_ + 1) {
+    seen_prev_ = std::move(seen_current_);
+    seen_current_.clear();
+  } else {
+    seen_prev_.clear();
+    seen_current_.clear();
+  }
+  seen_window_ = window;
+  seen_size_gauge_->Set(static_cast<int64_t>(seen_size()));
+}
+
 void GossipAgent::Gossip(const MessagePtr& msg) {
-  if (!seen_.insert(msg->DedupId()).second) {
+  if (!MarkSeen(msg->DedupId())) {
     return;  // Already originated/relayed.
   }
   if (handler_) {
@@ -123,12 +151,12 @@ void GossipAgent::Gossip(const MessagePtr& msg) {
 }
 
 void GossipAgent::SendToNeighbors(const MessagePtr& msg) {
-  seen_.insert(msg->DedupId());
+  MarkSeen(msg->DedupId());
   Forward(msg, self_);
 }
 
 void GossipAgent::SendTo(NodeId peer, const MessagePtr& msg) {
-  seen_.insert(msg->DedupId());
+  MarkSeen(msg->DedupId());
   CountSend(msg, 1);
   network_->Send(self_, peer, msg);
 }
@@ -138,7 +166,7 @@ void GossipAgent::OnReceive(NodeId from, const MessagePtr& msg) {
     TypeCounter(&msgs_in_by_type_, "msgs_in", msg)->Increment();
     bytes_in_->Increment(msg->WireSize());
   }
-  if (seen_.count(msg->DedupId())) {
+  if (SeenBefore(msg->DedupId())) {
     duplicates_dropped_->Increment();
     return;
   }
@@ -147,7 +175,7 @@ void GossipAgent::OnReceive(NodeId from, const MessagePtr& msg) {
     rejected_->Increment();
     return;  // Not marked seen: a valid copy arriving later is still usable.
   }
-  seen_.insert(msg->DedupId());
+  MarkSeen(msg->DedupId());
   if (delivered_ != nullptr) {
     delivered_->Increment();
   }

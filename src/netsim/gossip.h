@@ -83,6 +83,18 @@ class GossipAgent {
   uint64_t duplicates_dropped() const { return duplicates_dropped_->Value(); }
   uint64_t rejected() const { return rejected_->Value(); }
 
+  // Round-windowed pruning of the dedup memory. The consensus layer calls
+  // this when its round advances; ids inserted during window w survive
+  // through window w+1 and are forgotten when w+2 begins (two generations).
+  // That is enough for correctness because the validator rejects
+  // stale-round traffic anyway — a long-forgotten duplicate re-validates and
+  // drops without relaying — while without pruning a chaos run leaks one
+  // Hash256 per unique message per node forever. Jumping multiple windows at
+  // once (catch-up) clears both generations.
+  void AdvanceSeenWindow(uint64_t window);
+  uint64_t seen_window() const { return seen_window_; }
+  size_t seen_size() const { return seen_current_.size() + seen_prev_.size(); }
+
  private:
   void Forward(const MessagePtr& msg, NodeId except);
   void CountSend(const MessagePtr& msg, size_t copies);
@@ -91,20 +103,31 @@ class GossipAgent {
   Counter* TypeCounter(std::unordered_map<const char*, Counter*>* cache,
                        const char* direction, const MessagePtr& msg);
 
+  bool SeenBefore(const Hash256& id) const {
+    return seen_current_.count(id) != 0 || seen_prev_.count(id) != 0;
+  }
+  // Returns false if `id` was already known.
+  bool MarkSeen(const Hash256& id);
+
   NodeId self_;
   Transport* network_;
   const GossipTopology* topology_;
   Validator validator_;
   Handler handler_;
-  std::unordered_set<Hash256, FixedBytesHasher> seen_;
+  // Two-generation dedup memory (see AdvanceSeenWindow).
+  uint64_t seen_window_ = 0;
+  std::unordered_set<Hash256, FixedBytesHasher> seen_current_;
+  std::unordered_set<Hash256, FixedBytesHasher> seen_prev_;
 
   // Metrics: pointers target the attached registry, or the private fallback
   // instruments when none is attached (one observability path either way).
   MetricsRegistry* metrics_ = nullptr;
   Counter fallback_duplicates_;
   Counter fallback_rejected_;
+  Gauge fallback_seen_size_;
   Counter* duplicates_dropped_ = &fallback_duplicates_;
   Counter* rejected_ = &fallback_rejected_;
+  Gauge* seen_size_gauge_ = &fallback_seen_size_;
   Counter* delivered_ = nullptr;
   Counter* relayed_ = nullptr;
   Counter* bytes_in_ = nullptr;

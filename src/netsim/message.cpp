@@ -1,0 +1,42 @@
+#include "src/netsim/message.h"
+
+#include <thread>
+
+namespace algorand {
+
+template <typename Fill>
+void SimMessage::Once(std::atomic<uint8_t>* state, Fill&& fill) const {
+  uint8_t s = state->load(std::memory_order_acquire);
+  while (s != kReady) {
+    if (s == kEmpty &&
+        state->compare_exchange_weak(s, kBuilding, std::memory_order_acquire,
+                                     std::memory_order_acquire)) {
+      fill();
+      state->store(kReady, std::memory_order_release);
+      return;
+    }
+    // Another thread is computing (or the CAS failed spuriously): the compute
+    // hooks are short, so yield rather than block.
+    if (s == kBuilding) {
+      std::this_thread::yield();
+      s = state->load(std::memory_order_acquire);
+    }
+  }
+}
+
+uint64_t SimMessage::WireSize() const {
+  Once(&memo_.size_state, [this] { memo_.wire_size = ComputeWireSize(); });
+  return memo_.wire_size;
+}
+
+const Hash256& SimMessage::DedupId() const {
+  Once(&memo_.id_state, [this] { memo_.dedup_id = ComputeDedupId(); });
+  return memo_.dedup_id;
+}
+
+const std::vector<uint8_t>& SimMessage::EncodedWire(WireEncoder encode) const {
+  Once(&memo_.wire_state, [this, encode] { memo_.encoded = encode(*this); });
+  return memo_.encoded;
+}
+
+}  // namespace algorand

@@ -6,11 +6,22 @@
 // serialized size; blocks add their simulated padding). DedupId() lets gossip
 // agents drop duplicates, as in the paper's "users do not relay the same
 // message twice".
+//
+// Identity is memoized: WireSize, DedupId, and the transport encoding are
+// computed at most once per message and then frozen. The contract that makes
+// this sound: a message is immutable from the moment it is first
+// gossiped/sent; builders fill fields only before that, and copying or
+// assigning a message resets the destination's cache, so a mutated copy
+// never inherits stale identity. First use may race between the protocol
+// thread and verification workers, so publication is a tiny acquire/release
+// state machine (empty -> building -> ready) per cached field.
 #ifndef ALGORAND_SRC_NETSIM_MESSAGE_H_
 #define ALGORAND_SRC_NETSIM_MESSAGE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/common/bytes.h"
 
@@ -18,13 +29,67 @@ namespace algorand {
 
 class SimMessage {
  public:
+  // Produces the tagged transport encoding of a message (see wire_codec.h).
+  // A function pointer, not std::function: EncodedWire is called per send and
+  // the encoder set is fixed at compile time.
+  using WireEncoder = std::vector<uint8_t> (*)(const SimMessage&);
+
+  SimMessage() = default;
   virtual ~SimMessage() = default;
-  // Bytes this message occupies on the wire.
-  virtual uint64_t WireSize() const = 0;
-  // Identity for gossip deduplication (content hash).
-  virtual Hash256 DedupId() const = 0;
+
+  // Bytes this message occupies on the wire. First call invokes
+  // ComputeWireSize(); later calls return the frozen value.
+  uint64_t WireSize() const;
+
+  // Identity for gossip deduplication (content hash), computed once.
+  const Hash256& DedupId() const;
+
+  // The tagged transport encoding, computed by `encode` on first use and
+  // reused for every subsequent send (the TCP layer fans one buffer out to
+  // all neighbours instead of re-serializing per connection). The reference
+  // is valid for the message's lifetime. All callers of a given message must
+  // pass the same encoder.
+  const std::vector<uint8_t>& EncodedWire(WireEncoder encode) const;
+
   // Short label for metrics ("vote", "block", ...).
   virtual const char* TypeName() const = 0;
+
+ protected:
+  // Compute hooks, invoked at most once each by the memoized accessors.
+  virtual uint64_t ComputeWireSize() const = 0;
+  virtual Hash256 ComputeDedupId() const = 0;
+
+ private:
+  enum : uint8_t { kEmpty = 0, kBuilding = 1, kReady = 2 };
+
+  // Runs `fill` under the slot's once-discipline: exactly one caller computes,
+  // racing callers spin briefly until the value is published.
+  template <typename Fill>
+  void Once(std::atomic<uint8_t>* state, Fill&& fill) const;
+
+  // The cache is identity-of-content, not identity-of-object: copies and
+  // assigned-to messages start cold, because their content may (or did) just
+  // change under the same object. Reset happens while the destination is
+  // exclusively owned — sharing starts only once the message is frozen.
+  struct Memo {
+    Memo() = default;
+    Memo(const Memo&) noexcept {}
+    Memo& operator=(const Memo&) noexcept {
+      size_state.store(kEmpty, std::memory_order_relaxed);
+      id_state.store(kEmpty, std::memory_order_relaxed);
+      wire_state.store(kEmpty, std::memory_order_relaxed);
+      encoded.clear();
+      return *this;
+    }
+
+    std::atomic<uint8_t> size_state{kEmpty};
+    std::atomic<uint8_t> id_state{kEmpty};
+    std::atomic<uint8_t> wire_state{kEmpty};
+    uint64_t wire_size = 0;
+    Hash256 dedup_id;
+    std::vector<uint8_t> encoded;
+  };
+  mutable Memo memo_;
 };
 
 using MessagePtr = std::shared_ptr<const SimMessage>;

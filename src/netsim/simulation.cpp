@@ -2,6 +2,10 @@
 
 namespace algorand {
 
+namespace {
+constexpr size_t kArity = 4;
+}  // namespace
+
 void Simulation::Schedule(SimTime delay, Callback fn) {
   ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
 }
@@ -10,17 +14,79 @@ void Simulation::ScheduleAt(SimTime when, Callback fn) {
   if (when < now_) {
     when = now_;
   }
-  queue_.emplace(Key{when, next_seq_++}, std::move(fn));
+  const uint64_t seq = next_seq_++;
+  if (queue_kind_ == QueueKind::kMap) {
+    map_queue_.emplace(Key{when, seq}, std::move(fn));
+    return;
+  }
+  HeapPush(Event{when, seq, std::move(fn)});
+}
+
+void Simulation::HeapPush(Event ev) {
+  // Sift up with a hole: parents shift down into the gap and `ev` moves once.
+  size_t i = heap_.size();
+  heap_.emplace_back();  // Placeholder; overwritten below.
+  while (i > 0) {
+    size_t parent = (i - 1) / kArity;
+    if (!Before(ev, heap_[parent])) {
+      break;
+    }
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(ev);
+}
+
+Simulation::Event Simulation::HeapPop() {
+  Event top = std::move(heap_.front());
+  Event last = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // Sift `last` down from the root: pull the smallest child up into the
+    // hole until `last` fits.
+    size_t i = 0;
+    const size_t n = heap_.size();
+    for (;;) {
+      size_t first_child = i * kArity + 1;
+      if (first_child >= n) {
+        break;
+      }
+      size_t best = first_child;
+      size_t end = first_child + kArity < n ? first_child + kArity : n;
+      for (size_t c = first_child + 1; c < end; ++c) {
+        if (Before(heap_[c], heap_[best])) {
+          best = c;
+        }
+      }
+      if (!Before(heap_[best], last)) {
+        break;
+      }
+      heap_[i] = std::move(heap_[best]);
+      i = best;
+    }
+    heap_[i] = std::move(last);
+  }
+  return top;
 }
 
 bool Simulation::Step() {
-  if (queue_.empty()) {
+  if (queue_kind_ == QueueKind::kMap) {
+    if (map_queue_.empty()) {
+      return false;
+    }
+    auto node = map_queue_.extract(map_queue_.begin());
+    now_ = node.key().first;
+    ++executed_;
+    node.mapped()();
+    return true;
+  }
+  if (heap_.empty()) {
     return false;
   }
-  auto node = queue_.extract(queue_.begin());
-  now_ = node.key().first;
+  Event ev = HeapPop();
+  now_ = ev.when;
   ++executed_;
-  node.mapped()();
+  ev.fn();
   return true;
 }
 
@@ -32,7 +98,25 @@ void Simulation::Run() {
 
 void Simulation::RunUntil(SimTime deadline) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.begin()->first.first <= deadline) {
+  for (;;) {
+    if (stopped_) {
+      break;
+    }
+    SimTime next;
+    if (queue_kind_ == QueueKind::kMap) {
+      if (map_queue_.empty()) {
+        break;
+      }
+      next = map_queue_.begin()->first.first;
+    } else {
+      if (heap_.empty()) {
+        break;
+      }
+      next = heap_.front().when;
+    }
+    if (next > deadline) {
+      break;
+    }
     Step();
   }
   // The full window elapsed only if nothing stopped us early.

@@ -28,8 +28,8 @@ class EventLoop : public Executor {
   // --- Executor ---
   // Monotonic nanoseconds since the loop was constructed.
   SimTime now() const override;
-  void Schedule(SimTime delay, std::function<void()> fn) override;
-  void ScheduleAt(SimTime when, std::function<void()> fn) override;
+  void Schedule(SimTime delay, Callback fn) override;
+  void ScheduleAt(SimTime when, Callback fn) override;
 
   // --- Sockets ---
   // Registers a non-blocking fd; handler runs with the epoll event mask.
@@ -54,7 +54,7 @@ class EventLoop : public Executor {
   SimTime start_;
   bool stopped_ = false;
   uint64_t next_seq_ = 0;
-  std::map<std::pair<SimTime, uint64_t>, std::function<void()>> timers_;
+  std::map<std::pair<SimTime, uint64_t>, Callback> timers_;
   std::unordered_map<int, FdHandler> handlers_;
 };
 

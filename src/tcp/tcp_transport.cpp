@@ -365,7 +365,9 @@ void TcpEndpoint::Send(NodeId from, NodeId to, const MessagePtr& msg) {
   if (conn == nullptr) {
     return;
   }
-  std::vector<uint8_t> payload = EncodeMessage(msg);
+  // Encoded once per message, not per peer: relaying to N neighbours reuses
+  // the memoized buffer.
+  const std::vector<uint8_t>& payload = EncodeMessageCached(msg);
   if (payload.empty()) {
     return;
   }

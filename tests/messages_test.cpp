@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
+#include "src/core/catchup.h"
 #include "src/core/certificate.h"
 #include "src/core/messages.h"
+#include "src/core/wire_codec.h"
 
 namespace algorand {
 namespace {
@@ -143,6 +145,67 @@ TEST(CertificateTest, WireSizeSumsVotes) {
   uint64_t one = cert.WireSize();
   cert.votes.emplace_back();
   EXPECT_EQ(cert.WireSize(), 2 * (one - 44) + 44);
+}
+
+// --- Wire-size constants vs actual serialization ---
+//
+// Fixed-layout messages report kWireSize without serializing; these asserts
+// keep the constants honest if a field is ever added.
+
+TEST(WireSizeConstantsTest, MatchSerializedSizes) {
+  VoteMessage v;
+  EXPECT_EQ(VoteMessage::kWireSize, v.Serialize().size());
+  EXPECT_EQ(v.WireSize(), v.Serialize().size());
+
+  PriorityMessage p;
+  EXPECT_EQ(PriorityMessage::kWireSize, p.Serialize().size());
+  EXPECT_EQ(p.WireSize(), p.Serialize().size());
+
+  BlockRequestMessage r;
+  EXPECT_EQ(BlockRequestMessage::kWireSize, r.Serialize().size());
+  EXPECT_EQ(r.WireSize(), r.Serialize().size());
+
+  CatchupRequestMessage c;
+  EXPECT_EQ(CatchupRequestMessage::kWireSize, c.Serialize().size());
+  EXPECT_EQ(c.WireSize(), c.Serialize().size());
+}
+
+// --- Memoized message identity ---
+
+TEST(MessageMemoTest, DedupIdIsStableAndCopiesRecompute) {
+  DeterministicRng rng(23);
+  VoteMessage v;
+  v.round = 5;
+  v.step = 2;
+  rng.FillBytes(v.pk.data(), v.pk.size());
+  Hash256 id = v.DedupId();
+  EXPECT_EQ(v.DedupId(), id);  // Memoized value is stable.
+
+  // A copy starts with a cold cache: mutating it before the first DedupId
+  // call must yield the new identity, not the source's memo.
+  VoteMessage changed = v;
+  changed.round = 6;
+  EXPECT_NE(changed.DedupId(), id);
+
+  VoteMessage same = v;
+  EXPECT_EQ(same.DedupId(), id);
+
+  // Same contract through assignment onto an already-warm message.
+  VoteMessage target;
+  target.DedupId();
+  target = changed;
+  target.round = 7;
+  EXPECT_NE(target.DedupId(), changed.DedupId());
+}
+
+TEST(MessageMemoTest, EncodedWireIsMemoizedPerMessage) {
+  VoteMessage v;
+  v.round = 3;
+  const std::vector<uint8_t>& a = EncodeMessageCached(v);
+  const std::vector<uint8_t>& b = EncodeMessageCached(v);
+  EXPECT_EQ(&a, &b);  // Second call returns the same buffer, no re-encode.
+  EXPECT_EQ(a, EncodeMessage(v));
+  EXPECT_FALSE(a.empty());
 }
 
 }  // namespace

@@ -1,0 +1,72 @@
+// Determinism regression: a (seed, scenario) pair must replay identically —
+// same per-node chains, same executed-event count — on both event-queue
+// implementations (reference std::map and the 4-ary heap) and across repeat
+// runs. This is the contract that makes every other test in the suite
+// reproducible, so it gets its own canary.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/sim_harness.h"
+
+namespace algorand {
+namespace {
+
+struct RunOutcome {
+  std::vector<Hash256> tips;  // Per-node chain tip after the run.
+  std::vector<uint64_t> lengths;
+  uint64_t executed_events = 0;
+
+  bool operator==(const RunOutcome& o) const {
+    return tips == o.tips && lengths == o.lengths && executed_events == o.executed_events;
+  }
+};
+
+RunOutcome RunOnce(uint64_t seed, bool map_queue, double malicious = 0.0) {
+  HarnessConfig cfg;
+  cfg.n_nodes = 20;
+  cfg.rng_seed = seed;
+  cfg.use_sim_crypto = true;
+  // Pin the single-threaded path even when CI exports ALGORAND_VERIFY_WORKERS
+  // (the pipeline never changes decisions, but this test compares exact event
+  // counts, which prewarming does perturb).
+  cfg.verify_workers = 0;
+  cfg.use_map_event_queue = map_queue;
+  cfg.malicious_fraction = malicious;
+  SimHarness h(cfg);
+  h.Start();
+  EXPECT_TRUE(h.RunRounds(3));
+  RunOutcome out;
+  out.executed_events = h.sim().executed_events();
+  for (size_t i = 0; i < h.node_count(); ++i) {
+    out.tips.push_back(h.node(i).ledger().tip_hash());
+    out.lengths.push_back(h.node(i).ledger().chain_length());
+  }
+  return out;
+}
+
+TEST(SimDeterminismTest, HeapAndMapQueuesProduceIdenticalRuns) {
+  for (uint64_t seed : {1u, 7u}) {
+    RunOutcome heap = RunOnce(seed, /*map_queue=*/false);
+    RunOutcome map = RunOnce(seed, /*map_queue=*/true);
+    EXPECT_EQ(heap.executed_events, map.executed_events) << "seed=" << seed;
+    EXPECT_TRUE(heap == map) << "seed=" << seed;
+  }
+}
+
+TEST(SimDeterminismTest, RepeatRunsAreBitIdentical) {
+  RunOutcome a = RunOnce(42, /*map_queue=*/false);
+  RunOutcome b = RunOnce(42, /*map_queue=*/false);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(SimDeterminismTest, HoldsUnderAdversarialTraffic) {
+  // Equivocating nodes stress duplicate/relay paths where the memoized
+  // DedupId and the seen-window pruning do the most work.
+  RunOutcome heap = RunOnce(5, /*map_queue=*/false, /*malicious=*/0.2);
+  RunOutcome map = RunOnce(5, /*map_queue=*/true, /*malicious=*/0.2);
+  EXPECT_TRUE(heap == map);
+}
+
+}  // namespace
+}  // namespace algorand

@@ -286,5 +286,58 @@ TEST(PriorityTest, BeatsComparatorIsStrictOrder) {
   EXPECT_FALSE(PriorityBeats(a, a));
 }
 
+// --- Cached-vs-uncached CDF equivalence ---
+//
+// The LRU CDF tables must be invisible: every (hash, weight, p) must select
+// exactly the same sub-user count through the cache as through the raw
+// recurrence, or deterministic replays diverge.
+
+TEST(SortitionCdfCacheTest, CachedMatchesUncachedAcrossParameterSweep) {
+  DeterministicRng rng(11);
+  const uint64_t weights[] = {1, 2, 10, 100, 1000, 50000};
+  const double ps[] = {1e-7, 1e-4, 0.01, 0.3, 0.97};
+  for (uint64_t w : weights) {
+    for (double p : ps) {
+      for (int i = 0; i < 200; ++i) {
+        VrfOutput h = OutputFromRng(&rng);
+        ASSERT_EQ(SelectSubUsers(h, w, p), SelectSubUsersUncached(h, w, p))
+            << "weight=" << w << " p=" << p << " trial=" << i;
+      }
+    }
+  }
+}
+
+TEST(SortitionCdfCacheTest, CachedMatchesUncachedOnTruncatedTables) {
+  // weight * p far past kSortitionCdfMaxTableEntries: the precomputed table
+  // is truncated and the lookup resumes the recurrence from the stored tail.
+  const uint64_t w = 100000;
+  const double p = 0.5;
+  DeterministicRng rng(13);
+  for (int i = 0; i < 25; ++i) {
+    VrfOutput h = OutputFromRng(&rng);
+    uint64_t cached = SelectSubUsers(h, w, p);
+    ASSERT_EQ(cached, SelectSubUsersUncached(h, w, p)) << "trial=" << i;
+    // Sanity: the selections land far beyond the table (mean w*p = 50000).
+    EXPECT_GT(cached, kSortitionCdfMaxTableEntries);
+  }
+}
+
+TEST(SortitionCdfCacheTest, RepeatLookupsHitTheCache) {
+  DeterministicRng rng(19);
+  VrfOutput h = OutputFromRng(&rng);
+  // A parameter pair no other test uses, so the first lookup is a miss.
+  const uint64_t w = 777;
+  const double p = 0.0123;
+  SortitionCdfCacheStats before = GetSortitionCdfCacheStats();
+  SelectSubUsers(h, w, p);
+  SortitionCdfCacheStats mid = GetSortitionCdfCacheStats();
+  EXPECT_GE(mid.misses, before.misses + 1);
+  SelectSubUsers(OutputFromRng(&rng), w, p);
+  SortitionCdfCacheStats after = GetSortitionCdfCacheStats();
+  EXPECT_GE(after.hits, mid.hits + 1);
+  EXPECT_EQ(after.misses, mid.misses);
+  EXPECT_GT(after.entries, 0u);
+}
+
 }  // namespace
 }  // namespace algorand
