@@ -36,6 +36,9 @@ struct Options {
   bool map_queue = false;
   bool help = false;
   std::string out = "BENCH_sim.json";
+  // Durable-store A/B: every node writes its disk log under DIR/n<count>/.
+  std::string data_dir;
+  FsyncPolicy fsync = FsyncPolicy::kBatched;
 };
 
 bool ParseFlag(int argc, char** argv, int* i, const char* name, std::string* value) {
@@ -83,6 +86,14 @@ Options Parse(int argc, char** argv) {
       opt.seed = std::stoull(v);
     } else if (ParseFlag(argc, argv, &i, "out", &v)) {
       opt.out = v;
+    } else if (ParseFlag(argc, argv, &i, "data-dir", &v)) {
+      opt.data_dir = v;
+    } else if (ParseFlag(argc, argv, &i, "fsync", &v)) {
+      if (auto policy = ParseFsyncPolicy(v)) {
+        opt.fsync = *policy;
+      } else {
+        opt.help = true;
+      }
     } else if (strcmp(argv[i], "--map-queue") == 0) {
       opt.map_queue = true;
     } else {
@@ -104,6 +115,9 @@ int main(int argc, char** argv) {
         "  --workers=N     sweep points run on N threads (default 1)\n"
         "  --seed=N        rng seed (default 1)\n"
         "  --map-queue     use the reference std::map event queue\n"
+        "  --data-dir=DIR  durable block store per node under DIR (A/B the\n"
+        "                  cost of disk logging on the sim hot path)\n"
+        "  --fsync=POLICY  store fsync policy: every_round, batched, off\n"
         "  --out=FILE      JSON report path (default BENCH_sim.json)\n");
     return opt.help ? 1 : 0;
   }
@@ -118,6 +132,10 @@ int main(int argc, char** argv) {
     spec.rounds = opt.rounds;
     spec.seed = opt.seed;
     spec.use_map_event_queue = opt.map_queue;
+    if (!opt.data_dir.empty()) {
+      spec.data_dir = opt.data_dir + "/n" + std::to_string(n);
+      spec.store_fsync = opt.fsync;
+    }
     specs.push_back(spec);
   }
   std::vector<RunResult> results = RunScenariosParallel(specs, opt.workers);
@@ -126,6 +144,8 @@ int main(int argc, char** argv) {
          "events", "events/sec", "med-lat(s)", "safety");
   std::string json = "{\n  \"queue\": \"";
   json += opt.map_queue ? "map" : "heap";
+  json += "\",\n  \"store\": \"";
+  json += opt.data_dir.empty() ? "none" : FsyncPolicyName(opt.fsync);
   json += "\",\n  \"rounds\": " + std::to_string(opt.rounds);
   json += ",\n  \"seed\": " + std::to_string(opt.seed);
   json += ",\n  \"workers\": " + std::to_string(opt.workers);

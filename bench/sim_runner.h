@@ -40,6 +40,10 @@ struct RunSpec {
   SimTime deadline = Hours(6);
   // A/B switch for the event-queue benchmark; kMap is the reference queue.
   bool use_map_event_queue = false;
+  // Durable store A/B: when data_dir is non-empty every node streams its
+  // rounds to a disk log there — the cost of durability on the sim hot path.
+  std::string data_dir;
+  FsyncPolicy store_fsync = FsyncPolicy::kBatched;
 };
 
 struct RunResult {
@@ -70,6 +74,8 @@ inline RunResult RunScenario(const RunSpec& spec) {
   cfg.use_sim_crypto = !spec.real_crypto;
   cfg.malicious_fraction = spec.malicious_fraction;
   cfg.use_map_event_queue = spec.use_map_event_queue;
+  cfg.data_dir = spec.data_dir;
+  cfg.store_fsync = spec.store_fsync;
 
   SimHarness h(cfg);
   h.Start();

@@ -3,6 +3,7 @@
 #include "src/common/serialize.h"
 #include "src/common/verify_pool.h"
 #include "src/crypto/sha256.h"
+#include "src/store/block_store.h"
 
 namespace algorand {
 namespace {
@@ -354,14 +355,43 @@ void Node::AppendAgreedBlock(const Block& block) {
   if (shard_count_ <= 1 || (cert.round % shard_count_) == (id_ % shard_count_)) {
     certificates_[cert.round] = cert;
   }
+  std::optional<Certificate> final_cert;
   if (ba_result_.final) {
-    final_certificates_[cert.round] =
-        BuildCertificateForStep(kStepFinal, params_.FinalThreshold());
+    final_cert = BuildCertificateForStep(kStepFinal, params_.FinalThreshold());
+    final_certificates_[cert.round] = *final_cert;
     // Finality supersedes fork suspicions up to this round.
     fork_monitor_.Prune(ledger_.HighestFinalRound().value_or(0));
   }
+  // Disk gets the certificate unconditionally (no shard filter): the log is
+  // this node's history of record, and catch-up serves from it beyond the
+  // in-memory shard window.
+  StreamRoundToStore(cert.round, kind, &cert, final_cert ? &*final_cert : nullptr);
 
   StartRound(current_round_ + 1);
+}
+
+void Node::StreamRoundToStore(uint64_t round, ConsensusKind kind, const Certificate* cert,
+                              const Certificate* final_cert) {
+  if (store_ == nullptr) {
+    return;
+  }
+  StoredRound sr;
+  sr.round = round;
+  sr.kind = static_cast<uint8_t>(kind);
+  // Serialize the ledger's copy, not the caller's candidate: Append may have
+  // fallen back to the empty block.
+  const Block& block = ledger_.BlockAtRound(round);
+  sr.block = block.Serialize();
+  // The chain tip as of this round; equals the live tip except when
+  // re-streaming a replacement suffix round by round after a fork switch.
+  sr.tip_hash = round + 1 == ledger_.next_round() ? ledger_.tip_hash() : block.Hash();
+  if (cert != nullptr && !cert->votes.empty()) {
+    sr.cert = cert->Serialize();
+  }
+  if (final_cert != nullptr && !final_cert->votes.empty()) {
+    sr.final_cert = final_cert->Serialize();
+  }
+  store_->AppendRound(std::move(sr));
 }
 
 Certificate Node::BuildCertificateForStep(uint32_t step, double needed) const {
@@ -1203,11 +1233,26 @@ std::shared_ptr<CatchupResponseMessage> Node::BuildCatchupResponse(
   uint64_t last_served = 0;
   while (r < ledger_.chain_length() && resp->entries.size() < limit) {
     auto it = certificates_.find(r);
-    if (it == certificates_.end()) {
+    if (it != certificates_.end()) {
+      resp->entries.push_back(
+          CatchupResponseMessage::Entry{ledger_.BlockAtRound(r), it->second});
+      last_served = r;
+      ++r;
+      continue;
+    }
+    // Shard gap in memory: fall through to the durable log, which keeps the
+    // certificate of every round this node decided, not just its shard class.
+    std::optional<Certificate> from_disk;
+    if (store_ != nullptr) {
+      if (auto stored = store_->ReadRound(r); stored.has_value() && !stored->cert.empty()) {
+        from_disk = Certificate::Deserialize(stored->cert);
+      }
+    }
+    if (!from_disk.has_value()) {
       break;  // Sharded storage: serve the prefix we hold (partial batch).
     }
     resp->entries.push_back(
-        CatchupResponseMessage::Entry{ledger_.BlockAtRound(r), it->second});
+        CatchupResponseMessage::Entry{ledger_.BlockAtRound(r), std::move(*from_disk)});
     last_served = r;
     ++r;
   }
@@ -1284,6 +1329,7 @@ bool Node::ApplyCatchupResponse(const CatchupResponseMessage& resp, uint64_t* ap
     if (shard_count_ <= 1 || (e.cert.round % shard_count_) == (id_ % shard_count_)) {
       certificates_[e.cert.round] = e.cert;
     }
+    StreamRoundToStore(e.cert.round, kind, &e.cert, nullptr);
     for (const Transaction& tx : e.block.txns) {
       txn_pool_.erase(tx.Id());
     }
@@ -1317,6 +1363,9 @@ bool Node::ApplyCatchupResponse(const CatchupResponseMessage& resp, uint64_t* ap
       }
       if (shard_count_ <= 1 || (fc.round % shard_count_) == (id_ % shard_count_)) {
         final_certificates_[fc.round] = fc;
+      }
+      if (store_ != nullptr) {
+        store_->AppendFinalUpgrade(fc.round, fc.Serialize());
       }
     }
     // A final cert beyond what we applied is simply ignored (not an error):
@@ -1404,6 +1453,76 @@ bool Node::RestoreSnapshot(const NodeSnapshot& snapshot) {
   for (const Certificate& cert : snapshot.final_certificates) {
     final_certificates_[cert.round] = cert;
   }
+  return true;
+}
+
+bool Node::RestoreFromStore(BlockStore* store) {
+  if (store == nullptr || ledger_.chain_length() != 1) {
+    return false;  // Restore only into a genesis-fresh node.
+  }
+  store_ = store;
+  uint64_t stop = 0;  // First round that failed validation (0 = none).
+  for (uint64_t r = 1; r < store->next_round(); ++r) {
+    std::optional<StoredRound> stored = store->ReadRound(r);
+    if (!stored.has_value()) {
+      stop = r;
+      break;
+    }
+    std::optional<Block> block = Block::Deserialize(stored->block);
+    if (!block.has_value() || block->round != r) {
+      stop = r;
+      break;
+    }
+    Hash256 hash = block->Hash();
+    // Validate certificates against the chain reconstructed so far — the
+    // log is not trusted blindly; a record only counts if its certificate
+    // proves the round the way a catch-up batch would (§8.3). Rounds logged
+    // without a certificate (recovery-adopted suffixes) are accepted on
+    // chain structure alone: Append still checks parent hash and round.
+    RoundContext ctx = CatchupContext(r);
+    std::optional<Certificate> cert;
+    if (!stored->cert.empty()) {
+      cert = Certificate::Deserialize(stored->cert);
+      if (!cert.has_value() || cert->round != r || cert->block_hash != hash ||
+          !ValidateCertificate(*cert, ctx, params_, *crypto_.vrf, *crypto_.signer)) {
+        stop = r;
+        break;
+      }
+    }
+    std::optional<Certificate> final_cert;
+    if (!stored->final_cert.empty()) {
+      final_cert = Certificate::Deserialize(stored->final_cert);
+      if (!final_cert.has_value() || final_cert->round != r ||
+          final_cert->step != kStepFinal || final_cert->block_hash != hash ||
+          !ValidateCertificate(*final_cert, ctx, params_, *crypto_.vrf, *crypto_.signer)) {
+        stop = r;
+        break;
+      }
+    }
+    ConsensusKind kind = static_cast<ConsensusKind>(stored->kind);
+    if (!ledger_.Append(*block, kind)) {
+      stop = r;
+      break;
+    }
+    if (cert.has_value() &&
+        (shard_count_ <= 1 || (r % shard_count_) == (id_ % shard_count_))) {
+      certificates_[r] = *cert;
+    }
+    if (final_cert.has_value()) {
+      for (uint64_t f = 1; f <= r; ++f) {
+        ledger_.MarkFinal(f);
+      }
+      if (shard_count_ <= 1 || (r % shard_count_) == (id_ % shard_count_)) {
+        final_certificates_[r] = *final_cert;
+      }
+    }
+  }
+  if (stop != 0) {
+    // Disk and memory must agree after restore: cut the log back to the
+    // prefix that validated, so the next AppendRound lines up.
+    store->TruncateSuffix(stop);
+  }
+  fork_monitor_.Prune(ledger_.HighestFinalRound().value_or(0));
   return true;
 }
 
@@ -1640,6 +1759,16 @@ void Node::OnRecoveryBaComplete(const BaResult& result) {
     ++recovery_attempt_;
     EnterRecovery();
     return;
+  }
+  if (store_ != nullptr) {
+    // Mirror the fork switch on disk: one truncate record (fsync'd before
+    // any segment GC), then the adopted suffix. Recovery-adopted blocks
+    // carry no per-round certificate — the recovery session itself vouched
+    // for them — so they are logged cert-less.
+    store_->TruncateSuffix(recovery_final_round_ + 1);
+    for (uint64_t r = recovery_final_round_ + 1; r < ledger_.next_round(); ++r) {
+      StreamRoundToStore(r, ledger_.ConsensusAtRound(r), nullptr, nullptr);
+    }
   }
   // Recovered: resume normal operation on the agreed fork.
   in_recovery_ = false;

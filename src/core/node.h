@@ -37,6 +37,7 @@
 
 namespace algorand {
 
+class BlockStore;
 class VerifyPool;
 
 // Crypto backends shared by all nodes of a simulation.
@@ -111,6 +112,23 @@ class Node : public BaEnvironment {
   bool in_catchup() const { return catchup_.active; }
   uint64_t catchups_completed() const { return catchups_completed_; }
   bool halted() const { return halted_; }
+
+  // --- Durable storage (src/store) ---
+  // Routes this node's committed rounds through `store`: every append,
+  // catch-up application, finality upgrade and fork switch is streamed to
+  // the log. The caller owns the store (one per node directory). Call before
+  // Start(); pass nullptr to detach.
+  void AttachStore(BlockStore* store) { store_ = store; }
+  BlockStore* store() const { return store_; }
+
+  // Rebuilds chain + certificate maps by replaying `store` into a
+  // genesis-fresh node, validating each round's certificate against the
+  // reconstructed chain (§8.3: bootstrapping from stored certificates).
+  // Stops at the first record that fails validation and truncates the store
+  // back to the valid prefix, so disk and memory agree afterwards. Attaches
+  // the store. Call after ConfigureCertificateSharding, before Start().
+  // Returns false if the node already made progress past genesis.
+  bool RestoreFromStore(BlockStore* store);
 
   // --- Crash/restart (fault injection) ---
   // Serializes the node's durable state: chain, consensus kinds, stored
@@ -197,6 +215,10 @@ class Node : public BaEnvironment {
   // Gathers stored votes of `step` for the agreed value until their weight
   // exceeds `threshold`.
   Certificate BuildCertificateForStep(uint32_t step, double threshold) const;
+  // Streams the just-appended round `round` (the current ledger tip) to the
+  // attached store, if any. Null certificates mean "none recorded".
+  void StreamRoundToStore(uint64_t round, ConsensusKind kind, const Certificate* cert,
+                          const Certificate* final_cert);
 
   // Gossip plumbing.
   GossipVerdict ValidateForRelay(const MessagePtr& msg);
@@ -353,6 +375,9 @@ class Node : public BaEnvironment {
   std::map<uint64_t, Certificate> certificates_;
   std::map<uint64_t, Certificate> final_certificates_;
   uint32_t shard_count_ = 1;
+
+  // Durable log (null = in-memory only). Owned by the harness/cluster.
+  BlockStore* store_ = nullptr;
 
   ForkMonitor fork_monitor_;
 

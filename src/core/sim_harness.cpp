@@ -1,6 +1,8 @@
 #include "src/core/sim_harness.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 
 namespace algorand {
 
@@ -69,6 +71,24 @@ SimHarness::SimHarness(HarnessConfig config)
   }
   alive_.assign(config_.n_nodes, true);
   snapshots_.resize(config_.n_nodes);
+  stores_.resize(config_.n_nodes);
+  if (!config_.data_dir.empty()) {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      auto store = OpenStoreFor(i);
+      if (store == nullptr) {
+        continue;
+      }
+      store->AttachMetrics(metrics_[i].get());
+      if (store->max_round() > 0) {
+        // The directory already holds a log (process-level restart): replay
+        // it into the fresh node before it starts.
+        nodes_[i]->RestoreFromStore(store.get());
+      } else {
+        nodes_[i]->AttachStore(store.get());
+      }
+      stores_[i] = std::move(store);
+    }
+  }
   network_->set_delivery_handler([this](NodeId to, NodeId from, const MessagePtr& msg) {
     if (!alive_[to]) {
       return;  // Crashed nodes receive nothing until restarted.
@@ -99,12 +119,33 @@ void SimHarness::Start() {
   }
 }
 
+std::unique_ptr<BlockStore> SimHarness::OpenStoreFor(size_t i) {
+  StoreOptions opts;
+  opts.dir = config_.data_dir + "/node-" + std::to_string(i);
+  opts.fsync = config_.store_fsync;
+  opts.background_writer = config_.store_background_writer;
+  std::string error;
+  auto store = BlockStore::Open(opts, &error);
+  if (store == nullptr) {
+    fprintf(stderr, "sim_harness: cannot open store for node %zu: %s\n", i, error.c_str());
+  }
+  return store;
+}
+
 void SimHarness::KillNode(size_t i) {
   if (i >= nodes_.size() || !alive_[i]) {
     return;
   }
-  // Durable state survives the crash; everything in-memory is lost.
-  snapshots_[i] = nodes_[i]->Snapshot().Serialize();
+  if (stores_[i] != nullptr) {
+    // SIGKILL semantics: queued-but-unwritten log operations die with the
+    // process; whatever was write()n is what restart will find. No snapshot
+    // — the on-disk log is the durable state under test.
+    stores_[i]->Crash();
+    store_graveyard_.push_back(std::move(stores_[i]));
+  } else {
+    // Durable state survives the crash; everything in-memory is lost.
+    snapshots_[i] = nodes_[i]->Snapshot().Serialize();
+  }
   TraceEvent ev;
   ev.at = sim_.now();
   ev.node = static_cast<uint32_t>(i);
@@ -137,7 +178,20 @@ void SimHarness::RestartNode(size_t i, bool from_snapshot) {
                                   genesis_.keys[i], genesis_.config, config_.params, crypto);
   }
   bool restored = false;
-  if (from_snapshot && !snapshots_[i].empty()) {
+  if (!config_.data_dir.empty()) {
+    if (!from_snapshot) {
+      // Fresh rejoin: the node lost its disk too. Wipe the directory so the
+      // reopened store starts empty.
+      std::error_code ec;
+      std::filesystem::remove_all(config_.data_dir + "/node-" + std::to_string(i), ec);
+    }
+    auto store = OpenStoreFor(i);
+    if (store != nullptr) {
+      store->AttachMetrics(metrics_[i].get());
+      restored = node->RestoreFromStore(store.get()) && store->max_round() > 0;
+      stores_[i] = std::move(store);
+    }
+  } else if (from_snapshot && !snapshots_[i].empty()) {
     auto snap = NodeSnapshot::Deserialize(snapshots_[i]);
     restored = snap.has_value() && node->RestoreSnapshot(*snap);
   }

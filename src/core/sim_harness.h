@@ -17,6 +17,7 @@
 #include "src/netsim/latency.h"
 #include "src/obs/metrics.h"
 #include "src/obs/round_tracer.h"
+#include "src/store/block_store.h"
 
 namespace algorand {
 
@@ -60,6 +61,19 @@ struct HarnessConfig {
   // equivocation attack of §10.4 (their stake is the malicious stake, since
   // stakes are equal).
   double malicious_fraction = 0.0;
+
+  // Durable storage: when data_dir is non-empty every node opens a
+  // BlockStore at <data_dir>/node-<i> and streams its committed rounds
+  // there. KillNode then Crash()es the store (queued writes are lost, like a
+  // SIGKILL) and RestartNode rebuilds the node by replaying the on-disk log
+  // (Node::RestoreFromStore) — the in-memory snapshot path is bypassed, so
+  // disk is the durable state under test. A dir that already holds a log is
+  // replayed at construction (process-level restarts).
+  std::string data_dir;
+  FsyncPolicy store_fsync = FsyncPolicy::kBatched;
+  // false = synchronous writes on the protocol thread (deterministic I/O
+  // interleaving for tests); true = background writer thread.
+  bool store_background_writer = true;
 
   // Fault injection: declarative crash/restart schedule, applied at Start().
   // A crashed node stops processing and receiving; at restart_at it comes
@@ -158,7 +172,13 @@ class SimHarness {
   void RestartNode(size_t i, bool from_snapshot = true);
   bool node_alive(size_t i) const { return alive_[i]; }
 
+  // Node i's durable store; null when config.data_dir is empty (or the node
+  // is currently crashed — its store object is parked, inert).
+  BlockStore* node_store(size_t i) const { return stores_[i].get(); }
+
  private:
+  // Opens (or reopens) node i's store at <data_dir>/node-<i>.
+  std::unique_ptr<BlockStore> OpenStoreFor(size_t i);
   HarnessConfig config_;
   DeterministicRng rng_;
   GenesisBundle genesis_;
@@ -178,6 +198,13 @@ class SimHarness {
   std::vector<std::unique_ptr<MetricsRegistry>> metrics_;
   MetricsRegistry global_metrics_;
   RoundTracer tracer_;
+  // Per-node durable stores (empty unique_ptrs when data_dir is unset).
+  // Crashed stores are parked like crashed nodes: the graveyarded node still
+  // holds a raw pointer to its (inert) store. Declared after metrics_: the
+  // background writer threads hold cached Counter pointers, so the stores
+  // must be destroyed (writers joined) before the registries go away.
+  std::vector<std::unique_ptr<BlockStore>> stores_;
+  std::vector<std::unique_ptr<BlockStore>> store_graveyard_;
 
   EcVrf ec_vrf_;
   SimVrf sim_vrf_;

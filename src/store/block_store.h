@@ -1,0 +1,251 @@
+// Durable block store (§8.3-8.4): a segmented, append-only, CRC32C-framed
+// log of per-round records — block, consensus kind, deciding certificate,
+// optional final certificate — that makes a node's chain survive a process
+// kill. The paper's bootstrapping story assumes nodes hold history durably so
+// new and recovering users can fetch and validate it; this is that layer.
+//
+// Log discipline (write-ahead, commit-framed):
+//   - Every logical operation (append round, final upgrade, suffix truncate)
+//     writes its payload record(s), then an explicit COMMIT record. Under
+//     fsync=every_round the payload is fsync'd *before* the commit frame is
+//     written, so a commit frame on disk implies its payload is on disk.
+//   - On open, the log is scanned frame by frame; operations become visible
+//     only when their commit frame checks out (magic, CRC, round/tip echo).
+//     A torn or corrupt tail — any partially-written suffix — is truncated
+//     back to the last committed frame, so reopen always yields a committed
+//     prefix, never a corrupt or speculative one.
+//   - Fork switches (ReplaceSuffix, §8.2) append a TRUNCATE record; replay
+//     discards rounds >= from_round when it sees one, and segments whose
+//     whole round range is dead are garbage-collected after the truncate
+//     record is durable.
+//
+// The store is payload-agnostic: blocks and certificates travel as opaque
+// serialized byte strings, so this layer depends only on common/ and obs/ —
+// Node (src/core) does the protocol-level validation when it replays the
+// recovered records back into a ledger (Node::RestoreFromStore).
+//
+// Threading: appends enqueue to a background writer thread (the protocol
+// thread never blocks on disk); Flush() is the barrier. ReadRound() serves
+// committed records (for disk-backed catch-up) and is safe against the
+// writer. With background_writer=false every call is synchronous — the
+// deterministic test configuration.
+#ifndef ALGORAND_SRC_STORE_BLOCK_STORE_H_
+#define ALGORAND_SRC_STORE_BLOCK_STORE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/obs/metrics.h"
+
+namespace algorand {
+
+// When appended records are forced to disk. every_round fsyncs payload and
+// commit of each operation (strongest: a commit frame implies durable
+// payload); batched fsyncs once per `batch_bytes` of log (a crash loses at
+// most the unsynced window, still never yields a corrupt prefix); off leaves
+// durability to the OS page cache (process kills are still safe — the data
+// survives in the page cache — only a machine crash can lose it).
+enum class FsyncPolicy : uint8_t { kEveryRound = 0, kBatched = 1, kOff = 2 };
+
+const char* FsyncPolicyName(FsyncPolicy policy);
+std::optional<FsyncPolicy> ParseFsyncPolicy(const std::string& name);
+
+struct StoreOptions {
+  std::string dir;  // Created if missing (one level).
+  FsyncPolicy fsync = FsyncPolicy::kBatched;
+  uint64_t segment_bytes = 8ull << 20;  // Roll to a new segment past this.
+  uint64_t batch_bytes = 1ull << 20;    // fsync cadence for kBatched.
+  // false = all operations run synchronously on the caller's thread
+  // (deterministic; used by tests and the discrete-event harness default).
+  bool background_writer = true;
+};
+
+// One round's durable record. Blocks/certificates are opaque serialized
+// bytes (Block::Serialize / Certificate::Serialize); empty cert/final_cert
+// means "none" (e.g. recovery-adopted blocks carry no per-round certificate).
+struct StoredRound {
+  uint64_t round = 0;
+  uint8_t kind = 0;   // ConsensusKind as u8.
+  Hash256 tip_hash;   // Chain tip hash after appending this block.
+  std::vector<uint8_t> block;
+  std::vector<uint8_t> cert;
+  std::vector<uint8_t> final_cert;
+};
+
+class BlockStore {
+ public:
+  // Opens (or creates) the store in `opts.dir`, scans the segments, repairs
+  // any torn tail, and builds the round index. Returns nullptr with `*error`
+  // set on I/O failure or structural corruption that repair cannot contain.
+  static std::unique_ptr<BlockStore> Open(const StoreOptions& opts, std::string* error);
+
+  // Drains the writer queue, flushes (per policy) and closes every file.
+  ~BlockStore();
+
+  BlockStore(const BlockStore&) = delete;
+  BlockStore& operator=(const BlockStore&) = delete;
+
+  // --- Append API (protocol thread; enqueues to the writer) ---
+
+  // Appends one round. Rounds must arrive in chain order (next_round()).
+  void AppendRound(StoredRound r);
+
+  // Records that rounds <= `round` became final, with the final-step
+  // certificate proving it (catch-up finality upgrades).
+  void AppendFinalUpgrade(uint64_t round, std::vector<uint8_t> final_cert);
+
+  // Fork switch: atomically discards rounds >= from_round (truncate record,
+  // fsync'd regardless of policy, then dead-segment GC). The replacement
+  // suffix follows through ordinary AppendRound calls.
+  void TruncateSuffix(uint64_t from_round);
+
+  // Barrier: returns once every queued operation is written (and fsync'd,
+  // unless the policy is kOff).
+  void Flush();
+
+  // Simulates a process kill: queued-but-unwritten operations are dropped
+  // and files are closed without flushing. The store object becomes inert
+  // (all later calls no-op). What was already write()n survives — exactly
+  // the durability a SIGKILL leaves behind.
+  void Crash();
+
+  // --- Recovered/committed state ---
+
+  // Next round the log expects, i.e. 1 + highest committed round.
+  uint64_t next_round() const;
+  // Highest committed round (0 = empty store).
+  uint64_t max_round() const;
+  // Highest round covered by finality (final-kind round or upgrade record).
+  uint64_t highest_final_round() const;
+  // Tip hash of the highest committed round (zero when empty).
+  Hash256 tip_hash() const;
+
+  // Reads one committed round from disk (index lookup + pread). Returns
+  // nullopt for rounds the log does not (durably) hold yet. Any final
+  // certificate recorded for the round — inline or via a later upgrade
+  // record — is folded into the result. Thread-safe against the writer.
+  std::optional<StoredRound> ReadRound(uint64_t round) const;
+
+  // Replay cost of the Open() scan, for observability.
+  uint64_t replayed_rounds() const { return replayed_rounds_; }
+  double replay_wall_ms() const { return replay_wall_ms_; }
+
+  // Registers store.* counters ("store.bytes_written", "store.records_
+  // written", "store.fsyncs", "store.truncates", "store.segments_created",
+  // "store.reads", "store.replay_rounds", "store.replay_wall_ms_total") and
+  // publishes the Open() replay cost immediately.
+  void AttachMetrics(MetricsRegistry* metrics);
+
+  const std::string& dir() const { return opts_.dir; }
+  const StoreOptions& options() const { return opts_; }
+
+ private:
+  // One queued write operation. Complete here (not just forward-declared)
+  // because std::deque<Op> below requires a complete element type.
+  struct Op {
+    enum class Kind { kRound, kFinal, kTruncate, kFlush };
+    struct FlushWaiter {
+      std::mutex mu;
+      std::condition_variable cv;
+      bool done = false;
+    };
+
+    Kind kind = Kind::kRound;
+    StoredRound round;          // kRound.
+    uint64_t a = 0;             // kFinal: round; kTruncate: from_round.
+    std::vector<uint8_t> blob;  // kFinal: serialized final certificate.
+    std::shared_ptr<FlushWaiter> waiter;
+  };
+  // Index entry for one committed round.
+  struct RoundLoc {
+    uint32_t segment = 0;  // Segment sequence number.
+    uint64_t offset = 0;   // Frame start of the round record.
+    uint8_t kind = 0;
+    Hash256 tip_hash;
+    bool has_final_inline = false;
+  };
+
+  explicit BlockStore(StoreOptions opts);
+
+  // Open()-time scan of all segments; fills index/tip/next_round and repairs
+  // the tail. Returns false with *error set on unrecoverable conditions.
+  bool Recover(std::string* error);
+
+  // Writer-thread entry point.
+  void WriterLoop();
+  // Executes one queued operation (writer thread, or caller thread when
+  // background_writer=false). mu_ must NOT be held.
+  void Execute(Op& op);
+
+  void DoAppendRound(const StoredRound& r);
+  void DoFinalUpgrade(uint64_t round, const std::vector<uint8_t>& final_cert);
+  void DoTruncate(uint64_t from_round);
+
+  // Appends one framed record to the active segment (rolling first if the
+  // segment is full and `at_op_start`), without fsync.
+  void WriteFrame(uint8_t type, const std::vector<uint8_t>& payload);
+  // Same, with the payload supplied as a list of spans (written via writev so
+  // block bodies skip the contiguous-payload assembly copy).
+  void WriteFramePieces(uint8_t type, std::span<const std::span<const uint8_t>> pieces);
+  void RollSegmentIfNeeded();
+  void SyncActive(bool force);
+  void MaybeBatchedSync();
+
+  StoreOptions opts_;
+  bool dead_ = false;  // Crash()ed or failed; every operation no-ops.
+
+  // Segment bookkeeping (guarded by index_mu_ where the reader looks, plus
+  // effectively single-writer: only the writer thread mutates).
+  struct SegmentInfo {
+    std::string path;
+    uint64_t size = 0;
+    uint64_t min_round = 0;  // 0 = holds no live round records.
+    uint64_t max_round = 0;
+  };
+  std::map<uint32_t, SegmentInfo> segments_;  // seq -> info.
+  uint32_t active_seq_ = 0;
+  int active_fd_ = -1;
+  uint64_t active_size_ = 0;
+  uint64_t unsynced_bytes_ = 0;
+
+  // Committed-round index; shared between writer and readers.
+  mutable std::mutex index_mu_;
+  std::map<uint64_t, RoundLoc> index_;
+  std::map<uint64_t, std::pair<uint32_t, uint64_t>> final_upgrades_;  // round -> loc.
+  uint64_t next_round_ = 1;
+  uint64_t highest_final_ = 0;
+  Hash256 tip_hash_;
+
+  // Writer queue.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drained_cv_;
+  std::deque<Op> queue_;
+  bool stop_ = false;
+  bool writer_busy_ = false;
+  std::thread writer_;
+
+  // Observability (null until AttachMetrics).
+  Counter* c_bytes_ = nullptr;
+  Counter* c_records_ = nullptr;
+  Counter* c_fsyncs_ = nullptr;
+  Counter* c_truncates_ = nullptr;
+  Counter* c_segments_ = nullptr;
+  Counter* c_reads_ = nullptr;
+
+  uint64_t replayed_rounds_ = 0;
+  double replay_wall_ms_ = 0;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_STORE_BLOCK_STORE_H_

@@ -1,0 +1,24 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) for log-record framing in the
+// durable block store. Uses the SSE4.2 crc32 instruction when the CPU has it
+// (runtime-detected), falling back to a portable slice-by-8 table.
+#ifndef ALGORAND_SRC_STORE_CRC32C_H_
+#define ALGORAND_SRC_STORE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace algorand {
+
+// One-shot CRC32C of `data` (initial value 0, standard final inversion).
+uint32_t Crc32c(std::span<const uint8_t> data);
+
+// Incremental form: feed `crc` from a previous Crc32cExtend/0 and extend it.
+// Crc32c(x) == Crc32cFinish(Crc32cExtend(Crc32cInit(), x)).
+uint32_t Crc32cInit();
+uint32_t Crc32cExtend(uint32_t crc, std::span<const uint8_t> data);
+uint32_t Crc32cFinish(uint32_t crc);
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_STORE_CRC32C_H_

@@ -1,5 +1,8 @@
 #include "src/tcp/local_cluster.h"
 
+#include <cstdio>
+#include <filesystem>
+
 namespace algorand {
 
 LocalCluster::LocalCluster(const LocalClusterConfig& config)
@@ -29,6 +32,7 @@ LocalCluster::LocalCluster(const LocalClusterConfig& config)
   nodes_.resize(config_.n_nodes);
   alive_.assign(config_.n_nodes, true);
   snapshots_.resize(config_.n_nodes);
+  stores_.resize(config_.n_nodes);
   for (NodeId i = 0; i < config_.n_nodes; ++i) {
     metrics_.push_back(std::make_unique<MetricsRegistry>());
   }
@@ -53,6 +57,20 @@ void LocalCluster::WireSlot(size_t i) {
   CryptoSuite crypto{vrf_, signer_, &cache_, pool_.get()};
   nodes_[i] = std::make_unique<Node>(id, &loop_, agents_[i].get(), genesis_.keys[i],
                                      genesis_.config, config_.params, crypto);
+  if (!config_.data_dir.empty()) {
+    auto store = OpenStoreFor(i);
+    if (store != nullptr) {
+      store->AttachMetrics(metrics_[i].get());
+      if (store->max_round() > 0) {
+        // The directory already holds a log (restart, or a reused dir from a
+        // previous process): replay it before the node starts.
+        nodes_[i]->RestoreFromStore(store.get());
+      } else {
+        nodes_[i]->AttachStore(store.get());
+      }
+      stores_[i] = std::move(store);
+    }
+  }
   nodes_[i]->AttachObservability(metrics_[i].get(), &tracer_);
   // With a pool, kick verification onto a worker as each frame is decoded;
   // by the time the relay logic asks for the verdict, the entry is ready or
@@ -69,11 +87,32 @@ void LocalCluster::WireSlot(size_t i) {
   });
 }
 
+std::unique_ptr<BlockStore> LocalCluster::OpenStoreFor(size_t i) {
+  StoreOptions opts;
+  opts.dir = config_.data_dir + "/node-" + std::to_string(i);
+  opts.fsync = config_.store_fsync;
+  opts.background_writer = config_.store_background_writer;
+  std::string error;
+  auto store = BlockStore::Open(opts, &error);
+  if (store == nullptr) {
+    fprintf(stderr, "local_cluster: cannot open store for node %zu: %s\n", i, error.c_str());
+  }
+  return store;
+}
+
 void LocalCluster::KillNode(size_t i) {
   if (i >= nodes_.size() || !alive_[i]) {
     return;
   }
-  snapshots_[i] = nodes_[i]->Snapshot().Serialize();
+  if (stores_[i] != nullptr) {
+    // SIGKILL semantics: queued log writes die, files close without flush;
+    // restart finds exactly what the OS already had. No snapshot — the disk
+    // log is the durable state.
+    stores_[i]->Crash();
+    store_graveyard_.push_back(std::move(stores_[i]));
+  } else {
+    snapshots_[i] = nodes_[i]->Snapshot().Serialize();
+  }
   TraceEvent ev;
   ev.at = loop_.now();
   ev.node = static_cast<uint32_t>(i);
@@ -99,9 +138,16 @@ void LocalCluster::RestartNode(size_t i, bool from_snapshot) {
   // Rebind the same port so every other node's address book stays valid.
   endpoints_[i] = std::make_unique<TcpEndpoint>(&loop_, static_cast<NodeId>(i),
                                                 address_book_.at(static_cast<NodeId>(i)));
-  WireSlot(i);
+  if (!config_.data_dir.empty() && !from_snapshot) {
+    // Fresh rejoin: the disk is gone too. WireSlot reopens an empty store.
+    std::error_code ec;
+    std::filesystem::remove_all(config_.data_dir + "/node-" + std::to_string(i), ec);
+  }
+  WireSlot(i);  // With data_dir set, this reopens and replays the disk log.
   bool restored = false;
-  if (from_snapshot && !snapshots_[i].empty()) {
+  if (!config_.data_dir.empty()) {
+    restored = nodes_[i]->ledger().chain_length() > 1;
+  } else if (from_snapshot && !snapshots_[i].empty()) {
     auto snap = NodeSnapshot::Deserialize(snapshots_[i]);
     restored = snap.has_value() && nodes_[i]->RestoreSnapshot(*snap);
   }

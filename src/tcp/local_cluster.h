@@ -13,6 +13,7 @@
 #include "src/core/verification_cache.h"
 #include "src/obs/metrics.h"
 #include "src/obs/round_tracer.h"
+#include "src/store/block_store.h"
 #include "src/tcp/tcp_transport.h"
 
 namespace algorand {
@@ -31,6 +32,13 @@ struct LocalClusterConfig {
   // When a gossip connection drops (peer crash, socket error), redial with
   // exponential backoff instead of staying disconnected.
   bool enable_reconnect = false;
+  // Durable storage: when non-empty, node i keeps a BlockStore at
+  // <data_dir>/node-<i>. KillNode Crash()es the store and RestartNode
+  // reopens it from disk (Node::RestoreFromStore) instead of using the
+  // in-memory snapshot.
+  std::string data_dir;
+  FsyncPolicy store_fsync = FsyncPolicy::kBatched;
+  bool store_background_writer = true;
 };
 
 class LocalCluster {
@@ -63,6 +71,10 @@ class LocalCluster {
   void RestartNode(size_t i, bool from_snapshot = true);
   bool node_alive(size_t i) const { return alive_[i]; }
 
+  // Node i's durable store; null when config.data_dir is empty or the node
+  // is currently crashed.
+  BlockStore* node_store(size_t i) const { return stores_[i].get(); }
+
   // Observability: per-node registries (endpoint + gossip + node) merged with
   // the cluster-wide registry (verification cache) into one snapshot. All
   // nodes share one RoundTracer.
@@ -75,6 +87,8 @@ class LocalCluster {
   // metrics, reconnect policy, a fresh agent + node, and the receiver chain.
   // Initial construction and RestartNode share this.
   void WireSlot(size_t i);
+  // Opens (or reopens) node i's store at <data_dir>/node-<i>.
+  std::unique_ptr<BlockStore> OpenStoreFor(size_t i);
 
   LocalClusterConfig config_;
   GenesisBundle genesis_;
@@ -90,7 +104,6 @@ class LocalCluster {
   std::vector<std::vector<uint8_t>> snapshots_;
   std::vector<std::unique_ptr<Node>> node_graveyard_;
   std::vector<std::unique_ptr<GossipAgent>> agent_graveyard_;
-
   EcVrf ec_vrf_;
   SimVrf sim_vrf_;
   Ed25519Signer ed_signer_;
@@ -103,6 +116,12 @@ class LocalCluster {
   std::vector<std::unique_ptr<MetricsRegistry>> metrics_;
   MetricsRegistry cluster_metrics_;
   RoundTracer tracer_;
+  // Per-node durable stores (empty when data_dir is unset). Crashed stores
+  // park in the graveyard: the halted node still points at its inert store.
+  // Declared after metrics_: writer threads hold cached Counter pointers, so
+  // stores must be destroyed (writers joined) before the registries.
+  std::vector<std::unique_ptr<BlockStore>> stores_;
+  std::vector<std::unique_ptr<BlockStore>> store_graveyard_;
 };
 
 }  // namespace algorand

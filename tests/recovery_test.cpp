@@ -1,6 +1,8 @@
 // Fork-recovery (§8.2) and catch-up (§8.3) tests.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "src/core/catchup.h"
 #include "src/core/sim_harness.h"
 
@@ -460,6 +462,128 @@ TEST(ChurnAdversaryTest, NetworkChurnTriggersLiveCatchup) {
   auto safety = h.CheckSafety();
   EXPECT_TRUE(safety.ok) << safety.violation;
   EXPECT_TRUE(h.ChainsConsistent());
+}
+
+TEST(CrashRestartTest, RestartFromDiskReplaysLogThenCatchesUp) {
+  // With data_dir set, KillNode crashes the disk log (SIGKILL semantics) and
+  // RestartNode rebuilds the node by replaying it — the snapshot path is
+  // bypassed, so the disk is the durable state under test.
+  HarnessConfig cfg = RecoveryConfig(30);
+  cfg.data_dir = ::testing::TempDir() + "algorand_recovery_disk";
+  cfg.store_fsync = FsyncPolicy::kEveryRound;
+  cfg.store_background_writer = false;  // Deterministic I/O interleaving.
+  std::filesystem::remove_all(cfg.data_dir);
+  SimHarness h(cfg);
+  h.Start();
+  ASSERT_TRUE(h.RunRounds(3, Hours(1)));
+  ASSERT_NE(h.node_store(5), nullptr);
+  EXPECT_GE(h.node_store(5)->max_round(), 3u);
+
+  h.KillNode(5);
+  EXPECT_EQ(h.node_store(5), nullptr);  // Crashed store parks with the node.
+  ASSERT_TRUE(h.RunRounds(6, Hours(1)));
+
+  h.RestartNode(5, /*from_snapshot=*/true);
+  ASSERT_NE(h.node_store(5), nullptr);
+  // The ledger was rebuilt from disk before catch-up ran: every round that
+  // was durable at kill time is back, certificate-validated.
+  EXPECT_GE(h.node_store(5)->replayed_rounds(), 3u);
+  EXPECT_GE(h.node(5).ledger().chain_length(), 4u);
+
+  ASSERT_TRUE(h.RunRounds(10, Hours(1)));
+  auto safety = h.CheckSafety();
+  EXPECT_TRUE(safety.ok) << safety.violation;
+  EXPECT_TRUE(h.ChainsConsistent());
+  // The store kept following the chain after the restart.
+  EXPECT_GE(h.node_store(5)->max_round(), 10u);
+  MetricsSnapshot m = h.AggregateMetrics();
+  EXPECT_GT(m.counters["store.replay_rounds"], 0u);
+  EXPECT_GT(m.counters["store.records_written"], 0u);
+  std::filesystem::remove_all(cfg.data_dir);
+}
+
+TEST(CrashRestartTest, FreshDiskRestartWipesLogAndRejoins) {
+  HarnessConfig cfg = RecoveryConfig(31);
+  cfg.data_dir = ::testing::TempDir() + "algorand_recovery_disk_fresh";
+  cfg.store_background_writer = false;
+  std::filesystem::remove_all(cfg.data_dir);
+  SimHarness h(cfg);
+  h.Start();
+  ASSERT_TRUE(h.RunRounds(3, Hours(1)));
+  h.KillNode(7);
+  ASSERT_TRUE(h.RunRounds(5, Hours(1)));
+  // from_snapshot=false models losing the disk: the log is wiped and the
+  // node rejoins from genesis, re-fetching the chain via catch-up.
+  h.RestartNode(7, /*from_snapshot=*/false);
+  EXPECT_EQ(h.node(7).ledger().chain_length(), 1u);
+  ASSERT_TRUE(h.RunRounds(9, Hours(2)));
+  EXPECT_GE(h.node(7).catchups_completed(), 1u);
+  EXPECT_TRUE(h.ChainsConsistent());
+  // Catch-up results streamed back to the fresh log as they were applied.
+  EXPECT_GE(h.node_store(7)->max_round(), 9u);
+  std::filesystem::remove_all(cfg.data_dir);
+}
+
+TEST(CrashRestartTest, DiskChaosScheduleConvergesWithRealCertValidation) {
+  // The rolling-churn scenario on disk-backed nodes: staggered crashes with
+  // mixed replay/fresh restarts, every restart certificate-validating its
+  // replayed log. Background writer on — the nondeterminism is confined to
+  // I/O timing, never protocol decisions.
+  HarnessConfig cfg = RecoveryConfig(32);
+  cfg.data_dir = ::testing::TempDir() + "algorand_recovery_disk_chaos";
+  std::filesystem::remove_all(cfg.data_dir);
+  for (size_t i = 0; i < 4; ++i) {
+    HarnessConfig::CrashEvent ev;
+    ev.node = 4 + i;
+    ev.crash_at = Seconds(40 + 40 * static_cast<double>(i));
+    ev.restart_at = Seconds(100 + 40 * static_cast<double>(i));
+    ev.from_snapshot = (i % 2 == 0);  // Mix disk replays and fresh rejoins.
+    cfg.crash_schedule.push_back(ev);
+  }
+  SimHarness h(cfg);
+  h.Start();
+  ASSERT_TRUE(h.RunRounds(14, Hours(2)));
+  auto safety = h.CheckSafety();
+  EXPECT_TRUE(safety.ok) << safety.violation;
+  EXPECT_TRUE(h.ChainsConsistent());
+  MetricsSnapshot m = h.AggregateMetrics();
+  EXPECT_EQ(m.counters["restart.kills"], 4u);
+  EXPECT_EQ(m.counters["restart.restarts"], 4u);
+  std::filesystem::remove_all(cfg.data_dir);
+}
+
+TEST(RecoveryTest, DiskLogFollowsForkRecoveryAndReplaysAfterRestart) {
+  // Partition long enough to force §8.2 fork recovery (ReplaceSuffix), which
+  // mirrors to disk as a truncate record + replacement suffix. A node killed
+  // and restarted afterwards must replay the post-fork chain.
+  HarnessConfig cfg = RecoveryConfig(33);
+  cfg.data_dir = ::testing::TempDir() + "algorand_recovery_disk_fork";
+  cfg.store_background_writer = false;
+  std::filesystem::remove_all(cfg.data_dir);
+  SimHarness h(cfg);
+  std::set<NodeId> group_a;
+  for (NodeId i = 0; i < 10; ++i) {
+    group_a.insert(i);
+  }
+  h.SetNetworkAdversary(std::make_unique<PartitionAdversary>(group_a, 0, Minutes(9)));
+  h.Start();
+  h.sim().RunUntil(Minutes(40));
+  auto safety = h.CheckSafety();
+  ASSERT_TRUE(safety.ok) << safety.violation;
+
+  uint64_t tip = 0;
+  for (size_t i = 0; i < h.node_count(); ++i) {
+    tip = std::max<uint64_t>(tip, h.node(i).ledger().chain_length());
+  }
+  h.KillNode(3);
+  ASSERT_TRUE(h.RunRounds(tip + 1, Hours(1)));
+  h.RestartNode(3, /*from_snapshot=*/true);
+  EXPECT_GT(h.node_store(3)->replayed_rounds(), 0u);
+  ASSERT_TRUE(h.RunRounds(tip + 4, Hours(1)));
+  EXPECT_TRUE(h.ChainsConsistent());
+  auto safety2 = h.CheckSafety();
+  EXPECT_TRUE(safety2.ok) << safety2.violation;
+  std::filesystem::remove_all(cfg.data_dir);
 }
 
 TEST(SnapshotTest, RoundTripsThroughSerialization) {
