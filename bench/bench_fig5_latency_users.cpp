@@ -15,9 +15,9 @@ int main() {
          "round latency well under a minute and ~flat as users scale "
          "(paper: ~22 s from 5k to 50k users)");
 
-  printf("%-8s %-8s %-8s %-8s %-8s %-8s %-10s %-8s | %-9s %-9s %-9s\n", "users", "min(s)",
-         "p25(s)", "med(s)", "p75(s)", "max(s)", "bytes/usr", "safety", "prop(s)", "ba(s)",
-         "final(s)");
+  printf("%-8s %-8s %-8s %-8s %-10s %-8s | %-9s %-9s %-9s %-9s\n", "users", "p50(s)",
+         "p90(s)", "p99(s)", "bytes/usr", "safety", "gossip(s)", "reduce(s)", "votes(s)",
+         "rcpt_p90");
   const size_t kUserCounts[] = {50, 100, 200, 300, 400};
   for (size_t n : kUserCounts) {
     RunSpec spec;
@@ -25,23 +25,39 @@ int main() {
     spec.rounds = 3;
     spec.seed = 42;
     RunResult r = RunScenario(spec);
-    // Phase columns come from the metrics registry: the medians of the
-    // per-node "ba.*_time_ms" histograms every round records (the Figure 5
-    // latency decomposed the way §10.2 reports it).
-    auto phase_median_s = [&r](const char* name) {
-      auto it = r.metrics.histograms.find(name);
-      return it == r.metrics.histograms.end() ? 0.0 : it->second.Percentile(0.5) / 1e3;
-    };
-    double prop = phase_median_s("ba.proposal_time_ms");
-    double ba = phase_median_s("ba.reduction_time_ms") + phase_median_s("ba.binary_time_ms");
-    double fin = phase_median_s("ba.final_time_ms");
-    printf("%-8zu %-8.1f %-8.1f %-8.1f %-8.1f %-8.1f %-10.0f %-8s | %-9.1f %-9.1f %-9.1f%s\n",
-           n, r.latency.min, r.latency.p25, r.latency.median, r.latency.p75, r.latency.max,
-           r.bytes_per_user_per_round, r.safety_ok ? "ok" : "VIOLATED", prop, ba, fin,
+    // Round-latency quantiles from the registry histogram every node feeds.
+    HistogramSnapshot::Quantiles q{};
+    auto it = r.metrics.histograms.find("ba.round_time_ms");
+    if (it != r.metrics.histograms.end()) {
+      q = it->second.EstimateQuantiles();
+    }
+    // Phase columns come from the joined cross-node trace events: the three
+    // Fig-5 phases partition each node's round wall time (block gossip, BA*
+    // steps that reference the block, remaining vote steps), averaged across
+    // the run's rounds. rcpt_p90 is the cross-node proposal-to-receipt p90.
+    double gossip = 0;
+    double reduce = 0;
+    double votes = 0;
+    double receipt_p90 = 0;
+    for (const RoundWaterfall& wf : r.waterfalls) {
+      gossip += wf.gossip_ms / 1e3;
+      reduce += wf.reduction_ms / 1e3;
+      votes += wf.votes_ms / 1e3;
+      receipt_p90 = std::max(receipt_p90, wf.receipt_p90_ms / 1e3);
+    }
+    if (!r.waterfalls.empty()) {
+      double rounds = static_cast<double>(r.waterfalls.size());
+      gossip /= rounds;
+      reduce /= rounds;
+      votes /= rounds;
+    }
+    printf("%-8zu %-8.1f %-8.1f %-8.1f %-10.0f %-8s | %-9.1f %-9.1f %-9.1f %-9.1f%s\n", n,
+           q.p50 / 1e3, q.p90 / 1e3, q.p99 / 1e3, r.bytes_per_user_per_round,
+           r.safety_ok ? "ok" : "VIOLATED", gossip, reduce, votes, receipt_p90,
            r.completed ? "" : "  [incomplete]");
   }
   Note("committee sizes fixed (tau_step=100, tau_final=300) across the sweep, as in the paper");
   Note("per-user bandwidth is ~independent of user count: the committee does the talking");
-  Note("phase columns are registry-histogram medians (ba.*_time_ms) from the same runs");
+  Note("phase columns are joined from real cross-node trace events (TraceCollector), not timers");
   return 0;
 }

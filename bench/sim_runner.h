@@ -19,6 +19,7 @@
 
 #include "src/common/stats.h"
 #include "src/core/sim_harness.h"
+#include "src/obs/trace_collector.h"
 
 namespace algorand {
 namespace bench {
@@ -57,6 +58,9 @@ struct RunResult {
   // Merged cross-node metrics snapshot; the registry-backed view of the same
   // run ("ba.round_time_ms", "gossip.msgs_in.*", ...).
   MetricsSnapshot metrics;
+  // Per-round latency waterfalls joined from the causal trace events — the
+  // Fig-5 phase breakdown measured from real cross-node event data.
+  std::vector<RoundWaterfall> waterfalls;
 };
 
 inline RunResult RunScenario(const RunSpec& spec) {
@@ -102,6 +106,9 @@ inline RunResult RunScenario(const RunSpec& spec) {
                                     static_cast<double>(spec.rounds);
   result.executed_events = h.sim().executed_events();
   result.metrics = h.AggregateMetrics();
+  TraceCollector collector;
+  collector.AddEvents(h.tracer().Events());
+  result.waterfalls = collector.Waterfalls();
   return result;
 }
 

@@ -15,12 +15,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/stats.h"
 #include "src/core/sim_harness.h"
 #include "src/netsim/adversary.h"
+#include "src/obs/safety_auditor.h"
+#include "src/obs/stats_reporter.h"
+#include "src/obs/trace_collector.h"
 
 using namespace algorand;
 
@@ -43,6 +48,12 @@ struct CliOptions {
   bool help = false;
   std::string metrics_json;
   std::string trace_jsonl;
+  // Live introspection, safety auditing, and cross-node latency waterfalls.
+  double report_interval_ms = 0;  // 0 = no periodic reports.
+  std::string report_file;        // Empty = stdout.
+  bool audit = false;
+  bool waterfall = false;
+  std::string waterfall_json;
   // Chaos knobs: crash schedule "node:crash_s:restart_s[:fresh][,...]" and
   // uniform per-transmission loss probability.
   std::string crash_schedule;
@@ -132,6 +143,16 @@ CliOptions Parse(int argc, char** argv) {
       opt.metrics_json = v;
     } else if (ParseFlag(argc, argv, &i, "trace-jsonl", &v)) {
       opt.trace_jsonl = v;
+    } else if (ParseFlag(argc, argv, &i, "report-interval", &v)) {
+      opt.report_interval_ms = std::stod(v);
+    } else if (ParseFlag(argc, argv, &i, "report-file", &v)) {
+      opt.report_file = v;
+    } else if (ParseFlag(argc, argv, &i, "waterfall-json", &v)) {
+      opt.waterfall_json = v;
+    } else if (strcmp(argv[i], "--audit") == 0) {
+      opt.audit = true;
+    } else if (strcmp(argv[i], "--waterfall") == 0) {
+      opt.waterfall = true;
     } else if (ParseFlag(argc, argv, &i, "crash-schedule", &v)) {
       opt.crash_schedule = v;
     } else if (ParseFlag(argc, argv, &i, "loss-rate", &v)) {
@@ -186,6 +207,13 @@ void PrintHelp() {
       "  --map-queue         reference std::map event queue (A/B testing)\n"
       "  --metrics-json=FILE write the merged metrics snapshot as JSON\n"
       "  --trace-jsonl=FILE  write the BA* round trace (one JSON event/line)\n"
+      "  --report-interval=MS  periodic live stats, one JSON line per interval\n"
+      "  --report-file=FILE  where periodic reports go (default stdout)\n"
+      "  --audit             run the online SafetyAuditor over the live trace\n"
+      "                      stream; violations fail the run (exit 1)\n"
+      "  --waterfall         print the per-round latency waterfall joined from\n"
+      "                      cross-node trace events (Fig-5 phase breakdown)\n"
+      "  --waterfall-json=FILE  write the waterfall as JSON\n"
       "  --crash-schedule=S  chaos: node:crash_s:restart_s[:fresh][,...]\n"
       "                      (restart_s <= crash_s = never restarts)\n"
       "  --loss-rate=F       chaos: drop each transmission with prob. F\n"
@@ -238,11 +266,67 @@ int main(int argc, char** argv) {
   if (opt.loss_rate > 0) {
     h.SetNetworkAdversary(std::make_unique<LossyAdversary>(opt.loss_rate, opt.seed));
   }
+
+  // Online safety auditing: consume the trace stream live, with the quorum
+  // thresholds this run actually uses.
+  SafetyAuditorConfig audit_cfg;
+  audit_cfg.step_threshold = cfg.params.StepThreshold();
+  audit_cfg.final_threshold = cfg.params.FinalThreshold();
+  SafetyAuditor auditor(audit_cfg);
+  if (opt.audit) {
+    auditor.AttachMetrics(&h.global_metrics());  // audit.* counters in dumps.
+    h.tracer().SetObserver([&auditor](const TraceEvent& ev) { auditor.Observe(ev); });
+  }
+
+  // Periodic live introspection (simulated time): one JSON line per interval.
+  std::ofstream report_stream;
+  std::unique_ptr<StatsReporter> reporter;
+  if (opt.report_interval_ms > 0) {
+    std::ostream* out = &std::cout;
+    if (!opt.report_file.empty()) {
+      report_stream.open(opt.report_file, std::ios::binary);
+      if (!report_stream) {
+        fprintf(stderr, "report: cannot open %s\n", opt.report_file.c_str());
+        return 2;
+      }
+      out = &report_stream;
+    }
+    reporter = std::make_unique<StatsReporter>(
+        &h.sim(), FromSeconds(opt.report_interval_ms / 1e3),
+        [&h]() -> StatsReporter::Sample {
+          uint64_t tip = 0;
+          uint64_t min_tip = UINT64_MAX;
+          double alive = 0;
+          for (size_t i = 0; i < h.node_count(); ++i) {
+            if (!h.node_alive(i)) {
+              continue;
+            }
+            alive += 1;
+            uint64_t len = h.node(i).ledger().chain_length();
+            tip = std::max(tip, len);
+            min_tip = std::min(min_tip, len);
+          }
+          double sim_s = ToSeconds(h.sim().now());
+          return {{"tip", static_cast<double>(tip)},
+                  {"min_tip", min_tip == UINT64_MAX ? 0.0 : static_cast<double>(min_tip)},
+                  {"alive", alive},
+                  {"rounds_per_sec", sim_s > 0 ? static_cast<double>(tip) / sim_s : 0.0},
+                  {"events", static_cast<double>(h.sim().executed_events())},
+                  {"trace_recorded", static_cast<double>(h.tracer().recorded())},
+                  {"trace_dropped", static_cast<double>(h.tracer().dropped())}};
+        },
+        out);
+    reporter->Start();
+  }
+
   h.Start();
   auto wall_start = std::chrono::steady_clock::now();
   bool done = h.RunRounds(opt.rounds, Hours(24));
   double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  if (reporter != nullptr) {
+    reporter->Stop();
+  }
 
   printf("%-7s %-9s %-9s %-9s %-9s %-9s\n", "round", "min(s)", "p25(s)", "med(s)", "p75(s)",
          "max(s)");
@@ -316,6 +400,25 @@ int main(int argc, char** argv) {
   }
 
   bool dumps_ok = true;
+  if (opt.waterfall || !opt.waterfall_json.empty()) {
+    TraceCollector collector;
+    std::vector<TraceEvent> events = h.tracer().Events();
+    collector.AddEvents(events);
+    std::vector<RoundWaterfall> waterfalls = collector.Waterfalls();
+    if (opt.waterfall) {
+      printf("\nlatency waterfall (joined from %zu trace events across %zu nodes):\n%s",
+             events.size(), h.node_count(), TraceCollector::ToText(waterfalls).c_str());
+    }
+    if (!opt.waterfall_json.empty()) {
+      if (WriteFile(opt.waterfall_json, TraceCollector::ToJson(waterfalls))) {
+        printf("waterfall: wrote %zu rounds to %s\n", waterfalls.size(),
+               opt.waterfall_json.c_str());
+      } else {
+        fprintf(stderr, "waterfall: failed to write %s\n", opt.waterfall_json.c_str());
+        dumps_ok = false;
+      }
+    }
+  }
   if (!opt.metrics_json.empty()) {
     MetricsSnapshot snapshot = h.AggregateMetrics();
     if (WriteFile(opt.metrics_json, snapshot.ToJson())) {
@@ -336,8 +439,18 @@ int main(int argc, char** argv) {
       dumps_ok = false;
     }
   }
+  if (reporter != nullptr) {
+    printf("report: %llu interval lines\n",
+           static_cast<unsigned long long>(reporter->lines_emitted()));
+  }
+  bool audit_ok = true;
+  if (opt.audit) {
+    audit_ok = auditor.ok();
+    printf("%s", auditor.Report().c_str());
+  }
+
   // Durability runs additionally require byte-identical chains on common
   // rounds: replayed-from-disk state must never diverge from the network.
   bool durable_ok = opt.data_dir.empty() || chains_ok;
-  return done && safety.ok && converged && dumps_ok && durable_ok ? 0 : 1;
+  return done && safety.ok && converged && dumps_ok && durable_ok && audit_ok ? 0 : 1;
 }

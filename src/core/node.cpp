@@ -490,6 +490,7 @@ void Node::MaybePropose() {
     GossipMessage(priority_msg);
   }
   GossipMessage(block_msg);
+  Trace(TraceKind::kProposalGossiped, 0, sort.votes, 0, HashPrefix(block.Hash()));
 }
 
 void Node::GossipMessage(const MessagePtr& msg) {
@@ -956,6 +957,14 @@ void Node::HandleBlock(const std::shared_ptr<const BlockMessage>& msg) {
   proposal_.blocks_by_hash.emplace(hash, block);
   proposal_.block_hash_by_proposer[block.proposer] = hash;
   proposal_.block_seen_at.emplace(hash, sim_->now());
+  {
+    // First valid receipt of this proposal: join against the originator's
+    // gossip stamp (carried in-process on the shared message, over TCP in the
+    // codec envelope) for true propagation latency.
+    const TraceContext& tc = msg->trace_context();
+    Trace(TraceKind::kBlockReceived, 0, tc.stamped() ? tc.origin : kTraceNoOrigin,
+          tc.emitted_at, HashPrefix(hash));
+  }
 
   // The block implies its own priority message.
   if (!proposal_.have_best || PriorityBeats(priority, proposal_.best_priority)) {

@@ -37,6 +37,7 @@ SimHarness::SimHarness(HarnessConfig config)
       static_cast<size_t>(static_cast<double>(config_.n_nodes) * config_.malicious_fraction);
 
   cache_.AttachMetrics(&global_metrics_);
+  tracer_.AttachMetrics(&global_metrics_);
   const size_t workers = ResolveVerifyWorkers(config_.verify_workers);
   if (workers > 0) {
     pool_ = std::make_unique<VerifyPool>(workers);
@@ -51,6 +52,7 @@ SimHarness::SimHarness(HarnessConfig config)
     metrics_.push_back(std::make_unique<MetricsRegistry>());
     agents_.push_back(std::make_unique<GossipAgent>(i, network_.get(), topology_.get()));
     agents_.back()->AttachMetrics(metrics_.back().get());
+    agents_.back()->set_clock(&sim_);
     std::unique_ptr<Node> node;
     if (config_.node_factory) {
       node = config_.node_factory(i, &sim_, agents_.back().get(), genesis_.keys[i],

@@ -3,10 +3,45 @@
 namespace algorand {
 namespace {
 
-std::vector<uint8_t> Tagged(WireType type, std::vector<uint8_t> body) {
+constexpr size_t kEnvelopeSize = 13;  // tag(1) + origin(4 LE) + emitted_at(8 LE).
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint32_t GetU32(std::span<const uint8_t> in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(std::span<const uint8_t> in) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::vector<uint8_t> Tagged(WireType type, const SimMessage& msg, std::vector<uint8_t> body) {
+  // The envelope carries the originator's trace context so propagation
+  // latency can be joined across processes; UINT32_MAX origin = unstamped.
+  const TraceContext& tc = msg.trace_context();
   std::vector<uint8_t> out;
-  out.reserve(body.size() + 1);
+  out.reserve(body.size() + kEnvelopeSize);
   out.push_back(static_cast<uint8_t>(type));
+  PutU32(&out, tc.origin);
+  PutU64(&out, tc.emitted_at);
   out.insert(out.end(), body.begin(), body.end());
   return out;
 }
@@ -15,28 +50,28 @@ std::vector<uint8_t> Tagged(WireType type, std::vector<uint8_t> body) {
 
 std::vector<uint8_t> EncodeMessage(const SimMessage& msg) {
   if (auto* v = dynamic_cast<const VoteMessage*>(&msg)) {
-    return Tagged(WireType::kVote, v->Serialize());
+    return Tagged(WireType::kVote, msg, v->Serialize());
   }
   if (auto* p = dynamic_cast<const PriorityMessage*>(&msg)) {
-    return Tagged(WireType::kPriority, p->Serialize());
+    return Tagged(WireType::kPriority, msg, p->Serialize());
   }
   if (auto* b = dynamic_cast<const BlockMessage*>(&msg)) {
-    return Tagged(WireType::kBlock, b->block.Serialize());
+    return Tagged(WireType::kBlock, msg, b->block.Serialize());
   }
   if (auto* r = dynamic_cast<const BlockRequestMessage*>(&msg)) {
-    return Tagged(WireType::kBlockRequest, r->Serialize());
+    return Tagged(WireType::kBlockRequest, msg, r->Serialize());
   }
   if (auto* rp = dynamic_cast<const RecoveryProposalMessage*>(&msg)) {
-    return Tagged(WireType::kRecoveryProposal, rp->Serialize());
+    return Tagged(WireType::kRecoveryProposal, msg, rp->Serialize());
   }
   if (auto* t = dynamic_cast<const TransactionMessage*>(&msg)) {
-    return Tagged(WireType::kTransaction, t->Serialize());
+    return Tagged(WireType::kTransaction, msg, t->Serialize());
   }
   if (auto* cq = dynamic_cast<const CatchupRequestMessage*>(&msg)) {
-    return Tagged(WireType::kCatchupRequest, cq->Serialize());
+    return Tagged(WireType::kCatchupRequest, msg, cq->Serialize());
   }
   if (auto* cr = dynamic_cast<const CatchupResponseMessage*>(&msg)) {
-    return Tagged(WireType::kCatchupResponse, cr->Serialize());
+    return Tagged(WireType::kCatchupResponse, msg, cr->Serialize());
   }
   return {};
 }
@@ -48,19 +83,27 @@ const std::vector<uint8_t>& EncodeMessageCached(const SimMessage& msg) {
 }
 
 MessagePtr DecodeMessage(std::span<const uint8_t> payload) {
-  if (payload.empty()) {
+  if (payload.size() < kEnvelopeSize) {
     return nullptr;
   }
   auto type = static_cast<WireType>(payload[0]);
-  auto body = payload.subspan(1);
+  uint32_t origin = GetU32(payload.subspan(1, 4));
+  uint64_t emitted_at = GetU64(payload.subspan(5, 8));
+  auto body = payload.subspan(kEnvelopeSize);
+  auto stamped = [origin, emitted_at](MessagePtr msg) {
+    if (msg != nullptr && origin != UINT32_MAX) {
+      msg->StampTraceContext(origin, emitted_at);
+    }
+    return msg;
+  };
   switch (type) {
     case WireType::kVote: {
       auto m = VoteMessage::Deserialize(body);
-      return m ? std::make_shared<VoteMessage>(std::move(*m)) : nullptr;
+      return stamped(m ? std::make_shared<VoteMessage>(std::move(*m)) : nullptr);
     }
     case WireType::kPriority: {
       auto m = PriorityMessage::Deserialize(body);
-      return m ? std::make_shared<PriorityMessage>(std::move(*m)) : nullptr;
+      return stamped(m ? std::make_shared<PriorityMessage>(std::move(*m)) : nullptr);
     }
     case WireType::kBlock: {
       auto b = Block::Deserialize(body);
@@ -69,27 +112,27 @@ MessagePtr DecodeMessage(std::span<const uint8_t> payload) {
       }
       auto msg = std::make_shared<BlockMessage>();
       msg->block = std::move(*b);
-      return msg;
+      return stamped(std::move(msg));
     }
     case WireType::kBlockRequest: {
       auto m = BlockRequestMessage::Deserialize(body);
-      return m ? std::make_shared<BlockRequestMessage>(std::move(*m)) : nullptr;
+      return stamped(m ? std::make_shared<BlockRequestMessage>(std::move(*m)) : nullptr);
     }
     case WireType::kRecoveryProposal: {
       auto m = RecoveryProposalMessage::Deserialize(body);
-      return m ? std::make_shared<RecoveryProposalMessage>(std::move(*m)) : nullptr;
+      return stamped(m ? std::make_shared<RecoveryProposalMessage>(std::move(*m)) : nullptr);
     }
     case WireType::kTransaction: {
       auto m = TransactionMessage::Deserialize(body);
-      return m ? std::make_shared<TransactionMessage>(std::move(*m)) : nullptr;
+      return stamped(m ? std::make_shared<TransactionMessage>(std::move(*m)) : nullptr);
     }
     case WireType::kCatchupRequest: {
       auto m = CatchupRequestMessage::Deserialize(body);
-      return m ? std::make_shared<CatchupRequestMessage>(std::move(*m)) : nullptr;
+      return stamped(m ? std::make_shared<CatchupRequestMessage>(std::move(*m)) : nullptr);
     }
     case WireType::kCatchupResponse: {
       auto m = CatchupResponseMessage::Deserialize(body);
-      return m ? std::make_shared<CatchupResponseMessage>(std::move(*m)) : nullptr;
+      return stamped(m ? std::make_shared<CatchupResponseMessage>(std::move(*m)) : nullptr);
     }
   }
   return nullptr;

@@ -2,7 +2,12 @@
 // move real bytes (src/tcp). The simulator passes shared pointers around and
 // never needs this; the TCP runtime round-trips every message through it.
 //
-// Frame payload layout: 1-byte type tag || message serialization.
+// Frame payload layout:
+//   1-byte type tag || 4-byte LE trace origin || 8-byte LE trace emitted-at
+//   || message serialization.
+// The 12-byte trace context is the message's causal origination stamp
+// (UINT32_MAX origin when unstamped); DecodeMessage re-stamps the decoded
+// message so receipt latency joins work across processes.
 #ifndef ALGORAND_SRC_CORE_WIRE_CODEC_H_
 #define ALGORAND_SRC_CORE_WIRE_CODEC_H_
 

@@ -144,6 +144,7 @@ void GossipAgent::Gossip(const MessagePtr& msg) {
   if (!MarkSeen(msg->DedupId())) {
     return;  // Already originated/relayed.
   }
+  StampOrigination(msg);
   if (handler_) {
     handler_(msg);
   }
@@ -152,11 +153,13 @@ void GossipAgent::Gossip(const MessagePtr& msg) {
 
 void GossipAgent::SendToNeighbors(const MessagePtr& msg) {
   MarkSeen(msg->DedupId());
+  StampOrigination(msg);
   Forward(msg, self_);
 }
 
 void GossipAgent::SendTo(NodeId peer, const MessagePtr& msg) {
   MarkSeen(msg->DedupId());
+  StampOrigination(msg);
   CountSend(msg, 1);
   network_->Send(self_, peer, msg);
 }

@@ -16,6 +16,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/executor.h"
 #include "src/common/rng.h"
 #include "src/netsim/network.h"
 #include "src/obs/metrics.h"
@@ -65,6 +66,12 @@ class GossipAgent {
   // accessors below always work. Call before traffic flows.
   void AttachMetrics(MetricsRegistry* registry);
 
+  // With a clock, every message this agent *originates* (Gossip,
+  // SendToNeighbors, SendTo) is stamped with a trace context (self, now)
+  // before its first send; relayed messages keep the originator's stamp
+  // (StampTraceContext no-ops once set). Without a clock nothing is stamped.
+  void set_clock(const Executor* clock) { clock_ = clock; }
+
   // Originates a message: delivers locally and forwards to all neighbours.
   void Gossip(const MessagePtr& msg);
 
@@ -109,9 +116,17 @@ class GossipAgent {
   // Returns false if `id` was already known.
   bool MarkSeen(const Hash256& id);
 
+  // Stamps outgoing originations when set (see set_clock).
+  void StampOrigination(const MessagePtr& msg) const {
+    if (clock_ != nullptr) {
+      msg->StampTraceContext(self_, static_cast<uint64_t>(clock_->now()));
+    }
+  }
+
   NodeId self_;
   Transport* network_;
   const GossipTopology* topology_;
+  const Executor* clock_ = nullptr;
   Validator validator_;
   Handler handler_;
   // Two-generation dedup memory (see AdvanceSeenWindow).

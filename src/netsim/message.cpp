@@ -39,4 +39,18 @@ const std::vector<uint8_t>& SimMessage::EncodedWire(WireEncoder encode) const {
   return memo_.encoded;
 }
 
+const TraceContext& SimMessage::trace_context() const {
+  // Readers that race the (single) stamping call see the unstamped default
+  // instead of a half-written context.
+  static const TraceContext kUnstamped;
+  return memo_.trace_state.load(std::memory_order_acquire) == kReady ? memo_.trace : kUnstamped;
+}
+
+void SimMessage::StampTraceContext(uint32_t origin, uint64_t emitted_at) const {
+  Once(&memo_.trace_state, [this, origin, emitted_at] {
+    memo_.trace.origin = origin;
+    memo_.trace.emitted_at = emitted_at;
+  });
+}
+
 }  // namespace algorand

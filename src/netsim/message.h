@@ -27,6 +27,18 @@
 
 namespace algorand {
 
+// Compact causal trace context a message carries from its originator: who
+// first gossiped it and when (executor nanoseconds). Receivers use it to
+// measure true propagation latency across nodes (and, over TCP, across
+// processes — the codec carries it in the frame envelope). UINT32_MAX means
+// "never stamped" (pre-tracing senders, hand-built test messages).
+struct TraceContext {
+  uint32_t origin = UINT32_MAX;
+  uint64_t emitted_at = 0;
+
+  bool stamped() const { return origin != UINT32_MAX; }
+};
+
 class SimMessage {
  public:
   // Produces the tagged transport encoding of a message (see wire_codec.h).
@@ -50,6 +62,14 @@ class SimMessage {
   // is valid for the message's lifetime. All callers of a given message must
   // pass the same encoder.
   const std::vector<uint8_t>& EncodedWire(WireEncoder encode) const;
+
+  // Causal trace context, set once at origination and frozen (like the other
+  // memoized identity fields). StampTraceContext is a no-op after the first
+  // call, so relays forwarding a message never overwrite the originator's
+  // stamp. trace_context() returns a default (unstamped) context until the
+  // stamp is published.
+  const TraceContext& trace_context() const;
+  void StampTraceContext(uint32_t origin, uint64_t emitted_at) const;
 
   // Short label for metrics ("vote", "block", ...).
   virtual const char* TypeName() const = 0;
@@ -78,16 +98,20 @@ class SimMessage {
       size_state.store(kEmpty, std::memory_order_relaxed);
       id_state.store(kEmpty, std::memory_order_relaxed);
       wire_state.store(kEmpty, std::memory_order_relaxed);
+      trace_state.store(kEmpty, std::memory_order_relaxed);
       encoded.clear();
+      trace = TraceContext{};
       return *this;
     }
 
     std::atomic<uint8_t> size_state{kEmpty};
     std::atomic<uint8_t> id_state{kEmpty};
     std::atomic<uint8_t> wire_state{kEmpty};
+    std::atomic<uint8_t> trace_state{kEmpty};
     uint64_t wire_size = 0;
     Hash256 dedup_id;
     std::vector<uint8_t> encoded;
+    TraceContext trace;
   };
   mutable Memo memo_;
 };

@@ -93,6 +93,10 @@ double HistogramSnapshot::Percentile(double q) const {
   return bounds.empty() ? 0 : bounds.back();
 }
 
+HistogramSnapshot::Quantiles HistogramSnapshot::EstimateQuantiles() const {
+  return Quantiles{Percentile(0.5), Percentile(0.9), Percentile(0.99)};
+}
+
 void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
   for (const auto& [name, value] : other.counters) {
     counters[name] += value;
@@ -144,9 +148,10 @@ std::string MetricsSnapshot::ToText() const {
     out += name + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, hist] : histograms) {
+    HistogramSnapshot::Quantiles q = hist.EstimateQuantiles();
     out += name + " count=" + std::to_string(hist.count) +
-           " mean=" + FormatDouble(hist.Mean()) + " p50=" + FormatDouble(hist.Percentile(0.5)) +
-           " p99=" + FormatDouble(hist.Percentile(0.99)) + "\n";
+           " mean=" + FormatDouble(hist.Mean()) + " p50=" + FormatDouble(q.p50) +
+           " p90=" + FormatDouble(q.p90) + " p99=" + FormatDouble(q.p99) + "\n";
   }
   return out;
 }
@@ -171,11 +176,11 @@ std::string MetricsSnapshot::ToJson() const {
   for (const auto& [name, hist] : histograms) {
     if (!first) out += ",";
     first = false;
+    HistogramSnapshot::Quantiles q = hist.EstimateQuantiles();
     out += "\"" + JsonEscape(name) + "\":{\"count\":" + std::to_string(hist.count) +
            ",\"sum\":" + FormatDouble(hist.sum) + ",\"mean\":" + FormatDouble(hist.Mean()) +
-           ",\"p50\":" + FormatDouble(hist.Percentile(0.5)) +
-           ",\"p90\":" + FormatDouble(hist.Percentile(0.9)) +
-           ",\"p99\":" + FormatDouble(hist.Percentile(0.99)) + ",\"buckets\":[";
+           ",\"p50\":" + FormatDouble(q.p50) + ",\"p90\":" + FormatDouble(q.p90) +
+           ",\"p99\":" + FormatDouble(q.p99) + ",\"buckets\":[";
     for (size_t i = 0; i < hist.buckets.size(); ++i) {
       if (i > 0) out += ",";
       std::string le = i < hist.bounds.size() ? FormatDouble(hist.bounds[i]) : "\"inf\"";

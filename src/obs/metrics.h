@@ -76,6 +76,16 @@ struct HistogramSnapshot {
   // The overflow bucket reports its lower bound (we cannot interpolate past
   // the last boundary).
   double Percentile(double q) const;
+
+  // The three quantiles every report wants, in one struct: the JSON/text
+  // export, the waterfall tables and the bench columns all read these
+  // instead of re-deriving percentiles by hand.
+  struct Quantiles {
+    double p50 = 0;
+    double p90 = 0;
+    double p99 = 0;
+  };
+  Quantiles EstimateQuantiles() const;
 };
 
 // A value-typed view of a registry (or of many registries merged together).

@@ -6,16 +6,24 @@
 // per-step event sequences. The tracer records them as compact fixed-size
 // events in a bounded ring buffer — a Byzantine flood or a very long run
 // overwrites the oldest events instead of growing memory — and dumps JSONL
-// (one event per line) for offline analysis.
+// (one event per line) for offline analysis. The JSONL schema round-trips:
+// ParseTraceJsonl recovers the exact event stream, so offline tools (the
+// trace_audit CLI, the CI gates) consume the same data the live observers
+// see.
 #ifndef ALGORAND_SRC_OBS_ROUND_TRACER_H_
 #define ALGORAND_SRC_OBS_ROUND_TRACER_H_
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/time_units.h"
+#include "src/obs/metrics.h"
 
 namespace algorand {
 
@@ -34,6 +42,10 @@ enum class TraceKind : uint8_t {
   kCatchupDone = 11,   // a = rounds gained, round = new tip round.
   kCrash = 12,         // round = chain length at crash (harness-injected).
   kRestart = 13,       // flag = restarted from snapshot (1) or fresh (0).
+  // Causal block-lifecycle events (cross-node latency waterfalls).
+  kProposalGossiped = 14,  // a = proposer's weighted votes, value = block hash.
+  kBlockReceived = 15,     // a = origin node, b = origination time (ns),
+                           // value = block hash; first valid receipt only.
 };
 
 // Role codes for kSortition events.
@@ -44,6 +56,15 @@ constexpr uint64_t kTraceRoleCommittee = 1;
 constexpr uint8_t kTraceFinal = 1;
 constexpr uint8_t kTraceEmpty = 2;
 constexpr uint8_t kTraceHung = 4;
+
+// Origin sentinel for kBlockReceived when the message carried no trace
+// context (mirrors TraceContext::origin's unset value).
+constexpr uint64_t kTraceNoOrigin = 0xffffffffull;
+
+// Round codes with the top bit set are §8.2 recovery-session codes, not
+// chain rounds (mirrors kRecoveryRoundBit in src/core/messages.h; redeclared
+// here so the obs layer stays dependency-free).
+constexpr uint64_t kTraceRecoverySessionBit = 1ULL << 63;
 
 struct TraceEvent {
   SimTime at = 0;
@@ -57,8 +78,15 @@ struct TraceEvent {
   uint8_t flag = 0;
 };
 
+bool operator==(const TraceEvent& x, const TraceEvent& y);
+
 class RoundTracer {
  public:
+  // Called for every recorded event, after it is stored in the ring: the
+  // live consumption hook (SafetyAuditor, custom probes). Runs on the
+  // recording thread; keep it cheap.
+  using Observer = std::function<void(const TraceEvent&)>;
+
   explicit RoundTracer(size_t capacity = 1 << 16);
 
   void Record(const TraceEvent& event);
@@ -70,17 +98,47 @@ class RoundTracer {
   uint64_t recorded() const;                    // Total ever recorded.
   uint64_t dropped() const;                     // Overwritten by wraparound.
 
+  // Mirrors ring health into `registry`: "trace.recorded" and
+  // "trace.dropped" counters (each ring overwrite counts as one drop) plus a
+  // "trace.ring_occupancy" gauge. Pass nullptr to detach.
+  void AttachMetrics(MetricsRegistry* registry);
+
+  // Registers the live observer (empty function clears it).
+  void SetObserver(Observer observer);
+
   // One JSON object per line:
   // {"t":1.25,"node":3,"round":2,"ev":"step_exit","step":4,"votes":87,...}
   std::string ToJsonl() const;
 
   static const char* KindName(TraceKind kind);
+  // Reverse of KindName; nullopt for unknown names.
+  static std::optional<TraceKind> KindFromName(std::string_view name);
 
  private:
   mutable std::mutex mu_;
   std::vector<TraceEvent> ring_;
   uint64_t total_ = 0;  // Next write index = total_ % ring_.size().
+  Counter* recorded_counter_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
+  Gauge* occupancy_gauge_ = nullptr;
+  Observer observer_;
 };
+
+// Serializes one event exactly as a ToJsonl line (without the newline).
+std::string TraceEventToJson(const TraceEvent& event);
+
+// Parses one flat JSON object — string/number/bool values, no nesting — into
+// key -> raw value token ("votes" -> "87", "ev" -> "step_exit" unquoted).
+// Nullopt on malformed input. Shared by the trace parser and tests that
+// validate JSON-lines output (e.g. the periodic stats reporter).
+std::optional<std::map<std::string, std::string>> ParseFlatJsonObject(std::string_view line);
+
+// Parses one ToJsonl line back into the exact event it was dumped from;
+// nullopt on malformed input or unknown event names.
+std::optional<TraceEvent> ParseTraceEventJson(std::string_view line);
+
+// Parses a whole JSONL dump (blank lines skipped); nullopt if any line fails.
+std::optional<std::vector<TraceEvent>> ParseTraceJsonl(std::string_view text);
 
 }  // namespace algorand
 

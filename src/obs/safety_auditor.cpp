@@ -1,0 +1,217 @@
+#include "src/obs/safety_auditor.h"
+
+#include <cstdio>
+
+namespace algorand {
+namespace {
+
+std::string Hex16(uint64_t v) {
+  char buf[20];
+  snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+SafetyAuditor::SafetyAuditor(SafetyAuditorConfig config) : config_(config) {}
+
+void SafetyAuditor::AttachMetrics(MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry == nullptr) {
+    events_counter_ = nullptr;
+    violations_counter_ = nullptr;
+    equivocations_counter_ = nullptr;
+    return;
+  }
+  events_counter_ = &registry->GetCounter("audit.events");
+  violations_counter_ = &registry->GetCounter("audit.violations");
+  equivocations_counter_ = &registry->GetCounter("audit.equivocations");
+}
+
+void SafetyAuditor::AddViolation(std::string message) {
+  ++violation_count_;
+  if (violations_counter_ != nullptr) {
+    violations_counter_->Increment();
+  }
+  if (violations_.size() < config_.max_violations) {
+    violations_.push_back(std::move(message));
+  }
+}
+
+void SafetyAuditor::Observe(const TraceEvent& ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_counter_ != nullptr) {
+    events_counter_->Increment();
+  }
+  const bool chain_round = (ev.round & kTraceRecoverySessionBit) == 0;
+  switch (ev.kind) {
+    case TraceKind::kRoundStart:
+      if (chain_round) {
+        round_started_.insert({ev.node, ev.round});
+      }
+      break;
+
+    case TraceKind::kStepExit: {
+      if (!chain_round || ev.flag != 0) {
+        break;  // Recovery committees have their own weights; timeouts are fine.
+      }
+      const bool final_step = ev.step == config_.final_step_code;
+      const double threshold =
+          final_step ? config_.final_threshold : config_.step_threshold;
+      if (threshold > 0 && static_cast<double>(ev.a) <= threshold) {
+        AddViolation("node " + std::to_string(ev.node) + " round " + std::to_string(ev.round) +
+                     " step " + std::to_string(ev.step) + ": winner declared with " +
+                     std::to_string(ev.a) + " weighted votes, threshold " +
+                     std::to_string(threshold));
+      }
+      if (final_step) {
+        final_quorum_seen_.insert({ev.node, ev.round});
+      }
+      break;
+    }
+
+    case TraceKind::kRoundEnd: {
+      if (!chain_round || (ev.flag & kTraceHung) != 0) {
+        break;
+      }
+      const bool is_final = (ev.flag & kTraceFinal) != 0;
+      // Invariant 1: cluster-wide agreement on FINAL values.
+      if (is_final && ev.value_prefix != 0) {
+        auto [it, inserted] =
+            final_by_round_.emplace(ev.round, FinalRecord{ev.value_prefix, ev.node});
+        if (!inserted && it->second.value != ev.value_prefix) {
+          AddViolation("round " + std::to_string(ev.round) + ": two FINAL blocks — node " +
+                       std::to_string(it->second.node) + " has " + Hex16(it->second.value) +
+                       ", node " + std::to_string(ev.node) + " has " + Hex16(ev.value_prefix));
+        }
+      }
+      // Invariant 2: FINAL requires this node's own non-timed-out final-step
+      // quorum (only checked when the stream covers the node's whole round).
+      if (is_final && config_.final_threshold > 0 &&
+          round_started_.count({ev.node, ev.round}) != 0 &&
+          final_quorum_seen_.count({ev.node, ev.round}) == 0) {
+        AddViolation("node " + std::to_string(ev.node) + " round " + std::to_string(ev.round) +
+                     ": FINAL consensus without a final-step quorum");
+      }
+      // Invariant 3: tentative -> final upgrades are monotone per node.
+      auto key = std::make_pair(ev.node, ev.round);
+      auto it = outcome_by_node_round_.find(key);
+      if (it != outcome_by_node_round_.end() && it->second.final) {
+        if (!is_final || (ev.value_prefix != 0 && it->second.value != 0 &&
+                          it->second.value != ev.value_prefix)) {
+          AddViolation("node " + std::to_string(ev.node) + " round " + std::to_string(ev.round) +
+                       ": FINAL outcome " + Hex16(it->second.value) + " regressed to " +
+                       (is_final ? Hex16(ev.value_prefix) : std::string("tentative")));
+        }
+      }
+      outcome_by_node_round_[key] = Outcome{ev.value_prefix, is_final};
+      break;
+    }
+
+    case TraceKind::kCatchupStart:
+      catchup_start_tip_[ev.node] = ev.round;  // round = tip at session start.
+      break;
+
+    case TraceKind::kCatchupDone: {
+      auto it = catchup_start_tip_.find(ev.node);
+      if (it != catchup_start_tip_.end()) {
+        if (ev.round < it->second) {
+          AddViolation("node " + std::to_string(ev.node) + ": catch-up regressed tip " +
+                       std::to_string(it->second) + " -> " + std::to_string(ev.round));
+        }
+        catchup_start_tip_.erase(it);
+      }
+      break;
+    }
+
+    case TraceKind::kCrash:
+    case TraceKind::kRestart: {
+      // Forgive the node its history: a rejoining node may rebuild different
+      // blocks for rounds it proposed before, and replays stale rounds whose
+      // outcomes must not be compared against its pre-crash life.
+      restarted_nodes_.insert(ev.node);
+      catchup_start_tip_.erase(ev.node);
+      for (auto it = proposal_by_round_origin_.begin();
+           it != proposal_by_round_origin_.end();) {
+        it = it->first.second == ev.node ? proposal_by_round_origin_.erase(it) : std::next(it);
+      }
+      for (auto it = outcome_by_node_round_.begin(); it != outcome_by_node_round_.end();) {
+        it = it->first.first == ev.node ? outcome_by_node_round_.erase(it) : std::next(it);
+      }
+      for (auto it = final_quorum_seen_.begin(); it != final_quorum_seen_.end();) {
+        it = it->first == ev.node ? final_quorum_seen_.erase(it) : std::next(it);
+      }
+      for (auto it = round_started_.begin(); it != round_started_.end();) {
+        it = it->first == ev.node ? round_started_.erase(it) : std::next(it);
+      }
+      break;
+    }
+
+    case TraceKind::kProposalGossiped:
+    case TraceKind::kBlockReceived: {
+      if (!chain_round || ev.value_prefix == 0) {
+        break;
+      }
+      const uint64_t origin =
+          ev.kind == TraceKind::kProposalGossiped ? ev.node : ev.a;
+      if (origin == kTraceNoOrigin || restarted_nodes_.count(origin) != 0) {
+        break;
+      }
+      // A rejoined node replays stale rounds; blocks re-gossiped to it come
+      // from stored copies whose trace context was re-stamped by the relayer,
+      // so its receipts cannot witness proposer equivocation.
+      if (ev.kind == TraceKind::kBlockReceived && restarted_nodes_.count(ev.node) != 0) {
+        break;
+      }
+      auto key = std::make_pair(ev.round, origin);
+      auto [it, inserted] = proposal_by_round_origin_.emplace(key, ev.value_prefix);
+      if (!inserted && it->second != ev.value_prefix &&
+          flagged_equivocations_.insert(key).second) {
+        ++equivocation_count_;
+        if (equivocations_counter_ != nullptr) {
+          equivocations_counter_->Increment();
+        }
+      }
+      break;
+    }
+
+    default:
+      break;
+  }
+}
+
+void SafetyAuditor::AddEvents(const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& ev : events) {
+    Observe(ev);
+  }
+}
+
+std::vector<std::string> SafetyAuditor::violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_;
+}
+
+uint64_t SafetyAuditor::violation_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violation_count_;
+}
+
+uint64_t SafetyAuditor::equivocations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return equivocation_count_;
+}
+
+std::string SafetyAuditor::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "safety audit: " + std::to_string(violation_count_) + " violation(s), " +
+                    std::to_string(equivocation_count_) + " equivocation(s) flagged\n";
+  for (const std::string& v : violations_) {
+    out += "  VIOLATION: " + v + "\n";
+  }
+  if (violation_count_ > violations_.size()) {
+    out += "  (+" + std::to_string(violation_count_ - violations_.size()) + " more)\n";
+  }
+  return out;
+}
+
+}  // namespace algorand

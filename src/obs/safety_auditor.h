@@ -1,0 +1,131 @@
+// SafetyAuditor: online cross-node assertion of BA* safety over the shared
+// trace-event stream.
+//
+// The paper's safety goal (§3, §5.1) — with overwhelming probability no two
+// honest users ever accept different final blocks for the same round — is a
+// cross-node property, so no single node can check it. The auditor watches
+// the same event stream the tracer records (live via RoundTracer's observer
+// hook, or offline from a parsed JSONL dump) and asserts:
+//   1. Agreement: no two FINAL round_end events in one round carry distinct
+//      block hashes.
+//   2. Certified quorum: a step_exit that declares a winner without timing
+//      out must report more than the configured T*tau weighted votes
+//      (final-step threshold for the final step, step threshold otherwise),
+//      and a FINAL round_end must be preceded by that node's non-timed-out
+//      final-step exit.
+//   3. Monotone finality: once a node reports a FINAL block for a round, a
+//      later round_end for the same (node, round) may not change the value
+//      or demote it to tentative.
+//   4. Catch-up monotonicity: a catchup_done tip is never behind the tip the
+//      session started from.
+// Violations are sticky (strings + an "audit.violations" counter): any one
+// means consensus or the implementation is broken, and tests hard-fail.
+//
+// Separately, the auditor *flags* proposer equivocation (§10.4): two
+// distinct block hashes observed anywhere in the cluster for one (round,
+// proposer). That is an attack indicator, not a safety violation — BA* is
+// designed to survive it — so it lands in its own "audit.equivocations"
+// counter. Nodes that crash or restart are forgiven their proposals: an
+// honest node rejoining mid-round may legitimately rebuild a different
+// block for a round it already proposed for.
+#ifndef ALGORAND_SRC_OBS_SAFETY_AUDITOR_H_
+#define ALGORAND_SRC_OBS_SAFETY_AUDITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/round_tracer.h"
+
+namespace algorand {
+
+struct SafetyAuditorConfig {
+  // Weighted-vote thresholds actually compared against step_exit counts
+  // (ProtocolParams::StepThreshold()/FinalThreshold()). 0 disables the
+  // quorum checks (offline audits of dumps with unknown parameters).
+  double step_threshold = 0;
+  double final_threshold = 0;
+  // Wire step code of the final step (kStepFinal in src/core/messages.h).
+  uint32_t final_step_code = 0xffffffff;
+  // Cap on retained violation strings (the counters keep exact totals).
+  size_t max_violations = 64;
+};
+
+class SafetyAuditor {
+ public:
+  explicit SafetyAuditor(SafetyAuditorConfig config = {});
+
+  // Routes totals through `registry`: "audit.events", "audit.violations",
+  // "audit.equivocations". Call before events flow.
+  void AttachMetrics(MetricsRegistry* registry);
+
+  // Live entry point; hand this to RoundTracer::SetObserver via
+  //   tracer.SetObserver([&a](const TraceEvent& ev) { a.Observe(ev); });
+  // Thread-safe.
+  void Observe(const TraceEvent& event);
+  void AddEvents(const std::vector<TraceEvent>& events);
+
+  // Safety violations seen so far (capped at config.max_violations strings).
+  std::vector<std::string> violations() const;
+  uint64_t violation_count() const;
+  bool ok() const { return violation_count() == 0; }
+
+  // Distinct (round, proposer) equivocations flagged so far.
+  uint64_t equivocations() const;
+
+  // Multi-line human-readable summary.
+  std::string Report() const;
+
+ private:
+  void AddViolation(std::string message);
+
+  SafetyAuditorConfig config_;
+  mutable std::mutex mu_;
+
+  // Invariant 1: first FINAL value per round (+ reporting node).
+  struct FinalRecord {
+    uint64_t value = 0;
+    uint32_t node = 0;
+  };
+  std::map<uint64_t, FinalRecord> final_by_round_;
+
+  // Invariant 2: per (node, round), whether a non-timed-out final-step exit
+  // was seen (prerequisite of a FINAL round_end), and whether the stream
+  // contains the node's round_start (without it the round is only partially
+  // covered — e.g. a trimmed dump — and the check would false-positive).
+  std::set<std::pair<uint32_t, uint64_t>> final_quorum_seen_;
+  std::set<std::pair<uint32_t, uint64_t>> round_started_;
+
+  // Invariant 3: per (node, round), the reported outcome.
+  struct Outcome {
+    uint64_t value = 0;
+    bool final = false;
+  };
+  std::map<std::pair<uint32_t, uint64_t>, Outcome> outcome_by_node_round_;
+
+  // Invariant 4: per node, tip round at catchup_start.
+  std::map<uint32_t, uint64_t> catchup_start_tip_;
+
+  // Equivocation flagging: first block hash per (round, proposer), plus the
+  // set of already-flagged pairs (count each attack once) and proposers
+  // forgiven because they crashed/restarted.
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> proposal_by_round_origin_;
+  std::set<std::pair<uint64_t, uint64_t>> flagged_equivocations_;
+  std::set<uint64_t> restarted_nodes_;
+
+  std::vector<std::string> violations_;
+  uint64_t violation_count_ = 0;
+  uint64_t equivocation_count_ = 0;
+
+  Counter* events_counter_ = nullptr;
+  Counter* violations_counter_ = nullptr;
+  Counter* equivocations_counter_ = nullptr;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_OBS_SAFETY_AUDITOR_H_

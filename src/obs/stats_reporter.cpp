@@ -1,0 +1,135 @@
+#include "src/obs/stats_reporter.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+
+namespace algorand {
+namespace {
+
+// Keys are metric-style dot-paths; escape anyway so arbitrary caller names
+// cannot break the line format.
+void AppendJsonKey(std::string* out, const std::string& key) {
+  out->push_back('"');
+  for (char c : key) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+    }
+    out->push_back(c >= 0x20 ? c : '?');
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    v = 0;  // NaN/inf are not JSON.
+  }
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+struct StatsReporter::State {
+  Executor* executor;
+  SimTime interval;
+  Collect collect;
+  std::ostream* out;
+
+  std::mutex mu;
+  bool running = false;
+  uint64_t lines = 0;
+};
+
+StatsReporter::StatsReporter(Executor* executor, SimTime interval, Collect collect,
+                             std::ostream* out)
+    : state_(std::make_shared<State>()) {
+  state_->executor = executor;
+  state_->interval = interval > 0 ? interval : SimTime{1};
+  state_->collect = std::move(collect);
+  state_->out = out;
+}
+
+StatsReporter::~StatsReporter() { Stop(); }
+
+void StatsReporter::Start() {
+  std::shared_ptr<State> state = state_;
+  SimTime first;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->running) {
+      return;
+    }
+    state->running = true;
+    first = state->executor->now() + state->interval;
+  }
+  std::weak_ptr<State> weak = state;
+  state->executor->ScheduleAt(first, [weak, first] {
+    if (auto s = weak.lock()) {
+      Tick(s, first);
+    }
+  });
+}
+
+void StatsReporter::Stop() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->running = false;
+}
+
+uint64_t StatsReporter::lines_emitted() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->lines;
+}
+
+std::string StatsReporter::MakeLine(double t_seconds, double lag_ms, const Sample& sample) {
+  std::string line;
+  line.reserve(64 + sample.size() * 24);
+  char buf[64];
+  snprintf(buf, sizeof(buf), "{\"t\":%.6f,\"lag_ms\":%.3f",
+           std::isfinite(t_seconds) ? t_seconds : 0.0, std::isfinite(lag_ms) ? lag_ms : 0.0);
+  line += buf;
+  for (const auto& [key, value] : sample) {
+    line.push_back(',');
+    AppendJsonKey(&line, key);
+    line.push_back(':');
+    AppendNumber(&line, value);
+  }
+  line.push_back('}');
+  return line;
+}
+
+void StatsReporter::Tick(const std::shared_ptr<State>& state, SimTime scheduled_at) {
+  SimTime next;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (!state->running) {
+      return;
+    }
+    next = scheduled_at + state->interval;
+  }
+  SimTime now = state->executor->now();
+  double lag_ms = now > scheduled_at ? static_cast<double>(now - scheduled_at) * 1e-6 : 0.0;
+  Sample sample = state->collect ? state->collect() : Sample{};
+  std::string line = MakeLine(ToSeconds(now), lag_ms, sample);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (!state->running) {
+      return;  // Stopped while collecting.
+    }
+    if (state->out != nullptr) {
+      (*state->out) << line << '\n';
+      state->out->flush();
+    }
+    ++state->lines;
+  }
+  std::weak_ptr<State> weak = state;
+  state->executor->ScheduleAt(next, [weak, next] {
+    if (auto s = weak.lock()) {
+      Tick(s, next);
+    }
+  });
+}
+
+}  // namespace algorand

@@ -1,0 +1,69 @@
+// StatsReporter: periodic live introspection for long runs.
+//
+// Every `interval` it samples a caller-supplied set of named values (tip
+// round, rounds/sec, verify-pool and gossip queue depths, per-peer send
+// queues, ...) and writes one flat JSON object per line to an ostream, e.g.
+//   {"t":12.500000,"lag_ms":0.413,"tip":41,"rounds_per_sec":3.28,...}
+// "t" (executor seconds) and "lag_ms" (how late the tick fired vs. its
+// scheduled time — an event-loop lag gauge in real-time runs) are always
+// present; the rest come from the collect callback.
+//
+// The reporter drives itself off the shared Executor abstraction, so the
+// same code reports from the deterministic simulator (virtual time) and from
+// a LocalCluster's event loop (monotonic wall time). Ticks re-arm relative
+// to the previous *scheduled* fire time, so intervals do not drift.
+//
+// Lines are valid flat JSON parseable by ParseFlatJsonObject (tested), so
+// downstream tooling can consume the stream without a JSON library.
+#ifndef ALGORAND_SRC_OBS_STATS_REPORTER_H_
+#define ALGORAND_SRC_OBS_STATS_REPORTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/executor.h"
+
+namespace algorand {
+
+class StatsReporter {
+ public:
+  // Named samples for one tick, in emit order.
+  using Sample = std::vector<std::pair<std::string, double>>;
+  using Collect = std::function<Sample()>;
+
+  // `executor` and `out` must outlive the reporter (or the reporter must be
+  // stopped first); `collect` runs on the executor's thread.
+  StatsReporter(Executor* executor, SimTime interval, Collect collect, std::ostream* out);
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  // Schedules the first tick one interval from now. Idempotent.
+  void Start();
+  // Stops future ticks; queued timer callbacks become no-ops. Idempotent.
+  void Stop();
+
+  uint64_t lines_emitted() const;
+
+  // Formats one report line (no trailing newline). Exposed for tests; Tick
+  // uses exactly this.
+  static std::string MakeLine(double t_seconds, double lag_ms, const Sample& sample);
+
+ private:
+  // Timer callbacks capture a weak_ptr to this state so a queued tick after
+  // Stop()/destruction is a safe no-op.
+  struct State;
+  static void Tick(const std::shared_ptr<State>& state, SimTime scheduled_at);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_OBS_STATS_REPORTER_H_

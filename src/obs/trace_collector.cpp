@@ -1,0 +1,213 @@
+#include "src/obs/trace_collector.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace algorand {
+namespace {
+
+constexpr double kMsPerNs = 1e-6;
+
+double ToMs(SimTime t) { return static_cast<double>(t) * kMsPerNs; }
+
+// Exact linear-interpolated percentile of a sample set (unlike the bucketed
+// HistogramSnapshot estimate, the collector holds the raw values).
+double SamplePercentile(std::vector<double>* values, double q) {
+  if (values->empty()) {
+    return 0;
+  }
+  std::sort(values->begin(), values->end());
+  double pos = q * static_cast<double>(values->size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values->size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return (*values)[lo] + ((*values)[hi] - (*values)[lo]) * frac;
+}
+
+}  // namespace
+
+void TraceCollector::Ingest(const TraceEvent& ev) {
+  if (ev.round & kTraceRecoverySessionBit) {
+    return;  // Recovery sessions are not chain rounds.
+  }
+  switch (ev.kind) {
+    case TraceKind::kRoundStart:
+    case TraceKind::kBlockReceived:
+    case TraceKind::kReductionDone:
+    case TraceKind::kBinaryDecided:
+    case TraceKind::kRoundEnd:
+    case TraceKind::kStepEnter:
+    case TraceKind::kStepExit:
+      break;
+    default:
+      return;  // Other kinds reuse `round` for tips/session codes.
+  }
+  NodeRound& nr = rounds_[ev.round][ev.node];
+  switch (ev.kind) {
+    case TraceKind::kRoundStart:
+      if (nr.start_at < 0 || ev.at < nr.start_at) {
+        nr.start_at = ev.at;
+      }
+      break;
+    case TraceKind::kBlockReceived:
+      if (nr.first_receipt_at < 0 || ev.at < nr.first_receipt_at) {
+        nr.first_receipt_at = ev.at;
+        nr.receipt_emitted_at =
+            ev.a == kTraceNoOrigin ? -1 : static_cast<SimTime>(ev.b);
+      }
+      break;
+    case TraceKind::kReductionDone:
+      if (nr.reduction_done_at < 0) {
+        nr.reduction_done_at = ev.at;
+      }
+      break;
+    case TraceKind::kBinaryDecided:
+      if (nr.binary_done_at < 0) {
+        nr.binary_done_at = ev.at;
+      }
+      break;
+    case TraceKind::kRoundEnd:
+      if (nr.end_at < 0) {
+        nr.end_at = ev.at;
+      }
+      break;
+    case TraceKind::kStepEnter:
+      nr.step_enter_at[ev.step] = ev.at;
+      break;
+    case TraceKind::kStepExit: {
+      auto it = nr.step_enter_at.find(ev.step);
+      if (it != nr.step_enter_at.end() && ev.at >= it->second) {
+        nr.step_duration_ms[ev.step] = ToMs(ev.at - it->second);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void TraceCollector::AddEvents(const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& ev : events) {
+    Ingest(ev);
+  }
+}
+
+std::vector<RoundWaterfall> TraceCollector::Waterfalls() const {
+  std::vector<RoundWaterfall> out;
+  for (const auto& [round, nodes] : rounds_) {
+    RoundWaterfall wf;
+    wf.round = round;
+    std::vector<double> receipt_ms;
+    std::map<uint32_t, std::vector<double>> step_ms;
+    double gossip_sum = 0;
+    double reduction_sum = 0;
+    double votes_sum = 0;
+    double binary_sum = 0;
+    size_t phase_nodes = 0;
+    size_t binary_nodes = 0;
+    for (const auto& [node, nr] : nodes) {
+      (void)node;
+      if (nr.end_at >= 0) {
+        ++wf.nodes;
+      }
+      if (nr.first_receipt_at >= 0 && nr.receipt_emitted_at >= 0 &&
+          nr.first_receipt_at >= nr.receipt_emitted_at) {
+        ++wf.receipts;
+        receipt_ms.push_back(ToMs(nr.first_receipt_at - nr.receipt_emitted_at));
+      }
+      for (const auto& [step, ms] : nr.step_duration_ms) {
+        step_ms[step].push_back(ms);
+      }
+      // Phase partition needs the full lifecycle in causal order; nodes that
+      // decided an empty round without ever receiving a block (or whose ring
+      // lost a marker) are excluded from the phase means.
+      if (nr.start_at < 0 || nr.end_at < nr.start_at || nr.first_receipt_at < nr.start_at ||
+          nr.first_receipt_at < 0 || nr.reduction_done_at < nr.first_receipt_at ||
+          nr.end_at < nr.reduction_done_at) {
+        continue;
+      }
+      ++phase_nodes;
+      gossip_sum += ToMs(nr.first_receipt_at - nr.start_at);
+      reduction_sum += ToMs(nr.reduction_done_at - nr.first_receipt_at);
+      votes_sum += ToMs(nr.end_at - nr.reduction_done_at);
+      if (nr.binary_done_at >= nr.reduction_done_at) {
+        ++binary_nodes;
+        binary_sum += ToMs(nr.binary_done_at - nr.reduction_done_at);
+      }
+    }
+    if (wf.nodes == 0) {
+      continue;
+    }
+    if (!receipt_ms.empty()) {
+      wf.receipt_p50_ms = SamplePercentile(&receipt_ms, 0.5);
+      wf.receipt_p90_ms = SamplePercentile(&receipt_ms, 0.9);
+      wf.receipt_p99_ms = SamplePercentile(&receipt_ms, 0.99);
+    }
+    if (phase_nodes > 0) {
+      double n = static_cast<double>(phase_nodes);
+      wf.gossip_ms = gossip_sum / n;
+      wf.reduction_ms = reduction_sum / n;
+      wf.votes_ms = votes_sum / n;
+      wf.round_ms = (gossip_sum + reduction_sum + votes_sum) / n;
+    }
+    if (binary_nodes > 0) {
+      wf.binary_ms = binary_sum / static_cast<double>(binary_nodes);
+    }
+    for (auto& [step, values] : step_ms) {
+      wf.step_p50_ms[step] = SamplePercentile(&values, 0.5);
+    }
+    out.push_back(std::move(wf));
+  }
+  return out;
+}
+
+std::string TraceCollector::ToText(const std::vector<RoundWaterfall>& rounds) {
+  std::string out;
+  char buf[256];
+  int n = snprintf(buf, sizeof(buf), "%-7s %-6s %-9s %-9s %-9s %-11s %-12s %-10s %-10s\n",
+                   "round", "nodes", "rcpt_p50", "rcpt_p90", "rcpt_p99", "gossip_ms",
+                   "reduce_ms", "votes_ms", "round_ms");
+  out.append(buf, static_cast<size_t>(n));
+  for (const RoundWaterfall& wf : rounds) {
+    n = snprintf(buf, sizeof(buf),
+                 "%-7llu %-6zu %-9.1f %-9.1f %-9.1f %-11.1f %-12.1f %-10.1f %-10.1f\n",
+                 static_cast<unsigned long long>(wf.round), wf.nodes, wf.receipt_p50_ms,
+                 wf.receipt_p90_ms, wf.receipt_p99_ms, wf.gossip_ms, wf.reduction_ms,
+                 wf.votes_ms, wf.round_ms);
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+std::string TraceCollector::ToJson(const std::vector<RoundWaterfall>& rounds) {
+  std::string out = "{\"rounds\":[";
+  char buf[512];
+  bool first_round = true;
+  for (const RoundWaterfall& wf : rounds) {
+    if (!first_round) {
+      out += ",";
+    }
+    first_round = false;
+    int n = snprintf(
+        buf, sizeof(buf),
+        "{\"round\":%llu,\"nodes\":%zu,\"receipts\":%zu,"
+        "\"receipt_p50_ms\":%.3f,\"receipt_p90_ms\":%.3f,\"receipt_p99_ms\":%.3f,"
+        "\"gossip_ms\":%.3f,\"reduction_ms\":%.3f,\"votes_ms\":%.3f,"
+        "\"binary_ms\":%.3f,\"round_ms\":%.3f,\"step_p50_ms\":{",
+        static_cast<unsigned long long>(wf.round), wf.nodes, wf.receipts, wf.receipt_p50_ms,
+        wf.receipt_p90_ms, wf.receipt_p99_ms, wf.gossip_ms, wf.reduction_ms, wf.votes_ms,
+        wf.binary_ms, wf.round_ms);
+    out.append(buf, static_cast<size_t>(n));
+    bool first_step = true;
+    for (const auto& [step, ms] : wf.step_p50_ms) {
+      n = snprintf(buf, sizeof(buf), "%s\"%u\":%.3f", first_step ? "" : ",", step, ms);
+      out.append(buf, static_cast<size_t>(n));
+      first_step = false;
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace algorand

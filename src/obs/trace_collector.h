@@ -1,0 +1,93 @@
+// TraceCollector: joins per-node RoundTracer streams into per-round latency
+// waterfalls — the cross-node view behind the paper's Figure 5 breakdown
+// (time to gossip the block, BA* steps that reference the big block, BA*
+// vote steps).
+//
+// Input is the shared trace-event stream (every event carries its node id);
+// the collector groups events by chain round, joins each node's causal
+// block-lifecycle markers (round start, first block receipt with the
+// origination timestamp carried by the gossip trace context, reduction done,
+// binary decided, round end) and reports:
+//   - proposal-to-receipt latency percentiles across nodes (p50/p90/p99),
+//   - the three Fig-5 phases, which partition each node's round wall time:
+//       gossip    = round start -> first block receipt
+//       reduction = receipt -> reduction done  (votes carry the block hash)
+//       votes     = reduction done -> round end (BinaryBA* + final step)
+//   - per-step durations from step_enter/step_exit pairs.
+// Recovery-session events (round code top bit set) are excluded: they are
+// not chain rounds.
+#ifndef ALGORAND_SRC_OBS_TRACE_COLLECTOR_H_
+#define ALGORAND_SRC_OBS_TRACE_COLLECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/round_tracer.h"
+
+namespace algorand {
+
+// One chain round's joined cross-node view.
+struct RoundWaterfall {
+  uint64_t round = 0;
+  size_t nodes = 0;     // Nodes that completed the round (round_end seen).
+  size_t receipts = 0;  // Nodes whose first valid block receipt was joined.
+
+  // Proposal-to-receipt latency across nodes, milliseconds: how long the
+  // proposer's block took to reach each node (origination timestamp from the
+  // message's trace context).
+  double receipt_p50_ms = 0;
+  double receipt_p90_ms = 0;
+  double receipt_p99_ms = 0;
+
+  // Fig-5 phase means across completing nodes, milliseconds. For every node
+  // the three phases partition its round wall time exactly.
+  double gossip_ms = 0;     // Round start -> first block receipt.
+  double reduction_ms = 0;  // Receipt -> reduction done (big-block steps).
+  double votes_ms = 0;      // Reduction done -> round end (binary + final).
+  double round_ms = 0;      // Mean round wall time (= sum of the three).
+
+  // Mean BinaryBA* portion of the votes phase (reduction done -> binary
+  // decided), for the reduction-vs-BinaryBA* split.
+  double binary_ms = 0;
+
+  // Median per-node duration of each BA* step, keyed by wire step code.
+  std::map<uint32_t, double> step_p50_ms;
+};
+
+class TraceCollector {
+ public:
+  // Ingests events in any order (streams from several tracers may be
+  // concatenated; per-node ordering is reconstructed from timestamps).
+  void Ingest(const TraceEvent& event);
+  void AddEvents(const std::vector<TraceEvent>& events);
+
+  // Joined waterfalls for every chain round with at least one completing
+  // node, sorted by round.
+  std::vector<RoundWaterfall> Waterfalls() const;
+
+  // Human-readable table, one row per round.
+  static std::string ToText(const std::vector<RoundWaterfall>& rounds);
+  // {"rounds":[{...}, ...]} with one object per round.
+  static std::string ToJson(const std::vector<RoundWaterfall>& rounds);
+
+ private:
+  // Per (round, node) lifecycle markers, filled as events arrive.
+  struct NodeRound {
+    SimTime start_at = -1;
+    SimTime first_receipt_at = -1;
+    SimTime receipt_emitted_at = -1;  // Origination time from trace context.
+    SimTime reduction_done_at = -1;
+    SimTime binary_done_at = -1;
+    SimTime end_at = -1;
+    std::map<uint32_t, SimTime> step_enter_at;
+    std::map<uint32_t, double> step_duration_ms;
+  };
+
+  std::map<uint64_t, std::map<uint32_t, NodeRound>> rounds_;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_OBS_TRACE_COLLECTOR_H_

@@ -23,6 +23,7 @@ LocalCluster::LocalCluster(const LocalClusterConfig& config)
     address_book_[i] = endpoints_.back()->port();
   }
   cache_.AttachMetrics(&cluster_metrics_);
+  tracer_.AttachMetrics(&cluster_metrics_);
   const size_t workers = ResolveVerifyWorkers(config_.verify_workers);
   if (workers > 0) {
     pool_ = std::make_unique<VerifyPool>(workers);
@@ -54,6 +55,7 @@ void LocalCluster::WireSlot(size_t i) {
   }
   agents_[i] = std::make_unique<GossipAgent>(id, endpoints_[i].get(), topology_.get());
   agents_[i]->AttachMetrics(metrics_[i].get());
+  agents_[i]->set_clock(&loop_);
   CryptoSuite crypto{vrf_, signer_, &cache_, pool_.get()};
   nodes_[i] = std::make_unique<Node>(id, &loop_, agents_[i].get(), genesis_.keys[i],
                                      genesis_.config, config_.params, crypto);

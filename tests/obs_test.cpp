@@ -232,6 +232,90 @@ TEST(RoundTracerTest, RingBufferWrapsKeepingNewest) {
   }
 }
 
+TEST(RoundTracerTest, AttachMetricsMirrorsRingHealth) {
+  MetricsRegistry reg;
+  RoundTracer tracer(4);
+  tracer.AttachMetrics(&reg);
+  for (uint64_t i = 0; i < 10; ++i) {
+    TraceEvent ev;
+    ev.round = i;
+    tracer.Record(ev);
+  }
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("trace.recorded"), 10u);
+  EXPECT_EQ(snap.CounterValue("trace.dropped"), 6u);
+  // The ring is full: occupancy gauge pins at capacity.
+  EXPECT_EQ(snap.gauges.at("trace.ring_occupancy"), 4);
+  // Detach stops the mirroring but keeps the accessors live.
+  tracer.AttachMetrics(nullptr);
+  tracer.Record(TraceEvent{});
+  EXPECT_EQ(reg.Snapshot().CounterValue("trace.recorded"), 10u);
+  EXPECT_EQ(tracer.recorded(), 11u);
+}
+
+TEST(RoundTracerTest, OccupancyGaugeTracksPartialFill) {
+  MetricsRegistry reg;
+  RoundTracer tracer(8);
+  tracer.AttachMetrics(&reg);
+  tracer.Record(TraceEvent{});
+  tracer.Record(TraceEvent{});
+  tracer.Record(TraceEvent{});
+  EXPECT_EQ(reg.Snapshot().gauges.at("trace.ring_occupancy"), 3);
+  EXPECT_EQ(reg.Snapshot().CounterValue("trace.dropped"), 0u);
+}
+
+TEST(RoundTracerTest, ObserverSeesEveryEventInOrder) {
+  RoundTracer tracer(2);  // Smaller than the event count: drops don't matter.
+  std::vector<uint64_t> seen;
+  tracer.SetObserver([&seen](const TraceEvent& ev) { seen.push_back(ev.round); });
+  for (uint64_t i = 0; i < 5; ++i) {
+    TraceEvent ev;
+    ev.round = i;
+    tracer.Record(ev);
+  }
+  ASSERT_EQ(seen.size(), 5u);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(seen[i], i);
+  }
+  tracer.SetObserver(nullptr);  // Cleared: no further callbacks.
+  tracer.Record(TraceEvent{});
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(HistogramTest, EstimateQuantilesMatchesPercentile) {
+  MetricsRegistry reg;
+  std::vector<double> bounds;
+  for (double b = 10; b <= 1000; b += 10) {
+    bounds.push_back(b);
+  }
+  Histogram& h = reg.GetHistogram("lat", bounds);
+  for (int i = 1; i <= 100; ++i) {
+    h.Observe(static_cast<double>(i * 7 % 950) + 1);
+  }
+  const HistogramSnapshot hs = reg.Snapshot().histograms.at("lat");
+  HistogramSnapshot::Quantiles q = hs.EstimateQuantiles();
+  EXPECT_DOUBLE_EQ(q.p50, hs.Percentile(0.5));
+  EXPECT_DOUBLE_EQ(q.p90, hs.Percentile(0.9));
+  EXPECT_DOUBLE_EQ(q.p99, hs.Percentile(0.99));
+  EXPECT_LE(q.p50, q.p90);
+  EXPECT_LE(q.p90, q.p99);
+}
+
+TEST(SnapshotTest, ExportsIncludeInterpolatedQuantiles) {
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("lat", {1, 2, 4, 8});
+  h.Observe(1.5);
+  h.Observe(3);
+  MetricsSnapshot snap = reg.Snapshot();
+  std::string text = snap.ToText();
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p90="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+  std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
 TEST(RoundTracerTest, JsonlHasOneObjectPerEvent) {
   RoundTracer tracer(16);
   TraceEvent ev;
