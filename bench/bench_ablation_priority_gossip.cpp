@@ -41,8 +41,9 @@ Outcome Run(bool priority_gossip, uint64_t seed) {
   Outcome out;
   out.safety = ok && h.CheckSafety().ok;
   uint64_t block_msgs = 0;
-  auto it = h.network().message_counts_by_type().find("block");
-  if (it != h.network().message_counts_by_type().end()) {
+  const auto by_type = h.network().message_counts_by_type();
+  auto it = by_type.find("block");
+  if (it != by_type.end()) {
     block_msgs = it->second;
   }
   out.block_mb_per_round = static_cast<double>(block_msgs) *

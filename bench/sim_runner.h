@@ -39,6 +39,13 @@ struct RunSpec {
   double malicious_fraction = 0;
   bool real_crypto = false;
   SimTime deadline = Hours(6);
+  // Engine workers: 0 = classic sequential Simulation, >= 1 = the
+  // conservative-lookahead ParallelSimulation with that many shards (any N
+  // is bit-identical to N=1 — see parallel_simulation.h).
+  size_t sim_workers = 0;
+  // Users hosted per node (aggregate-user modeling); total simulated users =
+  // n_nodes * users_per_group.
+  size_t users_per_group = 1;
   // A/B switch for the event-queue benchmark; kMap is the reference queue.
   bool use_map_event_queue = false;
   // Durable store A/B: when data_dir is non-empty every node streams its
@@ -80,6 +87,8 @@ inline RunResult RunScenario(const RunSpec& spec) {
   cfg.use_map_event_queue = spec.use_map_event_queue;
   cfg.data_dir = spec.data_dir;
   cfg.store_fsync = spec.store_fsync;
+  cfg.sim_workers = spec.sim_workers;
+  cfg.users_per_group = spec.users_per_group;
 
   SimHarness h(cfg);
   h.Start();
@@ -101,8 +110,11 @@ inline RunResult RunScenario(const RunSpec& spec) {
   for (size_t i = 0; i < h.node_count(); ++i) {
     total_bytes += h.network().traffic(static_cast<NodeId>(i)).bytes_sent;
   }
+  // Per *user*, so aggregate runs stay comparable: with users_per_group > 1
+  // the denominator counts every hosted user (identical to the old per-node
+  // figure when users_per_group == 1).
   result.bytes_per_user_per_round = static_cast<double>(total_bytes) /
-                                    static_cast<double>(h.node_count()) /
+                                    static_cast<double>(h.total_users()) /
                                     static_cast<double>(spec.rounds);
   result.executed_events = h.sim().executed_events();
   result.metrics = h.AggregateMetrics();

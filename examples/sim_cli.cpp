@@ -42,6 +42,8 @@ struct CliOptions {
   uint64_t seed = 1;
   double uplink_mbit = 20;
   int verify_workers = -1;
+  size_t workers = 0;          // Engine workers; 0 = sequential engine.
+  size_t users_per_group = 1;  // Users hosted per node (aggregation).
   bool real_crypto = false;
   bool uniform_latency = false;
   bool map_queue = false;
@@ -139,6 +141,10 @@ CliOptions Parse(int argc, char** argv) {
       opt.uplink_mbit = std::stod(v);
     } else if (ParseFlag(argc, argv, &i, "verify-workers", &v)) {
       opt.verify_workers = std::stoi(v);
+    } else if (ParseFlag(argc, argv, &i, "workers", &v)) {
+      opt.workers = static_cast<size_t>(std::stoul(v));
+    } else if (ParseFlag(argc, argv, &i, "users-per-group", &v)) {
+      opt.users_per_group = static_cast<size_t>(std::stoul(v));
     } else if (ParseFlag(argc, argv, &i, "metrics-json", &v)) {
       opt.metrics_json = v;
     } else if (ParseFlag(argc, argv, &i, "trace-jsonl", &v)) {
@@ -201,6 +207,11 @@ void PrintHelp() {
       "  --uplink-mbit=F     per-user uplink in Mbit/s (default 20)\n"
       "  --verify-workers=N  verification worker threads; 0 = inline,\n"
       "                      default reads ALGORAND_VERIFY_WORKERS\n"
+      "  --workers=N         parallel event-loop shard workers; 0 (default) =\n"
+      "                      the classic sequential engine. Any N >= 1 gives\n"
+      "                      bit-identical results to N = 1\n"
+      "  --users-per-group=K aggregate-user modeling: every node hosts K\n"
+      "                      users' stake (total users = --users * K)\n"
       "  --seed=N            deterministic seed (default 1)\n"
       "  --real-crypto       real Ed25519+ECVRF instead of the sim backends\n"
       "  --uniform-latency   50ms uniform links instead of the 20-city model\n"
@@ -246,6 +257,8 @@ int main(int argc, char** argv) {
   cfg.verify_workers = opt.verify_workers;
   cfg.malicious_fraction = opt.malicious;
   cfg.use_map_event_queue = opt.map_queue;
+  cfg.sim_workers = opt.workers;
+  cfg.users_per_group = opt.users_per_group;
   cfg.latency =
       opt.uniform_latency ? HarnessConfig::Latency::kUniform : HarnessConfig::Latency::kCity;
   if (!opt.crash_schedule.empty() &&
@@ -256,10 +269,16 @@ int main(int argc, char** argv) {
   cfg.data_dir = opt.data_dir;
   cfg.store_fsync = opt.fsync;
 
-  printf("algorand-sim: %zu users (%.0f%% malicious), %llu KB blocks, "
-         "tau_step=%.0f tau_final=%.0f, %s crypto, seed %llu\n\n",
-         cfg.n_nodes, opt.malicious * 100, static_cast<unsigned long long>(opt.block_kb),
-         cfg.params.tau_step, cfg.params.tau_final, opt.real_crypto ? "real" : "sim",
+  const std::string engine = cfg.sim_workers > 0
+                                 ? "parallel/" + std::to_string(cfg.sim_workers) + "-worker"
+                                 : std::string("sequential");
+  printf("algorand-sim: %llu users (%zu nodes x %zu users/group, %.0f%% malicious), "
+         "%llu KB blocks, tau_step=%.0f tau_final=%.0f, %s crypto, %s engine, seed %llu\n\n",
+         static_cast<unsigned long long>(cfg.n_nodes) *
+             static_cast<unsigned long long>(cfg.users_per_group),
+         cfg.n_nodes, cfg.users_per_group, opt.malicious * 100,
+         static_cast<unsigned long long>(opt.block_kb), cfg.params.tau_step,
+         cfg.params.tau_final, opt.real_crypto ? "real" : "sim", engine.c_str(),
          static_cast<unsigned long long>(opt.seed));
 
   SimHarness h(cfg);
@@ -349,14 +368,16 @@ int main(int argc, char** argv) {
   }
   printf("\nphases: proposal %.1fs | BA* w/o final %.1fs | final %.1fs\n", phases.proposal,
          phases.ba_without_final, phases.final_step);
+  // Per hosted user, so aggregate runs (--users-per-group) stay comparable.
   printf("bandwidth: %.1f MB sent per user per round\n",
-         static_cast<double>(total_bytes) / static_cast<double>(h.node_count()) /
+         static_cast<double>(total_bytes) / static_cast<double>(h.total_users()) /
              static_cast<double>(opt.rounds) / 1e6);
   printf("completed: %s | safety: %s | chains consistent: %s\n", done ? "yes" : "NO",
          safety.ok ? "holds" : safety.violation.c_str(), chains_ok ? "yes" : "no");
   uint64_t events = h.sim().executed_events();
-  printf("engine: %s queue | wall %.2fs | %llu events | %.0f events/sec\n",
-         opt.map_queue ? "map" : "heap", wall_s, static_cast<unsigned long long>(events),
+  printf("engine: %s | wall %.2fs | %llu events | %.0f events/sec\n",
+         cfg.sim_workers > 0 ? engine.c_str() : (opt.map_queue ? "map queue" : "heap queue"),
+         wall_s, static_cast<unsigned long long>(events),
          wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0);
 
   // Chaos convergence: every live node (including restarted ones) must be

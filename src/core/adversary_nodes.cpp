@@ -22,7 +22,7 @@ void EquivocatingNode::MaybePropose() {
     b.padding_bytes = a.padding_bytes + 1;  // Guarantee distinct hashes.
   }
 
-  coordinator_->RegisterEquivocation(current_round(), a.Hash(), b.Hash());
+  coordinator_->RegisterEquivocation(id(), current_round(), a.Hash(), b.Hash());
 
   auto priority = std::make_shared<PriorityMessage>(MakePriorityMessage(
       key(), current_round(), sort.hash, sort.proof, sort.votes, *crypto().signer));

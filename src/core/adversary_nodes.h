@@ -11,6 +11,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <utility>
 
@@ -18,21 +19,33 @@
 
 namespace algorand {
 
-// Shared state among colluding malicious nodes.
-struct AdversaryCoordinator {
-  // round -> the two equivocated block hashes.
-  std::map<uint64_t, std::pair<Hash256, Hash256>> equivocations;
-
-  void RegisterEquivocation(uint64_t round, const Hash256& a, const Hash256& b) {
-    equivocations.emplace(round, std::make_pair(a, b));
+// Shared state among colluding malicious nodes. Mutations race under the
+// parallel engine (colluders live on different shards), so the channel is
+// mutex-guarded and the winner of concurrent registrations for one round is
+// chosen by lowest proposer id — an order-independent rule, which keeps
+// parallel runs deterministic across worker counts.
+class AdversaryCoordinator {
+ public:
+  void RegisterEquivocation(NodeId proposer, uint64_t round, const Hash256& a, const Hash256& b) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = equivocations_.try_emplace(round, proposer, std::make_pair(a, b));
+    if (!inserted && proposer < it->second.first) {
+      it->second = {proposer, std::make_pair(a, b)};
+    }
   }
   std::optional<std::pair<Hash256, Hash256>> PairFor(uint64_t round) const {
-    auto it = equivocations.find(round);
-    if (it == equivocations.end()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = equivocations_.find(round);
+    if (it == equivocations_.end()) {
       return std::nullopt;
     }
-    return it->second;
+    return it->second.second;
   }
+
+ private:
+  mutable std::mutex mu_;
+  // round -> (registering proposer, the two equivocated block hashes).
+  std::map<uint64_t, std::pair<NodeId, std::pair<Hash256, Hash256>>> equivocations_;
 };
 
 // Implements the §10.4 attack when selected as proposer (equivocate) and as

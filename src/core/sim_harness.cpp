@@ -4,17 +4,26 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "src/core/user_group.h"
+#include "src/netsim/parallel_simulation.h"
+
 namespace algorand {
 
 SimHarness::SimHarness(HarnessConfig config)
     : config_(std::move(config)),
       rng_(config_.rng_seed, "harness"),
-      genesis_(MakeTestGenesis(config_.n_nodes, config_.stake_per_user, config_.rng_seed)),
-      sim_(config_.use_map_event_queue ? Simulation::QueueKind::kMap
-                                       : Simulation::QueueKind::kHeap) {
+      genesis_(MakeTestGenesis(config_.n_nodes, config_.stake_per_user, config_.rng_seed)) {
   if (config_.stake_of) {
     for (size_t i = 0; i < genesis_.config.allocations.size(); ++i) {
       genesis_.config.allocations[i].second = config_.stake_of(i);
+    }
+  }
+  if (config_.users_per_group > 1) {
+    // Aggregate-user modeling: each node carries its whole group's stake.
+    // Binomial sortition over weight makes this statistically identical to
+    // users_per_group separate users of the original stake.
+    for (auto& alloc : genesis_.config.allocations) {
+      alloc.second *= config_.users_per_group;
     }
   }
   genesis_.config.weight_lookback_rounds = config_.weight_lookback_rounds;
@@ -28,7 +37,21 @@ SimHarness::SimHarness(HarnessConfig config)
     latency_ = std::make_unique<UniformLatencyModel>(config_.uniform_latency,
                                                      config_.uniform_jitter, config_.rng_seed);
   }
-  network_ = std::make_unique<Network>(&sim_, latency_.get(), config_.net, config_.n_nodes);
+  if (config_.sim_workers > 0) {
+    // Conservative lookahead: no delivery can land earlier than send time +
+    // sender overhead + the latency floor (Network::Send adds both).
+    const SimTime lookahead = config_.net.send_overhead + latency_->Floor();
+    sim_ = std::make_unique<ParallelSimulation>(config_.sim_workers, config_.n_nodes, lookahead);
+    // Concurrent senders need independent jitter streams; draw values differ
+    // from the shared-stream sequential engine, so this is parallel-only.
+    latency_->SetPerSenderStreams(config_.n_nodes);
+  } else {
+    sim_ = std::make_unique<Simulation>(config_.use_map_event_queue
+                                            ? Simulation::QueueKind::kMap
+                                            : Simulation::QueueKind::kHeap);
+  }
+  network_ =
+      std::make_unique<Network>(sim_.get(), latency_.get(), config_.net, config_.n_nodes);
   DeterministicRng topo_rng = rng_.Fork("topology");
   topology_ = std::make_unique<GossipTopology>(config_.n_nodes, config_.gossip_out_degree,
                                                &topo_rng);
@@ -52,19 +75,23 @@ SimHarness::SimHarness(HarnessConfig config)
     metrics_.push_back(std::make_unique<MetricsRegistry>());
     agents_.push_back(std::make_unique<GossipAgent>(i, network_.get(), topology_.get()));
     agents_.back()->AttachMetrics(metrics_.back().get());
-    agents_.back()->set_clock(&sim_);
+    agents_.back()->set_clock(sim_.get());
     std::unique_ptr<Node> node;
     if (config_.node_factory) {
-      node = config_.node_factory(i, &sim_, agents_.back().get(), genesis_.keys[i],
+      node = config_.node_factory(i, sim_.get(), agents_.back().get(), genesis_.keys[i],
                                   genesis_.config, config_.params, crypto, &coordinator_);
     }
     if (!node) {
       if (i < malicious_count_) {
-        node = std::make_unique<EquivocatingNode>(i, &sim_, agents_.back().get(),
+        node = std::make_unique<EquivocatingNode>(i, sim_.get(), agents_.back().get(),
                                                   genesis_.keys[i], genesis_.config,
                                                   config_.params, crypto, &coordinator_);
+      } else if (config_.users_per_group > 1) {
+        node = std::make_unique<UserGroupNode>(i, sim_.get(), agents_.back().get(),
+                                               genesis_.keys[i], genesis_.config, config_.params,
+                                               crypto, config_.users_per_group);
       } else {
-        node = std::make_unique<Node>(i, &sim_, agents_.back().get(), genesis_.keys[i],
+        node = std::make_unique<Node>(i, sim_.get(), agents_.back().get(), genesis_.keys[i],
                                       genesis_.config, config_.params, crypto);
       }
     }
@@ -103,20 +130,28 @@ SimHarness::~SimHarness() = default;
 
 void SimHarness::SetNetworkAdversary(std::unique_ptr<NetworkAdversary> adversary) {
   net_adversary_ = std::move(adversary);
+  if (net_adversary_ != nullptr && config_.sim_workers > 0) {
+    net_adversary_->SetPerSenderStreams(config_.n_nodes);
+  }
   network_->set_adversary(net_adversary_.get());
 }
 
 void SimHarness::Start() {
-  for (auto& node : nodes_) {
-    node->Start();
+  // Each node's startup events are keyed to its own stream so the parallel
+  // engine orders them independently of the worker count (no-op on the
+  // sequential engine).
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    sim_->SetExternalStream(static_cast<uint32_t>(i));
+    nodes_[i]->Start();
   }
+  sim_->SetExternalStream(Simulation::kGlobalStream);
   for (const HarnessConfig::CrashEvent& ev : config_.crash_schedule) {
     if (ev.node >= nodes_.size()) {
       continue;
     }
-    sim_.ScheduleAt(ev.crash_at, [this, ev] { KillNode(ev.node); });
+    sim_->ScheduleAt(ev.crash_at, [this, ev] { KillNode(ev.node); });
     if (ev.restart_at > ev.crash_at) {
-      sim_.ScheduleAt(ev.restart_at, [this, ev] { RestartNode(ev.node, ev.from_snapshot); });
+      sim_->ScheduleAt(ev.restart_at, [this, ev] { RestartNode(ev.node, ev.from_snapshot); });
     }
   }
 }
@@ -149,7 +184,7 @@ void SimHarness::KillNode(size_t i) {
     snapshots_[i] = nodes_[i]->Snapshot().Serialize();
   }
   TraceEvent ev;
-  ev.at = sim_.now();
+  ev.at = sim_->now();
   ev.node = static_cast<uint32_t>(i);
   ev.round = nodes_[i]->ledger().chain_length();
   ev.kind = TraceKind::kCrash;
@@ -171,13 +206,19 @@ void SimHarness::RestartNode(size_t i, bool from_snapshot) {
   // a restart changes state, not deployment shape.
   std::unique_ptr<Node> node;
   if (config_.node_factory) {
-    node = config_.node_factory(static_cast<NodeId>(i), &sim_, agents_[i].get(),
+    node = config_.node_factory(static_cast<NodeId>(i), sim_.get(), agents_[i].get(),
                                 genesis_.keys[i], genesis_.config, config_.params, crypto,
                                 &coordinator_);
   }
   if (!node) {
-    node = std::make_unique<Node>(static_cast<NodeId>(i), &sim_, agents_[i].get(),
-                                  genesis_.keys[i], genesis_.config, config_.params, crypto);
+    if (config_.users_per_group > 1 && i >= malicious_count_) {
+      node = std::make_unique<UserGroupNode>(static_cast<NodeId>(i), sim_.get(),
+                                             agents_[i].get(), genesis_.keys[i], genesis_.config,
+                                             config_.params, crypto, config_.users_per_group);
+    } else {
+      node = std::make_unique<Node>(static_cast<NodeId>(i), sim_.get(), agents_[i].get(),
+                                    genesis_.keys[i], genesis_.config, config_.params, crypto);
+    }
   }
   bool restored = false;
   if (!config_.data_dir.empty()) {
@@ -199,7 +240,7 @@ void SimHarness::RestartNode(size_t i, bool from_snapshot) {
   }
   node->AttachObservability(metrics_[i].get(), &tracer_);
   TraceEvent ev;
-  ev.at = sim_.now();
+  ev.at = sim_->now();
   ev.node = static_cast<uint32_t>(i);
   ev.round = node->ledger().chain_length();
   ev.kind = TraceKind::kRestart;
@@ -208,7 +249,9 @@ void SimHarness::RestartNode(size_t i, bool from_snapshot) {
   nodes_[i] = std::move(node);
   alive_[i] = true;
   global_metrics_.GetCounter("restart.restarts").Increment();
+  sim_->SetExternalStream(static_cast<uint32_t>(i));
   nodes_[i]->Start();
+  sim_->SetExternalStream(Simulation::kGlobalStream);
 }
 
 bool SimHarness::RunRounds(uint64_t rounds, SimTime deadline) {
@@ -235,15 +278,15 @@ bool SimHarness::RunRounds(uint64_t rounds, SimTime deadline) {
       return;  // Stale probe from a previous RunRounds call.
     }
     if (honest_done()) {
-      sim_.Stop();
+      sim_->Stop();
       return;
     }
     if (auto self = weak.lock()) {
-      sim_.Schedule(Seconds(1), *self);
+      sim_->Schedule(Seconds(1), *self);
     }
   };
-  sim_.Schedule(Seconds(1), *probe);
-  sim_.RunUntil(deadline);
+  sim_->Schedule(Seconds(1), *probe);
+  sim_->RunUntil(deadline);
   return honest_done();
 }
 
@@ -353,7 +396,11 @@ MetricsSnapshot SimHarness::AggregateMetrics() const {
     merged.Merge(registry->Snapshot());
   }
   // Fold in simulator/network totals so one snapshot describes the run.
-  merged.counters["sim.events_executed"] += sim_.executed_events();
+  merged.counters["sim.events_executed"] += sim_->executed_events();
+  merged.counters["sim.users"] += total_users();
+  for (const auto& [name, value] : sim_->EngineStats()) {
+    merged.counters[name] += value;
+  }
   merged.counters["net.bytes_sent"] += network_->total_bytes_sent();
   for (const auto& [type, count] : network_->message_counts_by_type()) {
     merged.counters["net.msgs." + type] += count;
@@ -367,9 +414,11 @@ Transaction SimHarness::SubmitPayment(size_t from_idx, size_t to_idx, uint64_t a
                                       uint64_t nonce) {
   Transaction tx = MakeTransaction(genesis_.keys[from_idx],
                                    genesis_.keys[to_idx].public_key, amount, nonce, *signer_);
-  for (auto& node : nodes_) {
-    node->SubmitTransaction(tx);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    sim_->SetExternalStream(static_cast<uint32_t>(i));
+    nodes_[i]->SubmitTransaction(tx);
   }
+  sim_->SetExternalStream(Simulation::kGlobalStream);
   return tx;
 }
 

@@ -48,6 +48,22 @@ struct HarnessConfig {
   // executions — see Simulation::QueueKind).
   bool use_map_event_queue = false;
 
+  // Parallel event loop. 0 (default) = the classic sequential engine,
+  // bit-compatible with every earlier release. >= 1 = the conservative-
+  // lookahead ParallelSimulation with that many shard workers; any N produces
+  // identical results to N=1 (the per-stream event keys make runs a pure
+  // function of (seed, scenario) — see parallel_simulation.h), but parallel
+  // runs order jitter draws per sender, so results differ from sim_workers=0.
+  size_t sim_workers = 0;
+
+  // Aggregate-user modeling (§10.1's 500k-user methodology): every node
+  // hosts this many users' stake behind one gossip endpoint. Sub-user
+  // sortition is Binomial over total weight, so one node holding K users'
+  // stake draws committee seats statistically identically to K separate
+  // users — that is UserGroupNode. Genesis allocations are scaled by this
+  // factor; total users = n_nodes * users_per_group.
+  size_t users_per_group = 1;
+
   // Verification pipeline: worker threads that prewarm the shared
   // VerificationCache while messages are in flight. 0 = single-threaded
   // (fully deterministic, the tier-1 test configuration); the pipeline only
@@ -107,10 +123,15 @@ class SimHarness {
   // the simulated deadline passed or the event queue drained first.
   bool RunRounds(uint64_t rounds, SimTime deadline = Hours(24));
 
-  Simulation& sim() { return sim_; }
+  Simulation& sim() { return *sim_; }
   Network& network() { return *network_; }
   Node& node(size_t i) { return *nodes_[i]; }
   size_t node_count() const { return nodes_.size(); }
+  // Simulated users, counting aggregation: node_count() * users_per_group.
+  uint64_t total_users() const {
+    return static_cast<uint64_t>(nodes_.size()) *
+           static_cast<uint64_t>(config_.users_per_group);
+  }
   bool is_malicious(size_t i) const { return i < malicious_count_; }
   size_t malicious_count() const { return malicious_count_; }
   const GenesisBundle& genesis() const { return genesis_; }
@@ -182,7 +203,10 @@ class SimHarness {
   HarnessConfig config_;
   DeterministicRng rng_;
   GenesisBundle genesis_;
-  Simulation sim_;
+  // Sequential Simulation or ParallelSimulation, per config.sim_workers
+  // (constructed in the ctor body: the parallel engine's lookahead is
+  // send_overhead + the latency model's floor).
+  std::unique_ptr<Simulation> sim_;
   std::unique_ptr<LatencyModel> latency_;
   std::unique_ptr<Network> network_;
   std::unique_ptr<GossipTopology> topology_;

@@ -170,16 +170,25 @@ uint64_t LookupCdf(const CdfTable& table, long double frac, uint64_t weight) {
   }
 }
 
-// LRU keyed by (weight, exact p bits). Thread-safe: sortition runs on the
-// protocol thread and on VerifyPool workers concurrently. The lock covers
-// only map/list maintenance; misses build their table outside it (a racing
-// duplicate build is harmless — last insert wins).
-class CdfCache {
- public:
-  static constexpr size_t kMaxEntries = 256;
+struct CdfKey {
+  uint64_t weight;
+  uint64_t p_bits;
+  bool operator==(const CdfKey& o) const { return weight == o.weight && p_bits == o.p_bits; }
+};
+struct CdfKeyHasher {
+  size_t operator()(const CdfKey& k) const {
+    return static_cast<size_t>(k.weight * 0x9e3779b97f4a7c15ULL ^ k.p_bits);
+  }
+};
 
-  std::shared_ptr<const CdfTable> Get(uint64_t weight, double p) {
-    Key key{weight, BitsOf(p)};
+// One LRU stripe. The lock covers only map/list maintenance; misses build
+// their table outside it (a racing duplicate build is harmless — the first
+// insert wins and losers adopt it).
+class CdfCacheStripe {
+ public:
+  explicit CdfCacheStripe(size_t max_entries) : max_entries_(max_entries) {}
+
+  std::shared_ptr<const CdfTable> Get(const CdfKey& key, uint64_t weight, double p) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = index_.find(key);
@@ -198,7 +207,7 @@ class CdfCache {
     }
     lru_.emplace_front(key, table);
     index_[key] = lru_.begin();
-    if (lru_.size() > kMaxEntries) {
+    if (lru_.size() > max_entries_) {
       index_.erase(lru_.back().first);
       lru_.pop_back();
       evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -206,40 +215,64 @@ class CdfCache {
     return table;
   }
 
+  void AccumulateStats(SortitionCdfCacheStats* out) const {
+    out->hits += hits_.load(std::memory_order_relaxed);
+    out->misses += misses_.load(std::memory_order_relaxed);
+    out->evictions += evictions_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    out->entries += lru_.size();
+  }
+
+ private:
+  const size_t max_entries_;
+  mutable std::mutex mu_;
+  std::list<std::pair<CdfKey, std::shared_ptr<const CdfTable>>> lru_;
+  std::unordered_map<CdfKey, decltype(lru_)::iterator, CdfKeyHasher> index_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+// Mutex-striped LRU keyed by (weight, exact p bits). Sortition runs
+// concurrently on the protocol thread, VerifyPool workers and the parallel
+// engine's shard workers; striping by key hash keeps them off each other's
+// locks (distinct weights — different nodes' stakes — land on different
+// stripes). Total capacity matches the old single-stripe cache (256), split
+// evenly; GetSortitionCdfCacheStats sums the stripes, so hits + misses still
+// equals total lookups and `entries` is the whole cache's population.
+class CdfCache {
+ public:
+  static constexpr size_t kStripes = 16;
+  static constexpr size_t kMaxEntries = 256;
+
+  CdfCache() {
+    stripes_.reserve(kStripes);
+    for (size_t i = 0; i < kStripes; ++i) {
+      stripes_.emplace_back(std::make_unique<CdfCacheStripe>(kMaxEntries / kStripes));
+    }
+  }
+
+  std::shared_ptr<const CdfTable> Get(uint64_t weight, double p) {
+    CdfKey key{weight, BitsOf(p)};
+    return stripes_[CdfKeyHasher{}(key) % kStripes]->Get(key, weight, p);
+  }
+
   SortitionCdfCacheStats Stats() const {
     SortitionCdfCacheStats out;
-    out.hits = hits_.load(std::memory_order_relaxed);
-    out.misses = misses_.load(std::memory_order_relaxed);
-    out.evictions = evictions_.load(std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
-    out.entries = lru_.size();
+    for (const auto& stripe : stripes_) {
+      stripe->AccumulateStats(&out);
+    }
     return out;
   }
 
  private:
-  struct Key {
-    uint64_t weight;
-    uint64_t p_bits;
-    bool operator==(const Key& o) const { return weight == o.weight && p_bits == o.p_bits; }
-  };
-  struct KeyHasher {
-    size_t operator()(const Key& k) const {
-      return static_cast<size_t>(k.weight * 0x9e3779b97f4a7c15ULL ^ k.p_bits);
-    }
-  };
-
   static uint64_t BitsOf(double p) {
     uint64_t bits = 0;
     std::memcpy(&bits, &p, sizeof(bits));
     return bits;
   }
 
-  mutable std::mutex mu_;
-  std::list<std::pair<Key, std::shared_ptr<const CdfTable>>> lru_;
-  std::unordered_map<Key, decltype(lru_)::iterator, KeyHasher> index_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> evictions_{0};
+  std::vector<std::unique_ptr<CdfCacheStripe>> stripes_;
 };
 
 CdfCache& GlobalCdfCache() {

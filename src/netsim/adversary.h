@@ -7,9 +7,12 @@
 #ifndef ALGORAND_SRC_NETSIM_ADVERSARY_H_
 #define ALGORAND_SRC_NETSIM_ADVERSARY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
+#include <string>
 #include <string_view>
 #include <unordered_set>
 #include <utility>
@@ -31,11 +34,19 @@ struct AdversaryAction {
   static AdversaryAction Delay(SimTime d) { return {kDelay, d}; }
 };
 
+// OnTransmit is called from the sending node's execution context. Under the
+// parallel engine different senders call concurrently, so implementations
+// must be race-free; those whose *decisions* depend on cross-sender mutable
+// state (VoterDosAdversary) are additionally order-sensitive and only give
+// reproducible drop patterns on the sequential engine or with workers=1.
 class NetworkAdversary {
  public:
   virtual ~NetworkAdversary() = default;
   virtual AdversaryAction OnTransmit(NodeId from, NodeId to, const MessagePtr& msg,
                                      SimTime now) = 0;
+  // See LatencyModel::SetPerSenderStreams: adversaries that sample randomness
+  // split it per sender so concurrent transmissions stay deterministic.
+  virtual void SetPerSenderStreams(size_t n_senders) { (void)n_senders; }
 };
 
 // Splits nodes into two groups and blocks cross-group traffic during
@@ -98,6 +109,7 @@ class VoterDosAdversary : public NetworkAdversary {
 
   AdversaryAction OnTransmit(NodeId from, NodeId to, const MessagePtr& msg,
                              SimTime now) override {
+    std::lock_guard<std::mutex> lock(mu_);
     // Expire stale victims.
     for (auto it = blocked_until_.begin(); it != blocked_until_.end();) {
       it = it->second <= now ? blocked_until_.erase(it) : std::next(it);
@@ -122,13 +134,22 @@ class VoterDosAdversary : public NetworkAdversary {
     return AdversaryAction::Deliver();
   }
 
-  uint64_t victims_targeted() const { return victims_targeted_; }
-  uint64_t dropped() const { return dropped_; }
+  uint64_t victims_targeted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return victims_targeted_;
+  }
+  uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
 
  private:
   SimTime dos_duration_;
   size_t max_victims_;
   SimTime reaction_delay_;
+  // Victim selection inspects every sender's traffic, so the state is shared
+  // and mutex-guarded; see the class-level note on order sensitivity.
+  mutable std::mutex mu_;
   std::map<NodeId, SimTime> blocked_until_;
   std::unordered_set<Hash256, FixedBytesHasher> seen_votes_;
   uint64_t victims_targeted_ = 0;
@@ -160,20 +181,22 @@ class ChurnAdversary : public NetworkAdversary {
 
   AdversaryAction OnTransmit(NodeId from, NodeId to, const MessagePtr&, SimTime now) override {
     if (Offline(from, now) || Offline(to, now)) {
-      ++dropped_;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
       return AdversaryAction::Drop();
     }
     return AdversaryAction::Deliver();
   }
 
-  uint64_t dropped() const { return dropped_; }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
  private:
   size_t n_nodes_;
   size_t group_size_;
   SimTime period_;
   SimTime offline_for_;
-  uint64_t dropped_ = 0;
+  // The decision is a pure function of (from, to, now); only the counter is
+  // shared, so a relaxed atomic keeps parallel runs deterministic.
+  std::atomic<uint64_t> dropped_{0};
 };
 
 // Drops each transmission independently with fixed probability.
@@ -182,14 +205,25 @@ class LossyAdversary : public NetworkAdversary {
   LossyAdversary(double drop_probability, uint64_t rng_seed)
       : drop_probability_(drop_probability), rng_(rng_seed, "lossy-adversary") {}
 
-  AdversaryAction OnTransmit(NodeId, NodeId, const MessagePtr&, SimTime) override {
-    return rng_.UniformDouble() < drop_probability_ ? AdversaryAction::Drop()
-                                                    : AdversaryAction::Deliver();
+  AdversaryAction OnTransmit(NodeId from, NodeId, const MessagePtr&, SimTime) override {
+    DeterministicRng& rng =
+        per_sender_.empty() ? rng_ : per_sender_[static_cast<size_t>(from) % per_sender_.size()];
+    return rng.UniformDouble() < drop_probability_ ? AdversaryAction::Drop()
+                                                   : AdversaryAction::Deliver();
+  }
+
+  void SetPerSenderStreams(size_t n_senders) override {
+    per_sender_.clear();
+    per_sender_.reserve(n_senders);
+    for (size_t i = 0; i < n_senders; ++i) {
+      per_sender_.push_back(rng_.Fork("sender-" + std::to_string(i)));
+    }
   }
 
  private:
   double drop_probability_;
   DeterministicRng rng_;
+  std::vector<DeterministicRng> per_sender_;
 };
 
 }  // namespace algorand

@@ -77,6 +77,22 @@ CityLatencyModel::CityLatencyModel(size_t n_nodes, uint64_t rng_seed)
   for (size_t n = 0; n < n_nodes; ++n) {
     city_of_[n] = static_cast<int>(n % kNumCities);
   }
+  floor_ = kIntraCity;
+  for (const auto& row : base_) {
+    for (SimTime t : row) {
+      if (t < floor_) {
+        floor_ = t;
+      }
+    }
+  }
+}
+
+void CityLatencyModel::SetPerSenderStreams(size_t n_senders) {
+  per_sender_.clear();
+  per_sender_.reserve(n_senders);
+  for (size_t i = 0; i < n_senders; ++i) {
+    per_sender_.push_back(rng_.Fork("sender-" + std::to_string(i)));
+  }
 }
 
 SimTime CityLatencyModel::BaseLatency(int city_a, int city_b) const {
@@ -85,7 +101,9 @@ SimTime CityLatencyModel::BaseLatency(int city_a, int city_b) const {
 
 SimTime CityLatencyModel::Sample(NodeId from, NodeId to) {
   SimTime base = base_[static_cast<size_t>(city_of_[from])][static_cast<size_t>(city_of_[to])];
-  double jitter = std::abs(rng_.Normal(0.0, 0.10));
+  DeterministicRng& rng =
+      per_sender_.empty() ? rng_ : per_sender_[static_cast<size_t>(from) % per_sender_.size()];
+  double jitter = std::abs(rng.Normal(0.0, 0.10));
   return base + static_cast<SimTime>(static_cast<double>(base) * jitter);
 }
 

@@ -9,14 +9,32 @@ Network::Network(Simulation* sim, LatencyModel* latency, NetworkConfig config, s
       uplink_free_at_(n_nodes, 0),
       control_free_at_(n_nodes, 0),
       uplink_rate_(n_nodes, config.uplink_bytes_per_sec),
-      traffic_(n_nodes) {}
+      traffic_(n_nodes),
+      by_type_(n_nodes) {}
+
+std::map<std::string, uint64_t> Network::message_counts_by_type() const {
+  std::map<std::string, uint64_t> out;
+  for (const auto& per_sender : by_type_) {
+    for (const auto& [type, count] : per_sender) {
+      out[type] += count;
+    }
+  }
+  return out;
+}
+
+uint64_t Network::total_bytes_sent() const {
+  uint64_t total = 0;
+  for (const NodeTraffic& t : traffic_) {
+    total += t.bytes_sent;
+  }
+  return total;
+}
 
 void Network::Send(NodeId from, NodeId to, const MessagePtr& msg) {
   const uint64_t size = msg->WireSize();
   traffic_[from].bytes_sent += size;
   traffic_[from].messages_sent += 1;
-  total_bytes_sent_ += size;
-  by_type_[msg->TypeName()] += 1;
+  by_type_[from][msg->TypeName()] += 1;
 
   // Uplink serialization: bulk messages queue on the uplink; small control
   // messages (votes, priorities) interleave on the priority channel.
@@ -42,8 +60,11 @@ void Network::Send(NodeId from, NodeId to, const MessagePtr& msg) {
     return;  // Uplink time is still consumed (the bytes left the host).
   }
 
+  // The delivery mutates the receiver's state, so it is keyed to `to`'s
+  // stream: the parallel engine routes it to to's shard (cross-shard sends
+  // ride the exchange queues and land at a window barrier).
   SimTime arrival = done + latency_->Sample(from, to) + action.extra_delay;
-  sim_->ScheduleAt(arrival, [this, to, from, msg] {
+  sim_->ScheduleAtForStream(arrival, to, [this, to, from, msg] {
     traffic_[to].bytes_received += msg->WireSize();
     traffic_[to].messages_received += 1;
     if (deliver_) {

@@ -61,8 +61,10 @@ class Network : public Transport {
 
   size_t node_count() const { return traffic_.size(); }
   const NodeTraffic& traffic(NodeId n) const { return traffic_[n]; }
-  const std::map<std::string, uint64_t>& message_counts_by_type() const { return by_type_; }
-  uint64_t total_bytes_sent() const { return total_bytes_sent_; }
+  // Aggregated across per-sender shards; call from a quiescent simulation
+  // (between windows / after a run), not from inside node callbacks.
+  std::map<std::string, uint64_t> message_counts_by_type() const;
+  uint64_t total_bytes_sent() const;
 
   // Overrides one node's uplink capacity (heterogeneous experiments).
   void set_uplink(NodeId n, double bytes_per_sec) { uplink_rate_[n] = bytes_per_sec; }
@@ -78,8 +80,9 @@ class Network : public Transport {
   std::vector<SimTime> control_free_at_;  // Priority channel for small messages.
   std::vector<double> uplink_rate_;
   std::vector<NodeTraffic> traffic_;
-  std::map<std::string, uint64_t> by_type_;
-  uint64_t total_bytes_sent_ = 0;
+  // Per-sender message-type counters: each entry is only ever written by its
+  // sender's worker thread, so Send() needs no lock under the parallel engine.
+  std::vector<std::map<std::string, uint64_t>> by_type_;
 };
 
 }  // namespace algorand

@@ -1,0 +1,334 @@
+#include "src/netsim/parallel_simulation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace algorand {
+
+namespace {
+
+constexpr size_t kArity = 4;
+constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+// Identifies the shard (and owning engine) the calling thread is currently
+// executing a window for. Workers of different ParallelSimulation instances
+// (nested scenario sweeps) never confuse each other: the owner pointer is
+// checked on every access.
+struct WorkerTls {
+  const void* owner = nullptr;
+  size_t shard = 0;
+};
+thread_local WorkerTls tls_worker;
+
+SimTime SaturatingAdd(SimTime a, SimTime b) {
+  SimTime out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return kNever;
+  }
+  return out;
+}
+
+}  // namespace
+
+ParallelSimulation::ParallelSimulation(size_t workers, size_t n_streams, SimTime lookahead)
+    : workers_(workers == 0 ? 1 : workers),
+      lookahead_(lookahead < 1 ? 1 : lookahead),
+      shards_(workers == 0 ? 1 : workers),
+      stream_seq_(n_streams + 1, 0),
+      n_streams_(n_streams),
+      exchange_(workers_) {
+  for (auto& row : exchange_) {
+    row.resize(workers_);
+  }
+  if (workers_ > 1) {
+    pool_.reserve(workers_);
+    for (size_t i = 0; i < workers_; ++i) {
+      pool_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+}
+
+ParallelSimulation::~ParallelSimulation() {
+  if (!pool_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      exit_ = true;
+    }
+    cv_workers_.notify_all();
+    for (auto& t : pool_) {
+      t.join();
+    }
+  }
+}
+
+uint32_t ParallelSimulation::ContextStream() const {
+  if (tls_worker.owner == this) {
+    return shards_[tls_worker.shard].current_stream;
+  }
+  return external_stream_;
+}
+
+SimTime ParallelSimulation::ContextNow() const {
+  if (tls_worker.owner == this) {
+    return shards_[tls_worker.shard].local_now;
+  }
+  return Simulation::now();
+}
+
+SimTime ParallelSimulation::now() const { return ContextNow(); }
+
+void ParallelSimulation::HeapPush(std::vector<PEvent>* heap, PEvent ev) {
+  size_t i = heap->size();
+  heap->emplace_back();
+  while (i > 0) {
+    size_t parent = (i - 1) / kArity;
+    if (!Before(ev, (*heap)[parent])) {
+      break;
+    }
+    (*heap)[i] = std::move((*heap)[parent]);
+    i = parent;
+  }
+  (*heap)[i] = std::move(ev);
+}
+
+ParallelSimulation::PEvent ParallelSimulation::HeapPop(std::vector<PEvent>* heap) {
+  PEvent top = std::move(heap->front());
+  PEvent last = std::move(heap->back());
+  heap->pop_back();
+  if (!heap->empty()) {
+    size_t i = 0;
+    const size_t n = heap->size();
+    for (;;) {
+      size_t first_child = i * kArity + 1;
+      if (first_child >= n) {
+        break;
+      }
+      size_t best = first_child;
+      size_t end = first_child + kArity < n ? first_child + kArity : n;
+      for (size_t c = first_child + 1; c < end; ++c) {
+        if (Before((*heap)[c], (*heap)[best])) {
+          best = c;
+        }
+      }
+      if (!Before((*heap)[best], last)) {
+        break;
+      }
+      (*heap)[i] = std::move((*heap)[best]);
+      i = best;
+    }
+    (*heap)[i] = std::move(last);
+  }
+  return top;
+}
+
+void ParallelSimulation::PushEvent(size_t shard, PEvent ev) {
+  Shard& sh = shards_[shard];
+  HeapPush(&sh.heap, std::move(ev));
+  if (sh.heap.size() > sh.peak_queue) {
+    sh.peak_queue = sh.heap.size();
+  }
+}
+
+void ParallelSimulation::Schedule(SimTime delay, Callback fn) {
+  ScheduleAt(ContextNow() + (delay < 0 ? 0 : delay), std::move(fn));
+}
+
+void ParallelSimulation::ScheduleAt(SimTime when, Callback fn) {
+  // An event scheduled with no target stream acts on its scheduler's own
+  // state (timers); deliveries go through ScheduleAtForStream.
+  ScheduleAtForStream(when, ContextStream(), std::move(fn));
+}
+
+void ParallelSimulation::ScheduleAtForStream(SimTime when, uint32_t stream, Callback fn) {
+  const SimTime current = ContextNow();
+  if (when < current) {
+    when = current;
+  }
+  const uint32_t src = ContextStream();
+  if (stream == kGlobalStream) {
+    // Global events carry a global sequence; they run at barriers.
+    const uint64_t seq = stream_seq_[n_streams_]++;
+    global_.emplace(std::make_pair(when, seq), std::move(fn));
+    return;
+  }
+  PEvent ev;
+  ev.when = when;
+  ev.key_stream = src;
+  ev.key_seq = src == kGlobalStream ? stream_seq_[n_streams_]++ : stream_seq_[src]++;
+  ev.exec_stream = stream;
+  ev.fn = std::move(fn);
+  const size_t dst = ShardOf(stream);
+  if (tls_worker.owner == this && dst != tls_worker.shard) {
+    // Cross-shard send from inside a window: buffer for the barrier merge.
+    exchange_[tls_worker.shard][dst].push_back(std::move(ev));
+    return;
+  }
+  // Same-shard send, or an external/barrier-context schedule while every
+  // worker is parked: push straight into the target heap.
+  PushEvent(dst, std::move(ev));
+}
+
+SimTime ParallelSimulation::MinShardTime() const {
+  SimTime t = kNever;
+  for (const Shard& sh : shards_) {
+    if (!sh.heap.empty() && sh.heap.front().when < t) {
+      t = sh.heap.front().when;
+    }
+  }
+  return t;
+}
+
+void ParallelSimulation::DrainExchanges() {
+  for (size_t src = 0; src < workers_; ++src) {
+    for (size_t dst = 0; dst < workers_; ++dst) {
+      std::vector<PEvent>& q = exchange_[src][dst];
+      if (q.empty()) {
+        continue;
+      }
+      exchanged_ += q.size();
+      for (PEvent& ev : q) {
+        PushEvent(dst, std::move(ev));
+      }
+      q.clear();
+    }
+  }
+}
+
+void ParallelSimulation::ProcessShardWindow(size_t s, SimTime window_end) {
+  WorkerTls saved = tls_worker;
+  tls_worker.owner = this;
+  tls_worker.shard = s;
+  Shard& sh = shards_[s];
+  while (!sh.heap.empty() && sh.heap.front().when <= window_end) {
+    PEvent ev = HeapPop(&sh.heap);
+    sh.local_now = ev.when;
+    sh.current_stream = ev.exec_stream;
+    ++sh.executed;
+    ev.fn();
+  }
+  tls_worker = saved;
+}
+
+bool ParallelSimulation::Advance(SimTime deadline) {
+  DrainExchanges();
+  const SimTime t_shard = MinShardTime();
+  const SimTime t_global = global_.empty() ? kNever : global_.begin()->first.first;
+  const SimTime t = std::min(t_shard, t_global);
+  if (t == kNever || t > deadline) {
+    return false;
+  }
+  SimTime window_end = SaturatingAdd(t, lookahead_ - 1);
+  if (window_end > deadline) {
+    window_end = deadline;
+  }
+  bool run_globals = false;
+  if (t_global <= window_end) {
+    // Clamp the window at the global event: shard events up to (and at) its
+    // timestamp run first, then the global events run at the barrier.
+    window_end = t_global;
+    run_globals = true;
+  }
+  ++windows_;
+  if (t_shard <= window_end) {
+    if (workers_ == 1) {
+      ProcessShardWindow(0, window_end);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        window_end_ = window_end;
+        workers_done_ = 0;
+        ++epoch_;
+      }
+      cv_workers_.notify_all();
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_done_.wait(lock, [this] { return workers_done_ == workers_; });
+    }
+  }
+  DrainExchanges();
+  set_now(window_end);
+  if (run_globals) {
+    while (!stopped() && !global_.empty() && global_.begin()->first.first <= window_end) {
+      auto node = global_.extract(global_.begin());
+      set_now(node.key().first);
+      ++global_executed_;
+      node.mapped()();
+    }
+  }
+  return true;
+}
+
+void ParallelSimulation::WorkerLoop(size_t shard_index) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    SimTime end;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_workers_.wait(lock, [&] { return exit_ || epoch_ != seen_epoch; });
+      if (exit_) {
+        return;
+      }
+      seen_epoch = epoch_;
+      end = window_end_;
+    }
+    ProcessShardWindow(shard_index, end);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++workers_done_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ParallelSimulation::Run() {
+  pstopped_.store(false, std::memory_order_relaxed);
+  while (!stopped() && Advance(kNever - 1)) {
+  }
+}
+
+void ParallelSimulation::RunUntil(SimTime deadline) {
+  pstopped_.store(false, std::memory_order_relaxed);
+  while (!stopped() && Advance(deadline)) {
+  }
+  if (!stopped() && Simulation::now() < deadline) {
+    set_now(deadline);
+  }
+}
+
+bool ParallelSimulation::Step() { return Advance(kNever - 1); }
+
+size_t ParallelSimulation::pending_events() const {
+  size_t n = global_.size();
+  for (const Shard& sh : shards_) {
+    n += sh.heap.size();
+  }
+  for (const auto& row : exchange_) {
+    for (const auto& q : row) {
+      n += q.size();
+    }
+  }
+  return n;
+}
+
+uint64_t ParallelSimulation::executed_events() const {
+  uint64_t n = global_executed_;
+  for (const Shard& sh : shards_) {
+    n += sh.executed;
+  }
+  return n;
+}
+
+std::vector<std::pair<std::string, uint64_t>> ParallelSimulation::EngineStats() const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.emplace_back("sim.windows", windows_);
+  out.emplace_back("sim.cross_shard_events", exchanged_);
+  out.emplace_back("sim.global_events", global_executed_);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const std::string prefix = "sim.worker" + std::to_string(i);
+    out.emplace_back(prefix + ".events", shards_[i].executed);
+    out.emplace_back(prefix + ".peak_queue", shards_[i].peak_queue);
+  }
+  return out;
+}
+
+}  // namespace algorand

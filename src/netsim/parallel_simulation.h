@@ -1,0 +1,158 @@
+// Conservative-lookahead parallel discrete-event engine.
+//
+// The sequential Simulation dilutes one core as the node count grows; this
+// engine shards the simulated nodes across worker threads and synchronizes
+// them with the classic conservative-parallel-DES argument: every
+// node-to-node message takes at least `lookahead` of simulated time to
+// arrive (uplink send overhead plus the latency-matrix floor), so all events
+// inside a window [T, T + lookahead) are causally independent across nodes
+// and may run concurrently. Cross-shard sends are buffered in per-(src,dst)
+// exchange queues and merged into the target shard's heap at the window
+// barrier — always before the window that contains their delivery time.
+//
+// Determinism contract (the property sim_determinism_test pins): the result
+// of a run depends only on (seed, scenario), never on the worker count.
+// Mechanism: every event carries a key (when, key_stream, key_seq), where
+// key_stream is the *logical stream* — the node whose callback scheduled the
+// event — and key_seq a per-stream counter. A stream's events execute in key
+// order on exactly one shard; schedules during those executions increment the
+// stream's counter in a deterministic order; cross-shard deliveries are keyed
+// by their sender. Window boundaries are derived from the global minimum
+// event time and the lookahead only — quantities independent of the worker
+// count — so workers=1 and workers=N take byte-identical window sequences
+// and every per-stream execution order matches exactly.
+//
+// Events scheduled from outside event execution (harness probes, crash
+// schedules, stats reporters) belong to the distinguished kGlobalStream:
+// they run on the coordinator thread at window barriers, when every worker
+// is parked, and may therefore touch any node's state. At equal timestamps,
+// node-stream events order before global-stream events (kGlobalStream is the
+// largest stream id).
+#ifndef ALGORAND_SRC_NETSIM_PARALLEL_SIMULATION_H_
+#define ALGORAND_SRC_NETSIM_PARALLEL_SIMULATION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/netsim/simulation.h"
+
+namespace algorand {
+
+class ParallelSimulation : public Simulation {
+ public:
+  // `workers`: shard/worker count (>= 1; 1 runs the single shard inline on
+  // the calling thread — same windows, no thread hand-off). `n_streams`:
+  // number of logical node streams (stream ids 0..n_streams-1; kGlobalStream
+  // is implicit). `lookahead`: strictly positive minimum cross-node delivery
+  // delay in simulated time.
+  ParallelSimulation(size_t workers, size_t n_streams, SimTime lookahead);
+  ~ParallelSimulation() override;
+
+  SimTime now() const override;
+  void Schedule(SimTime delay, Callback fn) override;
+  void ScheduleAt(SimTime when, Callback fn) override;
+  void ScheduleAtForStream(SimTime when, uint32_t stream, Callback fn) override;
+  void SetExternalStream(uint32_t stream) override { external_stream_ = stream; }
+
+  void Run() override;
+  void RunUntil(SimTime deadline) override;
+  bool Step() override;  // One conservative window.
+
+  void Stop() override { pstopped_.store(true, std::memory_order_relaxed); }
+  bool stopped() const override { return pstopped_.load(std::memory_order_relaxed); }
+  size_t pending_events() const override;
+  uint64_t executed_events() const override;
+  std::vector<std::pair<std::string, uint64_t>> EngineStats() const override;
+
+  size_t workers() const { return workers_; }
+  SimTime lookahead() const { return lookahead_; }
+  uint64_t windows() const { return windows_; }
+  uint64_t cross_shard_events() const { return exchanged_; }
+
+ private:
+  struct PEvent {
+    SimTime when;
+    uint32_t key_stream;   // Stream whose callback scheduled the event.
+    uint64_t key_seq;      // Per-key_stream counter: makes the key total.
+    uint32_t exec_stream;  // Stream whose state the event touches.
+    Callback fn;
+  };
+
+  static bool Before(const PEvent& a, const PEvent& b) {
+    if (a.when != b.when) {
+      return a.when < b.when;
+    }
+    if (a.key_stream != b.key_stream) {
+      return a.key_stream < b.key_stream;
+    }
+    return a.key_seq < b.key_seq;
+  }
+
+  struct Shard {
+    std::vector<PEvent> heap;  // 4-ary array heap ordered by Before().
+    SimTime local_now = 0;
+    uint32_t current_stream = kGlobalStream;
+    uint64_t executed = 0;
+    uint64_t peak_queue = 0;
+  };
+
+  size_t ShardOf(uint32_t stream) const { return static_cast<size_t>(stream) % workers_; }
+  // The stream on whose behalf the calling thread is scheduling right now.
+  uint32_t ContextStream() const;
+  SimTime ContextNow() const;
+
+  void PushEvent(size_t shard, PEvent ev);
+  static void HeapPush(std::vector<PEvent>* heap, PEvent ev);
+  static PEvent HeapPop(std::vector<PEvent>* heap);
+
+  // Runs every event with when <= window_end on shard `s`. Sets the calling
+  // thread's worker context for the duration.
+  void ProcessShardWindow(size_t s, SimTime window_end);
+  // Runs one window across all shards (threads or inline). Returns false if
+  // there was nothing to run at or before `deadline`.
+  bool Advance(SimTime deadline);
+  void DrainExchanges();
+  SimTime MinShardTime() const;
+  void WorkerLoop(size_t shard_index);
+
+  const size_t workers_;
+  const SimTime lookahead_;
+  std::vector<Shard> shards_;
+  // Per-stream schedule counters; index n_streams_ holds kGlobalStream's.
+  std::vector<uint64_t> stream_seq_;
+  const size_t n_streams_;
+
+  // Cross-shard exchange buffers: exchange_[src][dst] is written only by
+  // src's worker during a window and drained only at barriers.
+  std::vector<std::vector<std::vector<PEvent>>> exchange_;
+
+  // Global-stream events, run at barriers on the coordinator thread.
+  std::map<std::pair<SimTime, uint64_t>, Callback> global_;
+  uint64_t global_executed_ = 0;
+
+  uint32_t external_stream_ = kGlobalStream;
+  std::atomic<bool> pstopped_{false};
+  uint64_t windows_ = 0;
+  uint64_t exchanged_ = 0;
+
+  // Worker pool synchronization (unused when workers_ == 1).
+  std::vector<std::thread> pool_;
+  std::mutex mu_;
+  std::condition_variable cv_workers_;
+  std::condition_variable cv_done_;
+  uint64_t epoch_ = 0;
+  SimTime window_end_ = 0;
+  size_t workers_done_ = 0;
+  bool exit_ = false;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_NETSIM_PARALLEL_SIMULATION_H_

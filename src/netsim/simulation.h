@@ -14,11 +14,17 @@
 // set in one or two cache lines; callbacks live in a small-buffer slot
 // (UniqueCallback) so sift moves shuffle 64-ish-byte events instead of
 // chasing per-node allocations.
+//
+// ParallelSimulation (parallel_simulation.h) subclasses this interface with a
+// conservative-lookahead multi-worker engine; the virtual hooks below
+// (ScheduleAtForStream, SetExternalStream, EngineStats) are no-ops /
+// pass-throughs here so single-threaded callers pay nothing.
 #ifndef ALGORAND_SRC_NETSIM_SIMULATION_H_
 #define ALGORAND_SRC_NETSIM_SIMULATION_H_
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -36,6 +42,11 @@ class Simulation : public Executor {
     kMap,   // Reference node-based std::map; same ordering, kept for tests.
   };
 
+  // Stream id for events not owned by any simulated node (harness probes,
+  // crash schedules, reporters). The parallel engine runs them at window
+  // barriers, when every worker is parked.
+  static constexpr uint32_t kGlobalStream = UINT32_MAX;
+
   explicit Simulation(QueueKind queue = QueueKind::kHeap) : queue_kind_(queue) {}
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -48,20 +59,44 @@ class Simulation : public Executor {
   // Schedules at an absolute time (times in the past clamp to now).
   void ScheduleAt(SimTime when, Callback fn) override;
 
+  // Schedules an event that acts on `stream`'s state (a delivery to node
+  // `stream`). The sequential engine ignores the stream; the parallel engine
+  // routes the event to the stream's shard and runs it with that stream
+  // current, which is what keeps cross-shard sends deterministic.
+  virtual void ScheduleAtForStream(SimTime when, uint32_t stream, Callback fn) {
+    (void)stream;
+    ScheduleAt(when, std::move(fn));
+  }
+
+  // Declares which stream subsequent Schedule* calls from *outside* event
+  // execution belong to (harness setup, node restarts). No-op here; the
+  // parallel engine keys those events to the stream so their ordering is
+  // independent of worker count. Pass kGlobalStream to revert to
+  // barrier-executed global events.
+  virtual void SetExternalStream(uint32_t stream) { (void)stream; }
+
   // Runs events until the queue drains or `Stop()` is called.
-  void Run();
+  virtual void Run();
   // Runs events with time <= deadline; leaves later events queued. The clock
   // advances to the deadline.
-  void RunUntil(SimTime deadline);
-  // Runs at most one event; returns false if the queue was empty.
-  bool Step();
+  virtual void RunUntil(SimTime deadline);
+  // Runs at most one event; returns false if the queue was empty. (On the
+  // parallel engine: runs one conservative window.)
+  virtual bool Step();
 
-  void Stop() { stopped_ = true; }
-  bool stopped() const { return stopped_; }
-  size_t pending_events() const {
+  virtual void Stop() { stopped_ = true; }
+  virtual bool stopped() const { return stopped_; }
+  virtual size_t pending_events() const {
     return queue_kind_ == QueueKind::kHeap ? heap_.size() : map_queue_.size();
   }
-  uint64_t executed_events() const { return executed_; }
+  virtual uint64_t executed_events() const { return executed_; }
+
+  // Engine-specific counters folded into metrics snapshots ("sim.windows",
+  // per-worker event counts). Empty for the sequential engine.
+  virtual std::vector<std::pair<std::string, uint64_t>> EngineStats() const { return {}; }
+
+ protected:
+  void set_now(SimTime t) { now_ = t; }
 
  private:
   struct Event {

@@ -1,13 +1,15 @@
 // Determinism regression: a (seed, scenario) pair must replay identically —
 // same per-node chains, same executed-event count — on both event-queue
-// implementations (reference std::map and the 4-ary heap) and across repeat
-// runs. This is the contract that makes every other test in the suite
-// reproducible, so it gets its own canary.
+// implementations (reference std::map and the 4-ary heap), across repeat
+// runs, and across parallel-engine worker counts (workers=4 must be
+// bit-identical to workers=1). This is the contract that makes every other
+// test in the suite reproducible, so it gets its own canary.
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "src/core/sim_harness.h"
+#include "src/obs/safety_auditor.h"
 
 namespace algorand {
 namespace {
@@ -22,7 +24,9 @@ struct RunOutcome {
   }
 };
 
-RunOutcome RunOnce(uint64_t seed, bool map_queue, double malicious = 0.0) {
+// sim_workers: -1 = sequential engine (map_queue selects its queue); >= 1 =
+// the conservative-lookahead parallel engine with that many shard workers.
+RunOutcome RunOnce(uint64_t seed, bool map_queue, double malicious = 0.0, int sim_workers = -1) {
   HarnessConfig cfg;
   cfg.n_nodes = 20;
   cfg.rng_seed = seed;
@@ -33,9 +37,23 @@ RunOutcome RunOnce(uint64_t seed, bool map_queue, double malicious = 0.0) {
   cfg.verify_workers = 0;
   cfg.use_map_event_queue = map_queue;
   cfg.malicious_fraction = malicious;
+  if (sim_workers >= 1) {
+    cfg.sim_workers = static_cast<size_t>(sim_workers);
+  }
   SimHarness h(cfg);
+
+  // The online safety auditor must stay silent regardless of engine: a
+  // violation under one worker count but not another would mean the parallel
+  // barriers leaked a torn protocol state.
+  SafetyAuditorConfig audit_cfg;
+  audit_cfg.step_threshold = cfg.params.StepThreshold();
+  audit_cfg.final_threshold = cfg.params.FinalThreshold();
+  SafetyAuditor auditor(audit_cfg);
+  h.tracer().SetObserver([&auditor](const TraceEvent& ev) { auditor.Observe(ev); });
+
   h.Start();
   EXPECT_TRUE(h.RunRounds(3));
+  EXPECT_TRUE(auditor.ok()) << auditor.Report();
   RunOutcome out;
   out.executed_events = h.sim().executed_events();
   for (size_t i = 0; i < h.node_count(); ++i) {
@@ -66,6 +84,35 @@ TEST(SimDeterminismTest, HoldsUnderAdversarialTraffic) {
   RunOutcome heap = RunOnce(5, /*map_queue=*/false, /*malicious=*/0.2);
   RunOutcome map = RunOnce(5, /*map_queue=*/true, /*malicious=*/0.2);
   EXPECT_TRUE(heap == map);
+}
+
+// The parallel-engine contract: the conservative-lookahead windows and
+// per-stream event keys make the execution order a pure function of the
+// scenario, never of how streams are sharded across workers. workers=4 must
+// replay workers=1 bit-for-bit — same tips, same chain lengths, same
+// executed-event count.
+TEST(SimDeterminismTest, ParallelWorkersProduceIdenticalRuns) {
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    RunOutcome one = RunOnce(seed, /*map_queue=*/false, /*malicious=*/0.0, /*sim_workers=*/1);
+    RunOutcome four = RunOnce(seed, /*map_queue=*/false, /*malicious=*/0.0, /*sim_workers=*/4);
+    EXPECT_EQ(one.executed_events, four.executed_events) << "seed=" << seed;
+    EXPECT_TRUE(one == four) << "seed=" << seed;
+  }
+}
+
+TEST(SimDeterminismTest, ParallelHoldsUnderAdversarialTraffic) {
+  // Equivocators plus cross-shard relay storms: the worst case for the
+  // exchange queues, since most duplicate traffic crosses shard boundaries.
+  RunOutcome one = RunOnce(5, /*map_queue=*/false, /*malicious=*/0.2, /*sim_workers=*/1);
+  RunOutcome four = RunOnce(5, /*map_queue=*/false, /*malicious=*/0.2, /*sim_workers=*/4);
+  EXPECT_EQ(one.executed_events, four.executed_events);
+  EXPECT_TRUE(one == four);
+}
+
+TEST(SimDeterminismTest, ParallelRepeatRunsAreBitIdentical) {
+  RunOutcome a = RunOnce(42, /*map_queue=*/false, /*malicious=*/0.0, /*sim_workers=*/3);
+  RunOutcome b = RunOnce(42, /*map_queue=*/false, /*malicious=*/0.0, /*sim_workers=*/3);
+  EXPECT_TRUE(a == b);
 }
 
 }  // namespace
