@@ -1,0 +1,159 @@
+// Model-checker throughput: schedules/sec for the exploration modes the CI
+// smoke job and the overnight sweeps lean on. Exploration cost is linear in
+// schedules executed, so this number is the budget planner: a 10k-schedule
+// exhaustive sweep at ~400 schedules/sec is ~25 s of CI time.
+//
+//   $ ./bench/bench_modelcheck [--nodes=4] [--rounds=2] [--schedules=200]
+//         [--depth=12] [--out=BENCH_modelcheck.json]
+//
+// Three points are measured: plain exhaustive DFS (delivery reordering only),
+// random exploration with adversary decisions, and random exploration with
+// adversary + crash injection (the expensive end: kills, restarts, catch-up).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/check/model_checker.h"
+
+using namespace algorand;
+
+namespace {
+
+struct Options {
+  size_t nodes = 4;
+  uint64_t rounds = 2;
+  uint64_t schedules = 200;
+  size_t depth = 12;
+  std::string out = "BENCH_modelcheck.json";
+  bool help = false;
+};
+
+bool ParseFlag(int argc, char** argv, int* i, const char* name, std::string* value) {
+  const char* arg = argv[*i];
+  std::string prefix = std::string("--") + name;
+  if (strncmp(arg, prefix.c_str(), prefix.size()) != 0) {
+    return false;
+  }
+  const char* rest = arg + prefix.size();
+  if (*rest == '=') {
+    *value = rest + 1;
+    return true;
+  }
+  if (*rest == '\0' && *i + 1 < argc) {
+    *value = argv[*i + 1];
+    ++*i;
+    return true;
+  }
+  return false;
+}
+
+struct Point {
+  std::string name;
+  uint64_t schedules = 0;
+  uint64_t violations = 0;
+  uint64_t incomplete = 0;
+  double wall_s = 0;
+  double schedules_per_sec = 0;
+};
+
+Point Measure(const std::string& name, ModelChecker* checker, bool exhaustive,
+              uint64_t schedules) {
+  Point pt;
+  pt.name = name;
+  const auto start = std::chrono::steady_clock::now();
+  ModelChecker::ExploreResult res = exhaustive ? checker->RunExhaustive(schedules)
+                                               : checker->RunRandom(schedules, 42);
+  pt.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  pt.schedules = res.schedules;
+  pt.violations = res.violations;
+  pt.incomplete = res.incomplete;
+  pt.schedules_per_sec =
+      pt.wall_s > 0 ? static_cast<double>(res.schedules) / pt.wall_s : 0;
+  printf("%-24s %6llu schedules  %8.1f/s  %llu violations  %llu incomplete\n",
+         name.c_str(), static_cast<unsigned long long>(pt.schedules), pt.schedules_per_sec,
+         static_cast<unsigned long long>(pt.violations),
+         static_cast<unsigned long long>(pt.incomplete));
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argc, argv, &i, "nodes", &v)) {
+      opt.nodes = std::stoull(v);
+    } else if (ParseFlag(argc, argv, &i, "rounds", &v)) {
+      opt.rounds = std::stoull(v);
+    } else if (ParseFlag(argc, argv, &i, "schedules", &v)) {
+      opt.schedules = std::stoull(v);
+    } else if (ParseFlag(argc, argv, &i, "depth", &v)) {
+      opt.depth = std::stoull(v);
+    } else if (ParseFlag(argc, argv, &i, "out", &v)) {
+      opt.out = v;
+    } else {
+      opt.help = true;
+    }
+  }
+  if (opt.help) {
+    printf("usage: bench_modelcheck [--nodes=N] [--rounds=N] [--schedules=N] "
+           "[--depth=N] [--out=FILE]\n");
+    return 2;
+  }
+
+  printf("model-checker throughput: %zu nodes, %llu rounds, depth %zu, %llu schedules/point\n\n",
+         opt.nodes, static_cast<unsigned long long>(opt.rounds), opt.depth,
+         static_cast<unsigned long long>(opt.schedules));
+
+  std::vector<Point> points;
+
+  CheckConfig base;
+  base.n_nodes = opt.nodes;
+  base.rounds = opt.rounds;
+  base.max_choice_points = opt.depth;
+  {
+    ModelChecker checker(base);
+    points.push_back(Measure("exhaustive/delivery", &checker, true, opt.schedules));
+  }
+  {
+    CheckConfig cfg = base;
+    cfg.adversary_max_decisions = 6;
+    ModelChecker checker(cfg);
+    points.push_back(Measure("random/adversary", &checker, false, opt.schedules));
+  }
+  {
+    CheckConfig cfg = base;
+    cfg.adversary_max_decisions = 4;
+    cfg.max_crash_events = 2;
+    ModelChecker checker(cfg);
+    points.push_back(Measure("random/adversary+crash", &checker, false, opt.schedules));
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"modelcheck\",\n  \"nodes\": " << opt.nodes
+       << ",\n  \"rounds\": " << opt.rounds << ",\n  \"depth\": " << opt.depth
+       << ",\n  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& pt = points[i];
+    json << "    {\"name\": \"" << pt.name << "\", \"schedules\": " << pt.schedules
+         << ", \"violations\": " << pt.violations << ", \"incomplete\": " << pt.incomplete
+         << ", \"wall_s\": " << pt.wall_s << ", \"schedules_per_sec\": "
+         << pt.schedules_per_sec << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::ofstream out(opt.out, std::ios::binary);
+  if (out) {
+    out << json.str();
+    printf("\nwrote %s\n", opt.out.c_str());
+  } else {
+    fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,300 @@
+// check_cli: command-line driver for the BA* schedule-exploring model checker
+// (src/check). Five modes:
+//
+//   --mode=exhaustive   DFS over the depth-bounded choice tree
+//       $ check_cli --mode=exhaustive --nodes=4 --rounds=2 --depth=12 --max-schedules=10000
+//   --mode=random       seeded randomized exploration (the overnight sweep)
+//       $ check_cli --mode=random --schedules=500 --seed=42 --adv=4 --crashes=1
+//   --mode=scenario     named attack scenarios (--scenario=NAME, --list)
+//   --mode=replay       re-run a counterexample artifact, compare fingerprints
+//   --mode=minimize     delta-minimize a counterexample artifact in place
+//
+// On any safety violation the offending schedule is delta-minimized and
+// written to --counterexample-dir (default ".") as check_counterexample.txt,
+// replayable with --mode=replay --trace=FILE.
+//
+// Exit codes: 0 = clean / scenario passed; 1 = safety violation found or
+// scenario failed; 2 = usage error; 3 = replay fingerprint mismatch.
+#include <cinttypes>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/check/model_checker.h"
+#include "src/check/scenarios.h"
+
+using namespace algorand;
+
+namespace {
+
+struct CliOptions {
+  std::string mode = "exhaustive";
+  size_t nodes = 4;
+  uint64_t rounds = 2;
+  uint64_t seed = 7;
+  uint64_t explore_seed = 42;       // RNG seed for --mode=random.
+  size_t depth = 12;
+  double window_ms = 5;
+  size_t max_candidates = 3;
+  uint64_t max_schedules = 10000;   // Exhaustive cap (0 = full tree).
+  uint64_t schedules = 200;         // Random-mode batch size.
+  size_t adv = 0;                   // Adversary decisions per schedule.
+  double adv_delay_ms = 250;
+  size_t crashes = 0;               // Crash/restart events per schedule.
+  double malicious = 0.0;
+  size_t grinders = 0;
+  bool seed_bug = false;            // Install the test-only forced-final bug.
+  std::string trace_file;           // Artifact for replay/minimize.
+  std::string counterexample_dir = ".";
+  std::string scenario;
+  bool list = false;
+  bool help = false;
+};
+
+bool ParseFlag(int argc, char** argv, int* i, const char* name, std::string* value) {
+  const char* arg = argv[*i];
+  std::string prefix = std::string("--") + name;
+  if (strncmp(arg, prefix.c_str(), prefix.size()) != 0) {
+    return false;
+  }
+  const char* rest = arg + prefix.size();
+  if (*rest == '=') {
+    *value = rest + 1;
+    return true;
+  }
+  if (*rest == '\0' && *i + 1 < argc) {
+    *value = argv[*i + 1];
+    ++*i;
+    return true;
+  }
+  return false;
+}
+
+void PrintHelp() {
+  printf(
+      "check_cli - BA* schedule-exploring model checker\n\n"
+      "  --mode=MODE            exhaustive | random | scenario | replay | minimize\n"
+      "  --nodes=N              deployment size (default 4)\n"
+      "  --rounds=N             rounds per schedule (default 2)\n"
+      "  --seed=N               harness seed (default 7)\n"
+      "  --explore-seed=N       RNG seed for --mode=random (default 42)\n"
+      "  --depth=N              schedule-depth bound / max choice points (default 12)\n"
+      "  --window-ms=F          delivery concurrency window (default 5)\n"
+      "  --max-candidates=N     events racing per choice point (default 3)\n"
+      "  --max-schedules=N      exhaustive-mode cap, 0 = whole tree (default 10000)\n"
+      "  --schedules=N          random-mode batch size (default 200)\n"
+      "  --adv=N                adversary drop/delay decisions per schedule (default 0)\n"
+      "  --adv-delay-ms=F       delay applied by 'delay' decisions (default 250)\n"
+      "  --crashes=N            crash/restart injections per schedule (default 0)\n"
+      "  --malicious=F          fraction of equivocating nodes (default 0)\n"
+      "  --grinders=N           seed-grinding proposers (default 0)\n"
+      "  --seed-bug             install the test-only forced-final safety bug\n"
+      "  --trace=FILE           counterexample artifact for replay/minimize\n"
+      "  --counterexample-dir=D where violations are dumped (default .)\n"
+      "  --scenario=NAME        scenario to run (--list to enumerate)\n"
+      "  --list                 list scenarios\n");
+}
+
+CliOptions Parse(int argc, char** argv) {
+  CliOptions opt;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--help") == 0) {
+      opt.help = true;
+    } else if (strcmp(argv[i], "--list") == 0) {
+      opt.list = true;
+    } else if (strcmp(argv[i], "--seed-bug") == 0) {
+      opt.seed_bug = true;
+    } else if (ParseFlag(argc, argv, &i, "mode", &v)) {
+      opt.mode = v;
+    } else if (ParseFlag(argc, argv, &i, "nodes", &v)) {
+      opt.nodes = std::stoull(v);
+    } else if (ParseFlag(argc, argv, &i, "rounds", &v)) {
+      opt.rounds = std::stoull(v);
+    } else if (ParseFlag(argc, argv, &i, "seed", &v)) {
+      opt.seed = std::stoull(v);
+    } else if (ParseFlag(argc, argv, &i, "explore-seed", &v)) {
+      opt.explore_seed = std::stoull(v);
+    } else if (ParseFlag(argc, argv, &i, "depth", &v)) {
+      opt.depth = std::stoull(v);
+    } else if (ParseFlag(argc, argv, &i, "window-ms", &v)) {
+      opt.window_ms = std::stod(v);
+    } else if (ParseFlag(argc, argv, &i, "max-candidates", &v)) {
+      opt.max_candidates = std::stoull(v);
+    } else if (ParseFlag(argc, argv, &i, "max-schedules", &v)) {
+      opt.max_schedules = std::stoull(v);
+    } else if (ParseFlag(argc, argv, &i, "schedules", &v)) {
+      opt.schedules = std::stoull(v);
+    } else if (ParseFlag(argc, argv, &i, "adv", &v)) {
+      opt.adv = std::stoull(v);
+    } else if (ParseFlag(argc, argv, &i, "adv-delay-ms", &v)) {
+      opt.adv_delay_ms = std::stod(v);
+    } else if (ParseFlag(argc, argv, &i, "crashes", &v)) {
+      opt.crashes = std::stoull(v);
+    } else if (ParseFlag(argc, argv, &i, "malicious", &v)) {
+      opt.malicious = std::stod(v);
+    } else if (ParseFlag(argc, argv, &i, "grinders", &v)) {
+      opt.grinders = std::stoull(v);
+    } else if (ParseFlag(argc, argv, &i, "trace", &v)) {
+      opt.trace_file = v;
+    } else if (ParseFlag(argc, argv, &i, "counterexample-dir", &v)) {
+      opt.counterexample_dir = v;
+    } else if (ParseFlag(argc, argv, &i, "scenario", &v)) {
+      opt.scenario = v;
+    } else {
+      fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
+      exit(2);
+    }
+  }
+  return opt;
+}
+
+CheckConfig ConfigFrom(const CliOptions& opt) {
+  CheckConfig cfg;
+  cfg.n_nodes = opt.nodes;
+  cfg.rounds = opt.rounds;
+  cfg.harness_seed = opt.seed;
+  cfg.window = static_cast<SimTime>(opt.window_ms * kMillisecond);
+  cfg.max_candidates = opt.max_candidates;
+  cfg.max_choice_points = opt.depth;
+  cfg.adversary_max_decisions = opt.adv;
+  cfg.adversary_delay = static_cast<SimTime>(opt.adv_delay_ms * kMillisecond);
+  cfg.max_crash_events = opt.crashes;
+  cfg.malicious_fraction = opt.malicious;
+  cfg.grinding_count = opt.grinders;
+  cfg.seeded_bug = opt.seed_bug;
+  return cfg;
+}
+
+// Minimizes and dumps a violating schedule; returns the artifact path.
+std::string DumpCounterexample(ModelChecker& checker, const ScheduleOutcome& violation,
+                               const std::string& dir) {
+  printf("violating trace (%zu choices): %s\n", violation.trace.choices.size(),
+         violation.trace.Serialize().c_str());
+  for (const std::string& v : violation.violations) {
+    printf("  VIOLATION: %s\n", v.c_str());
+  }
+  ChoiceTrace minimized = checker.Minimize(violation.trace);
+  ScheduleOutcome replay = checker.RunOne(minimized);
+  printf("minimized to %zu choices: %s\n", minimized.choices.size(),
+         minimized.Serialize().c_str());
+  const std::string path = dir + "/check_counterexample.txt";
+  if (ModelChecker::WriteCounterexample(path, checker.config(), replay)) {
+    printf("counterexample written to %s\n", path.c_str());
+  } else {
+    fprintf(stderr, "failed to write %s\n", path.c_str());
+  }
+  return path;
+}
+
+int RunExplore(const CliOptions& opt) {
+  ModelChecker checker(ConfigFrom(opt));
+  const bool exhaustive = opt.mode == "exhaustive";
+  auto progress = [](const ModelChecker::ExploreResult& r) {
+    printf("  ... %" PRIu64 " schedules, %" PRIu64 " violations, %" PRIu64 " incomplete\n",
+           r.schedules, r.violations, r.incomplete);
+    fflush(stdout);
+  };
+  const auto start = std::chrono::steady_clock::now();
+  ModelChecker::ExploreResult res =
+      exhaustive ? checker.RunExhaustive(opt.max_schedules, progress)
+                 : checker.RunRandom(opt.schedules, opt.explore_seed, progress);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  printf("%s exploration: %" PRIu64 " schedules (%.1f/s), %" PRIu64 " violations, %" PRIu64
+         " incomplete%s\n",
+         exhaustive ? "exhaustive" : "random", res.schedules,
+         secs > 0 ? static_cast<double>(res.schedules) / secs : 0.0, res.violations,
+         res.incomplete, res.exhausted ? ", tree exhausted" : "");
+  if (res.first_violation) {
+    DumpCounterexample(checker, *res.first_violation, opt.counterexample_dir);
+    return 1;
+  }
+  return 0;
+}
+
+int RunReplay(const CliOptions& opt) {
+  auto ce = ModelChecker::ReadCounterexample(opt.trace_file);
+  if (!ce) {
+    fprintf(stderr, "cannot read counterexample %s\n", opt.trace_file.c_str());
+    return 2;
+  }
+  ModelChecker checker(ce->config);
+  ScheduleOutcome out = checker.RunOne(ce->trace);
+  const std::string fingerprint = out.Fingerprint();
+  printf("replayed %zu choices: %s\n", ce->trace.choices.size(), fingerprint.c_str());
+  if (out.diverged) {
+    fprintf(stderr, "REPLAY DIVERGED: run presented different choice points than recorded\n");
+    return 3;
+  }
+  if (fingerprint != ce->fingerprint) {
+    fprintf(stderr, "FINGERPRINT MISMATCH\n  recorded: %s\n  replayed: %s\n",
+            ce->fingerprint.c_str(), fingerprint.c_str());
+    return 3;
+  }
+  printf("fingerprint matches the recorded run bit-for-bit\n");
+  return out.safety_ok ? 0 : 1;
+}
+
+int RunMinimize(const CliOptions& opt) {
+  auto ce = ModelChecker::ReadCounterexample(opt.trace_file);
+  if (!ce) {
+    fprintf(stderr, "cannot read counterexample %s\n", opt.trace_file.c_str());
+    return 2;
+  }
+  ModelChecker checker(ce->config);
+  ChoiceTrace minimized = checker.Minimize(ce->trace);
+  ScheduleOutcome out = checker.RunOne(minimized);
+  printf("minimized %zu -> %zu choices: %s\n", ce->trace.choices.size(),
+         minimized.choices.size(), minimized.Serialize().c_str());
+  if (out.safety_ok) {
+    fprintf(stderr, "minimized trace no longer violates; keeping original artifact\n");
+    return 1;
+  }
+  ModelChecker::WriteCounterexample(opt.trace_file, ce->config, out);
+  printf("artifact %s rewritten\n", opt.trace_file.c_str());
+  return 0;
+}
+
+int RunScenarioMode(const CliOptions& opt) {
+  if (opt.list || opt.scenario.empty()) {
+    printf("scenarios:\n");
+    for (const ScenarioInfo& info : ListScenarios()) {
+      printf("  %-24s %s\n", info.name, info.description);
+    }
+    return opt.list ? 0 : 2;
+  }
+  auto result = RunScenarioByName(opt.scenario);
+  if (!result) {
+    fprintf(stderr, "unknown scenario %s (try --list)\n", opt.scenario.c_str());
+    return 2;
+  }
+  printf("%s", result->detail.c_str());
+  printf("scenario %s: %s\n", opt.scenario.c_str(), result->pass ? "PASS" : "FAIL");
+  return result->pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt = Parse(argc, argv);
+  if (opt.help) {
+    PrintHelp();
+    return 0;
+  }
+  if (opt.mode == "exhaustive" || opt.mode == "random") {
+    return RunExplore(opt);
+  }
+  if (opt.mode == "replay") {
+    return RunReplay(opt);
+  }
+  if (opt.mode == "minimize") {
+    return RunMinimize(opt);
+  }
+  if (opt.mode == "scenario" || opt.list) {
+    return RunScenarioMode(opt);
+  }
+  fprintf(stderr, "unknown mode %s (try --help)\n", opt.mode.c_str());
+  return 2;
+}

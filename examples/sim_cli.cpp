@@ -17,6 +17,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,9 @@ struct CliOptions {
   // uniform per-transmission loss probability.
   std::string crash_schedule;
   double loss_rate = 0.0;
+  // "start_s:duration_s": partition the first n/2 nodes away from the rest
+  // for the given window, then heal. Implies --audit.
+  std::string partition;
   // Durability: per-node disk logs under DIR; restarts replay from disk.
   std::string data_dir;
   FsyncPolicy fsync = FsyncPolicy::kBatched;
@@ -163,6 +167,9 @@ CliOptions Parse(int argc, char** argv) {
       opt.crash_schedule = v;
     } else if (ParseFlag(argc, argv, &i, "loss-rate", &v)) {
       opt.loss_rate = std::stod(v);
+    } else if (ParseFlag(argc, argv, &i, "partition", &v)) {
+      opt.partition = v;
+      opt.audit = true;  // A partition run is only meaningful under audit.
     } else if (ParseFlag(argc, argv, &i, "data-dir", &v)) {
       opt.data_dir = v;
     } else if (ParseFlag(argc, argv, &i, "fsync", &v)) {
@@ -228,6 +235,10 @@ void PrintHelp() {
       "  --crash-schedule=S  chaos: node:crash_s:restart_s[:fresh][,...]\n"
       "                      (restart_s <= crash_s = never restarts)\n"
       "  --loss-rate=F       chaos: drop each transmission with prob. F\n"
+      "  --partition=S:D     chaos: split the first n/2 nodes from the rest at\n"
+      "                      t=S seconds for D seconds, then heal; implies\n"
+      "                      --audit, and post-heal non-convergence fails the\n"
+      "                      run (exit 1)\n"
       "  --data-dir=DIR      durable block store per node under DIR; crashed\n"
       "                      nodes restart by replaying their disk log\n"
       "  --fsync=POLICY      store fsync policy: every_round, batched (default)\n"
@@ -284,6 +295,31 @@ int main(int argc, char** argv) {
   SimHarness h(cfg);
   if (opt.loss_rate > 0) {
     h.SetNetworkAdversary(std::make_unique<LossyAdversary>(opt.loss_rate, opt.seed));
+  }
+
+  // Network partition: split the first n/2 nodes from the rest for the given
+  // window, then heal. The interesting question is what happens afterwards —
+  // the run fails unless both sides reconverge and the auditor stays silent.
+  double partition_start_s = 0;
+  double partition_duration_s = 0;
+  if (!opt.partition.empty()) {
+    if (opt.loss_rate > 0) {
+      fprintf(stderr, "--partition and --loss-rate both claim the network adversary slot\n");
+      return 2;
+    }
+    if (sscanf(opt.partition.c_str(), "%lf:%lf", &partition_start_s,
+               &partition_duration_s) != 2 ||
+        partition_start_s < 0 || partition_duration_s <= 0) {
+      fprintf(stderr, "bad --partition=%s (want start_s:duration_s)\n", opt.partition.c_str());
+      return 2;
+    }
+    std::set<NodeId> group_a;
+    for (size_t i = 0; i < cfg.n_nodes / 2; ++i) {
+      group_a.insert(static_cast<NodeId>(i));
+    }
+    h.SetNetworkAdversary(std::make_unique<PartitionAdversary>(
+        group_a, Seconds(partition_start_s),
+        Seconds(partition_start_s + partition_duration_s)));
   }
 
   // Online safety auditing: consume the trace stream live, with the quorum
@@ -417,6 +453,27 @@ int main(int argc, char** argv) {
            static_cast<unsigned long long>(chaos.counters["catchup.blocks_applied"]),
            static_cast<unsigned long long>(chaos.counters["catchup.timeouts"]),
            static_cast<unsigned long long>(chaos.counters["catchup.peer_rotations"]),
+           converged ? "yes" : "NO");
+  }
+
+  // Post-heal convergence: after the partition window every honest node must
+  // sit within one round of the longest honest chain, on a consistent chain.
+  if (!opt.partition.empty()) {
+    uint64_t max_len = 0;
+    for (size_t i = h.malicious_count(); i < h.node_count(); ++i) {
+      max_len = std::max<uint64_t>(max_len, h.node(i).ledger().chain_length());
+    }
+    for (size_t i = h.malicious_count(); i < h.node_count(); ++i) {
+      if (h.node(i).ledger().chain_length() + 1 < max_len) {
+        converged = false;
+        printf("partition: node %zu stuck at tip %llu (longest %llu)\n", i,
+               static_cast<unsigned long long>(h.node(i).ledger().chain_length() - 1),
+               static_cast<unsigned long long>(max_len - 1));
+      }
+    }
+    converged = converged && chains_ok;
+    printf("partition: split nodes 0..%zu at %.0fs for %.0fs | post-heal converged: %s\n",
+           cfg.n_nodes / 2 - 1, partition_start_s, partition_duration_s,
            converged ? "yes" : "NO");
   }
 

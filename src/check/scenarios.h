@@ -1,0 +1,35 @@
+// Named attack scenarios from "Another Look at ALGORAND", runnable via
+// check_cli --mode=scenario --scenario=<name>. Each scenario builds its own
+// deployment, mounts the attack, and asserts the paper's expected outcome:
+// safety holds unconditionally, liveness degrades gracefully (§8.2) — the
+// partition stalls and recovers rather than forking, the equivocators get
+// flagged but never split finality, and the seed grinder's advantage is
+// bounded to the 1-bit propose/withhold choice by the VRF refresh rule.
+#ifndef ALGORAND_SRC_CHECK_SCENARIOS_H_
+#define ALGORAND_SRC_CHECK_SCENARIOS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace algorand {
+
+struct ScenarioResult {
+  bool pass = false;
+  std::string detail;  // Multi-line human-readable assertion report.
+};
+
+struct ScenarioInfo {
+  const char* name;
+  const char* description;
+};
+
+// The library: seed-grind, threshold-equivocation, partition-rejoin.
+std::vector<ScenarioInfo> ListScenarios();
+
+// Runs one scenario; nullopt if the name is unknown.
+std::optional<ScenarioResult> RunScenarioByName(const std::string& name);
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CHECK_SCENARIOS_H_

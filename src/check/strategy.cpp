@@ -1,0 +1,86 @@
+#include "src/check/strategy.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace algorand {
+
+namespace {
+
+char KindLetter(ChoiceKind kind) {
+  switch (kind) {
+    case ChoiceKind::kDelivery:
+      return 'd';
+    case ChoiceKind::kAdversary:
+      return 'a';
+    case ChoiceKind::kCrash:
+      return 'c';
+  }
+  return '?';
+}
+
+bool KindFromLetter(char ch, ChoiceKind* out) {
+  switch (ch) {
+    case 'd':
+      *out = ChoiceKind::kDelivery;
+      return true;
+    case 'a':
+      *out = ChoiceKind::kAdversary;
+      return true;
+    case 'c':
+      *out = ChoiceKind::kCrash;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string ChoiceTrace::Serialize() const {
+  std::string out;
+  char buf[48];
+  for (const Choice& c : choices) {
+    snprintf(buf, sizeof(buf), "%s%c%u/%u", out.empty() ? "" : " ", KindLetter(c.kind),
+             c.chosen, c.options);
+    out += buf;
+  }
+  return out;
+}
+
+std::optional<ChoiceTrace> ChoiceTrace::Parse(const std::string& text) {
+  ChoiceTrace trace;
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) {
+    Choice c;
+    if (token.size() < 4 || !KindFromLetter(token[0], &c.kind)) {
+      return std::nullopt;
+    }
+    unsigned chosen = 0;
+    unsigned options = 0;
+    if (sscanf(token.c_str() + 1, "%u/%u", &chosen, &options) != 2 || options < 2 ||
+        chosen >= options) {
+      return std::nullopt;
+    }
+    c.chosen = chosen;
+    c.options = options;
+    trace.choices.push_back(c);
+  }
+  return trace;
+}
+
+std::optional<ChoiceTrace> NextDfsPrefix(const ChoiceTrace& observed) {
+  ChoiceTrace next = observed;
+  while (!next.choices.empty()) {
+    Choice& back = next.choices.back();
+    if (back.chosen + 1 < back.options) {
+      ++back.chosen;
+      return next;
+    }
+    next.choices.pop_back();
+  }
+  return std::nullopt;
+}
+
+}  // namespace algorand

@@ -1,0 +1,155 @@
+// Choice traces and exploration strategies for the BA* model checker.
+//
+// A model-checking run is an ordinary deterministic simulation whose
+// nondeterminism — delivery order among near-simultaneous events, per-message
+// adversary decisions, crash/restart injection — has been reified into an
+// explicit sequence of integer choices. A Strategy answers each choice as it
+// arises and records what it answered; the recorded ChoiceTrace is a complete,
+// replayable name for the schedule (PR 7's determinism contract makes the run
+// a pure function of (config, trace)). Exploration is then search over traces:
+// DFS enumerates them lexicographically via PrefixStrategy, randomized sweeps
+// sample them via RandomStrategy, and counterexample replay/minimization feed
+// recorded traces back through PrefixStrategy.
+#ifndef ALGORAND_SRC_CHECK_STRATEGY_H_
+#define ALGORAND_SRC_CHECK_STRATEGY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace algorand {
+
+// What kind of nondeterminism a choice point resolves.
+enum class ChoiceKind : uint8_t {
+  kDelivery = 0,   // Which of N concurrent events runs next.
+  kAdversary = 1,  // Deliver / drop / delay a transmission.
+  kCrash = 2,      // Crash/restart injection at a probe tick.
+};
+
+struct Choice {
+  ChoiceKind kind = ChoiceKind::kDelivery;
+  uint32_t chosen = 0;   // Option taken, in [0, options).
+  uint32_t options = 1;  // Options that were available.
+
+  bool operator==(const Choice& other) const {
+    return kind == other.kind && chosen == other.chosen && options == other.options;
+  }
+};
+
+// The full decision record of one schedule. Serializes to a compact text form
+// ("d1/3 a0/2 c2/5": kind letter, chosen/options) used by counterexample
+// artifacts and the check_cli --trace flag.
+struct ChoiceTrace {
+  std::vector<Choice> choices;
+
+  bool operator==(const ChoiceTrace& other) const { return choices == other.choices; }
+
+  std::string Serialize() const;
+  static std::optional<ChoiceTrace> Parse(const std::string& text);
+};
+
+// Base strategy: answers choice points, applies the schedule-depth bound, and
+// records the trace. `Choose` is the only entry point the hooks call. The
+// depth bound is per kind: delivery choice points fire at every dequeue and
+// would otherwise exhaust the budget in the first simulated milliseconds,
+// starving the adversary and crash choices that only arise at round
+// boundaries. After `max_choice_points` recorded choices OF A KIND, further
+// choice points of that kind take the default option 0 (FIFO delivery /
+// deliver / no fault) without recording, so the search tree has bounded depth
+// (≤ 3 × max_choice_points total) while runs always terminate normally.
+class Strategy {
+ public:
+  explicit Strategy(size_t max_choice_points) : max_choice_points_(max_choice_points) {}
+  virtual ~Strategy() = default;
+
+  uint32_t Choose(ChoiceKind kind, uint32_t options) {
+    if (options <= 1) {
+      return 0;  // Not a choice point; nothing to record.
+    }
+    size_t& recorded = recorded_[static_cast<size_t>(kind)];
+    if (recorded >= max_choice_points_) {
+      return 0;  // Beyond this kind's depth bound: deterministic default.
+    }
+    uint32_t chosen = Pick(kind, options);
+    if (chosen >= options) {
+      chosen = 0;
+    }
+    ++recorded;
+    trace_.choices.push_back(Choice{kind, chosen, options});
+    return chosen;
+  }
+
+  const ChoiceTrace& trace() const { return trace_; }
+  size_t max_choice_points() const { return max_choice_points_; }
+
+ protected:
+  // Picks an option in [0, options); called only for real, in-depth choice
+  // points. Index i of the choice point being answered is trace_.choices.size().
+  virtual uint32_t Pick(ChoiceKind kind, uint32_t options) = 0;
+
+  ChoiceTrace trace_;
+
+ private:
+  size_t max_choice_points_;
+  size_t recorded_[3] = {0, 0, 0};  // Per-kind recorded-choice counts.
+};
+
+// Replays a fixed prefix of choices, then takes the default (0) for anything
+// beyond it. With the full recorded trace as prefix this is exact replay; with
+// a shortened or edited prefix it is the DFS successor / minimization probe.
+// `diverged()` reports whether the live run presented a different number of
+// options than the prefix recorded at some position — impossible for a
+// faithful replay, and a loud canary for determinism regressions.
+class PrefixStrategy : public Strategy {
+ public:
+  PrefixStrategy(ChoiceTrace prefix, size_t max_choice_points)
+      : Strategy(max_choice_points), prefix_(std::move(prefix)) {}
+
+  bool diverged() const { return diverged_; }
+
+ protected:
+  uint32_t Pick(ChoiceKind kind, uint32_t options) override {
+    const size_t i = trace_.choices.size();
+    if (i >= prefix_.choices.size()) {
+      return 0;
+    }
+    const Choice& c = prefix_.choices[i];
+    if (c.kind != kind || c.options != options || c.chosen >= options) {
+      diverged_ = true;
+      return c.chosen < options ? c.chosen : 0;
+    }
+    return c.chosen;
+  }
+
+ private:
+  ChoiceTrace prefix_;
+  bool diverged_ = false;
+};
+
+// Seeded uniform random exploration; each schedule gets its own stream.
+class RandomStrategy : public Strategy {
+ public:
+  RandomStrategy(uint64_t seed, size_t max_choice_points)
+      : Strategy(max_choice_points), rng_(seed, "check-random") {}
+
+ protected:
+  uint32_t Pick(ChoiceKind, uint32_t options) override {
+    return static_cast<uint32_t>(rng_.UniformU64(options));
+  }
+
+ private:
+  DeterministicRng rng_;
+};
+
+// Computes the DFS successor of an observed trace: increment the deepest
+// choice that still has untried options and drop everything after it. Returns
+// nullopt when the (depth-bounded) tree is exhausted. Enumerating leaves this
+// way visits every distinct schedule exactly once, in lexicographic order.
+std::optional<ChoiceTrace> NextDfsPrefix(const ChoiceTrace& observed);
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CHECK_STRATEGY_H_

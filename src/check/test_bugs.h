@@ -1,0 +1,30 @@
+// Deliberately broken node behaviours, used ONLY to validate that the model
+// checker can find real safety bugs. Nothing in src/ outside the checker (and
+// its tests/CLI) may instantiate these.
+#ifndef ALGORAND_SRC_CHECK_TEST_BUGS_H_
+#define ALGORAND_SRC_CHECK_TEST_BUGS_H_
+
+#include "src/core/node.h"
+
+namespace algorand {
+
+// Declares every completed round FINAL, whether or not the final step
+// reached its T_final * tau_final quorum. On a clean schedule this is
+// indistinguishable from an honest node — the final step genuinely passes,
+// so the forced verdict agrees with the earned one. The bug only manifests
+// on schedules where enough final-step votes are dropped, delayed past the
+// step timeout, or reordered that the final step times out while BA* still
+// settles tentatively: then this node upgrades an uncertified value to FINAL
+// and the SafetyAuditor's quorum invariant fires. That schedule dependence is
+// exactly what makes it a good probe for the explorer.
+class ForcedFinalNode : public Node {
+ public:
+  using Node::Node;
+
+ protected:
+  bool FinalVerdict(const BaResult&) const override { return true; }
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CHECK_TEST_BUGS_H_

@@ -1,5 +1,9 @@
 #include "src/core/adversary_nodes.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "src/common/serialize.h"
 #include "src/crypto/sha256.h"
 
 namespace algorand {
@@ -50,6 +54,75 @@ void EquivocatingNode::EmitVotes(uint32_t step_code, const SortitionResult& sort
   // these per step (§8.4), but direct neighbours see both.
   Node::EmitVotes(step_code, sort, pair->first);
   Node::EmitVotes(step_code, sort, pair->second);
+}
+
+uint64_t GrindingProposerNode::ScoreSeed(const SeedBytes& seed) const {
+  return RunSortition(*crypto().vrf, key(), seed, params().tau_proposer, Role::kProposer,
+                      current_round() + 1, 0, SelfWeight(), ledger().total_weight())
+      .votes;
+}
+
+void GrindingProposerNode::MaybePropose() {
+  SortitionResult sort = RunSortition(*crypto().vrf, key(), MakeContext().seed,
+                                      params().tau_proposer, Role::kProposer, current_round(), 0,
+                                      SelfWeight(), ledger().total_weight());
+  if (sort.votes == 0) {
+    return;
+  }
+  ++stats_.rounds_selected;
+
+  Block block = BuildBlockProposal();
+  block.proposer_vrf = sort.hash;
+  block.proposer_proof = sort.proof;
+
+  // Grind payload variants and count how many distinct next-round seeds they
+  // can reach. BuildBlockProposal already committed next_seed = VRF(seed_r ||
+  // r+1), whose input contains no block payload, so mutating the payload
+  // cannot move the seed — the loop is the attack *attempt* the test
+  // quantifies, not a working lever.
+  Block best = block;
+  std::vector<SeedBytes> seeds;
+  seeds.reserve(grind_candidates_);
+  for (size_t k = 0; k < grind_candidates_; ++k) {
+    Block variant = block;
+    Writer w;
+    w.Fixed(block.padding_digest);
+    w.U64(k);
+    variant.padding_digest = Sha256::Hash(w.buffer());
+    ++stats_.candidates_tried;
+    seeds.push_back(variant.next_seed);
+    // Prefer the variant whose hash sorts lowest — an arbitrary tiebreak the
+    // real attacker would replace with its payoff function if the seed
+    // actually moved.
+    if (variant.Hash() < best.Hash()) {
+      best = variant;
+    }
+  }
+  std::sort(seeds.begin(), seeds.end());
+  stats_.distinct_next_seeds +=
+      static_cast<uint64_t>(std::unique(seeds.begin(), seeds.end()) - seeds.begin());
+
+  // The one real lever (§5.2): withholding the proposal steers the round
+  // toward the empty block, whose seed is H(seed_r || r+1) instead of the
+  // VRF output this node would have to publish.
+  const SeedBytes fallback =
+      Block::DerivedSeed(ledger().SeedForRound(current_round()), current_round() + 1);
+  if (ScoreSeed(fallback) > ScoreSeed(best.next_seed)) {
+    ++stats_.fallback_preferred;
+    if (withhold_when_worse_) {
+      ++stats_.withheld;
+      return;
+    }
+  }
+
+  auto priority = std::make_shared<PriorityMessage>(MakePriorityMessage(
+      key(), current_round(), sort.hash, sort.proof, sort.votes, *crypto().signer));
+  if (params().priority_gossip_enabled) {
+    GossipMessage(priority);
+  }
+  auto block_msg = std::make_shared<BlockMessage>();
+  block_msg->block = best;
+  GossipMessage(block_msg);
 }
 
 }  // namespace algorand

@@ -65,6 +65,48 @@ class EquivocatingNode : public Node {
   AdversaryCoordinator* coordinator_;
 };
 
+// §5.2 seed-grinding attacker. When selected as proposer it grinds many
+// payload variants of its block, looking for one whose induced next-round
+// seed favours its own future sortition. The paper's seed-refresh rule makes
+// this futile: seed_{r+1} = VRF_sk(seed_r || r+1) depends only on the current
+// seed and the round number, never on the block payload, so every variant
+// yields the identical seed (tests pin distinct seeds == 1 per ground round).
+// The attacker's only residual lever is the 1-bit propose-vs-withhold choice
+// — withholding lets the round fall back to the empty block, whose seed is
+// H(seed_r || r+1) (§5.2's no-proof fallback). With `withhold_when_worse` the
+// node plays that bit greedily; GrindStats quantifies how little it buys.
+class GrindingProposerNode : public Node {
+ public:
+  struct GrindStats {
+    uint64_t rounds_selected = 0;      // Rounds where proposer sortition hit.
+    uint64_t candidates_tried = 0;     // Payload variants ground, total.
+    uint64_t distinct_next_seeds = 0;  // Sum over ground rounds of |{next_seed}|.
+    uint64_t fallback_preferred = 0;   // Rounds where the empty-block seed scored better.
+    uint64_t withheld = 0;             // Rounds where the proposal was withheld.
+  };
+
+  GrindingProposerNode(NodeId id, Executor* sim, GossipAgent* gossip, const Ed25519KeyPair& key,
+                       const GenesisConfig& genesis, const ProtocolParams& params,
+                       CryptoSuite crypto, size_t grind_candidates, bool withhold_when_worse)
+      : Node(id, sim, gossip, key, genesis, params, crypto),
+        grind_candidates_(grind_candidates == 0 ? 1 : grind_candidates),
+        withhold_when_worse_(withhold_when_worse) {}
+
+  const GrindStats& grind_stats() const { return stats_; }
+
+ protected:
+  void MaybePropose() override;
+
+ private:
+  // The attacker's payoff for a candidate next-round seed: its own proposer
+  // sortition weight in round r+1 under that seed.
+  uint64_t ScoreSeed(const SeedBytes& seed) const;
+
+  size_t grind_candidates_;
+  bool withhold_when_worse_;
+  GrindStats stats_;
+};
+
 // Selected committee members stay silent (fail-stop behaviour / vote
 // withholding).
 class SilentNode : public Node {

@@ -299,7 +299,8 @@ void Node::OnBaComplete(const BaResult& result) {
     phase_ = Phase::kIdle;  // Recovery (§8.2) is the only way forward.
     return;
   }
-  rec.final = result.final;
+  ba_result_.final = FinalVerdict(result);
+  rec.final = ba_result_.final;
   TryFinishRound();
 }
 

@@ -174,6 +174,12 @@ class Node : public BaEnvironment {
   // honest nodes gossip exactly one vote for `value`. Adversaries override.
   virtual void EmitVotes(uint32_t step_code, const SortitionResult& sort, const Hash256& value);
 
+  // Decides whether a completed BA* round counts as FINAL for this node.
+  // Honest nodes defer to the protocol's final-step quorum; the model
+  // checker's seeded-bug node overrides this to claim finality it did not
+  // earn, giving the checker a schedule-dependent violation to find.
+  virtual bool FinalVerdict(const BaResult& result) const { return result.final; }
+
   // Builds this node's block proposal for the current round.
   Block BuildBlockProposal();
 

@@ -86,6 +86,10 @@ SimHarness::SimHarness(HarnessConfig config)
         node = std::make_unique<EquivocatingNode>(i, sim_.get(), agents_.back().get(),
                                                   genesis_.keys[i], genesis_.config,
                                                   config_.params, crypto, &coordinator_);
+      } else if (i < malicious_count_ + config_.grinding_count) {
+        node = std::make_unique<GrindingProposerNode>(
+            i, sim_.get(), agents_.back().get(), genesis_.keys[i], genesis_.config,
+            config_.params, crypto, config_.grind_candidates, config_.grind_withhold);
       } else if (config_.users_per_group > 1) {
         node = std::make_unique<UserGroupNode>(i, sim_.get(), agents_.back().get(),
                                                genesis_.keys[i], genesis_.config, config_.params,
@@ -211,7 +215,12 @@ void SimHarness::RestartNode(size_t i, bool from_snapshot) {
                                 &coordinator_);
   }
   if (!node) {
-    if (config_.users_per_group > 1 && i >= malicious_count_) {
+    if (i >= malicious_count_ && i < malicious_count_ + config_.grinding_count) {
+      node = std::make_unique<GrindingProposerNode>(
+          static_cast<NodeId>(i), sim_.get(), agents_[i].get(), genesis_.keys[i],
+          genesis_.config, config_.params, crypto, config_.grind_candidates,
+          config_.grind_withhold);
+    } else if (config_.users_per_group > 1 && i >= malicious_count_) {
       node = std::make_unique<UserGroupNode>(static_cast<NodeId>(i), sim_.get(),
                                              agents_[i].get(), genesis_.keys[i], genesis_.config,
                                              config_.params, crypto, config_.users_per_group);

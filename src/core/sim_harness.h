@@ -78,6 +78,15 @@ struct HarnessConfig {
   // stakes are equal).
   double malicious_fraction = 0.0;
 
+  // Seed-grinding adversaries (§5.2): the `grinding_count` node ids after the
+  // equivocators run GrindingProposerNode, each grinding `grind_candidates`
+  // payload variants per selected round and (when `grind_withhold` is set)
+  // withholding its proposal whenever the empty-block fallback seed scores
+  // better for its own next-round sortition.
+  size_t grinding_count = 0;
+  size_t grind_candidates = 8;
+  bool grind_withhold = false;
+
   // Durable storage: when data_dir is non-empty every node opens a
   // BlockStore at <data_dir>/node-<i> and streams its committed rounds
   // there. KillNode then Crash()es the store (queued writes are lost, like a

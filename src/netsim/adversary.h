@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <set>
@@ -47,6 +48,36 @@ class NetworkAdversary {
   // See LatencyModel::SetPerSenderStreams: adversaries that sample randomness
   // split it per sender so concurrent transmissions stay deterministic.
   virtual void SetPerSenderStreams(size_t n_senders) { (void)n_senders; }
+};
+
+// Delegates every per-transmission decision to an external decider — the
+// model checker's adversary choice point. The decider sees (from, to, msg,
+// now) and returns deliver/drop/delay; sequential-engine use only (deciders
+// are stateful strategy callbacks and not thread-safe).
+class HookedAdversary : public NetworkAdversary {
+ public:
+  using Decider =
+      std::function<AdversaryAction(NodeId from, NodeId to, const MessagePtr& msg, SimTime now)>;
+
+  explicit HookedAdversary(Decider decider) : decider_(std::move(decider)) {}
+
+  AdversaryAction OnTransmit(NodeId from, NodeId to, const MessagePtr& msg,
+                             SimTime now) override {
+    if (!decider_) {
+      return AdversaryAction::Deliver();
+    }
+    AdversaryAction act = decider_(from, to, msg, now);
+    if (act.kind == AdversaryAction::kDrop) {
+      ++dropped_;
+    }
+    return act;
+  }
+
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  Decider decider_;
+  uint64_t dropped_ = 0;
 };
 
 // Splits nodes into two groups and blocks cross-group traffic during

@@ -1,5 +1,7 @@
 #include "src/netsim/simulation.h"
 
+#include <algorithm>
+
 namespace algorand {
 
 namespace {
@@ -83,11 +85,50 @@ bool Simulation::Step() {
   if (heap_.empty()) {
     return false;
   }
+  if (choice_hook_ != nullptr) {
+    StepWithChoice();
+    return true;
+  }
   Event ev = HeapPop();
   now_ = ev.when;
   ++executed_;
   ev.fn();
   return true;
+}
+
+void Simulation::StepWithChoice() {
+  const SimTime earliest = heap_.front().when;
+  const SimTime horizon = earliest + choice_hook_->Window();
+  size_t cap = choice_hook_->MaxCandidates();
+  if (cap < 1) {
+    cap = 1;
+  }
+  std::vector<Event> candidates;
+  while (!heap_.empty() && candidates.size() < cap &&
+         heap_.front().when <= horizon) {
+    candidates.push_back(HeapPop());
+  }
+  size_t pick = 0;
+  if (candidates.size() > 1) {
+    pick = choice_hook_->ChooseNext(earliest, candidates.size());
+    if (pick >= candidates.size()) {
+      pick = 0;
+    }
+  }
+  Event chosen = std::move(candidates[pick]);
+  // Unchosen candidates keep their original (when, seq) keys: they stay in
+  // default order relative to each other, and a hook that always picks 0
+  // replays the unhooked schedule bit-for-bit.
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (i != pick) {
+      HeapPush(std::move(candidates[i]));
+    }
+  }
+  // Running a later event first models the adversary delaying the others;
+  // time advances to the chosen event and never regresses afterwards.
+  now_ = std::max(now_, chosen.when);
+  ++executed_;
+  chosen.fn();
 }
 
 void Simulation::Run() {

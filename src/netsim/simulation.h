@@ -33,6 +33,27 @@
 
 namespace algorand {
 
+// Model-checker seam: when installed on a (sequential, heap-queue) Simulation,
+// the hook is consulted at every dequeue where more than one event is eligible
+// to run "next" under a weak-synchrony window. Events whose timestamps lie
+// within `Window()` of the earliest pending event are concurrent candidates
+// (capped at `MaxCandidates()`); `ChooseNext` picks which one runs. The chosen
+// event executes at max(now, event.when) — reordering is equivalent to an
+// adversary delaying the passed-over deliveries, so the clock never regresses.
+// Unchosen events keep their original (when, seq) keys, so choosing index 0
+// everywhere reproduces the default FIFO schedule exactly.
+class ScheduleChoiceHook {
+ public:
+  virtual ~ScheduleChoiceHook() = default;
+  // Width of the concurrency window. 0 means only exact-time ties race.
+  virtual SimTime Window() const = 0;
+  // Cap on candidates gathered per choice point (branching factor bound).
+  virtual size_t MaxCandidates() const = 0;
+  // Picks which of `count` candidates (listed in default (when, seq) order)
+  // runs next. Called only when count > 1; must return a value in [0, count).
+  virtual size_t ChooseNext(SimTime earliest, size_t count) = 0;
+};
+
 class Simulation : public Executor {
  public:
   using Callback = Executor::Callback;
@@ -95,6 +116,12 @@ class Simulation : public Executor {
   // per-worker event counts). Empty for the sequential engine.
   virtual std::vector<std::pair<std::string, uint64_t>> EngineStats() const { return {}; }
 
+  // Installs (or clears, with nullptr) the model checker's scheduling hook.
+  // Supported only on the sequential heap engine; the parallel engine and the
+  // reference map queue ignore it. Not owned.
+  void set_choice_hook(ScheduleChoiceHook* hook) { choice_hook_ = hook; }
+  ScheduleChoiceHook* choice_hook() const { return choice_hook_; }
+
  protected:
   void set_now(SimTime t) { now_ = t; }
 
@@ -112,6 +139,8 @@ class Simulation : public Executor {
 
   void HeapPush(Event ev);
   Event HeapPop();
+  // Step() body when a choice hook is installed and >1 event is pending.
+  void StepWithChoice();
 
   using Key = std::pair<SimTime, uint64_t>;  // (when, sequence): total order.
 
@@ -120,6 +149,7 @@ class Simulation : public Executor {
   uint64_t executed_ = 0;
   bool stopped_ = false;
   QueueKind queue_kind_;
+  ScheduleChoiceHook* choice_hook_ = nullptr;
   std::vector<Event> heap_;
   std::map<Key, Callback> map_queue_;
 };

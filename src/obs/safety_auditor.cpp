@@ -65,7 +65,19 @@ void SafetyAuditor::Observe(const TraceEvent& ev) {
                      std::to_string(threshold));
       }
       if (final_step) {
-        final_quorum_seen_.insert({ev.node, ev.round});
+        final_exit_value_[{ev.node, ev.round}] = ev.value_prefix;
+        // Invariant 5: two real final-step quorums in one round must agree.
+        // Restarted nodes may re-run a round from stale state; skip them.
+        if (ev.value_prefix != 0 && restarted_nodes_.count(ev.node) == 0) {
+          auto [win, inserted] =
+              final_step_winner_.emplace(ev.round, FinalRecord{ev.value_prefix, ev.node});
+          if (!inserted && win->second.value != ev.value_prefix) {
+            AddViolation("round " + std::to_string(ev.round) +
+                         ": final-step quorums on two values — node " +
+                         std::to_string(win->second.node) + " has " + Hex16(win->second.value) +
+                         ", node " + std::to_string(ev.node) + " has " + Hex16(ev.value_prefix));
+          }
+        }
       }
       break;
     }
@@ -86,12 +98,23 @@ void SafetyAuditor::Observe(const TraceEvent& ev) {
         }
       }
       // Invariant 2: FINAL requires this node's own non-timed-out final-step
-      // quorum (only checked when the stream covers the node's whole round).
-      if (is_final && config_.final_threshold > 0 &&
-          round_started_.count({ev.node, ev.round}) != 0 &&
-          final_quorum_seen_.count({ev.node, ev.round}) == 0) {
-        AddViolation("node " + std::to_string(ev.node) + " round " + std::to_string(ev.round) +
-                     ": FINAL consensus without a final-step quorum");
+      // quorum, on the same value. The missing-quorum arm is only checked
+      // when the stream covers the node's whole round; a recorded quorum on
+      // the wrong value is a violation regardless of stream coverage.
+      if (is_final && config_.final_threshold > 0) {
+        auto fit = final_exit_value_.find({ev.node, ev.round});
+        if (fit == final_exit_value_.end()) {
+          if (round_started_.count({ev.node, ev.round}) != 0) {
+            AddViolation("node " + std::to_string(ev.node) + " round " +
+                         std::to_string(ev.round) +
+                         ": FINAL consensus without a final-step quorum");
+          }
+        } else if (fit->second != 0 && ev.value_prefix != 0 &&
+                   fit->second != ev.value_prefix) {
+          AddViolation("node " + std::to_string(ev.node) + " round " + std::to_string(ev.round) +
+                       ": FINAL value " + Hex16(ev.value_prefix) +
+                       " differs from final-step quorum value " + Hex16(fit->second));
+        }
       }
       // Invariant 3: tentative -> final upgrades are monotone per node.
       auto key = std::make_pair(ev.node, ev.round);
@@ -138,8 +161,8 @@ void SafetyAuditor::Observe(const TraceEvent& ev) {
       for (auto it = outcome_by_node_round_.begin(); it != outcome_by_node_round_.end();) {
         it = it->first.first == ev.node ? outcome_by_node_round_.erase(it) : std::next(it);
       }
-      for (auto it = final_quorum_seen_.begin(); it != final_quorum_seen_.end();) {
-        it = it->first == ev.node ? final_quorum_seen_.erase(it) : std::next(it);
+      for (auto it = final_exit_value_.begin(); it != final_exit_value_.end();) {
+        it = it->first.first == ev.node ? final_exit_value_.erase(it) : std::next(it);
       }
       for (auto it = round_started_.begin(); it != round_started_.end();) {
         it = it->first == ev.node ? round_started_.erase(it) : std::next(it);

@@ -12,7 +12,11 @@
 //      out must report more than the configured T*tau weighted votes
 //      (final-step threshold for the final step, step threshold otherwise),
 //      and a FINAL round_end must be preceded by that node's non-timed-out
-//      final-step exit.
+//      final-step exit — on the same value the round_end reports.
+//   5. Final-step agreement: no two nodes may exit the final step of one
+//      round (non-timed-out, i.e. with real quorums) holding different
+//      values — the vote-level precursor of invariant 1. Nodes that crashed
+//      or restarted are exempt (they may re-run rounds from stale state).
 //   3. Monotone finality: once a node reports a FINAL block for a round, a
 //      later round_end for the same (node, round) may not change the value
 //      or demote it to tentative.
@@ -93,12 +97,16 @@ class SafetyAuditor {
   };
   std::map<uint64_t, FinalRecord> final_by_round_;
 
-  // Invariant 2: per (node, round), whether a non-timed-out final-step exit
-  // was seen (prerequisite of a FINAL round_end), and whether the stream
-  // contains the node's round_start (without it the round is only partially
-  // covered — e.g. a trimmed dump — and the check would false-positive).
-  std::set<std::pair<uint32_t, uint64_t>> final_quorum_seen_;
+  // Invariant 2: per (node, round), the value prefix of the node's
+  // non-timed-out final-step exit (prerequisite of a FINAL round_end, which
+  // must report the same value), and whether the stream contains the node's
+  // round_start (without it the round is only partially covered — e.g. a
+  // trimmed dump — and the check would false-positive).
+  std::map<std::pair<uint32_t, uint64_t>, uint64_t> final_exit_value_;
   std::set<std::pair<uint32_t, uint64_t>> round_started_;
+
+  // Invariant 5: first non-timed-out final-step exit value per round.
+  std::map<uint64_t, FinalRecord> final_step_winner_;
 
   // Invariant 3: per (node, round), the reported outcome.
   struct Outcome {

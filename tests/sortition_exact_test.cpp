@@ -22,20 +22,35 @@ VrfOutput HashAtFraction(long double fraction) {
   return h;
 }
 
-// Direct binomial pmf/cdf for small w.
+// Direct binomial pmf, computed in log space: the naive product form
+// overflows double at w=8000 (C(8000,284) ~ 1e535) while p^k underflows,
+// yielding inf*0 = NaN. lgamma keeps every intermediate in range and is
+// accurate to ~1e-13 relative, far below the 1e-9 probe offsets used below.
 double Pmf(uint64_t k, uint64_t w, double p) {
-  double c = 1.0;
-  for (uint64_t i = 0; i < k; ++i) {
-    c *= static_cast<double>(w - i) / static_cast<double>(i + 1);
-  }
-  return c * std::pow(p, static_cast<double>(k)) *
-         std::pow(1 - p, static_cast<double>(w - k));
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == w ? 1.0 : 0.0;
+  const double log_choose = std::lgamma(static_cast<double>(w) + 1.0) -
+                            std::lgamma(static_cast<double>(k) + 1.0) -
+                            std::lgamma(static_cast<double>(w - k) + 1.0);
+  return std::exp(log_choose + static_cast<double>(k) * std::log(p) +
+                  static_cast<double>(w - k) * std::log1p(-p));
 }
 
 double Cdf(uint64_t k_inclusive, uint64_t w, double p) {
   double s = 0;
   for (uint64_t k = 0; k <= k_inclusive; ++k) {
     s += Pmf(k, w, p);
+  }
+  return s;
+}
+
+// P(X >= k). Near the upper tail this is the trustworthy form: Cdf() loses
+// everything below ~1e-11 to pmf rounding once w is in the thousands, while
+// summing the tail directly keeps the absolute error far below the terms.
+double UpperTail(uint64_t k, uint64_t w, double p) {
+  double s = 0;
+  for (uint64_t i = k; i <= w; ++i) {
+    s += Pmf(i, w, p);
   }
   return s;
 }
@@ -54,6 +69,11 @@ TEST_P(ExactSortitionTest, MatchesDirectCdfInversion) {
     double boundary = Cdf(j, w, p);  // P(X <= j) = upper edge of interval j.
     if (boundary >= 1.0 - 2e-9) {
       break;  // Probes of +-1e-9 around the boundary would leave [0, 1).
+    }
+    if (Pmf(j, w, p) < 1e-8) {
+      continue;  // Interval j is narrower than the probe offset: the below
+                 // probe would land in an earlier interval (hit at w=8000,
+                 // where far-tail intervals are ~1e-18 wide).
     }
     // Just below the boundary: should select exactly j.
     EXPECT_EQ(SelectSubUsers(HashAtFraction(boundary - 1e-9), w, p), j)
@@ -76,11 +96,12 @@ TEST_P(ExactSortitionTest, ZeroFractionSelectsZeroOrMode) {
 TEST_P(ExactSortitionTest, NearOneFractionSelectsTail) {
   const auto [w, p] = GetParam();
   uint64_t j = SelectSubUsers(HashAtFraction(1.0L - 0x1.0p-40L), w, p);
-  // The fraction lies in [CDF(j-1), CDF(j)); near 1 that means CDF(j) ~ 1
-  // and the interval below j cannot already cover ~everything.
-  EXPECT_GT(Cdf(j, w, p), 1.0 - 1e-9);
+  // The fraction lies in [CDF(j-1), CDF(j)), i.e. P(X >= j+1) < 2^-40 and
+  // P(X >= j) >= 2^-40 — checked as upper-tail sums (the plain CDF is only
+  // good to ~1e-11 at large w) with slack for pmf rounding.
+  EXPECT_LT(UpperTail(j + 1, w, p), 1e-9);
   if (j > 0) {
-    EXPECT_LT(Cdf(j - 1, w, p), 1.0 - 1e-12);
+    EXPECT_GT(UpperTail(j, w, p), 0x1.0p-41);
   }
   EXPECT_LE(j, w);
 }
@@ -88,7 +109,14 @@ TEST_P(ExactSortitionTest, NearOneFractionSelectsTail) {
 INSTANTIATE_TEST_SUITE_P(
     SmallCases, ExactSortitionTest,
     ::testing::Values(Case{1, 0.5}, Case{2, 0.25}, Case{5, 0.1}, Case{8, 0.3}, Case{10, 0.05},
-                      Case{12, 0.5}, Case{6, 0.9}, Case{20, 0.02}),
+                      Case{12, 0.5}, Case{6, 0.9}, Case{20, 0.02},
+                      // The model checker's threshold-equivocation deployment:
+                      // 8 nodes x 1000 stake under ScaledCommittees(0.02), so
+                      // p = tau/W at W = 8000 for tau_step 40 and tau_final
+                      // 200, probed per node (w = 1000) and for the whole
+                      // stake (w = 8000).
+                      Case{1000, 40.0 / 8000.0}, Case{1000, 200.0 / 8000.0},
+                      Case{8000, 40.0 / 8000.0}, Case{8000, 200.0 / 8000.0}),
     [](const ::testing::TestParamInfo<Case>& info) {
       return "w" + std::to_string(info.param.w) + "_p" +
              std::to_string(static_cast<int>(info.param.p * 100));

@@ -322,6 +322,27 @@ TEST(SortitionCdfCacheTest, CachedMatchesUncachedOnTruncatedTables) {
   }
 }
 
+TEST(SortitionCdfCacheTest, CachedMatchesUncachedAtScenarioTauThresholds) {
+  // The exact (weight, p) pairs the model checker's threshold-equivocation
+  // scenario runs at: 8 nodes x 1000 stake (W = 8000) under
+  // ScaledCommittees(0.02), so p = tau/W for tau_proposer 5, tau_step 40,
+  // tau_final 200 — the committee draws whose CDF boundaries the at-threshold
+  // attack leans on. A cached/uncached disagreement here would let a replayed
+  // counterexample elect a different committee than the recorded run.
+  DeterministicRng rng(23);
+  const uint64_t weights[] = {1000, 8000};
+  const double ps[] = {5.0 / 8000.0, 40.0 / 8000.0, 200.0 / 8000.0};
+  for (uint64_t w : weights) {
+    for (double p : ps) {
+      for (int i = 0; i < 400; ++i) {
+        VrfOutput h = OutputFromRng(&rng);
+        ASSERT_EQ(SelectSubUsers(h, w, p), SelectSubUsersUncached(h, w, p))
+            << "weight=" << w << " p=" << p << " trial=" << i;
+      }
+    }
+  }
+}
+
 TEST(SortitionCdfCacheTest, RepeatLookupsHitTheCache) {
   DeterministicRng rng(19);
   VrfOutput h = OutputFromRng(&rng);

@@ -305,6 +305,77 @@ TEST(SafetyAuditorTest, FinalWithoutFinalStepQuorumIsFlagged) {
   EXPECT_TRUE(auditor2.ok());
 }
 
+TEST(SafetyAuditorTest, FinalValueMustMatchFinalStepQuorumValue) {
+  // A node whose final step exits with a quorum on value X but whose round
+  // ends FINAL on value Y fabricated its finality.
+  SafetyAuditorConfig cfg = TestThresholds();
+  SafetyAuditor auditor(cfg);
+  TraceEvent quorum;
+  quorum.node = 0;
+  quorum.round = 4;
+  quorum.kind = TraceKind::kStepExit;
+  quorum.step = cfg.final_step_code;
+  quorum.a = 250;
+  quorum.value_prefix = 0xaaaa;
+  auditor.Observe(quorum);
+  auditor.Observe(RoundEndEvent(0, 4, 0xbbbb, kTraceFinal));
+  EXPECT_FALSE(auditor.ok());
+  EXPECT_NE(auditor.Report().find("differs from final-step quorum value"),
+            std::string::npos);
+
+  // Matching values are clean.
+  SafetyAuditor auditor2(cfg);
+  auditor2.Observe(quorum);
+  auditor2.Observe(RoundEndEvent(0, 4, 0xaaaa, kTraceFinal));
+  EXPECT_TRUE(auditor2.ok());
+}
+
+TEST(SafetyAuditorTest, CrossNodeFinalStepWinnersMustAgree) {
+  // Two nodes reporting final-step quorums on different values for the same
+  // round would certify two blocks — the checker's inv-5.
+  SafetyAuditorConfig cfg = TestThresholds();
+  SafetyAuditor auditor(cfg);
+  TraceEvent quorum;
+  quorum.node = 0;
+  quorum.round = 4;
+  quorum.kind = TraceKind::kStepExit;
+  quorum.step = cfg.final_step_code;
+  quorum.a = 250;
+  quorum.value_prefix = 0xaaaa;
+  auditor.Observe(quorum);
+  quorum.node = 1;  // Same value on another node: fine.
+  auditor.Observe(quorum);
+  EXPECT_TRUE(auditor.ok());
+  quorum.node = 2;
+  quorum.value_prefix = 0xbbbb;  // Conflicting quorum.
+  auditor.Observe(quorum);
+  EXPECT_FALSE(auditor.ok());
+  EXPECT_NE(auditor.Report().find("final-step quorums on two values"), std::string::npos);
+}
+
+TEST(SafetyAuditorTest, RestartedNodesFinalStepWinnersAreForgiven) {
+  // A node that crashed and rejoined may replay a stale round's final step;
+  // its quorum report must not count as a cross-node conflict.
+  SafetyAuditorConfig cfg = TestThresholds();
+  SafetyAuditor auditor(cfg);
+  TraceEvent quorum;
+  quorum.node = 0;
+  quorum.round = 4;
+  quorum.kind = TraceKind::kStepExit;
+  quorum.step = cfg.final_step_code;
+  quorum.a = 250;
+  quorum.value_prefix = 0xaaaa;
+  auditor.Observe(quorum);
+  TraceEvent crash;
+  crash.node = 2;
+  crash.kind = TraceKind::kCrash;
+  auditor.Observe(crash);
+  quorum.node = 2;
+  quorum.value_prefix = 0xbbbb;
+  auditor.Observe(quorum);
+  EXPECT_TRUE(auditor.ok());
+}
+
 TEST(SafetyAuditorTest, FinalityIsMonotonePerNode) {
   SafetyAuditor auditor;
   auditor.Observe(RoundEndEvent(0, 6, 0xaaaa, kTraceFinal));
