@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,8 @@
 #include "src/common/verify_pool.h"
 #include "src/core/messages.h"
 #include "src/core/sortition.h"
+#include "src/core/tx_verifier.h"
+#include "src/ledger/account_table.h"
 #include "src/netsim/simulation.h"
 #include "src/crypto/ed25519.h"
 #include "src/crypto/internal/ge25519.h"
@@ -394,6 +397,87 @@ void BM_BlockStore_ReadRound(benchmark::State& state) {
   std::filesystem::remove_all(dir);
 }
 BENCHMARK(BM_BlockStore_ReadRound);
+
+// Transaction signature verification, sequential vs batched through the
+// VerifyPool (the proposal-validation path of ValidateBlockContents). Arg is
+// the worker count; 0 is the inline loop. No cache: this measures raw batch
+// verification, not prewarm hits (those are ~free by construction).
+void BM_TxVerify_Batched_vs_Sequential(benchmark::State& state) {
+  const size_t workers = static_cast<size_t>(state.range(0));
+  const Ed25519Signer signer;
+  DeterministicRng rng(17);
+  std::vector<Ed25519KeyPair> keys;
+  for (size_t i = 0; i < 8; ++i) {
+    FixedBytes<32> seed;
+    rng.FillBytes(seed.data(), 32);
+    keys.push_back(Ed25519KeyFromSeed(seed));
+  }
+  std::vector<Transaction> txns;
+  for (size_t i = 0; i < 256; ++i) {
+    txns.push_back(MakeTransaction(keys[i % keys.size()], keys[(i + 1) % keys.size()].public_key,
+                                   1, i / keys.size(), signer, 1));
+  }
+  VerifyPool pool(workers);
+  TxSigVerifier verifier(&signer, nullptr, workers > 0 ? &pool : nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.VerifyBatch(txns));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(txns.size()));
+}
+BENCHMARK(BM_TxVerify_Batched_vs_Sequential)->Arg(0)->Arg(2)->Arg(4)->UseRealTime();
+
+// Account-table lookup+update at 1M accounts: the retired std::map layout
+// (Arg 0) against the sharded open-addressing table (Arg 1). Each iteration
+// is one payment's worth of account traffic — debit sender, credit receiver —
+// at uniformly random keys, i.e. worst-case cache behaviour for both layouts.
+void BM_AccountTable_LookupUpdate_1M(benchmark::State& state) {
+  constexpr uint64_t kAccounts = 1'000'000;
+  const bool sharded = state.range(0) == 1;
+  auto key_of = [](uint64_t i) {
+    PublicKey pk{};
+    // Spread bits like a hash would: synthetic sequential ids are the
+    // patterned-key case the table's mixer must handle.
+    for (size_t b = 0; b < 8; ++b) {
+      pk.data()[b] = static_cast<uint8_t>((i * 0x9e3779b97f4a7c15ULL) >> (8 * b));
+    }
+    return pk;
+  };
+  std::map<PublicKey, Account> map_table;
+  AccountTable table;
+  table.Reserve(kAccounts);
+  for (uint64_t i = 0; i < kAccounts; ++i) {
+    if (sharded) {
+      table.Credit(key_of(i), 1000);
+    } else {
+      map_table[key_of(i)].balance += 1000;
+    }
+  }
+  DeterministicRng rng(23);
+  for (auto _ : state) {
+    const PublicKey from = key_of(rng.NextU64() % kAccounts);
+    const PublicKey to = key_of(rng.NextU64() % kAccounts);
+    if (sharded) {
+      const Account* a = table.Find(from);
+      Account updated = *a;
+      updated.balance -= 1;
+      updated.next_nonce += 1;
+      table.Upsert(from, updated);
+      Account dst = table.Find(to) != nullptr ? *table.Find(to) : Account{};
+      dst.balance += 1;
+      table.Upsert(to, dst);
+      benchmark::DoNotOptimize(updated.balance);
+    } else {
+      Account& a = map_table[from];
+      a.balance -= 1;
+      a.next_nonce += 1;
+      map_table[to].balance += 1;
+      benchmark::DoNotOptimize(a.balance);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AccountTable_LookupUpdate_1M)->Arg(0)->Arg(1)->Unit(benchmark::kNanosecond);
 
 }  // namespace
 }  // namespace algorand

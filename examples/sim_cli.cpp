@@ -43,6 +43,11 @@ struct CliOptions {
   uint64_t seed = 1;
   double uplink_mbit = 20;
   int verify_workers = -1;
+  int exec_workers = -1;
+  // Synthetic payment load: tx per round injected across tx_clients client
+  // accounts. 0 = no load (blocks carry only padding, the historical mode).
+  size_t tx_load = 0;
+  size_t tx_clients = 16;
   size_t workers = 0;          // Engine workers; 0 = sequential engine.
   size_t users_per_group = 1;  // Users hosted per node (aggregation).
   bool real_crypto = false;
@@ -145,6 +150,12 @@ CliOptions Parse(int argc, char** argv) {
       opt.uplink_mbit = std::stod(v);
     } else if (ParseFlag(argc, argv, &i, "verify-workers", &v)) {
       opt.verify_workers = std::stoi(v);
+    } else if (ParseFlag(argc, argv, &i, "exec-workers", &v)) {
+      opt.exec_workers = std::stoi(v);
+    } else if (ParseFlag(argc, argv, &i, "tx-load", &v)) {
+      opt.tx_load = static_cast<size_t>(std::stoull(v));
+    } else if (ParseFlag(argc, argv, &i, "tx-clients", &v)) {
+      opt.tx_clients = static_cast<size_t>(std::stoul(v));
     } else if (ParseFlag(argc, argv, &i, "workers", &v)) {
       opt.workers = static_cast<size_t>(std::stoul(v));
     } else if (ParseFlag(argc, argv, &i, "users-per-group", &v)) {
@@ -214,6 +225,14 @@ void PrintHelp() {
       "  --uplink-mbit=F     per-user uplink in Mbit/s (default 20)\n"
       "  --verify-workers=N  verification worker threads; 0 = inline,\n"
       "                      default reads ALGORAND_VERIFY_WORKERS\n"
+      "  --exec-workers=N    block-apply worker threads; 0 = sequential apply,\n"
+      "                      default reads ALGORAND_EXEC_WORKERS. Any N\n"
+      "                      commits bit-identical state to 0\n"
+      "  --tx-load=N         inject N signed payments per round (default 0 =\n"
+      "                      padded blocks only); the run fails unless the\n"
+      "                      chain actually commits transactions\n"
+      "  --tx-clients=N      client accounts carrying the payment load\n"
+      "                      (default 16)\n"
       "  --workers=N         parallel event-loop shard workers; 0 (default) =\n"
       "                      the classic sequential engine. Any N >= 1 gives\n"
       "                      bit-identical results to N = 1\n"
@@ -266,6 +285,19 @@ int main(int argc, char** argv) {
   cfg.net.uplink_bytes_per_sec = opt.uplink_mbit * 1e6 / 8;
   cfg.use_sim_crypto = !opt.real_crypto;
   cfg.verify_workers = opt.verify_workers;
+  cfg.exec_workers = opt.exec_workers;
+  if (opt.tx_load > 0) {
+    cfg.tx_load_per_round = opt.tx_load;
+    cfg.tx_clients = std::max<size_t>(2, opt.tx_clients);
+    // Keep consensus stake with the nodes: scale node stake up so the client
+    // accounts (sized to afford the run's fees) stay at noise-level weight,
+    // or committees thin out and rounds stall.
+    cfg.stake_per_user = 1'000'000;
+    cfg.client_stake =
+        std::max<uint64_t>(10'000, opt.rounds * opt.tx_load * 16 / cfg.tx_clients);
+    cfg.params.mempool_capacity = std::max<uint64_t>(cfg.params.mempool_capacity,
+                                                     4 * opt.tx_load);
+  }
   cfg.malicious_fraction = opt.malicious;
   cfg.use_map_event_queue = opt.map_queue;
   cfg.sim_workers = opt.workers;
@@ -527,8 +559,20 @@ int main(int argc, char** argv) {
     printf("%s", auditor.Report().c_str());
   }
 
+  // With --tx-load, an all-empty chain means the pipeline silently stalled;
+  // fail the run so scripts catch it.
+  bool txload_ok = true;
+  if (opt.tx_load > 0) {
+    const uint64_t committed = h.CommittedTxCount(h.malicious_count());
+    txload_ok = committed > 0;
+    printf("txload: %zu tx/round across %zu clients | committed %llu transactions%s\n",
+           opt.tx_load, cfg.tx_clients, static_cast<unsigned long long>(committed),
+           txload_ok ? "" : "  [NONE COMMITTED]");
+  }
+
   // Durability runs additionally require byte-identical chains on common
   // rounds: replayed-from-disk state must never diverge from the network.
   bool durable_ok = opt.data_dir.empty() || chains_ok;
-  return done && safety.ok && converged && dumps_ok && durable_ok && audit_ok ? 0 : 1;
+  return done && safety.ok && converged && dumps_ok && durable_ok && audit_ok && txload_ok ? 0
+                                                                                          : 1;
 }

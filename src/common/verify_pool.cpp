@@ -42,15 +42,15 @@ void VerifyPool::Drain() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void VerifyPool::AttachMetrics(MetricsRegistry* registry) {
+void VerifyPool::AttachMetrics(MetricsRegistry* registry, const std::string& prefix) {
   if (registry == nullptr) {
     jobs_ = &fallback_jobs_;
     queue_depth_ = nullptr;
     return;
   }
-  jobs_ = &registry->GetCounter("verify.pool_jobs");
-  queue_depth_ =
-      &registry->GetHistogram("verify.pool_queue_depth", MetricsRegistry::DefaultCountBuckets());
+  jobs_ = &registry->GetCounter(prefix + ".pool_jobs");
+  queue_depth_ = &registry->GetHistogram(prefix + ".pool_queue_depth",
+                                         MetricsRegistry::DefaultCountBuckets());
 }
 
 void VerifyPool::WorkerLoop() {

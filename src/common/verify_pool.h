@@ -20,6 +20,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -49,9 +50,11 @@ class VerifyPool {
 
   size_t worker_count() const { return threads_.size(); }
 
-  // Routes pool counters through `registry`: "verify.pool_jobs" (submitted)
-  // and the "verify.pool_queue_depth" histogram (depth observed at submit).
-  void AttachMetrics(MetricsRegistry* registry);
+  // Routes pool counters through `registry`: "<prefix>.pool_jobs" (submitted)
+  // and the "<prefix>.pool_queue_depth" histogram (depth observed at submit).
+  // The prefix keeps pools with different jobs apart — "verify" for the
+  // signature/VRF pipeline, "exec" for the block-apply pipeline.
+  void AttachMetrics(MetricsRegistry* registry, const std::string& prefix = "verify");
 
  private:
   void WorkerLoop();

@@ -43,7 +43,11 @@ Node::Node(NodeId id, Executor* sim, GossipAgent* gossip, const Ed25519KeyPair& 
       params_(params),
       crypto_(crypto),
       ledger_(genesis),
+      mempool_(MempoolConfig{static_cast<size_t>(params.mempool_capacity)}),
+      tx_verifier_(crypto.signer, crypto.cache, crypto.pool),
+      applier_(crypto.exec_pool),
       catchup_rng_(id, "catchup") {
+  ledger_.SetApplier(&applier_);
   gossip_->set_validator([this](const MessagePtr& msg) { return ValidateForRelay(msg); });
   gossip_->set_handler([this](const MessagePtr& msg) { HandleMessage(msg); });
 }
@@ -56,6 +60,8 @@ void Node::Start() {
 void Node::AttachObservability(MetricsRegistry* metrics, RoundTracer* tracer) {
   metrics_ = metrics;
   tracer_ = tracer;
+  mempool_.AttachMetrics(metrics);
+  applier_.AttachMetrics(metrics);
   if (metrics == nullptr) {
     obs_ = Instruments{};
     return;
@@ -157,8 +163,8 @@ void Node::RecordRoundMetrics(const RoundRecord& rec) {
 }
 
 void Node::SubmitTransaction(const Transaction& tx) {
-  if (crypto_.signer->Verify(tx.from, tx.SerializeBody(), tx.signature)) {
-    txn_pool_.emplace(tx.Id(), tx);
+  if (tx_verifier_.VerifyOne(tx)) {
+    mempool_.Add(tx, ledger_.accounts().NextNonceOf(tx.from));
   }
 }
 
@@ -341,9 +347,9 @@ void Node::AppendAgreedBlock(const Block& block) {
     // progress (§8.1's "pass an empty block" rule).
     ledger_.Append(empty_block_, kind);
   }
-  for (const Transaction& tx : block.txns) {
-    txn_pool_.erase(tx.Id());
-  }
+  // Drop committed ids, then any transaction the new account state makes
+  // unappliable (a competing block may have spent the same nonces).
+  mempool_.ObserveCommitted(block.txns, ledger_.accounts());
   RoundRecord& rec = records_.back();
   rec.end_time = sim_->now();
   rec.empty = block.is_empty;
@@ -441,18 +447,11 @@ Block Node::BuildBlockProposal() {
   block.next_seed = SeedBytes::FromSpan(std::span<const uint8_t>(seed_res.output.data(), 32));
   block.next_seed_proof = seed_res.proof;
 
-  // Fill with applicable transactions, then pad to the configured size.
-  AccountTable scratch = ledger_.accounts();
-  uint64_t used = 0;
-  for (const auto& [id, tx] : txn_pool_) {
-    if (used + Transaction::kWireSize > params_.block_size_bytes) {
-      break;
-    }
-    if (scratch.ApplyTransaction(tx)) {
-      block.txns.push_back(tx);
-      used += Transaction::kWireSize;
-    }
-  }
+  // Fill with applicable transactions — the mempool's fee-priority,
+  // nonce-sequenced draw against an overlay of current accounts — then pad
+  // to the configured size.
+  block.txns = mempool_.BuildBlock(ledger_.accounts(), params_.block_size_bytes);
+  uint64_t used = static_cast<uint64_t>(block.txns.size()) * Transaction::kWireSize;
   if (used < params_.block_size_bytes) {
     block.padding_bytes = params_.block_size_bytes - used;
     Writer digest;
@@ -585,6 +584,13 @@ void Node::PrewarmMessage(const MessagePtr& msg, VerifyPool* pool) {
   const VrfBackend* vrf = crypto_.vrf;
   const SignerBackend* signer = crypto_.signer;
 
+  if (auto txn = std::dynamic_pointer_cast<const TransactionMessage>(msg)) {
+    // Payment signatures are context-free, so they can always be prewarmed;
+    // the relay validator then hits the cache instead of verifying inline.
+    tx_verifier_.Prewarm({txn->tx});
+    return;
+  }
+
   if (auto vote = std::dynamic_pointer_cast<const VoteMessage>(msg)) {
     // Recovery votes need session context and future/stale votes are not
     // verifiable yet (unknown seed) — both are skipped, exactly the cases the
@@ -632,6 +638,9 @@ void Node::PrewarmMessage(const MessagePtr& msg, VerifyPool* pool) {
     sorthash = blk->block.proposer_vrf;
     proof = blk->block.proposer_proof;
     msg_round = blk->block.round;
+    // Transaction signatures are context-free: start them regardless of the
+    // round check below so ValidateBlockContents' batch verify hits the cache.
+    tx_verifier_.Prewarm(blk->block.txns);
   } else {
     return;
   }
@@ -687,15 +696,14 @@ bool Node::ValidateBlockContents(const Block& block) const {
       SeedBytes::FromSpan(std::span<const uint8_t>(seed_out->data(), 32)) != block.next_seed) {
     return false;
   }
-  // Transactions: signatures plus applicability against current accounts.
-  AccountTable scratch = ledger_.accounts();
-  for (const Transaction& tx : block.txns) {
-    if (!crypto_.signer->Verify(tx.from, tx.SerializeBody(), tx.signature)) {
-      return false;
-    }
-    if (!scratch.ApplyTransaction(tx)) {
-      return false;
-    }
+  // Transactions: batch signature verification (fanned across the verify
+  // pool, free for gossip-prewarmed entries) plus applicability via the
+  // conflict-partitioned checker. Both verdicts are worker-count independent.
+  if (!tx_verifier_.VerifyBatch(block.txns)) {
+    return false;
+  }
+  if (!applier_.CheckBlock(block.txns, ledger_.accounts())) {
+    return false;
   }
   return true;
 }
@@ -783,8 +791,9 @@ GossipVerdict Node::ValidateForRelay(const MessagePtr& msg) {
   }
   if (auto txn = std::dynamic_pointer_cast<const TransactionMessage>(msg)) {
     // Relay payments with a valid signature and a nonce that is not already
-    // spent; full applicability is checked at proposal time.
-    if (!crypto_.signer->Verify(txn->tx.from, txn->tx.SerializeBody(), txn->tx.signature)) {
+    // spent; full applicability is checked at proposal time. The cached
+    // verifier makes relay copies a lookup, not a signature check.
+    if (!tx_verifier_.VerifyOne(txn->tx)) {
       return GossipVerdict::kReject;
     }
     if (txn->tx.nonce < ledger_.accounts().NextNonceOf(txn->tx.from)) {
@@ -1340,9 +1349,7 @@ bool Node::ApplyCatchupResponse(const CatchupResponseMessage& resp, uint64_t* ap
       certificates_[e.cert.round] = e.cert;
     }
     StreamRoundToStore(e.cert.round, kind, &e.cert, nullptr);
-    for (const Transaction& tx : e.block.txns) {
-      txn_pool_.erase(tx.Id());
-    }
+    mempool_.ObserveCommitted(e.block.txns, ledger_.accounts());
     ++*applied;
     if (obs_.catchup_blocks != nullptr) {
       obs_.catchup_blocks->Increment();
@@ -1770,6 +1777,9 @@ void Node::OnRecoveryBaComplete(const BaResult& result) {
     EnterRecovery();
     return;
   }
+  // The adopted fork may have spent different nonces than the abandoned one;
+  // drop anything the new account state makes unappliable.
+  mempool_.DropStale(ledger_.accounts());
   if (store_ != nullptr) {
     // Mirror the fork switch on disk: one truncate record (fsync'd before
     // any segment GC), then the adopted suffix. Recovery-adopted blocks

@@ -28,8 +28,10 @@
 #include "src/core/params.h"
 #include "src/core/snapshot.h"
 #include "src/core/sortition.h"
+#include "src/core/tx_verifier.h"
 #include "src/core/verification_cache.h"
 #include "src/ledger/ledger.h"
+#include "src/ledger/mempool.h"
 #include "src/netsim/gossip.h"
 #include "src/netsim/simulation.h"
 #include "src/obs/metrics.h"
@@ -50,6 +52,11 @@ struct CryptoSuite {
   // hits the cache), so nodes prewarm their own outbound messages here and
   // the pool carries the compute off the protocol thread.
   VerifyPool* pool = nullptr;
+  // Optional worker pool for the block-apply pipeline (ledger/exec.h):
+  // conflict partitions of a committed block apply across these threads.
+  // Kept separate from `pool` so long apply jobs never starve prewarms.
+  // Null or zero workers = sequential apply (the deterministic default).
+  VerifyPool* exec_pool = nullptr;
 };
 
 // Per-round timing/outcome record, the raw data behind Figures 5-8.
@@ -108,7 +115,9 @@ class Node : public BaEnvironment {
   bool in_recovery() const { return in_recovery_; }
   uint64_t recoveries_completed() const { return recoveries_completed_; }
   uint64_t current_round() const { return current_round_; }
-  size_t pending_txn_count() const { return txn_pool_.size(); }
+  size_t pending_txn_count() const { return mempool_.size(); }
+  const Mempool& mempool() const { return mempool_; }
+  Mempool* mutable_mempool() { return &mempool_; }
   bool in_catchup() const { return catchup_.active; }
   uint64_t catchups_completed() const { return catchups_completed_; }
   bool halted() const { return halted_; }
@@ -374,8 +383,14 @@ class Node : public BaEnvironment {
   // Messages for rounds we have not reached yet.
   std::map<uint64_t, std::vector<MessagePtr>> future_messages_;
 
-  // Transactions waiting for inclusion.
-  std::map<Hash256, Transaction> txn_pool_;
+  // Transactions waiting for inclusion: deduped, nonce-sequenced,
+  // fee-prioritized (ledger/mempool.h). Declared before applier_/ledger use
+  // sites but after crypto_ so tx_verifier_ can borrow the suite's backends.
+  Mempool mempool_;
+  // Cache-aware batch signature verification for transactions.
+  TxSigVerifier tx_verifier_;
+  // Conflict-partitioned block apply; attached to ledger_ in the ctor.
+  BlockApplier applier_;
 
   std::vector<RoundRecord> records_;
   std::map<uint64_t, Certificate> certificates_;

@@ -51,6 +51,11 @@ struct ProtocolParams {
   // Block payload size in bytes (1 MB in most of the paper's experiments).
   uint64_t block_size_bytes = 1 << 20;
 
+  // Pending-transaction pool capacity, in transactions. At capacity the
+  // lowest-fee resident transaction is evicted; an arrival pricing below
+  // every resident one is rejected (ledger/mempool.h).
+  uint64_t mempool_capacity = uint64_t{1} << 16;
+
   // Fork-recovery cadence (§8.2): users kick off recovery on loosely
   // synchronized clocks at this interval.
   SimTime recovery_interval = Hours(1);

@@ -26,6 +26,33 @@ SimHarness::SimHarness(HarnessConfig config)
       alloc.second *= config_.users_per_group;
     }
   }
+  if (config_.tx_clients > 0) {
+    // Client accounts ride after the node allocations: funded, with real
+    // signing keys, but no stake scaling — they pay, they don't propose.
+    DeterministicRng client_rng(config_.rng_seed, "tx-clients");
+    client_keys_.reserve(config_.tx_clients);
+    for (size_t i = 0; i < config_.tx_clients; ++i) {
+      FixedBytes<32> seed;
+      client_rng.FillBytes(seed.data(), seed.size());
+      client_keys_.push_back(Ed25519KeyFromSeed(seed));
+      genesis_.config.allocations.emplace_back(client_keys_.back().public_key,
+                                               config_.client_stake);
+    }
+    client_nonces_.assign(config_.tx_clients, 0);
+  }
+  if (config_.filler_accounts > 0) {
+    // Fillers scale the account table to millions of entries. They never
+    // sign anything, so a raw random public key (no keypair derivation) is
+    // enough; stake 1 keeps their sortition weight negligible.
+    DeterministicRng filler_rng(config_.rng_seed, "tx-fillers");
+    genesis_.config.allocations.reserve(genesis_.config.allocations.size() +
+                                        config_.filler_accounts);
+    for (size_t i = 0; i < config_.filler_accounts; ++i) {
+      PublicKey pk;
+      filler_rng.FillBytes(pk.data(), pk.size());
+      genesis_.config.allocations.emplace_back(pk, 1);
+    }
+  }
   genesis_.config.weight_lookback_rounds = config_.weight_lookback_rounds;
   vrf_ = config_.use_sim_crypto ? static_cast<const VrfBackend*>(&sim_vrf_) : &ec_vrf_;
   signer_ =
@@ -66,8 +93,13 @@ SimHarness::SimHarness(HarnessConfig config)
     pool_ = std::make_unique<VerifyPool>(workers);
     pool_->AttachMetrics(&global_metrics_);
   }
+  const size_t exec_workers = ResolveExecWorkers(config_.exec_workers);
+  if (exec_workers > 0) {
+    exec_pool_ = std::make_unique<VerifyPool>(exec_workers);
+    exec_pool_->AttachMetrics(&global_metrics_, "exec");
+  }
 
-  CryptoSuite crypto{vrf_, signer_, &cache_, pool_.get()};
+  CryptoSuite crypto{vrf_, signer_, &cache_, pool_.get(), exec_pool_.get()};
   agents_.reserve(config_.n_nodes);
   nodes_.reserve(config_.n_nodes);
   metrics_.reserve(config_.n_nodes);
@@ -141,6 +173,42 @@ void SimHarness::SetNetworkAdversary(std::unique_ptr<NetworkAdversary> adversary
 }
 
 void SimHarness::Start() {
+  // Seed the mempools before the first proposals are assembled, then keep
+  // them topped up: a probe injects one batch per round the honest chain
+  // advances. Two batches go in up front — round N+1's proposal is built in
+  // the same event cascade that commits round N, before the probe's next
+  // tick, so without a standing one-batch buffer every other block would
+  // sail empty at full-block load. (Load generation targets the sequential
+  // engine, like SubmitPayment.)
+  if (config_.tx_load_per_round > 0 && client_keys_.size() >= 2) {
+    InjectTxLoad();
+    InjectTxLoad();
+    last_loaded_round_ = nodes_[malicious_count_]->ledger().chain_length();
+    auto probe = std::make_shared<std::function<void()>>();
+    *probe = [this, probe] {
+      uint64_t tip = 0;
+      size_t tip_node = malicious_count_;
+      for (size_t i = malicious_count_; i < nodes_.size(); ++i) {
+        if (alive_[i] && nodes_[i]->ledger().chain_length() > tip) {
+          tip = nodes_[i]->ledger().chain_length();
+          tip_node = i;
+        }
+      }
+      while (last_loaded_round_ < tip) {
+        // Back off while the chain is committing empty blocks: injecting into
+        // a pool that is not draining only forces fee evictions, and an
+        // evicted middle nonce strands every later nonce of that sender.
+        const uint64_t backlog = tx_counter_ - CommittedTxCount(tip_node);
+        if (backlog >= 2 * config_.tx_load_per_round) {
+          break;
+        }
+        InjectTxLoad();
+        ++last_loaded_round_;
+      }
+      sim_->Schedule(Seconds(1), *probe);
+    };
+    sim_->Schedule(Seconds(1), *probe);
+  }
   // Each node's startup events are keyed to its own stream so the parallel
   // engine orders them independently of the worker count (no-op on the
   // sequential engine).
@@ -205,7 +273,7 @@ void SimHarness::RestartNode(size_t i, bool from_snapshot) {
   // The old node may still be referenced by queued simulator lambdas; park it
   // (halted) instead of destroying it.
   graveyard_.push_back(std::move(nodes_[i]));
-  CryptoSuite crypto{vrf_, signer_, &cache_, pool_.get()};
+  CryptoSuite crypto{vrf_, signer_, &cache_, pool_.get(), exec_pool_.get()};
   // Reproduce the node's original configuration (sharding, subclass hooks):
   // a restart changes state, not deployment shape.
   std::unique_ptr<Node> node;
@@ -417,6 +485,41 @@ MetricsSnapshot SimHarness::AggregateMetrics() const {
   merged.counters["trace.events_recorded"] += tracer_.recorded();
   merged.counters["trace.events_dropped"] += tracer_.dropped();
   return merged;
+}
+
+void SimHarness::InjectTxLoad() {
+  if (config_.tx_load_per_round == 0 || client_keys_.size() < 2) {
+    return;
+  }
+  const uint64_t fee_levels = std::max<uint64_t>(1, config_.tx_fee_levels);
+  for (size_t k = 0; k < config_.tx_load_per_round; ++k) {
+    const size_t from = static_cast<size_t>(tx_counter_ % client_keys_.size());
+    const size_t to = (from + 1) % client_keys_.size();
+    // Fee depends on the sender only: monotone within a sender's nonce
+    // sequence, so mempool eviction can never strand a later nonce behind an
+    // evicted earlier one, while cross-sender fee priority stays exercised.
+    const uint64_t fee = 1 + static_cast<uint64_t>(from) % fee_levels;
+    Transaction tx = MakeTransaction(client_keys_[from], client_keys_[to].public_key,
+                                     /*amount=*/1, client_nonces_[from]++, *signer_, fee);
+    ++tx_counter_;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (!alive_[i]) {
+        continue;
+      }
+      sim_->SetExternalStream(static_cast<uint32_t>(i));
+      nodes_[i]->SubmitTransaction(tx);
+    }
+  }
+  sim_->SetExternalStream(Simulation::kGlobalStream);
+}
+
+uint64_t SimHarness::CommittedTxCount(size_t i) const {
+  const Ledger& ledger = nodes_[i]->ledger();
+  uint64_t total = 0;
+  for (uint64_t r = 0; r < ledger.chain_length(); ++r) {
+    total += ledger.BlockAtRound(r).txns.size();
+  }
+  return total;
 }
 
 Transaction SimHarness::SubmitPayment(size_t from_idx, size_t to_idx, uint64_t amount,

@@ -73,6 +73,28 @@ struct HarnessConfig {
   // uses to run the whole suite threaded under TSan.
   int verify_workers = -1;
 
+  // Block-apply pipeline: worker threads for the conflict-partitioned
+  // parallel apply (ledger/exec.h). Same contract as verify_workers: 0 =
+  // sequential (the tier-1 configuration), any N commits bit-identical state,
+  // -1 (default) reads the ALGORAND_EXEC_WORKERS environment variable.
+  int exec_workers = -1;
+
+  // Synthetic transaction load. `tx_clients` funded signing accounts
+  // (`client_stake` each) and `filler_accounts` key-less accounts of stake 1
+  // are appended to genesis after the node allocations — fillers inflate the
+  // account table to millions of entries without the keypair cost, clients
+  // carry the payment traffic. When tx_load_per_round > 0 the harness
+  // injects that many signed client-to-client payments each time the honest
+  // chain advances a round (plus one batch before the first round), nonces
+  // tracked per client. Fees cycle over 1..tx_fee_levels *per client* —
+  // monotone within a sender, so eviction can never open a nonce gap — which
+  // exercises the mempool's fee-priority ordering across senders.
+  size_t tx_clients = 0;
+  uint64_t client_stake = 1'000'000;
+  size_t filler_accounts = 0;
+  size_t tx_load_per_round = 0;
+  uint64_t tx_fee_levels = 8;
+
   // Adversary: the first floor(n * malicious_fraction) node ids run the
   // equivocation attack of §10.4 (their stake is the malicious stake, since
   // stakes are equal).
@@ -193,6 +215,17 @@ class SimHarness {
   // node's pool (clients gossip transactions network-wide).
   Transaction SubmitPayment(size_t from_idx, size_t to_idx, uint64_t amount, uint64_t nonce);
 
+  // The synthetic-load client keys (empty unless config.tx_clients > 0).
+  const std::vector<Ed25519KeyPair>& client_keys() const { return client_keys_; }
+
+  // Injects one round's worth of client payments (config.tx_load_per_round
+  // transactions) into every live node's mempool. Called automatically by the
+  // load probe; exposed for tests that drive load manually.
+  void InjectTxLoad();
+
+  // Transactions committed on node `i`'s chain (sum over its blocks).
+  uint64_t CommittedTxCount(size_t i = 0) const;
+
   // Fault injection (usable directly or via config.crash_schedule).
   // KillNode snapshots the node's durable state, halts it and stops
   // delivering to it. RestartNode replaces it with a fresh Node — restored
@@ -249,9 +282,18 @@ class SimHarness {
   // Declared after cache_ (and the crypto backends) so workers are joined
   // before anything they touch is destroyed.
   std::unique_ptr<VerifyPool> pool_;
+  // Separate pool for block-apply partitions: long apply jobs must never
+  // queue behind (or starve) in-flight signature prewarms.
+  std::unique_ptr<VerifyPool> exec_pool_;
   AdversaryCoordinator coordinator_;
   size_t malicious_count_ = 0;
   uint64_t probe_generation_ = 0;
+
+  // Synthetic-load state (see HarnessConfig::tx_load_per_round).
+  std::vector<Ed25519KeyPair> client_keys_;
+  std::vector<uint64_t> client_nonces_;
+  uint64_t tx_counter_ = 0;
+  uint64_t last_loaded_round_ = 0;
 };
 
 }  // namespace algorand

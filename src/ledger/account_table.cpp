@@ -1,33 +1,129 @@
 #include "src/ledger/account_table.h"
 
+#include <algorithm>
+
+#include "src/crypto/sha256.h"
+
 namespace algorand {
 
+namespace {
+constexpr size_t kInitialShardCapacity = 16;
+
+// Grow at 3/4 load: size / capacity >= 3/4 after the pending insert.
+bool NeedsGrowth(size_t size_after_insert, size_t capacity) {
+  return capacity == 0 || size_after_insert * 4 > capacity * 3;
+}
+}  // namespace
+
+void AccountTable::GrowShard(Shard* shard, size_t min_capacity) {
+  size_t capacity = kInitialShardCapacity;
+  while (capacity < min_capacity) {
+    capacity <<= 1;
+  }
+  Shard grown;
+  grown.ctrl.assign(capacity, 0);
+  grown.slots.resize(capacity);
+  grown.mask = capacity - 1;
+  grown.size = shard->size;
+  for (size_t i = 0; i < shard->slots.size(); ++i) {
+    if (shard->ctrl[i] == 0) {
+      continue;
+    }
+    size_t j = (Mix(shard->slots[i].key) >> kShardBits) & grown.mask;
+    while (grown.ctrl[j] != 0) {
+      j = (j + 1) & grown.mask;
+    }
+    grown.ctrl[j] = 1;
+    grown.slots[j] = shard->slots[i];
+  }
+  *shard = std::move(grown);
+}
+
+const Account* AccountTable::Find(const PublicKey& pk) const {
+  const uint64_t h = Mix(pk);
+  const Shard& shard = shards_[h & (kShards - 1)];
+  if (shard.size == 0) {
+    return nullptr;
+  }
+  size_t i = (h >> kShardBits) & shard.mask;
+  while (shard.ctrl[i] != 0) {
+    if (shard.slots[i].key == pk) {
+      return &shard.slots[i].account;
+    }
+    i = (i + 1) & shard.mask;
+  }
+  return nullptr;
+}
+
+Account* AccountTable::FindMutable(const PublicKey& pk) {
+  return const_cast<Account*>(std::as_const(*this).Find(pk));
+}
+
+Account& AccountTable::GetOrInsert(const PublicKey& pk) {
+  const uint64_t h = Mix(pk);
+  Shard& shard = shards_[h & (kShards - 1)];
+  if (NeedsGrowth(shard.size + 1, shard.slots.size())) {
+    GrowShard(&shard, (shard.size + 1) * 2);
+  }
+  size_t i = (h >> kShardBits) & shard.mask;
+  while (shard.ctrl[i] != 0) {
+    if (shard.slots[i].key == pk) {
+      return shard.slots[i].account;
+    }
+    i = (i + 1) & shard.mask;
+  }
+  shard.ctrl[i] = 1;
+  shard.slots[i].key = pk;
+  shard.slots[i].account = Account{};
+  ++shard.size;
+  return shard.slots[i].account;
+}
+
+size_t AccountTable::account_count() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    n += shard.size;
+  }
+  return n;
+}
+
+void AccountTable::Reserve(size_t expected_accounts) {
+  // Spread across shards with slack for imbalance, then round so the 3/4
+  // load factor is never crossed at the expected fill.
+  const size_t per_shard = expected_accounts / kShards + 1;
+  const size_t min_capacity = per_shard + per_shard / 2;
+  for (Shard& shard : shards_) {
+    if (shard.slots.size() < min_capacity) {
+      GrowShard(&shard, min_capacity);
+    }
+  }
+}
+
 void AccountTable::Credit(const PublicKey& pk, uint64_t amount) {
-  accounts_[pk].balance += amount;
+  GetOrInsert(pk).balance += amount;
   total_weight_ += amount;
 }
 
 uint64_t AccountTable::BalanceOf(const PublicKey& pk) const {
-  auto it = accounts_.find(pk);
-  return it == accounts_.end() ? 0 : it->second.balance;
+  const Account* a = Find(pk);
+  return a == nullptr ? 0 : a->balance;
 }
 
 uint64_t AccountTable::NextNonceOf(const PublicKey& pk) const {
-  auto it = accounts_.find(pk);
-  return it == accounts_.end() ? 0 : it->second.next_nonce;
+  const Account* a = Find(pk);
+  return a == nullptr ? 0 : a->next_nonce;
 }
 
 bool AccountTable::CheckTransaction(const Transaction& tx) const {
-  auto it = accounts_.find(tx.from);
-  if (it == accounts_.end()) {
+  const Account* from = Find(tx.from);
+  if (from == nullptr) {
     return false;
   }
-  const Account& from = it->second;
-  if (tx.nonce != from.next_nonce) {
+  if (tx.nonce != from->next_nonce) {
     return false;
   }
   // Overflow-safe balance check.
-  if (tx.amount > from.balance || tx.fee > from.balance - tx.amount) {
+  if (tx.amount > from->balance || tx.fee > from->balance - tx.amount) {
     return false;
   }
   return true;
@@ -37,12 +133,97 @@ bool AccountTable::ApplyTransaction(const Transaction& tx) {
   if (!CheckTransaction(tx)) {
     return false;
   }
-  Account& from = accounts_[tx.from];
+  Account* from = FindMutable(tx.from);
+  from->balance -= tx.amount + tx.fee;
+  from->next_nonce += 1;
+  GetOrInsert(tx.to).balance += tx.amount;  // May invalidate `from`; done with it.
+  total_weight_ -= tx.fee;                  // Fees are burned.
+  return true;
+}
+
+void AccountTable::Upsert(const PublicKey& pk, const Account& account) {
+  GetOrInsert(pk) = account;
+}
+
+std::vector<std::pair<PublicKey, Account>> AccountTable::SortedEntries() const {
+  std::vector<std::pair<PublicKey, Account>> out;
+  out.reserve(account_count());
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < shard.slots.size(); ++i) {
+      if (shard.ctrl[i] != 0) {
+        out.emplace_back(shard.slots[i].key, shard.slots[i].account);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+Hash256 AccountTable::StateFingerprint() const {
+  Sha256 h;
+  h.Update("account-table-v1");
+  for (const auto& [pk, account] : SortedEntries()) {
+    h.Update(std::span<const uint8_t>(pk.data(), pk.size()));
+    uint8_t buf[16];
+    for (int i = 0; i < 8; ++i) {
+      buf[i] = static_cast<uint8_t>(account.balance >> (8 * i));
+      buf[8 + i] = static_cast<uint8_t>(account.next_nonce >> (8 * i));
+    }
+    h.Update(std::span<const uint8_t>(buf, sizeof buf));
+  }
+  uint8_t tail[8];
+  for (int i = 0; i < 8; ++i) {
+    tail[i] = static_cast<uint8_t>(total_weight_ >> (8 * i));
+  }
+  h.Update(std::span<const uint8_t>(tail, sizeof tail));
+  return h.Finish();
+}
+
+Account AccountOverlay::Get(const PublicKey& pk) const {
+  auto it = delta_.find(pk);
+  if (it != delta_.end()) {
+    return it->second;
+  }
+  const Account* a = base_->Find(pk);
+  return a == nullptr ? Account{} : *a;
+}
+
+bool AccountOverlay::CheckTransaction(const Transaction& tx) const {
+  const Account from = Get(tx.from);
+  if (from.balance == 0 && from.next_nonce == 0 && base_->Find(tx.from) == nullptr &&
+      delta_.find(tx.from) == delta_.end()) {
+    return false;  // Unknown sender, same verdict as the table.
+  }
+  if (tx.nonce != from.next_nonce) {
+    return false;
+  }
+  if (tx.amount > from.balance || tx.fee > from.balance - tx.amount) {
+    return false;
+  }
+  return true;
+}
+
+bool AccountOverlay::ApplyTransaction(const Transaction& tx) {
+  if (!CheckTransaction(tx)) {
+    return false;
+  }
+  Account from = Get(tx.from);
   from.balance -= tx.amount + tx.fee;
   from.next_nonce += 1;
-  accounts_[tx.to].balance += tx.amount;
-  total_weight_ -= tx.fee;  // Fees are burned.
+  delta_[tx.from] = from;
+  Account to = Get(tx.to);
+  to.balance += tx.amount;
+  delta_[tx.to] = to;
+  fees_burned_ += tx.fee;
   return true;
+}
+
+void AccountOverlay::CommitTo(AccountTable* table) const {
+  for (const auto& [pk, account] : delta_) {
+    table->Upsert(pk, account);
+  }
+  table->BurnFees(fees_burned_);
 }
 
 }  // namespace algorand

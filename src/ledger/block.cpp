@@ -39,8 +39,11 @@ std::optional<Block> Block::Deserialize(std::span<const uint8_t> data) {
   b.padding_bytes = r.U64();
   b.padding_digest = r.Fixed<32>();
   uint32_t n = r.U32();
-  // Guard against absurd counts on malformed input before reserving.
-  if (!r.ok() || n > data.size() / Transaction::kWireSize + 1) {
+  // Bound the count by the bytes actually left in the buffer before
+  // reserving: a count the remainder cannot hold is malformed, full stop.
+  // (The old bound, data.size() / kWireSize + 1, measured the whole buffer
+  // including the ~300-byte header and was off by a couple of transactions.)
+  if (!r.ok() || n > r.remaining() / Transaction::kWireSize) {
     return std::nullopt;
   }
   b.txns.reserve(n);

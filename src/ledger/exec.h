@@ -1,0 +1,105 @@
+// Pipelined block execution: check → conflict-partition → apply in parallel.
+//
+// A 1 MB block holds ~6,900 signed payments (§10.2 measures committed
+// throughput in MB/h of exactly such blocks). Applying them is
+// embarrassingly parallel *between* groups of transactions that touch
+// disjoint accounts, and strictly ordered *within* a group. The applier
+// therefore union-finds transactions on touched accounts (sender and
+// receiver), checks each partition against the base table through an
+// AccountOverlay, and — only if every transaction in every partition applies
+// — commits the per-partition deltas.
+//
+// Determinism invariant: the committed state is a function of the block
+// alone, never of worker count or scheduling. This holds because (a)
+// partitions own disjoint account sets, so their deltas never overlap and
+// commit order is immaterial; (b) within a partition, transactions are
+// checked and applied in block order; (c) burned fees are summed once by the
+// calling thread; and (d) no observable API exposes hash-table layout (the
+// only iteration order that could differ between schedules). exec_workers=0
+// keeps everything on the calling thread — bit-identical state, and the
+// tier-1 default so tests stay reproducible. The A/B is pinned by
+// txpipeline_test and bench_txpipeline's fingerprint cross-check.
+#ifndef ALGORAND_SRC_LEDGER_EXEC_H_
+#define ALGORAND_SRC_LEDGER_EXEC_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/common/verify_pool.h"
+#include "src/ledger/account_table.h"
+#include "src/ledger/transaction.h"
+#include "src/obs/metrics.h"
+
+namespace algorand {
+
+// Resolves the worker count for an `exec_workers` config field: non-negative
+// is used as-is; negative (the default) defers to the ALGORAND_EXEC_WORKERS
+// environment variable, else 0 (sequential). Mirrors ResolveVerifyWorkers so
+// CI can run the whole suite with the parallel applier enabled.
+size_t ResolveExecWorkers(int configured);
+
+// Groups transaction indices into conflict partitions: two transactions land
+// in the same partition iff they are connected through shared touched
+// accounts (sender or receiver). Within each partition indices are in block
+// order; partitions are ordered by their smallest transaction index. Output
+// is deterministic (pure function of the block).
+std::vector<std::vector<uint32_t>> PartitionByAccount(const std::vector<Transaction>& txns);
+
+struct ExecStats {
+  size_t txns = 0;
+  size_t partitions = 0;
+  size_t largest_partition = 0;
+  bool parallel = false;  // True if this block went through pool workers.
+};
+
+class BlockApplier {
+ public:
+  // `pool` supplies worker threads for the parallel path; nullptr or a
+  // zero-worker pool keeps every block on the calling thread. The pool may
+  // be shared with other appliers (it is just a job queue).
+  explicit BlockApplier(VerifyPool* pool = nullptr) : pool_(pool) {}
+
+  // Routes "exec.blocks", "exec.txns", "exec.parallel_blocks", "exec.partitions"
+  // counters and the "exec.apply_us" / "exec.partition_txns" histograms
+  // through `registry`.
+  void AttachMetrics(MetricsRegistry* registry);
+
+  // Atomically applies the block's transactions to `table`: checks every
+  // partition first, commits only if all of them apply in block order.
+  // Returns false and leaves `table` unchanged otherwise. Thread-safe for
+  // concurrent calls on *different* tables (shard locks serialize commits).
+  bool ApplyBlock(const std::vector<Transaction>& txns, AccountTable* table,
+                  ExecStats* stats = nullptr) const;
+
+  // Validation-only variant: same verdict as ApplyBlock, no mutation.
+  bool CheckBlock(const std::vector<Transaction>& txns, const AccountTable& table,
+                  ExecStats* stats = nullptr) const;
+
+  size_t worker_count() const { return pool_ == nullptr ? 0 : pool_->worker_count(); }
+
+ private:
+  // Checks every partition through an overlay (parallel when workers exist);
+  // fills `overlays` on success. Returns false on the first failed partition.
+  bool CheckPartitions(const std::vector<Transaction>& txns,
+                       const std::vector<std::vector<uint32_t>>& partitions,
+                       const AccountTable& table, std::vector<AccountOverlay>* overlays,
+                       bool* ran_parallel) const;
+
+  VerifyPool* pool_;
+  // Commit-phase locks, keyed by AccountTable::ShardOf. Shared across every
+  // table this applier touches — over-locking across tables is harmless.
+  mutable std::array<std::mutex, AccountTable::kShards> shard_mu_;
+
+  Counter* blocks_ = nullptr;
+  Counter* txns_counter_ = nullptr;
+  Counter* parallel_blocks_ = nullptr;
+  Counter* partitions_counter_ = nullptr;
+  Histogram* apply_us_ = nullptr;
+  Histogram* partition_txns_ = nullptr;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_LEDGER_EXEC_H_

@@ -13,6 +13,7 @@
 #include "src/common/bytes.h"
 #include "src/ledger/account_table.h"
 #include "src/ledger/block.h"
+#include "src/ledger/exec.h"
 
 namespace algorand {
 
@@ -68,6 +69,15 @@ class Ledger {
 
   const AccountTable& accounts() const { return accounts_; }
 
+  // Routes Append's transaction execution through `applier` (the pipelined
+  // verify → partition → apply path of ledger/exec.h). Null restores the
+  // built-in sequential applier. The applier must outlive the ledger; its
+  // worker count never changes the committed state, only how it is computed.
+  void SetApplier(const BlockApplier* applier) { applier_ = applier; }
+
+  // Execution stats of the most recent successful Append.
+  const ExecStats& last_exec_stats() const { return last_exec_stats_; }
+
   // Account state after applying blocks 1..round (by replay). Used by the
   // recovery protocol, which needs weights from the pre-fork (final) prefix.
   AccountTable AccountsAtRound(uint64_t round) const;
@@ -102,6 +112,8 @@ class Ledger {
   std::vector<SeedBytes> seeds_;      // seeds_[r] = seed of round r.
   Hash256 tip_hash_;
   AccountTable accounts_;
+  const BlockApplier* applier_ = nullptr;
+  ExecStats last_exec_stats_;
   std::unordered_map<Hash256, uint64_t, FixedBytesHasher> round_by_hash_;
   std::unordered_map<Hash256, uint64_t, FixedBytesHasher> txn_round_;  // txn id -> round.
   std::deque<AccountTable> snapshots_;  // Most recent last; only if lookback.

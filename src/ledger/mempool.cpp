@@ -1,0 +1,208 @@
+#include "src/ledger/mempool.h"
+
+#include <algorithm>
+
+namespace algorand {
+
+void Mempool::AttachMetrics(MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry == nullptr) {
+    added_ = &fallback_[0];
+    duplicates_ = &fallback_[1];
+    stale_ = &fallback_[2];
+    replaced_ = &fallback_[3];
+    evicted_ = &fallback_[4];
+    underpriced_ = &fallback_[5];
+    committed_ = &fallback_[6];
+    size_gauge_ = nullptr;
+    return;
+  }
+  added_ = &registry->GetCounter("mempool.added");
+  duplicates_ = &registry->GetCounter("mempool.duplicates");
+  stale_ = &registry->GetCounter("mempool.stale");
+  replaced_ = &registry->GetCounter("mempool.replaced");
+  evicted_ = &registry->GetCounter("mempool.evicted");
+  underpriced_ = &registry->GetCounter("mempool.underpriced");
+  committed_ = &registry->GetCounter("mempool.committed");
+  size_gauge_ = &registry->GetGauge("mempool.size");
+}
+
+void Mempool::UpdateSizeGauge() const {
+  if (size_gauge_ != nullptr) {
+    size_gauge_->Set(static_cast<int64_t>(ids_.size()));
+  }
+}
+
+void Mempool::RemoveLocked(const PublicKey& sender, uint64_t nonce) {
+  auto sit = senders_.find(sender);
+  if (sit == senders_.end()) {
+    return;
+  }
+  auto nit = sit->second.find(nonce);
+  if (nit == sit->second.end()) {
+    return;
+  }
+  ids_.erase(nit->second.Id());
+  eviction_index_.erase({nit->second.fee, sender, nonce});
+  sit->second.erase(nit);
+  if (sit->second.empty()) {
+    senders_.erase(sit);
+  }
+}
+
+Mempool::AddResult Mempool::Add(const Transaction& tx, uint64_t ledger_next_nonce) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tx.nonce < ledger_next_nonce) {
+    stale_->Increment();
+    return AddResult::kStale;
+  }
+  const Hash256 id = tx.Id();
+  if (ids_.find(id) != ids_.end()) {
+    duplicates_->Increment();
+    return AddResult::kDuplicate;
+  }
+  auto& queue = senders_[tx.from];
+  auto slot = queue.find(tx.nonce);
+  if (slot != queue.end()) {
+    // A different transaction already claims this (sender, nonce): only a
+    // strictly higher fee may replace it.
+    if (tx.fee <= slot->second.fee) {
+      duplicates_->Increment();
+      return AddResult::kDuplicate;
+    }
+    ids_.erase(slot->second.Id());
+    eviction_index_.erase({slot->second.fee, tx.from, tx.nonce});
+    slot->second = tx;
+    ids_.emplace(id, std::make_pair(tx.from, tx.nonce));
+    eviction_index_.insert({tx.fee, tx.from, tx.nonce});
+    replaced_->Increment();
+    UpdateSizeGauge();
+    return AddResult::kReplaced;
+  }
+  if (SizeLocked() >= config_.capacity) {
+    const auto victim = *eviction_index_.begin();  // Lowest fee, tail-most.
+    if (!(tx.fee > std::get<0>(victim))) {
+      underpriced_->Increment();
+      return AddResult::kUnderpriced;
+    }
+    RemoveLocked(std::get<1>(victim), std::get<2>(victim));
+    evicted_->Increment();
+  }
+  senders_[tx.from].emplace(tx.nonce, tx);
+  ids_.emplace(id, std::make_pair(tx.from, tx.nonce));
+  eviction_index_.insert({tx.fee, tx.from, tx.nonce});
+  added_->Increment();
+  UpdateSizeGauge();
+  return AddResult::kAdded;
+}
+
+bool Mempool::Contains(const Hash256& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ids_.find(id) != ids_.end();
+}
+
+size_t Mempool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ids_.size();
+}
+
+std::vector<Transaction> Mempool::BuildBlock(const AccountTable& accounts,
+                                             size_t max_bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AccountOverlay overlay(accounts);
+  // Ready heads, drained highest fee first; ties broken by transaction id so
+  // assembly is a pure function of (pool, accounts).
+  struct HeadOrder {
+    bool operator()(const std::tuple<uint64_t, Hash256, PublicKey>& a,
+                    const std::tuple<uint64_t, Hash256, PublicKey>& b) const {
+      if (std::get<0>(a) != std::get<0>(b)) {
+        return std::get<0>(a) > std::get<0>(b);
+      }
+      return std::get<1>(a) < std::get<1>(b);
+    }
+  };
+  std::set<std::tuple<uint64_t, Hash256, PublicKey>, HeadOrder> heads;
+  for (const auto& [sender, queue] : senders_) {
+    auto it = queue.find(accounts.NextNonceOf(sender));
+    if (it != queue.end()) {
+      heads.insert({it->second.fee, it->second.Id(), sender});
+    }
+  }
+  std::vector<Transaction> out;
+  size_t used = 0;
+  while (!heads.empty() && used + Transaction::kWireSize <= max_bytes) {
+    const auto head = *heads.begin();
+    heads.erase(heads.begin());
+    const PublicKey& sender = std::get<2>(head);
+    const auto& queue = senders_.at(sender);
+    auto it = queue.find(overlay.NextNonceOf(sender));
+    if (it == queue.end()) {
+      continue;
+    }
+    const Transaction& tx = it->second;
+    if (!overlay.ApplyTransaction(tx)) {
+      // Insufficient balance at this point of assembly; later nonces of this
+      // sender cannot apply either (the nonce would gap), so drop the queue.
+      continue;
+    }
+    out.push_back(tx);
+    used += Transaction::kWireSize;
+    auto next = queue.find(tx.nonce + 1);
+    if (next != queue.end()) {
+      heads.insert({next->second.fee, next->second.Id(), sender});
+    }
+  }
+  return out;
+}
+
+void Mempool::ObserveCommitted(const std::vector<Transaction>& committed,
+                               const AccountTable& accounts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Transaction& tx : committed) {
+    auto it = ids_.find(tx.Id());
+    if (it != ids_.end()) {
+      const auto [sender, nonce] = it->second;
+      RemoveLocked(sender, nonce);
+    }
+  }
+  committed_->Increment(committed.size());
+  // Apply-time invalidation: a competing block may have consumed a sender's
+  // nonce with a *different* transaction id; everything below the ledger
+  // nonce is now unappliable.
+  for (const Transaction& tx : committed) {
+    DropStaleSenderLocked(tx.from, accounts.NextNonceOf(tx.from));
+  }
+  UpdateSizeGauge();
+}
+
+void Mempool::DropStaleSenderLocked(const PublicKey& sender, uint64_t ledger_next_nonce) {
+  auto sit = senders_.find(sender);
+  if (sit == senders_.end()) {
+    return;
+  }
+  auto& queue = sit->second;
+  while (!queue.empty() && queue.begin()->first < ledger_next_nonce) {
+    ids_.erase(queue.begin()->second.Id());
+    eviction_index_.erase({queue.begin()->second.fee, sender, queue.begin()->first});
+    queue.erase(queue.begin());
+    stale_->Increment();
+  }
+  if (queue.empty()) {
+    senders_.erase(sit);
+  }
+}
+
+void Mempool::DropStale(const AccountTable& accounts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PublicKey> sender_list;
+  sender_list.reserve(senders_.size());
+  for (const auto& [sender, queue] : senders_) {
+    sender_list.push_back(sender);
+  }
+  for (const PublicKey& sender : sender_list) {
+    DropStaleSenderLocked(sender, accounts.NextNonceOf(sender));
+  }
+  UpdateSizeGauge();
+}
+
+}  // namespace algorand

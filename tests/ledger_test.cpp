@@ -202,6 +202,44 @@ TEST(BlockTest, DeserializeRejectsGarbage) {
   EXPECT_FALSE(Block::Deserialize(junk).has_value());
 }
 
+TEST(BlockTest, DeserializeRejectsMalformedTxCount) {
+  // Fuzz the little-endian u32 transaction count in an otherwise valid
+  // serialization. The count's byte offset is the size of a zero-transaction
+  // block minus the count field itself (it is the last header field).
+  Fixture f;
+  Block b;
+  b.round = 1;
+  b.prev_hash = f.ledger.tip_hash();
+  for (uint64_t n = 0; n < 3; ++n) {
+    b.txns.push_back(MakeTransaction(f.key(0), f.pk(1), 10, n, kSigner));
+  }
+  std::vector<uint8_t> bytes = b.Serialize();
+  Block empty;
+  const size_t count_offset = empty.Serialize().size() - 4;
+  ASSERT_TRUE(Block::Deserialize(bytes).has_value());
+
+  auto with_count = [&](uint32_t n) {
+    std::vector<uint8_t> fuzzed = bytes;
+    for (size_t i = 0; i < 4; ++i) {
+      fuzzed[count_offset + i] = static_cast<uint8_t>(n >> (8 * i));
+    }
+    return fuzzed;
+  };
+  // One more transaction than the remaining bytes can hold: the exact
+  // boundary the remaining-bytes bound must catch (the old whole-buffer
+  // bound admitted it and fell through to a truncation error later —
+  // malformed counts must be rejected up front, before any reserve()).
+  EXPECT_FALSE(Block::Deserialize(with_count(4)).has_value());
+  // A count whose byte size overflows any plausible buffer.
+  EXPECT_FALSE(Block::Deserialize(with_count(0xFFFFFFFFu)).has_value());
+  // Fewer transactions than bytes present: trailing bytes are malformed too.
+  EXPECT_FALSE(Block::Deserialize(with_count(2)).has_value());
+  // A truncated final transaction with a correct count still fails cleanly.
+  std::vector<uint8_t> truncated = bytes;
+  truncated.resize(truncated.size() - 7);
+  EXPECT_FALSE(Block::Deserialize(truncated).has_value());
+}
+
 TEST(BlockTest, WireSizeIncludesPadding) {
   Block b;
   uint64_t base = b.WireSize();
