@@ -72,6 +72,11 @@ struct CliOptions {
   // Durability: per-node disk logs under DIR; restarts replay from disk.
   std::string data_dir;
   FsyncPolicy fsync = FsyncPolicy::kBatched;
+  // Checkpoints + fast-sync (DESIGN.md §13): periodic ledger-state
+  // checkpoints every N final rounds (0 = off; needs --data-dir), and
+  // checkpoint fast-sync for fresh joiners instead of genesis replay.
+  uint64_t checkpoint_interval = 0;
+  bool fast_sync = false;
 };
 
 // "3:20:50" -> node 3 crashes at t=20s, restarts (from snapshot) at t=50s.
@@ -183,6 +188,10 @@ CliOptions Parse(int argc, char** argv) {
       opt.audit = true;  // A partition run is only meaningful under audit.
     } else if (ParseFlag(argc, argv, &i, "data-dir", &v)) {
       opt.data_dir = v;
+    } else if (ParseFlag(argc, argv, &i, "checkpoint-interval", &v)) {
+      opt.checkpoint_interval = std::stoull(v);
+    } else if (strcmp(argv[i], "--fast-sync") == 0) {
+      opt.fast_sync = true;
     } else if (ParseFlag(argc, argv, &i, "fsync", &v)) {
       if (auto policy = ParseFsyncPolicy(v)) {
         opt.fsync = *policy;
@@ -262,6 +271,13 @@ void PrintHelp() {
       "                      nodes restart by replaying their disk log\n"
       "  --fsync=POLICY      store fsync policy: every_round, batched (default)\n"
       "                      or off\n"
+      "  --checkpoint-interval=N  write a ledger-state checkpoint every N final\n"
+      "                      rounds and compact log segments below it (needs\n"
+      "                      --data-dir; 0 = off)\n"
+      "  --fast-sync         fresh joiners bootstrap from a peer's checkpoint\n"
+      "                      via the certificate chain instead of replaying\n"
+      "                      every block; a --fast-sync run fails unless a\n"
+      "                      fast-sync actually completed and converged\n"
       "flags also accept the space-separated form: --rounds 5\n");
 }
 
@@ -311,6 +327,12 @@ int main(int argc, char** argv) {
   }
   cfg.data_dir = opt.data_dir;
   cfg.store_fsync = opt.fsync;
+  if (opt.checkpoint_interval > 0 && opt.data_dir.empty()) {
+    fprintf(stderr, "--checkpoint-interval needs --data-dir (checkpoints live in the store)\n");
+    return 2;
+  }
+  cfg.params.checkpoint_interval = opt.checkpoint_interval;
+  cfg.params.fastsync_enabled = opt.fast_sync;
 
   const std::string engine = cfg.sim_workers > 0
                                  ? "parallel/" + std::to_string(cfg.sim_workers) + "-worker"
@@ -570,9 +592,43 @@ int main(int argc, char** argv) {
            txload_ok ? "" : "  [NONE COMMITTED]");
   }
 
+  // Checkpoint/compaction and fast-sync accounting. A --fast-sync run fails
+  // unless some fresh node actually completed the checkpoint bootstrap —
+  // silently falling back to full replay would pass convergence but not
+  // exercise the path under test.
+  bool fastsync_ok = true;
+  if (opt.checkpoint_interval > 0 || opt.fast_sync) {
+    MetricsSnapshot snap = h.AggregateMetrics();
+    if (opt.checkpoint_interval > 0) {
+      printf("checkpoints: every %llu final rounds | %llu written (%llu MB) | "
+             "compaction runs %llu, segments removed %llu, %.1f MB reclaimed\n",
+             static_cast<unsigned long long>(opt.checkpoint_interval),
+             static_cast<unsigned long long>(snap.counters["store.checkpoints_written"]),
+             static_cast<unsigned long long>(snap.counters["store.checkpoint_bytes"] >> 20),
+             static_cast<unsigned long long>(snap.counters["store.compaction_runs"]),
+             static_cast<unsigned long long>(snap.counters["store.compaction_segments_removed"]),
+             static_cast<double>(snap.counters["store.compaction_bytes_reclaimed"]) / 1e6);
+    }
+    if (opt.fast_sync) {
+      uint64_t sessions = snap.counters["catchup.fastsync_sessions"];
+      uint64_t completed = snap.counters["catchup.fastsync_completed"];
+      fastsync_ok = sessions == 0 || completed >= 1;
+      printf("fastsync: sessions %llu completed %llu failed %llu | %llu links verified, "
+             "%.1f MB state fetched | %s\n",
+             static_cast<unsigned long long>(sessions),
+             static_cast<unsigned long long>(completed),
+             static_cast<unsigned long long>(snap.counters["catchup.fastsync_failed"]),
+             static_cast<unsigned long long>(snap.counters["catchup.fastsync_links_verified"]),
+             static_cast<double>(snap.counters["catchup.fastsync_bytes"]) / 1e6,
+             fastsync_ok ? "ok" : "NO COMPLETED FAST-SYNC");
+    }
+  }
+
   // Durability runs additionally require byte-identical chains on common
   // rounds: replayed-from-disk state must never diverge from the network.
   bool durable_ok = opt.data_dir.empty() || chains_ok;
-  return done && safety.ok && converged && dumps_ok && durable_ok && audit_ok && txload_ok ? 0
-                                                                                          : 1;
+  return done && safety.ok && converged && dumps_ok && durable_ok && audit_ok && txload_ok &&
+                 fastsync_ok
+             ? 0
+             : 1;
 }

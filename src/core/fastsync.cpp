@@ -1,0 +1,180 @@
+#include "src/core/fastsync.h"
+
+#include "src/common/serialize.h"
+#include "src/crypto/sha256.h"
+
+namespace algorand {
+
+std::vector<uint8_t> FastSyncManifestRequest::Serialize() const {
+  Writer w;
+  w.U32(requester);
+  w.U64(seq);
+  return w.Take();
+}
+
+std::optional<FastSyncManifestRequest> FastSyncManifestRequest::Deserialize(
+    std::span<const uint8_t> data) {
+  Reader r(data);
+  FastSyncManifestRequest m;
+  m.requester = r.U32();
+  m.seq = r.U64();
+  if (!r.AtEnd()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+Hash256 FastSyncManifestRequest::ComputeDedupId() const { return Sha256::Hash(Serialize()); }
+
+std::vector<uint8_t> FastSyncManifestResponse::Serialize() const {
+  Writer w;
+  w.U32(responder);
+  w.U64(seq);
+  w.Bytes(manifest);
+  w.U64(payload_bytes);
+  return w.Take();
+}
+
+std::optional<FastSyncManifestResponse> FastSyncManifestResponse::Deserialize(
+    std::span<const uint8_t> data) {
+  Reader r(data);
+  FastSyncManifestResponse m;
+  m.responder = r.U32();
+  m.seq = r.U64();
+  m.manifest = r.Bytes();
+  m.payload_bytes = r.U64();
+  if (!r.AtEnd()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+Hash256 FastSyncManifestResponse::ComputeDedupId() const { return Sha256::Hash(Serialize()); }
+
+std::vector<uint8_t> FastSyncLinksRequest::Serialize() const {
+  Writer w;
+  w.U32(requester);
+  w.U64(seq);
+  w.U64(from_round);
+  w.U32(limit);
+  return w.Take();
+}
+
+std::optional<FastSyncLinksRequest> FastSyncLinksRequest::Deserialize(
+    std::span<const uint8_t> data) {
+  Reader r(data);
+  FastSyncLinksRequest m;
+  m.requester = r.U32();
+  m.seq = r.U64();
+  m.from_round = r.U64();
+  m.limit = r.U32();
+  if (!r.AtEnd()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+Hash256 FastSyncLinksRequest::ComputeDedupId() const { return Sha256::Hash(Serialize()); }
+
+std::vector<uint8_t> FastSyncLinksResponse::Serialize() const {
+  Writer w;
+  w.U32(responder);
+  w.U64(seq);
+  w.U64(from_round);
+  w.U32(static_cast<uint32_t>(links.size()));
+  for (const std::vector<uint8_t>& link : links) {
+    w.Bytes(link);
+  }
+  return w.Take();
+}
+
+std::optional<FastSyncLinksResponse> FastSyncLinksResponse::Deserialize(
+    std::span<const uint8_t> data) {
+  Reader r(data);
+  FastSyncLinksResponse m;
+  m.responder = r.U32();
+  m.seq = r.U64();
+  m.from_round = r.U64();
+  uint32_t n = r.U32();
+  if (!r.ok() || n > data.size()) {
+    return std::nullopt;
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    m.links.push_back(r.Bytes());
+    if (!r.ok()) {
+      return std::nullopt;
+    }
+  }
+  if (!r.AtEnd()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+uint64_t FastSyncLinksResponse::ComputeWireSize() const {
+  uint64_t size = 4 + 8 + 8 + 4;
+  for (const std::vector<uint8_t>& link : links) {
+    size += 4 + link.size();
+  }
+  return size;
+}
+
+Hash256 FastSyncLinksResponse::ComputeDedupId() const { return Sha256::Hash(Serialize()); }
+
+std::vector<uint8_t> FastSyncChunkRequest::Serialize() const {
+  Writer w;
+  w.U32(requester);
+  w.U64(seq);
+  w.U64(round);
+  w.U64(offset);
+  w.U32(limit);
+  return w.Take();
+}
+
+std::optional<FastSyncChunkRequest> FastSyncChunkRequest::Deserialize(
+    std::span<const uint8_t> data) {
+  Reader r(data);
+  FastSyncChunkRequest m;
+  m.requester = r.U32();
+  m.seq = r.U64();
+  m.round = r.U64();
+  m.offset = r.U64();
+  m.limit = r.U32();
+  if (!r.AtEnd()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+Hash256 FastSyncChunkRequest::ComputeDedupId() const { return Sha256::Hash(Serialize()); }
+
+std::vector<uint8_t> FastSyncChunkResponse::Serialize() const {
+  Writer w;
+  w.U32(responder);
+  w.U64(seq);
+  w.U64(round);
+  w.U64(offset);
+  w.U64(total_bytes);
+  w.Bytes(data);
+  return w.Take();
+}
+
+std::optional<FastSyncChunkResponse> FastSyncChunkResponse::Deserialize(
+    std::span<const uint8_t> bytes) {
+  Reader r(bytes);
+  FastSyncChunkResponse m;
+  m.responder = r.U32();
+  m.seq = r.U64();
+  m.round = r.U64();
+  m.offset = r.U64();
+  m.total_bytes = r.U64();
+  m.data = r.Bytes();
+  if (!r.AtEnd()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+Hash256 FastSyncChunkResponse::ComputeDedupId() const { return Sha256::Hash(Serialize()); }
+
+}  // namespace algorand

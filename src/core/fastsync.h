@@ -1,0 +1,151 @@
+// Certificate-chain fast-sync (§8.3 made O(recent)): instead of fetching and
+// re-executing every block since genesis, a fresh node downloads a peer's
+// latest checkpoint manifest, walks the certificate chain genesis -> B link
+// by link (block hashes + deciding certificates, no block bodies), fetches
+// the checkpoint payload in chunks, validates the account fingerprint
+// against the manifest, installs the state, and rejoins normal catch-up for
+// the suffix past B.
+//
+// Trust argument (DESIGN.md §13): each link's certificate is checked for
+// vote signatures and structural binding (votes name this round, this block
+// hash, and the previous link's hash), so the chain of hashes from the known
+// genesis to the manifest tip is vouched for at every hop. Sortition weights
+// at historical rounds are not reconstructible without the very replay
+// fast-sync avoids, so quorum weight is not re-counted per link; the
+// implicit anchor is the first post-checkpoint certificate, which normal
+// catch-up validates in full against the installed state — a wrong state
+// fails there and the node never advances on it.
+//
+// All six messages are point-to-point (requester/responder addressed), never
+// relayed, mirroring the catch-up protocol's shape.
+#ifndef ALGORAND_SRC_CORE_FASTSYNC_H_
+#define ALGORAND_SRC_CORE_FASTSYNC_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/netsim/message.h"
+
+namespace algorand {
+
+// "What is your newest durable checkpoint?" Answered with the manifest.
+class FastSyncManifestRequest : public SimMessage {
+ public:
+  uint32_t requester = 0;
+  uint64_t seq = 0;  // Per-requester nonce; retries defeat gossip dedup.
+
+  static constexpr uint64_t kWireSize = 4 + 8;
+
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<FastSyncManifestRequest> Deserialize(std::span<const uint8_t> data);
+
+  const char* TypeName() const override { return "fastsync_manifest_req"; }
+
+ protected:
+  uint64_t ComputeWireSize() const override { return kWireSize; }
+  Hash256 ComputeDedupId() const override;
+};
+
+class FastSyncManifestResponse : public SimMessage {
+ public:
+  uint32_t responder = 0;
+  uint64_t seq = 0;  // Echo of the request nonce.
+  // CheckpointData::kManifestBytes of the payload head (ParseManifest input);
+  // empty = the responder holds no checkpoint.
+  std::vector<uint8_t> manifest;
+  uint64_t payload_bytes = 0;  // Full checkpoint payload size, for chunking.
+
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<FastSyncManifestResponse> Deserialize(std::span<const uint8_t> data);
+
+  const char* TypeName() const override { return "fastsync_manifest_resp"; }
+
+ protected:
+  uint64_t ComputeWireSize() const override { return 4 + 8 + 4 + manifest.size() + 8; }
+  Hash256 ComputeDedupId() const override;
+};
+
+// A window of certificate-chain links [from_round, from_round + limit).
+class FastSyncLinksRequest : public SimMessage {
+ public:
+  uint32_t requester = 0;
+  uint64_t seq = 0;
+  uint64_t from_round = 0;
+  uint32_t limit = 0;
+
+  static constexpr uint64_t kWireSize = 4 + 8 + 8 + 4;
+
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<FastSyncLinksRequest> Deserialize(std::span<const uint8_t> data);
+
+  const char* TypeName() const override { return "fastsync_links_req"; }
+
+ protected:
+  uint64_t ComputeWireSize() const override { return kWireSize; }
+  Hash256 ComputeDedupId() const override;
+};
+
+class FastSyncLinksResponse : public SimMessage {
+ public:
+  uint32_t responder = 0;
+  uint64_t seq = 0;
+  uint64_t from_round = 0;
+  // ChainLink::SerializePayload bytes for consecutive rounds starting at
+  // from_round; may be a partial window (responder's history ends sooner).
+  std::vector<std::vector<uint8_t>> links;
+
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<FastSyncLinksResponse> Deserialize(std::span<const uint8_t> data);
+
+  const char* TypeName() const override { return "fastsync_links_resp"; }
+
+ protected:
+  uint64_t ComputeWireSize() const override;
+  Hash256 ComputeDedupId() const override;
+};
+
+// A byte range of one checkpoint's payload.
+class FastSyncChunkRequest : public SimMessage {
+ public:
+  uint32_t requester = 0;
+  uint64_t seq = 0;
+  uint64_t round = 0;   // Checkpoint round (from the manifest).
+  uint64_t offset = 0;  // Byte offset into the payload.
+  uint32_t limit = 0;   // Max bytes wanted (responders clamp).
+
+  static constexpr uint64_t kWireSize = 4 + 8 + 8 + 8 + 4;
+
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<FastSyncChunkRequest> Deserialize(std::span<const uint8_t> data);
+
+  const char* TypeName() const override { return "fastsync_chunk_req"; }
+
+ protected:
+  uint64_t ComputeWireSize() const override { return kWireSize; }
+  Hash256 ComputeDedupId() const override;
+};
+
+class FastSyncChunkResponse : public SimMessage {
+ public:
+  uint32_t responder = 0;
+  uint64_t seq = 0;
+  uint64_t round = 0;
+  uint64_t offset = 0;
+  uint64_t total_bytes = 0;  // Full payload size (progress/termination check).
+  std::vector<uint8_t> data;  // Empty = round unknown or offset out of range.
+
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<FastSyncChunkResponse> Deserialize(std::span<const uint8_t> data);
+
+  const char* TypeName() const override { return "fastsync_chunk_resp"; }
+
+ protected:
+  uint64_t ComputeWireSize() const override { return 4 + 8 + 8 + 8 + 8 + 4 + data.size(); }
+  Hash256 ComputeDedupId() const override;
+};
+
+}  // namespace algorand
+
+#endif  // ALGORAND_SRC_CORE_FASTSYNC_H_

@@ -4,6 +4,7 @@
 #include "src/common/verify_pool.h"
 #include "src/crypto/sha256.h"
 #include "src/store/block_store.h"
+#include "src/store/checkpoint.h"
 
 namespace algorand {
 namespace {
@@ -47,6 +48,7 @@ Node::Node(NodeId id, Executor* sim, GossipAgent* gossip, const Ed25519KeyPair& 
       tx_verifier_(crypto.signer, crypto.cache, crypto.pool),
       applier_(crypto.exec_pool),
       catchup_rng_(id, "catchup") {
+  genesis_hash_ = ledger_.tip_hash();  // The ledger is genesis-fresh here.
   ledger_.SetApplier(&applier_);
   gossip_->set_validator([this](const MessagePtr& msg) { return ValidateForRelay(msg); });
   gossip_->set_handler([this](const MessagePtr& msg) { HandleMessage(msg); });
@@ -84,6 +86,13 @@ void Node::AttachObservability(MetricsRegistry* metrics, RoundTracer* tracer) {
   obs_.catchup_completed = &metrics->GetCounter("catchup.completed");
   obs_.catchup_rotations = &metrics->GetCounter("catchup.peer_rotations");
   obs_.catchup_aborted = &metrics->GetCounter("catchup.aborted");
+  obs_.fastsync_sessions = &metrics->GetCounter("catchup.fastsync_sessions");
+  obs_.fastsync_completed = &metrics->GetCounter("catchup.fastsync_completed");
+  obs_.fastsync_failed = &metrics->GetCounter("catchup.fastsync_failed");
+  obs_.fastsync_links = &metrics->GetCounter("catchup.fastsync_links_verified");
+  obs_.fastsync_bytes = &metrics->GetCounter("catchup.fastsync_bytes");
+  obs_.fastsync_served = &metrics->GetCounter("catchup.fastsync_served");
+  obs_.checkpoints_requested = &metrics->GetCounter("node.checkpoints_requested");
   obs_.step_time_ms = &metrics->GetHistogram("ba.step_time_ms");
   obs_.proposal_time_ms = &metrics->GetHistogram("ba.proposal_time_ms");
   obs_.reduction_time_ms = &metrics->GetHistogram("ba.reduction_time_ms");
@@ -373,6 +382,7 @@ void Node::AppendAgreedBlock(const Block& block) {
   // this node's history of record, and catch-up serves from it beyond the
   // in-memory shard window.
   StreamRoundToStore(cert.round, kind, &cert, final_cert ? &*final_cert : nullptr);
+  MaybeCheckpoint();
 
   StartRound(current_round_ + 1);
 }
@@ -389,6 +399,7 @@ void Node::StreamRoundToStore(uint64_t round, ConsensusKind kind, const Certific
   // fallen back to the empty block.
   const Block& block = ledger_.BlockAtRound(round);
   sr.block = block.Serialize();
+  sr.next_seed = block.next_seed;
   // The chain tip as of this round; equals the live tip except when
   // re-streaming a replacement suffix round by round after a fork switch.
   sr.tip_hash = round + 1 == ledger_.next_round() ? ledger_.tip_hash() : block.Hash();
@@ -863,6 +874,30 @@ void Node::HandleMessage(const MessagePtr& msg) {
     HandleCatchupResponse(cresp);
     return;
   }
+  if (auto fmq = std::dynamic_pointer_cast<const FastSyncManifestRequest>(msg)) {
+    HandleFastSyncManifestRequest(fmq);
+    return;
+  }
+  if (auto fmr = std::dynamic_pointer_cast<const FastSyncManifestResponse>(msg)) {
+    HandleFastSyncManifestResponse(fmr);
+    return;
+  }
+  if (auto flq = std::dynamic_pointer_cast<const FastSyncLinksRequest>(msg)) {
+    HandleFastSyncLinksRequest(flq);
+    return;
+  }
+  if (auto flr = std::dynamic_pointer_cast<const FastSyncLinksResponse>(msg)) {
+    HandleFastSyncLinksResponse(flr);
+    return;
+  }
+  if (auto fcq = std::dynamic_pointer_cast<const FastSyncChunkRequest>(msg)) {
+    HandleFastSyncChunkRequest(fcq);
+    return;
+  }
+  if (auto fcr = std::dynamic_pointer_cast<const FastSyncChunkResponse>(msg)) {
+    HandleFastSyncChunkResponse(fcr);
+    return;
+  }
   if (auto txn = std::dynamic_pointer_cast<const TransactionMessage>(msg)) {
     SubmitTransaction(txn->tx);
     return;
@@ -870,7 +905,7 @@ void Node::HandleMessage(const MessagePtr& msg) {
 }
 
 void Node::HandleVote(const std::shared_ptr<const VoteMessage>& vote) {
-  if (catchup_.active) {
+  if (catchup_.active || fastsync_.active) {
     return;  // A stale BA* must not complete mid-catch-up.
   }
   if (vote->round & kRecoveryRoundBit) {
@@ -901,7 +936,7 @@ void Node::HandleVote(const std::shared_ptr<const VoteMessage>& vote) {
 }
 
 void Node::HandlePriority(const std::shared_ptr<const PriorityMessage>& msg) {
-  if (catchup_.active) {
+  if (catchup_.active || fastsync_.active) {
     return;
   }
   if (!crypto_.signer->Verify(msg->pk, msg->SignedBody(), msg->signature)) {
@@ -924,7 +959,7 @@ void Node::HandlePriority(const std::shared_ptr<const PriorityMessage>& msg) {
 }
 
 void Node::HandleBlock(const std::shared_ptr<const BlockMessage>& msg) {
-  if (catchup_.active) {
+  if (catchup_.active || fastsync_.active) {
     return;
   }
   const Block& block = msg->block;
@@ -1018,6 +1053,13 @@ void Node::NoteCatchupEvidence(uint64_t round) {
   if (halted_) {
     return;
   }
+  if (fastsync_.active) {
+    // Same rule as below: gossip evidence may only widen the target.
+    if (round > 0 && round - 1 > fastsync_.target_round) {
+      fastsync_.target_round = round - 1;
+    }
+    return;
+  }
   if (catchup_.active) {
     // Already fetching; only widen the target. The target always comes from
     // gossip evidence (a vote/block for `round` implies rounds < round are
@@ -1029,7 +1071,13 @@ void Node::NoteCatchupEvidence(uint64_t round) {
     return;
   }
   if (round > current_round_ + params_.catchup_trigger_lead) {
-    StartCatchup(round - 1);
+    // A genesis-fresh node (nothing to lose, everything to fetch) prefers
+    // checkpoint fast-sync when enabled; everyone else block-catches-up.
+    if (params_.fastsync_enabled && ledger_.chain_length() == 1) {
+      StartFastSync(round - 1);
+    } else {
+      StartCatchup(round - 1);
+    }
   }
 }
 
@@ -1250,28 +1298,35 @@ std::shared_ptr<CatchupResponseMessage> Node::BuildCatchupResponse(
   }
   uint64_t r = req.from_round < 1 ? 1 : req.from_round;
   uint64_t last_served = 0;
+  const uint64_t base = ledger_.base_round();
   while (r < ledger_.chain_length() && resp->entries.size() < limit) {
     auto it = certificates_.find(r);
-    if (it != certificates_.end()) {
+    if (it != certificates_.end() && r > base) {
       resp->entries.push_back(
           CatchupResponseMessage::Entry{ledger_.BlockAtRound(r), it->second});
       last_served = r;
       ++r;
       continue;
     }
-    // Shard gap in memory: fall through to the durable log, which keeps the
-    // certificate of every round this node decided, not just its shard class.
-    std::optional<Certificate> from_disk;
+    // Shard gap in memory — or a round at/below our compacted base, whose
+    // block the ledger no longer holds: fall through to the durable log,
+    // which keeps block and certificate for every retained round (the index
+    // makes this an O(1) seek, not a segment scan). Rounds compaction pruned
+    // come back empty, so the batch honestly ends where our history does.
+    std::optional<CatchupResponseMessage::Entry> from_disk;
     if (store_ != nullptr) {
       if (auto stored = store_->ReadRound(r); stored.has_value() && !stored->cert.empty()) {
-        from_disk = Certificate::Deserialize(stored->cert);
+        auto cert = Certificate::Deserialize(stored->cert);
+        auto block = Block::Deserialize(stored->block);
+        if (cert.has_value() && block.has_value()) {
+          from_disk = CatchupResponseMessage::Entry{std::move(*block), std::move(*cert)};
+        }
       }
     }
     if (!from_disk.has_value()) {
-      break;  // Sharded storage: serve the prefix we hold (partial batch).
+      break;  // Sharded/pruned storage: serve the prefix we hold (partial batch).
     }
-    resp->entries.push_back(
-        CatchupResponseMessage::Entry{ledger_.BlockAtRound(r), std::move(*from_disk)});
+    resp->entries.push_back(std::move(*from_disk));
     last_served = r;
     ++r;
   }
@@ -1357,7 +1412,7 @@ bool Node::ApplyCatchupResponse(const CatchupResponseMessage& resp, uint64_t* ap
   }
   if (resp.final_cert.has_value()) {
     const Certificate& fc = *resp.final_cert;
-    if (fc.round >= 1 && fc.round < ledger_.next_round()) {
+    if (fc.round > ledger_.base_round() && fc.round >= 1 && fc.round < ledger_.next_round()) {
       if (fc.step != kStepFinal) {
         return false;
       }
@@ -1390,6 +1445,7 @@ bool Node::ApplyCatchupResponse(const CatchupResponseMessage& resp, uint64_t* ap
   }
   if (*applied > 0) {
     Trace(TraceKind::kCatchupBatch, 0, *applied, resp.responder);
+    MaybeCheckpoint();
   }
   return true;
 }
@@ -1440,7 +1496,7 @@ void Node::AbortCatchup() {
 NodeSnapshot Node::Snapshot() const {
   NodeSnapshot snap;
   snap.shard_count = shard_count_;
-  for (uint64_t r = 1; r < ledger_.chain_length(); ++r) {
+  for (uint64_t r = ledger_.base_round() + 1; r < ledger_.chain_length(); ++r) {
     snap.blocks.push_back(ledger_.BlockAtRound(r));
     snap.kinds.push_back(static_cast<uint8_t>(ledger_.ConsensusAtRound(r)));
   }
@@ -1478,8 +1534,52 @@ bool Node::RestoreFromStore(BlockStore* store) {
     return false;  // Restore only into a genesis-fresh node.
   }
   store_ = store;
+  // Checkpoint ladder: restoring from the newest intact checkpoint skips the
+  // replay of everything below it. A corrupt or mismatched checkpoint file is
+  // never loaded silently — each candidate is fully validated (tip hash,
+  // fingerprint, genesis binding), and on failure we step down to the next
+  // older one, bottoming out at plain WAL replay from genesis.
+  uint64_t start = 1;
+  if (ledger_.lookback_rounds() == 0) {
+    auto ckpts = store->checkpoints();  // Oldest first.
+    for (auto it = ckpts.rbegin(); it != ckpts.rend(); ++it) {
+      auto payload = store->ReadCheckpointPayload(it->round);
+      if (payload == nullptr) {
+        continue;
+      }
+      std::optional<CheckpointData> data = CheckpointData::Deserialize(*payload);
+      if (!data.has_value() || data->manifest.round != it->round ||
+          data->manifest.genesis_hash != genesis_hash_) {
+        continue;
+      }
+      std::optional<Block> tip = Block::Deserialize(data->tip_block);
+      if (!tip.has_value() || tip->round != data->manifest.round ||
+          tip->Hash() != data->manifest.tip_hash) {
+        continue;
+      }
+      AccountTable table;
+      Reader ar(data->accounts);
+      if (!table.DeserializeFrom(&ar) || !ar.AtEnd() ||
+          table.StateFingerprint() != data->manifest.fingerprint) {
+        continue;
+      }
+      if (!ledger_.InstallCheckpoint(*tip, std::move(table), data->seed_base,
+                                     data->seeds)) {
+        continue;
+      }
+      start = data->manifest.round + 1;
+      last_checkpoint_round_ = data->manifest.round;
+      break;
+    }
+  }
+  if (start == 1 && store->first_retained_round() > 1) {
+    // The log was compacted below some checkpoint but no checkpoint loaded:
+    // the prefix is unreconstructible. Refuse rather than restore a chain
+    // with a hole in it.
+    return false;
+  }
   uint64_t stop = 0;  // First round that failed validation (0 = none).
-  for (uint64_t r = 1; r < store->next_round(); ++r) {
+  for (uint64_t r = start; r < store->next_round(); ++r) {
     std::optional<StoredRound> stored = store->ReadRound(r);
     if (!stored.has_value()) {
       stop = r;
@@ -1552,6 +1652,10 @@ void Node::Halt() {
   catchup_.active = false;
   catchup_.inflight.clear();
   catchup_.ready.clear();
+  ++fastsync_session_;
+  fastsync_.active = false;
+  fastsync_.links.clear();
+  fastsync_.payload.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -1574,7 +1678,8 @@ void Node::ScheduleRecoveryCheck() {
     if (halted_) {
       return;  // A crashed node must stop rescheduling itself.
     }
-    if (!in_recovery_ && !catchup_.active && (hung_ || fork_monitor_.ForkSuspected())) {
+    if (!in_recovery_ && !catchup_.active && !fastsync_.active &&
+        (hung_ || fork_monitor_.ForkSuspected())) {
       recovery_attempt_ = 0;
       recovery_window_ = static_cast<uint64_t>(sim_->now() / params_.recovery_interval);
       EnterRecovery();
@@ -1584,7 +1689,7 @@ void Node::ScheduleRecoveryCheck() {
 }
 
 void Node::MaybeJoinRecoverySession(uint64_t code) {
-  if (halted_ || catchup_.active) {
+  if (halted_ || catchup_.active || fastsync_.active) {
     return;  // Catch-up owns the node until it finishes or aborts.
   }
   if (!hung_ && !fork_monitor_.ForkSuspected() && !in_recovery_) {
@@ -1801,6 +1906,473 @@ void Node::OnRecoveryBaComplete(const BaResult& result) {
   }
   fork_monitor_.Clear();
   StartRound(ledger_.next_round());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints + certificate-chain fast-sync (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+void Node::MaybeCheckpoint() {
+  if (store_ == nullptr || params_.checkpoint_interval == 0 ||
+      ledger_.lookback_rounds() > 0) {
+    // Look-back sortition needs the snapshot window a checkpoint cannot
+    // capture; checkpointing is simply off in that configuration.
+    return;
+  }
+  std::optional<uint64_t> hf = ledger_.HighestFinalRound();
+  if (!hf.has_value()) {
+    return;  // Only final history is checkpointable (never forked off).
+  }
+  uint64_t b = *hf - *hf % params_.checkpoint_interval;
+  if (b == 0 || b <= last_checkpoint_round_ || b < ledger_.base_round()) {
+    return;
+  }
+  const Block& tip = ledger_.BlockAtRound(b);
+  CheckpointData data;
+  data.manifest.round = b;
+  data.manifest.tip_hash = tip.Hash();
+  data.manifest.highest_final = *hf;
+  data.manifest.genesis_hash = genesis_hash_;
+  AccountTable accounts = ledger_.AccountsAtRound(b);
+  data.manifest.fingerprint = accounts.StateFingerprint();
+  // Seed window: from any round r > b the refresh rule reaches back at most
+  // R + 1 rounds (seed_{r-1-(r mod R)}), so [b - R - 64, b] covers every
+  // future lookup with margin — clamped to what this ledger can still answer
+  // (it may itself run on a compacted prefix).
+  uint64_t refresh = params_.seed_refresh_interval == 0 ? 1 : params_.seed_refresh_interval;
+  uint64_t seed_base = b > refresh + 64 ? b - refresh - 64 : 0;
+  if (seed_base < ledger_.seed_base()) {
+    seed_base = ledger_.seed_base();
+  }
+  data.seed_base = seed_base;
+  data.seeds.reserve(b - seed_base + 1);
+  for (uint64_t r = seed_base; r <= b; ++r) {
+    data.seeds.push_back(ledger_.SeedForRound(r));
+  }
+  data.tip_block = tip.Serialize();
+  last_checkpoint_round_ = b;
+  if (obs_.checkpoints_requested != nullptr) {
+    obs_.checkpoints_requested->Increment();
+  }
+  // The account section can be tens of MB; serialize it on the store's
+  // writer thread, off the protocol path. The table travels by value — the
+  // ledger mutates on while the checkpoint is in flight.
+  store_->AppendCheckpoint(
+      b, [data = std::move(data), accounts = std::move(accounts)]() mutable {
+        Writer w;
+        accounts.SerializeTo(&w);
+        data.accounts = w.Take();
+        return data.Serialize();
+      });
+}
+
+void Node::StartFastSync(uint64_t target_round) {
+  ++fastsync_session_;
+  ++sched_epoch_;  // Kill BA*/proposal timers for the round we are leaving.
+  in_recovery_ = false;
+  phase_ = Phase::kCatchup;
+  fastsync_ = FastSyncState{};
+  fastsync_.active = true;
+  fastsync_.target_round = target_round;
+  fastsync_.prev_hash = genesis_hash_;  // The cert chain starts at round 0.
+  fastsync_.next_link = 1;
+  if (obs_.fastsync_sessions != nullptr) {
+    obs_.fastsync_sessions->Increment();
+  }
+  Trace(TraceKind::kCatchupStart, 1, target_round);
+  fastsync_.peer = NextFastSyncPeer();
+  SendFastSyncManifestRequest();
+}
+
+NodeId Node::NextFastSyncPeer() {
+  // One random peer per attempt (no pool: an attempt is a whole
+  // manifest -> links -> chunks conversation with a single peer).
+  size_t n = gossip_->network_size();
+  if (n <= 1) {
+    auto nb = gossip_->neighbors();
+    return nb.empty() ? id_ : nb[catchup_rng_.UniformU64(nb.size())];
+  }
+  NodeId peer = static_cast<NodeId>(catchup_rng_.UniformU64(n));
+  while (peer == id_) {
+    peer = static_cast<NodeId>(catchup_rng_.UniformU64(n));
+  }
+  return peer;
+}
+
+void Node::SendFastSyncManifestRequest() {
+  auto req = std::make_shared<FastSyncManifestRequest>();
+  req->requester = id_;
+  req->seq = fastsync_seq_++;
+  fastsync_.seq = req->seq;
+  gossip_->SendTo(fastsync_.peer, req);
+  ArmFastSyncTimeout(req->seq);
+}
+
+void Node::SendFastSyncLinksRequest() {
+  auto req = std::make_shared<FastSyncLinksRequest>();
+  req->requester = id_;
+  req->seq = fastsync_seq_++;
+  req->from_round = fastsync_.next_link;
+  req->limit = params_.fastsync_links_batch == 0 ? 1 : params_.fastsync_links_batch;
+  fastsync_.seq = req->seq;
+  gossip_->SendTo(fastsync_.peer, req);
+  ArmFastSyncTimeout(req->seq);
+}
+
+void Node::SendFastSyncChunkRequest() {
+  auto req = std::make_shared<FastSyncChunkRequest>();
+  req->requester = id_;
+  req->seq = fastsync_seq_++;
+  req->round = fastsync_.manifest.round;
+  req->offset = fastsync_.payload.size();
+  req->limit = params_.fastsync_chunk_bytes == 0 ? 1 : params_.fastsync_chunk_bytes;
+  fastsync_.seq = req->seq;
+  gossip_->SendTo(fastsync_.peer, req);
+  ArmFastSyncTimeout(req->seq);
+}
+
+void Node::ArmFastSyncTimeout(uint64_t seq) {
+  uint64_t session = fastsync_session_;
+  sim_->Schedule(params_.catchup_timeout, [this, session, seq] {
+    if (halted_ || !fastsync_.active || fastsync_session_ != session ||
+        fastsync_.seq != seq) {
+      return;  // Answered (or the session moved on) in time.
+    }
+    FailFastSyncAttempt();
+  });
+}
+
+void Node::HandleFastSyncManifestResponse(
+    const std::shared_ptr<const FastSyncManifestResponse>& msg) {
+  if (halted_ || !fastsync_.active || fastsync_.stage != FastSyncState::Stage::kManifest ||
+      msg->seq != fastsync_.seq || msg->responder != fastsync_.peer) {
+    return;  // Unsolicited, stale, or spoofed; only the asked peer may answer.
+  }
+  if (msg->manifest.empty()) {
+    FailFastSyncAttempt();  // Peer holds no checkpoint; try another.
+    return;
+  }
+  std::optional<CheckpointManifest> manifest = CheckpointData::ParseManifest(msg->manifest);
+  if (!manifest.has_value() || manifest->round == 0 ||
+      manifest->genesis_hash != genesis_hash_ || msg->payload_bytes == 0 ||
+      msg->payload_bytes > (uint64_t{1} << 30)) {
+    FailFastSyncAttempt();  // Wrong chain, or an absurd payload size.
+    return;
+  }
+  fastsync_.manifest = *manifest;
+  fastsync_.payload_bytes = msg->payload_bytes;
+  fastsync_.stage = FastSyncState::Stage::kLinks;
+  SendFastSyncLinksRequest();
+}
+
+bool Node::VerifyFastSyncLink(const ChainLink& link) const {
+  if (link.round != fastsync_.next_link || link.cert.empty()) {
+    // Rounds without a certificate (recovery-adopted suffixes) cannot be
+    // vouched for by the chain; fast-sync fails over to full catch-up.
+    return false;
+  }
+  std::optional<Certificate> cert = Certificate::Deserialize(link.cert);
+  if (!cert.has_value() || cert->round != link.round ||
+      cert->block_hash != link.hash || cert->votes.empty()) {
+    return false;
+  }
+  for (const VoteMessage& v : cert->votes) {
+    // Structural binding: each vote names this round, this block hash, and
+    // the previous (already verified) link's hash — so forging any one link
+    // means forging signatures, not just splicing hashes.
+    if (v.round != link.round || v.value != link.hash ||
+        v.prev_hash != fastsync_.prev_hash || v.step != cert->step) {
+      return false;
+    }
+    if (!crypto_.signer->Verify(v.pk, v.SignedBody(), v.signature)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Node::HandleFastSyncLinksResponse(
+    const std::shared_ptr<const FastSyncLinksResponse>& msg) {
+  if (halted_ || !fastsync_.active || fastsync_.stage != FastSyncState::Stage::kLinks ||
+      msg->seq != fastsync_.seq || msg->responder != fastsync_.peer) {
+    return;
+  }
+  if (msg->links.empty() || msg->from_round != fastsync_.next_link) {
+    FailFastSyncAttempt();  // The peer's link history has a hole below B.
+    return;
+  }
+  for (const std::vector<uint8_t>& payload : msg->links) {
+    std::optional<ChainLink> link = ChainLink::DecodePayload(payload);
+    if (!link.has_value() || !VerifyFastSyncLink(*link)) {
+      FailFastSyncAttempt();
+      return;
+    }
+    fastsync_.prev_hash = link->hash;
+    ++fastsync_.next_link;
+    fastsync_.links.push_back(std::move(*link));
+    if (obs_.fastsync_links != nullptr) {
+      obs_.fastsync_links->Increment();
+    }
+    if (fastsync_.next_link > fastsync_.manifest.round) {
+      break;  // Chain complete; surplus links are ignored.
+    }
+  }
+  if (fastsync_.next_link > fastsync_.manifest.round) {
+    if (fastsync_.prev_hash != fastsync_.manifest.tip_hash) {
+      // The verified chain ends on a different block than the manifest
+      // claims — the checkpoint belongs to another history.
+      FailFastSyncAttempt();
+      return;
+    }
+    fastsync_.stage = FastSyncState::Stage::kChunks;
+    fastsync_.payload.clear();
+    fastsync_.payload.reserve(fastsync_.payload_bytes);
+    SendFastSyncChunkRequest();
+  } else {
+    SendFastSyncLinksRequest();
+  }
+}
+
+void Node::HandleFastSyncChunkResponse(
+    const std::shared_ptr<const FastSyncChunkResponse>& msg) {
+  if (halted_ || !fastsync_.active || fastsync_.stage != FastSyncState::Stage::kChunks ||
+      msg->seq != fastsync_.seq || msg->responder != fastsync_.peer) {
+    return;
+  }
+  if (msg->round != fastsync_.manifest.round || msg->offset != fastsync_.payload.size() ||
+      msg->total_bytes != fastsync_.payload_bytes || msg->data.empty() ||
+      fastsync_.payload.size() + msg->data.size() > fastsync_.payload_bytes) {
+    FailFastSyncAttempt();
+    return;
+  }
+  fastsync_.payload.insert(fastsync_.payload.end(), msg->data.begin(), msg->data.end());
+  if (obs_.fastsync_bytes != nullptr) {
+    obs_.fastsync_bytes->Increment(msg->data.size());
+  }
+  if (fastsync_.payload.size() < fastsync_.payload_bytes) {
+    SendFastSyncChunkRequest();
+    return;
+  }
+  if (InstallFastSyncCheckpoint()) {
+    FinishFastSync();
+  } else {
+    FailFastSyncAttempt();  // Payload contradicts the verified manifest/chain.
+  }
+}
+
+bool Node::InstallFastSyncCheckpoint() {
+  std::optional<CheckpointData> data = CheckpointData::Deserialize(fastsync_.payload);
+  if (!data.has_value()) {
+    return false;
+  }
+  const CheckpointManifest& m = fastsync_.manifest;
+  if (data->manifest.round != m.round || data->manifest.tip_hash != m.tip_hash ||
+      data->manifest.fingerprint != m.fingerprint ||
+      data->manifest.highest_final != m.highest_final ||
+      data->manifest.genesis_hash != m.genesis_hash) {
+    return false;  // Payload head must equal the manifest the chain vouched for.
+  }
+  std::optional<Block> tip = Block::Deserialize(data->tip_block);
+  if (!tip.has_value() || tip->round != m.round || tip->Hash() != m.tip_hash) {
+    return false;
+  }
+  AccountTable table;
+  Reader ar(data->accounts);
+  if (!table.DeserializeFrom(&ar) || !ar.AtEnd() ||
+      table.StateFingerprint() != m.fingerprint) {
+    return false;  // The state does not hash to what the manifest promised.
+  }
+  const uint64_t b = m.round;
+  if (data->seed_base > b || data->seed_base + data->seeds.size() != b + 1) {
+    return false;
+  }
+  // Seed cross-check against the verified chain: link r carries next_seed =
+  // seed_{r+1} (links[j] is round j+1), so every seed in the window is pinned
+  // by a certificate, not taken on the responder's word.
+  for (size_t i = 0; i < data->seeds.size(); ++i) {
+    uint64_t r = data->seed_base + i;
+    SeedBytes expected;
+    if (r <= 1) {
+      expected = ledger_.SeedForRound(r);  // Genesis window: locally known.
+    } else {
+      expected = fastsync_.links[r - 2].next_seed;
+    }
+    if (data->seeds[i] != expected) {
+      return false;
+    }
+  }
+  if (tip->next_seed != fastsync_.links[b - 1].next_seed) {
+    return false;  // Round b's own link must agree with the tip block.
+  }
+  if (!ledger_.InstallCheckpoint(*tip, std::move(table), data->seed_base,
+                                 std::move(data->seeds))) {
+    return false;
+  }
+  last_checkpoint_round_ = b;
+  if (store_ != nullptr) {
+    // Persist what we verified: the checkpoint payload (so a restart resumes
+    // from here, and we can serve fast-sync in turn), the primed log, and
+    // the cert chain below b.
+    store_->AdoptCheckpoint(b, fastsync_.payload);
+    store_->PrimeAt(b + 1, m.tip_hash);
+    std::vector<std::vector<uint8_t>> payloads;
+    payloads.reserve(fastsync_.links.size());
+    for (const ChainLink& l : fastsync_.links) {
+      payloads.push_back(l.SerializePayload());
+    }
+    store_->AppendChainLinks(std::move(payloads));
+  }
+  fork_monitor_.Prune(b);
+  return true;
+}
+
+void Node::FailFastSyncAttempt() {
+  if (!fastsync_.active) {
+    return;
+  }
+  ++fastsync_.attempt;
+  if (fastsync_.attempt > 5) {
+    FailFastSync();
+    return;
+  }
+  // Reset the conversation and try another peer; the target survives.
+  fastsync_.stage = FastSyncState::Stage::kManifest;
+  fastsync_.manifest = CheckpointManifest{};
+  fastsync_.payload_bytes = 0;
+  fastsync_.next_link = 1;
+  fastsync_.prev_hash = genesis_hash_;
+  fastsync_.links.clear();
+  fastsync_.payload.clear();
+  fastsync_.peer = NextFastSyncPeer();
+  SendFastSyncManifestRequest();
+}
+
+void Node::FailFastSync() {
+  uint64_t target = fastsync_.target_round;
+  fastsync_.active = false;
+  fastsync_.links.clear();
+  fastsync_.payload.clear();
+  ++fastsync_session_;
+  if (obs_.fastsync_failed != nullptr) {
+    obs_.fastsync_failed->Increment();
+  }
+  // Fall back to plain block catch-up from genesis — slower but always
+  // sufficient (it needs no peer to hold a checkpoint).
+  StartCatchup(target);
+}
+
+void Node::FinishFastSync() {
+  uint64_t target = fastsync_.target_round;
+  uint64_t b = fastsync_.manifest.round;
+  fastsync_.active = false;
+  fastsync_.links.clear();
+  fastsync_.payload.clear();
+  ++fastsync_session_;
+  ++fastsyncs_completed_;
+  hung_ = false;
+  if (obs_.fastsync_completed != nullptr) {
+    obs_.fastsync_completed->Increment();
+  }
+  Trace(TraceKind::kCatchupDone, 1, b);
+  if (target >= ledger_.next_round()) {
+    // Normal catch-up fetches the suffix past the checkpoint; its first
+    // certificate validates in full against the installed state — the
+    // implicit anchor of the fast-sync trust argument.
+    StartCatchup(target);
+  } else {
+    StartRound(ledger_.next_round());
+  }
+}
+
+void Node::HandleFastSyncManifestRequest(
+    const std::shared_ptr<const FastSyncManifestRequest>& msg) {
+  if (halted_) {
+    return;
+  }
+  auto resp = std::make_shared<FastSyncManifestResponse>();
+  resp->responder = id_;
+  resp->seq = msg->seq;
+  if (store_ != nullptr) {
+    // Newest checkpoint whose payload still loads (a corrupt file steps
+    // down to the next older one, mirroring the restore ladder).
+    auto ckpts = store_->checkpoints();
+    for (auto it = ckpts.rbegin(); it != ckpts.rend(); ++it) {
+      auto payload = store_->ReadCheckpointPayload(it->round);
+      if (payload == nullptr || payload->size() < CheckpointData::kManifestBytes) {
+        continue;
+      }
+      resp->manifest.assign(payload->begin(),
+                            payload->begin() + CheckpointData::kManifestBytes);
+      resp->payload_bytes = payload->size();
+      break;
+    }
+  }
+  // An empty manifest is still an answer: it lets the requester rotate to
+  // another peer immediately instead of waiting out the timeout.
+  if (obs_.fastsync_served != nullptr) {
+    obs_.fastsync_served->Increment();
+  }
+  gossip_->SendTo(msg->requester, resp);
+}
+
+void Node::HandleFastSyncLinksRequest(
+    const std::shared_ptr<const FastSyncLinksRequest>& msg) {
+  if (halted_) {
+    return;
+  }
+  auto resp = std::make_shared<FastSyncLinksResponse>();
+  resp->responder = id_;
+  resp->seq = msg->seq;
+  uint64_t from = msg->from_round < 1 ? 1 : msg->from_round;
+  resp->from_round = from;
+  uint32_t limit = msg->limit == 0 ? 1 : msg->limit;
+  if (limit > 256) {
+    limit = 256;  // Bound the response a single request can make us build.
+  }
+  if (store_ != nullptr) {
+    for (uint64_t r = from; resp->links.size() < limit; ++r) {
+      std::optional<ChainLink> link = store_->ChainLinkAt(r);
+      if (!link.has_value()) {
+        break;  // Serve the contiguous prefix we hold (partial window).
+      }
+      resp->links.push_back(link->SerializePayload());
+    }
+  }
+  if (obs_.fastsync_served != nullptr) {
+    obs_.fastsync_served->Increment();
+  }
+  gossip_->SendTo(msg->requester, resp);
+}
+
+void Node::HandleFastSyncChunkRequest(
+    const std::shared_ptr<const FastSyncChunkRequest>& msg) {
+  if (halted_) {
+    return;
+  }
+  auto resp = std::make_shared<FastSyncChunkResponse>();
+  resp->responder = id_;
+  resp->seq = msg->seq;
+  resp->round = msg->round;
+  resp->offset = msg->offset;
+  if (store_ != nullptr) {
+    auto payload = store_->ReadCheckpointPayload(msg->round);
+    if (payload != nullptr) {
+      resp->total_bytes = payload->size();
+      if (msg->offset < payload->size()) {
+        uint64_t limit = msg->limit == 0 ? 1 : msg->limit;
+        if (limit > (uint64_t{1} << 20)) {
+          limit = uint64_t{1} << 20;
+        }
+        uint64_t n = std::min<uint64_t>(limit, payload->size() - msg->offset);
+        resp->data.assign(payload->begin() + msg->offset,
+                          payload->begin() + msg->offset + n);
+      }
+    }
+  }
+  if (obs_.fastsync_served != nullptr) {
+    obs_.fastsync_served->Increment();
+  }
+  gossip_->SendTo(msg->requester, resp);
 }
 
 void Node::RememberFutureMessage(uint64_t round, const MessagePtr& msg) {

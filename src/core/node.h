@@ -24,6 +24,7 @@
 #include "src/core/catchup.h"
 #include "src/core/certificate.h"
 #include "src/core/context.h"
+#include "src/core/fastsync.h"
 #include "src/core/fork_monitor.h"
 #include "src/core/params.h"
 #include "src/core/snapshot.h"
@@ -36,10 +37,11 @@
 #include "src/netsim/simulation.h"
 #include "src/obs/metrics.h"
 #include "src/obs/round_tracer.h"
+#include "src/store/block_store.h"
+#include "src/store/checkpoint.h"
 
 namespace algorand {
 
-class BlockStore;
 class VerifyPool;
 
 // Crypto backends shared by all nodes of a simulation.
@@ -120,6 +122,8 @@ class Node : public BaEnvironment {
   Mempool* mutable_mempool() { return &mempool_; }
   bool in_catchup() const { return catchup_.active; }
   uint64_t catchups_completed() const { return catchups_completed_; }
+  bool in_fastsync() const { return fastsync_.active; }
+  uint64_t fastsyncs_completed() const { return fastsyncs_completed_; }
   bool halted() const { return halted_; }
 
   // --- Durable storage (src/store) ---
@@ -268,6 +272,44 @@ class Node : public BaEnvironment {
   // Context for validating the certificate of `round` == ledger_.next_round().
   RoundContext CatchupContext(uint64_t round) const;
 
+  // --- Checkpoints + certificate-chain fast-sync (DESIGN.md §13) ---
+  // After a final round crosses a checkpoint-interval boundary, captures the
+  // ledger state at the boundary round and hands it to the store (which
+  // writes the sidecar off the protocol thread and compacts old segments).
+  void MaybeCheckpoint();
+  // Bootstraps a genesis-fresh node from a peer's checkpoint: manifest ->
+  // cert-chain links -> payload chunks -> install -> normal catch-up for the
+  // suffix. Any failure falls back to full catch-up from genesis.
+  void StartFastSync(uint64_t target_round);
+  NodeId NextFastSyncPeer();
+  void SendFastSyncManifestRequest();
+  void SendFastSyncLinksRequest();
+  void SendFastSyncChunkRequest();
+  // Arms the per-request timeout for the outstanding request `seq`.
+  void ArmFastSyncTimeout(uint64_t seq);
+  // Verifies one chain link continues the verified prefix: consecutive
+  // round, certificate deserializes and names this round/hash, and every
+  // vote's signature checks out and binds to the previous link's hash.
+  bool VerifyFastSyncLink(const ChainLink& link) const;
+  // Full payload received: re-derives and cross-checks manifest, tip block,
+  // account fingerprint and seed window, installs into the ledger, persists
+  // checkpoint + links + log prime to the store. False = peer served junk.
+  bool InstallFastSyncCheckpoint();
+  // Peer-scoped failure: rotate to another peer and restart the handshake,
+  // or (after enough attempts) give up on fast-sync entirely.
+  void FailFastSyncAttempt();
+  // Session failure: abandon fast-sync and fall back to ordinary catch-up
+  // from genesis.
+  void FailFastSync();
+  void FinishFastSync();
+  void HandleFastSyncManifestRequest(const std::shared_ptr<const FastSyncManifestRequest>& msg);
+  void HandleFastSyncManifestResponse(
+      const std::shared_ptr<const FastSyncManifestResponse>& msg);
+  void HandleFastSyncLinksRequest(const std::shared_ptr<const FastSyncLinksRequest>& msg);
+  void HandleFastSyncLinksResponse(const std::shared_ptr<const FastSyncLinksResponse>& msg);
+  void HandleFastSyncChunkRequest(const std::shared_ptr<const FastSyncChunkRequest>& msg);
+  void HandleFastSyncChunkResponse(const std::shared_ptr<const FastSyncChunkResponse>& msg);
+
   // Verifies a vote's signature and sortition for the current round context;
   // returns the weighted vote count (0 = invalid). Uses the shared cache.
   uint64_t VerifyVote(const VoteMessage& vote, const RoundContext& ctx) const;
@@ -341,6 +383,13 @@ class Node : public BaEnvironment {
     Counter* catchup_completed = nullptr;
     Counter* catchup_rotations = nullptr;
     Counter* catchup_aborted = nullptr;
+    Counter* fastsync_sessions = nullptr;
+    Counter* fastsync_completed = nullptr;
+    Counter* fastsync_failed = nullptr;
+    Counter* fastsync_links = nullptr;
+    Counter* fastsync_bytes = nullptr;
+    Counter* fastsync_served = nullptr;
+    Counter* checkpoints_requested = nullptr;
     Histogram* step_time_ms = nullptr;
     Histogram* proposal_time_ms = nullptr;
     Histogram* reduction_time_ms = nullptr;
@@ -439,6 +488,32 @@ class Node : public BaEnvironment {
   uint64_t catchup_seq_ = 0;
   uint64_t catchups_completed_ = 0;
   DeterministicRng catchup_rng_;
+
+  // --- Fast-sync state (DESIGN.md §13) ---
+  struct FastSyncState {
+    bool active = false;
+    enum class Stage : uint8_t { kManifest, kLinks, kChunks };
+    Stage stage = Stage::kManifest;
+    NodeId peer = 0;      // The one peer this attempt talks to.
+    uint64_t seq = 0;     // Nonce of the single outstanding request.
+    uint64_t target_round = 0;  // Gossip-evidence round; post-install catch-up target.
+    uint32_t attempt = 0;       // Peers tried this session.
+    CheckpointManifest manifest;
+    uint64_t payload_bytes = 0;
+    uint64_t next_link = 1;  // Next chain-link round to verify.
+    Hash256 prev_hash;       // Verified hash of round next_link - 1.
+    std::vector<ChainLink> links;   // Verified links 1..next_link-1.
+    std::vector<uint8_t> payload;   // Checkpoint payload prefix received.
+  };
+  FastSyncState fastsync_;
+  uint64_t fastsync_session_ = 0;
+  uint64_t fastsync_seq_ = 0;
+  uint64_t fastsyncs_completed_ = 0;
+  // Hash of the round-0 block, pinned at construction: a compacted ledger
+  // can no longer serve genesis(), but checkpoints must bind to it.
+  Hash256 genesis_hash_;
+  // Highest round this node asked the store to checkpoint (or adopted).
+  uint64_t last_checkpoint_round_ = 0;
 
   // Recovery state (§8.2).
   bool in_recovery_ = false;

@@ -75,6 +75,20 @@ struct ProtocolParams {
   SimTime catchup_backoff_base = Seconds(2);
   SimTime catchup_backoff_max = Minutes(1);
 
+  // --- Checkpoints + fast-sync (DESIGN.md §13) ---
+  // Every `checkpoint_interval` final rounds the node writes a durable
+  // ledger-state checkpoint to its store (and the store compacts segments
+  // below the oldest retained one). 0 = disabled. Ignored when the genesis
+  // configures weight look-back (snapshot history cannot be checkpointed).
+  uint64_t checkpoint_interval = 0;
+  // A genesis-fresh node seeing evidence far ahead bootstraps from a peer's
+  // checkpoint via the certificate chain instead of replaying every block.
+  bool fastsync_enabled = false;
+  // Chain links requested per FastSyncLinksRequest (responders clamp to 256).
+  uint32_t fastsync_links_batch = 128;
+  // Checkpoint payload bytes requested per chunk (responders clamp to 1 MB).
+  uint32_t fastsync_chunk_bytes = 256 << 10;
+
   // --- Ablation switches (all on in the real protocol) ---
   // Step-3 common coin (§7.4 "getting unstuck"); when off, the third step's
   // timeout deterministically falls back to the block hash, which a

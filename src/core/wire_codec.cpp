@@ -73,6 +73,24 @@ std::vector<uint8_t> EncodeMessage(const SimMessage& msg) {
   if (auto* cr = dynamic_cast<const CatchupResponseMessage*>(&msg)) {
     return Tagged(WireType::kCatchupResponse, msg, cr->Serialize());
   }
+  if (auto* fmq = dynamic_cast<const FastSyncManifestRequest*>(&msg)) {
+    return Tagged(WireType::kFastSyncManifestRequest, msg, fmq->Serialize());
+  }
+  if (auto* fmr = dynamic_cast<const FastSyncManifestResponse*>(&msg)) {
+    return Tagged(WireType::kFastSyncManifestResponse, msg, fmr->Serialize());
+  }
+  if (auto* flq = dynamic_cast<const FastSyncLinksRequest*>(&msg)) {
+    return Tagged(WireType::kFastSyncLinksRequest, msg, flq->Serialize());
+  }
+  if (auto* flr = dynamic_cast<const FastSyncLinksResponse*>(&msg)) {
+    return Tagged(WireType::kFastSyncLinksResponse, msg, flr->Serialize());
+  }
+  if (auto* fcq = dynamic_cast<const FastSyncChunkRequest*>(&msg)) {
+    return Tagged(WireType::kFastSyncChunkRequest, msg, fcq->Serialize());
+  }
+  if (auto* fcr = dynamic_cast<const FastSyncChunkResponse*>(&msg)) {
+    return Tagged(WireType::kFastSyncChunkResponse, msg, fcr->Serialize());
+  }
   return {};
 }
 
@@ -133,6 +151,30 @@ MessagePtr DecodeMessage(std::span<const uint8_t> payload) {
     case WireType::kCatchupResponse: {
       auto m = CatchupResponseMessage::Deserialize(body);
       return stamped(m ? std::make_shared<CatchupResponseMessage>(std::move(*m)) : nullptr);
+    }
+    case WireType::kFastSyncManifestRequest: {
+      auto m = FastSyncManifestRequest::Deserialize(body);
+      return stamped(m ? std::make_shared<FastSyncManifestRequest>(std::move(*m)) : nullptr);
+    }
+    case WireType::kFastSyncManifestResponse: {
+      auto m = FastSyncManifestResponse::Deserialize(body);
+      return stamped(m ? std::make_shared<FastSyncManifestResponse>(std::move(*m)) : nullptr);
+    }
+    case WireType::kFastSyncLinksRequest: {
+      auto m = FastSyncLinksRequest::Deserialize(body);
+      return stamped(m ? std::make_shared<FastSyncLinksRequest>(std::move(*m)) : nullptr);
+    }
+    case WireType::kFastSyncLinksResponse: {
+      auto m = FastSyncLinksResponse::Deserialize(body);
+      return stamped(m ? std::make_shared<FastSyncLinksResponse>(std::move(*m)) : nullptr);
+    }
+    case WireType::kFastSyncChunkRequest: {
+      auto m = FastSyncChunkRequest::Deserialize(body);
+      return stamped(m ? std::make_shared<FastSyncChunkRequest>(std::move(*m)) : nullptr);
+    }
+    case WireType::kFastSyncChunkResponse: {
+      auto m = FastSyncChunkResponse::Deserialize(body);
+      return stamped(m ? std::make_shared<FastSyncChunkResponse>(std::move(*m)) : nullptr);
     }
   }
   return nullptr;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/core/catchup.h"
+#include "src/core/fastsync.h"
 #include "src/core/messages.h"
 
 namespace algorand {
@@ -29,6 +30,12 @@ enum class WireType : uint8_t {
   kTransaction = 6,
   kCatchupRequest = 7,
   kCatchupResponse = 8,
+  kFastSyncManifestRequest = 9,
+  kFastSyncManifestResponse = 10,
+  kFastSyncLinksRequest = 11,
+  kFastSyncLinksResponse = 12,
+  kFastSyncChunkRequest = 13,
+  kFastSyncChunkResponse = 14,
 };
 
 // Serializes a message with its type tag. Returns an empty vector for

@@ -180,6 +180,40 @@ Hash256 AccountTable::StateFingerprint() const {
   return h.Finish();
 }
 
+void AccountTable::SerializeTo(Writer* w) const {
+  w->U64(total_weight_);
+  const auto entries = SortedEntries();
+  w->U64(entries.size());
+  for (const auto& [pk, account] : entries) {
+    w->Fixed(pk);
+    w->U64(account.balance);
+    w->U64(account.next_nonce);
+  }
+}
+
+bool AccountTable::DeserializeFrom(Reader* rd) {
+  const uint64_t total = rd->U64();
+  const uint64_t count = rd->U64();
+  // Entries are 48 bytes each; a count the input cannot possibly back is
+  // malformed (prevents a corrupt header from driving a huge Reserve).
+  if (!rd->ok() || count > rd->remaining() / 48 + 1) {
+    return false;
+  }
+  Reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const PublicKey pk = rd->Fixed<32>();
+    Account account;
+    account.balance = rd->U64();
+    account.next_nonce = rd->U64();
+    if (!rd->ok()) {
+      return false;
+    }
+    Upsert(pk, account);
+  }
+  total_weight_ = total;
+  return true;
+}
+
 Account AccountOverlay::Get(const PublicKey& pk) const {
   auto it = delta_.find(pk);
   if (it != delta_.end()) {

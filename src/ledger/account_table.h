@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/serialize.h"
 #include "src/ledger/transaction.h"
 
 namespace algorand {
@@ -93,6 +94,17 @@ class AccountTable {
   // digest of the logical state, used by the exec_workers A/B determinism
   // tests to pin "bit-identical ledger state".
   Hash256 StateFingerprint() const;
+
+  // Serializes the logical state — total_weight plus the key-sorted entries,
+  // the same ordering StateFingerprint hashes — for checkpoints (store/
+  // checkpoint.h). Layout-independent: the bytes depend only on the logical
+  // state, never on shard load factors or insertion order.
+  void SerializeTo(Writer* w) const;
+
+  // Restores state serialized by SerializeTo into this table (on top of
+  // whatever it holds; callers pass a fresh table). Returns false on
+  // malformed input, leaving the table unspecified.
+  bool DeserializeFrom(Reader* rd);
 
  private:
   struct Slot {

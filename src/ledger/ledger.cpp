@@ -18,6 +18,7 @@ Ledger::Ledger(const GenesisConfig& config)
   genesis.next_seed = Block::DerivedSeed(config.seed0, 0);
   chain_.push_back(genesis);
   kinds_.push_back(ConsensusKind::kFinal);
+  base_seeds_.push_back(config.seed0);
   seeds_.push_back(config.seed0);
   seeds_.push_back(genesis.next_seed);
   tip_hash_ = genesis.Hash();
@@ -25,6 +26,25 @@ Ledger::Ledger(const GenesisConfig& config)
   if (lookback_rounds_ > 0) {
     snapshots_.push_back(accounts_);
   }
+}
+
+bool Ledger::InstallCheckpoint(const Block& tip_block, AccountTable accounts,
+                               uint64_t seed_base, std::vector<SeedBytes> seeds) {
+  if (chain_length() != 1 || lookback_rounds_ > 0) {
+    return false;  // Only a fresh, no-look-back ledger can adopt a prefix.
+  }
+  if (tip_block.round == 0 || seed_base > tip_block.round ||
+      seed_base + seeds.size() != tip_block.round + 1) {
+    return false;  // Seed window must cover [seed_base .. B] exactly.
+  }
+  base_round_ = tip_block.round;
+  seed_base_ = seed_base;
+  base_seeds_ = std::move(seeds);
+  base_accounts_ = std::move(accounts);
+  chain_.assign(1, tip_block);
+  kinds_.assign(1, ConsensusKind::kFinal);
+  RebuildState();
+  return true;
 }
 
 bool Ledger::Append(const Block& block, ConsensusKind kind) {
@@ -64,11 +84,12 @@ bool Ledger::Append(const Block& block, ConsensusKind kind) {
 }
 
 bool Ledger::ReplaceSuffix(uint64_t from_round, const std::vector<Block>& blocks) {
-  if (from_round == 0 || from_round > chain_.size()) {
-    return false;
+  if (from_round <= base_round_ || from_round > chain_length()) {
+    return false;  // The compacted prefix is final; forks never reach it.
   }
+  const size_t keep = from_round - base_round_;
   // Build the prospective chain.
-  std::vector<Block> new_chain(chain_.begin(), chain_.begin() + static_cast<long>(from_round));
+  std::vector<Block> new_chain(chain_.begin(), chain_.begin() + static_cast<long>(keep));
   for (const Block& b : blocks) {
     if (b.round != new_chain.back().round + 1 || b.prev_hash != new_chain.back().Hash()) {
       return false;
@@ -80,7 +101,7 @@ bool Ledger::ReplaceSuffix(uint64_t from_round, const std::vector<Block>& blocks
 
   chain_ = std::move(new_chain);
   kinds_.assign(chain_.size(), ConsensusKind::kTentative);
-  for (size_t r = 0; r < from_round && r < old_kinds.size(); ++r) {
+  for (size_t r = 0; r < keep && r < old_kinds.size(); ++r) {
     kinds_[r] = old_kinds[r];
   }
   RebuildState();
@@ -94,26 +115,33 @@ bool Ledger::ReplaceSuffix(uint64_t from_round, const std::vector<Block>& blocks
 }
 
 void Ledger::RebuildState() {
-  accounts_ = AccountTable();
-  seeds_.clear();
-  seeds_.push_back(seed0_);
+  seeds_ = base_seeds_;  // Seeds of [seed_base_ .. base_round_].
   round_by_hash_.clear();
   txn_round_.clear();
   snapshots_.clear();
   replay_ok_ = true;
 
-  accounts_.Reserve(genesis_allocations_.size());
-  for (const auto& [pk, amount] : genesis_allocations_) {
-    accounts_.Credit(pk, amount);
+  if (base_round_ == 0) {
+    accounts_ = AccountTable();
+    accounts_.Reserve(genesis_allocations_.size());
+    for (const auto& [pk, amount] : genesis_allocations_) {
+      accounts_.Credit(pk, amount);
+    }
+  } else {
+    accounts_ = base_accounts_;  // State after rounds 1..base_round_.
   }
   for (const Block& b : chain_) {
     seeds_.push_back(b.next_seed);
     round_by_hash_[b.Hash()] = b.round;
-    for (const Transaction& tx : b.txns) {
-      if (!accounts_.ApplyTransaction(tx)) {
-        replay_ok_ = false;
+    if (b.round > base_round_) {
+      // chain_[0] (genesis, or the checkpoint block) is already folded into
+      // the starting account state; only the suffix replays transactions.
+      for (const Transaction& tx : b.txns) {
+        if (!accounts_.ApplyTransaction(tx)) {
+          replay_ok_ = false;
+        }
+        txn_round_[tx.Id()] = b.round;
       }
-      txn_round_[tx.Id()] = b.round;
     }
     if (lookback_rounds_ > 0) {
       snapshots_.push_back(accounts_);
@@ -127,12 +155,16 @@ void Ledger::RebuildState() {
 
 AccountTable Ledger::AccountsAtRound(uint64_t round) const {
   AccountTable table;
-  table.Reserve(genesis_allocations_.size());
-  for (const auto& [pk, amount] : genesis_allocations_) {
-    table.Credit(pk, amount);
+  if (base_round_ == 0) {
+    table.Reserve(genesis_allocations_.size());
+    for (const auto& [pk, amount] : genesis_allocations_) {
+      table.Credit(pk, amount);
+    }
+  } else {
+    table = base_accounts_;  // Rounds <= base_round_ resolve to the base state.
   }
-  for (uint64_t r = 1; r <= round && r < chain_.size(); ++r) {
-    for (const Transaction& tx : chain_[r].txns) {
+  for (uint64_t r = base_round_ + 1; r <= round && r < chain_length(); ++r) {
+    for (const Transaction& tx : chain_[r - base_round_].txns) {
       table.ApplyTransaction(tx);
     }
   }
@@ -144,12 +176,12 @@ std::optional<Block> Ledger::BlockByHash(const Hash256& hash) const {
   if (it == round_by_hash_.end()) {
     return std::nullopt;
   }
-  return chain_[it->second];
+  return chain_[it->second - base_round_];
 }
 
 SeedBytes Ledger::SeedForRound(uint64_t round) const {
-  // seeds_ covers [0, next_round()].
-  return seeds_.at(round);
+  // seeds_ covers [seed_base_, next_round()].
+  return seeds_.at(round - seed_base_);
 }
 
 SeedBytes Ledger::SortitionSeed(uint64_t round, uint64_t refresh_interval) const {
@@ -158,7 +190,9 @@ SeedBytes Ledger::SortitionSeed(uint64_t round, uint64_t refresh_interval) const
   }
   uint64_t offset = 1 + (round % refresh_interval);
   uint64_t idx = round > offset ? round - offset : 0;
-  return SeedForRound(idx);
+  // A compacted ledger's window starts at seed_base_ — the checkpoint sized
+  // it so every reachable idx from rounds > base_round_ lands inside it.
+  return SeedForRound(std::max(idx, seed_base_));
 }
 
 uint64_t Ledger::WeightOf(const PublicKey& pk) const {
@@ -182,8 +216,8 @@ bool Ledger::IsConfirmed(const Hash256& txn_id) const {
   }
   uint64_t round = it->second;
   // Confirmed if this block or any successor is final.
-  for (size_t r = round; r < kinds_.size(); ++r) {
-    if (kinds_[r] == ConsensusKind::kFinal && r >= round) {
+  for (size_t i = round - base_round_; i < kinds_.size(); ++i) {
+    if (kinds_[i] == ConsensusKind::kFinal) {
       return true;
     }
   }
@@ -191,10 +225,15 @@ bool Ledger::IsConfirmed(const Hash256& txn_id) const {
 }
 
 std::optional<uint64_t> Ledger::HighestFinalRound() const {
-  for (size_t r = kinds_.size(); r > 1; --r) {
-    if (kinds_[r - 1] == ConsensusKind::kFinal) {
-      return r - 1;
+  for (size_t i = kinds_.size(); i > 1; --i) {
+    if (kinds_[i - 1] == ConsensusKind::kFinal) {
+      return base_round_ + i - 1;
     }
+  }
+  // The checkpoint block itself is certified final; only a genuine
+  // genesis-only chain has no final round.
+  if (base_round_ > 0) {
+    return base_round_;
   }
   return std::nullopt;
 }

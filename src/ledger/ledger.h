@@ -44,22 +44,46 @@ class Ledger {
   bool Append(const Block& block, ConsensusKind kind);
 
   // Replaces the chain suffix starting at `from_round` with `blocks`
-  // (fork-recovery switch, §8.2). Replays state from genesis. Returns false
-  // and leaves the ledger unchanged if the replacement does not form a valid
-  // chain.
+  // (fork-recovery switch, §8.2). Replays state from the base (genesis, or
+  // the installed checkpoint). Returns false and leaves the ledger unchanged
+  // if the replacement does not form a valid chain, or if `from_round` dips
+  // into the compacted prefix (<= base_round(): final history, never forked).
   bool ReplaceSuffix(uint64_t from_round, const std::vector<Block>& blocks);
 
+  // Installs a checkpoint into a *fresh* ledger (chain_length() == 1, no
+  // look-back configured): the round-B tip block, the account state after
+  // applying rounds 1..B, and the seed window [seed_base .. B]. Afterwards
+  // the ledger runs in compacted-prefix mode — rounds <= B are final and
+  // their blocks unavailable; Append continues at B+1. Fails (leaving the
+  // ledger untouched) on structural mismatch. Callers validate the state
+  // against the checkpoint manifest (tip hash, fingerprint) themselves.
+  bool InstallCheckpoint(const Block& tip_block, AccountTable accounts,
+                         uint64_t seed_base, std::vector<SeedBytes> seeds);
+
+  // Round below which history is compacted away (0 = full history from
+  // genesis). chain, kinds and seeds start here, not at round 0.
+  uint64_t base_round() const { return base_round_; }
+  // Lowest round SeedForRound can answer (0 in full-history mode).
+  uint64_t seed_base() const { return seed_base_; }
+  // Look-back window configured at genesis (0 = current-weight sortition).
+  uint64_t lookback_rounds() const { return lookback_rounds_; }
+
+  // Only meaningful when base_round() == 0 (chain_.front() is the round-B
+  // checkpoint block otherwise).
   const Block& genesis() const { return chain_.front(); }
   const Block& Tip() const { return chain_.back(); }
   Hash256 tip_hash() const { return tip_hash_; }
   // The round the node is currently trying to agree on.
   uint64_t next_round() const { return Tip().round + 1; }
-  size_t chain_length() const { return chain_.size(); }
+  // Logical length: 1 + tip round, whether or not the prefix is compacted.
+  size_t chain_length() const { return base_round_ + chain_.size(); }
 
-  const Block& BlockAtRound(uint64_t round) const { return chain_.at(round); }
+  // Valid for round in [base_round(), chain_length()).
+  const Block& BlockAtRound(uint64_t round) const { return chain_.at(round - base_round_); }
   std::optional<Block> BlockByHash(const Hash256& hash) const;
 
-  // seed_r: defined for r in [0, next_round()].
+  // seed_r: defined for r in [seed_base, next_round()] — seed_base is 0 for a
+  // full-history ledger, the checkpoint's window start otherwise.
   SeedBytes SeedForRound(uint64_t round) const;
 
   // The seed actually passed to sortition in round r, refreshed every
@@ -87,9 +111,17 @@ class Ledger {
   uint64_t WeightOf(const PublicKey& pk) const;
   uint64_t total_weight() const;
 
-  ConsensusKind ConsensusAtRound(uint64_t round) const { return kinds_.at(round); }
+  // Rounds below the base are final by construction (the checkpoint only
+  // covers certified-final history).
+  ConsensusKind ConsensusAtRound(uint64_t round) const {
+    return round < base_round_ ? ConsensusKind::kFinal : kinds_.at(round - base_round_);
+  }
   // Marks a tentative round final (a later final block confirms predecessors).
-  void MarkFinal(uint64_t round) { kinds_.at(round) = ConsensusKind::kFinal; }
+  void MarkFinal(uint64_t round) {
+    if (round >= base_round_) {
+      kinds_.at(round - base_round_) = ConsensusKind::kFinal;
+    }
+  }
 
   // A transaction is confirmed once it appears in a block that is final or
   // has a final successor (§4, §8.2).
@@ -99,7 +131,8 @@ class Ledger {
   std::optional<uint64_t> HighestFinalRound() const;
 
  private:
-  // Recomputes accounts/seeds/indexes by replaying chain_ from genesis. Sets
+  // Recomputes accounts/seeds/indexes by replaying chain_ from the base
+  // (genesis allocations, or the installed checkpoint state). Sets
   // replay_ok_ false if any transaction fails to apply.
   void RebuildState();
 
@@ -107,9 +140,20 @@ class Ledger {
   std::vector<std::pair<PublicKey, uint64_t>> genesis_allocations_;
   SeedBytes seed0_;
   bool replay_ok_ = true;
-  std::vector<Block> chain_;          // chain_[r] is the round-r block.
+
+  // Compacted-prefix mode (InstallCheckpoint). base_round_ == 0 means full
+  // history; then base_seeds_ == {seed0_} and base_accounts_ is unused.
+  uint64_t base_round_ = 0;
+  uint64_t seed_base_ = 0;
+  // Seeds of rounds [seed_base_ .. base_round_]; chain_[0]'s next_seed (the
+  // round base_round_+1 seed) is appended by RebuildState, keeping the replay
+  // loop uniform across both modes.
+  std::vector<SeedBytes> base_seeds_;
+  AccountTable base_accounts_;  // State after rounds 1..base_round_.
+
+  std::vector<Block> chain_;          // chain_[i] is the round base_round_+i block.
   std::vector<ConsensusKind> kinds_;  // Parallel to chain_.
-  std::vector<SeedBytes> seeds_;      // seeds_[r] = seed of round r.
+  std::vector<SeedBytes> seeds_;      // seeds_[i] = seed of round seed_base_+i.
   Hash256 tip_hash_;
   AccountTable accounts_;
   const BlockApplier* applier_ = nullptr;

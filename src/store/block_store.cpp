@@ -21,6 +21,10 @@ namespace {
 // a sequence of frames:
 //   frame := magic u8 | type u8 | len u32 LE | crc32c(payload) u32 LE | payload
 constexpr char kFileMagic[8] = {'A', 'L', 'G', 'O', 'S', 'E', 'G', '1'};
+constexpr char kChainMagic[8] = {'A', 'L', 'G', 'O', 'C', 'H', 'N', '1'};
+constexpr char kCkptMagic[8] = {'A', 'L', 'G', 'O', 'C', 'K', 'P', '1'};
+constexpr uint32_t kCkptVersion = 1;
+constexpr size_t kCkptHeader = 8 + 4 + 8 + 4;  // magic | version | len | crc.
 constexpr uint8_t kFrameMagic = 0xa7;
 constexpr size_t kFrameHeader = 1 + 1 + 4 + 4;
 constexpr uint64_t kMaxRecordBytes = 64ull << 20;  // Sanity bound on len.
@@ -30,12 +34,35 @@ enum RecordType : uint8_t {
   kRecFinalUpgrade = 2,
   kRecTruncate = 3,
   kRecCommit = 4,
+  // Segment base marker: echoes the committed (next_round, tip) at segment
+  // creation. Replay primes from it when it is the first frame of the first
+  // segment — which after compaction is no longer round 1.
+  kRecSegStart = 5,
+  // chain.log record: one certificate-chain link for a pruned round.
+  kRecChainLink = 6,
 };
 
 std::string SegmentName(uint32_t seq) {
   char buf[32];
   snprintf(buf, sizeof(buf), "seg-%08u.log", seq);
   return buf;
+}
+
+std::string CheckpointName(uint64_t round) {
+  char buf[48];
+  snprintf(buf, sizeof(buf), "ckpt-%020llu.ckpt", static_cast<unsigned long long>(round));
+  return buf;
+}
+
+// Parses "ckpt-%llu.ckpt"; returns 0 for anything else (round 0 is never
+// checkpointed).
+uint64_t CheckpointRoundFromName(const char* name) {
+  unsigned long long round = 0;
+  char tail[8] = {0};
+  if (sscanf(name, "ckpt-%20llu.%4s", &round, tail) != 2 || strcmp(tail, "ckpt") != 0) {
+    return 0;
+  }
+  return round;
 }
 
 // Parses "seg-%08u.log"; returns 0 for anything else (0 is never a valid seq).
@@ -118,7 +145,7 @@ std::optional<ParsedFrame> ParseFrame(std::span<const uint8_t> file, uint64_t of
     return std::nullopt;
   }
   uint8_t type = h[1];
-  if (type < kRecRound || type > kRecCommit) {
+  if (type < kRecRound || type > kRecChainLink) {
     return std::nullopt;
   }
   uint32_t len = static_cast<uint32_t>(h[2]) | (static_cast<uint32_t>(h[3]) << 8) |
@@ -148,6 +175,11 @@ std::optional<StoredRound> DecodeRoundPayload(std::span<const uint8_t> payload) 
   r.block = rd.Bytes();
   r.cert = rd.Bytes();
   r.final_cert = rd.Bytes();
+  // v2 appends the block's next-round seed; v1 records end here and decode
+  // to a zero seed (fast-sync then refuses to serve them as chain links).
+  if (rd.ok() && rd.remaining() == 32) {
+    r.next_seed = rd.Fixed<32>();
+  }
   if (!rd.AtEnd() || r.round == 0 || r.kind > 1 || r.block.empty()) {
     return std::nullopt;
   }
@@ -155,6 +187,30 @@ std::optional<StoredRound> DecodeRoundPayload(std::span<const uint8_t> payload) 
 }
 
 }  // namespace
+
+std::vector<uint8_t> ChainLink::SerializePayload() const {
+  Writer w;
+  w.U64(round);
+  w.U8(kind);
+  w.Fixed(hash);
+  w.Fixed(next_seed);
+  w.Bytes(cert);
+  return w.Take();
+}
+
+std::optional<ChainLink> ChainLink::DecodePayload(std::span<const uint8_t> payload) {
+  Reader rd(payload);
+  ChainLink link;
+  link.round = rd.U64();
+  link.kind = rd.U8();
+  link.hash = rd.Fixed<32>();
+  link.next_seed = rd.Fixed<32>();
+  link.cert = rd.Bytes();
+  if (!rd.AtEnd() || link.round == 0 || link.kind > 1) {
+    return std::nullopt;
+  }
+  return link;
+}
 
 const char* FsyncPolicyName(FsyncPolicy policy) {
   switch (policy) {
@@ -228,6 +284,15 @@ BlockStore::~BlockStore() {
     ::close(active_fd_);
     active_fd_ = -1;
   }
+  if (chain_fd_ >= 0) {
+    ::close(chain_fd_);
+    chain_fd_ = -1;
+  }
+  std::lock_guard<std::mutex> lock(fd_mu_);
+  for (auto& [path, fd] : fd_cache_) {
+    ::close(fd);
+  }
+  fd_cache_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -314,6 +379,35 @@ bool BlockStore::Recover(std::string* error) {
         break;
       }
       switch (frame->type) {
+        case kRecSegStart: {
+          Reader rd(frame->payload);
+          uint64_t base_next = rd.U64();
+          Hash256 base_tip = rd.Fixed<32>();
+          if (!rd.AtEnd() || base_next == 0) {
+            torn = true;
+            break;
+          }
+          if (offset == sizeof(kFileMagic)) {
+            segments_[seq].has_base = true;
+            if (si == 0) {
+              // First frame of the oldest segment: the log starts here, not
+              // at round 1 — compaction pruned the prefix, or fast-sync
+              // primed a fresh joiner. Adopt the committed base so the
+              // commit echoes of everything that follows line up.
+              next_round_ = base_next;
+              tip_hash_ = base_tip;
+            }
+          }
+          if (staged_rounds.empty() && staged_finals.empty() &&
+              staged_truncates.empty()) {
+            committed_end = frame->end;  // Self-committed base marker.
+          }
+          break;
+        }
+        case kRecChainLink:
+          // chain.log records never belong in a segment file.
+          torn = true;
+          break;
         case kRecRound: {
           auto r = DecodeRoundPayload(frame->payload);
           if (!r.has_value()) {
@@ -474,6 +568,123 @@ bool BlockStore::Recover(std::string* error) {
     }
   }
 
+  // Discover checkpoint sidecars. Only the header is validated here (cheap
+  // restart); the payload CRC is checked on first read, and a corrupt file
+  // behaves exactly like an absent one.
+  {
+    std::vector<std::pair<uint64_t, std::string>> found;
+    DIR* d = ::opendir(opts_.dir.c_str());
+    if (d != nullptr) {
+      while (struct dirent* ent = ::readdir(d)) {
+        uint64_t round = CheckpointRoundFromName(ent->d_name);
+        if (round != 0) {
+          found.emplace_back(round, opts_.dir + "/" + ent->d_name);
+        }
+      }
+      ::closedir(d);
+    }
+    std::sort(found.begin(), found.end());
+    for (auto& [round, path] : found) {
+      if (round >= next_round_) {
+        // Describes history the log no longer commits to (e.g. a fork switch
+        // truncated below it while the store was down): dead, remove.
+        ::unlink(path.c_str());
+        continue;
+      }
+      uint8_t header[kCkptHeader];
+      int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+      bool ok = fd >= 0;
+      uint64_t payload_len = 0;
+      if (ok) {
+        struct stat st {};
+        ok = ::pread(fd, header, sizeof(header), 0) == static_cast<ssize_t>(sizeof(header)) &&
+             ::fstat(fd, &st) == 0 && memcmp(header, kCkptMagic, sizeof(kCkptMagic)) == 0;
+        if (ok) {
+          Reader rd(std::span<const uint8_t>(header + 8, sizeof(header) - 8));
+          uint32_t version = rd.U32();
+          payload_len = rd.U64();
+          ok = version == kCkptVersion &&
+               static_cast<uint64_t>(st.st_size) == kCkptHeader + payload_len;
+        }
+        ::close(fd);
+      }
+      if (!ok) {
+        ++ckpt_scan_failures_;
+        continue;  // Left on disk for post-mortems; never served.
+      }
+      checkpoints_.push_back(CheckpointInfo{round, payload_len, path});
+    }
+  }
+
+  // Load the chain-link sidecar: offsets of every intact frame; a torn tail
+  // is cut, mirroring segment repair.
+  chain_path_ = opts_.dir + "/chain.log";
+  {
+    std::vector<uint8_t> file;
+    int fd = ::open(chain_path_.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd >= 0) {
+      struct stat st {};
+      if (::fstat(fd, &st) == 0) {
+        file.resize(static_cast<size_t>(st.st_size));
+        size_t got = 0;
+        while (got < file.size()) {
+          ssize_t r = ::pread(fd, file.data() + got, file.size() - got,
+                              static_cast<off_t>(got));
+          if (r <= 0) {
+            file.resize(got);
+            break;
+          }
+          got += static_cast<size_t>(r);
+        }
+      }
+      ::close(fd);
+    }
+    uint64_t good_end = 0;
+    if (file.size() >= sizeof(kChainMagic) &&
+        memcmp(file.data(), kChainMagic, sizeof(kChainMagic)) == 0) {
+      good_end = sizeof(kChainMagic);
+      uint64_t off = good_end;
+      while (true) {
+        auto frame = ParseFrame(file, off);
+        if (!frame.has_value() || frame->type != kRecChainLink ||
+            frame->payload.size() < 8) {
+          break;
+        }
+        Reader rd(frame->payload.subspan(0, 8));
+        uint64_t round = rd.U64();
+        if (round == 0) {
+          break;
+        }
+        chain_links_[round] = {off, static_cast<uint32_t>(frame->end - off)};
+        good_end = frame->end;
+        off = frame->end;
+      }
+    }
+    if (good_end == 0) {
+      // Absent, empty or unrecognized: start a fresh sidecar.
+      chain_fd_ = ::open(chain_path_.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+      if (chain_fd_ < 0 ||
+          !WriteAll(chain_fd_, reinterpret_cast<const uint8_t*>(kChainMagic),
+                    sizeof(kChainMagic))) {
+        *error = "cannot create " + chain_path_;
+        return false;
+      }
+      chain_size_ = sizeof(kChainMagic);
+    } else {
+      if (good_end < file.size() &&
+          ::truncate(chain_path_.c_str(), static_cast<off_t>(good_end)) != 0) {
+        *error = "cannot repair " + chain_path_;
+        return false;
+      }
+      chain_fd_ = ::open(chain_path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+      if (chain_fd_ < 0) {
+        *error = "cannot reopen " + chain_path_;
+        return false;
+      }
+      chain_size_ = good_end;
+    }
+  }
+
   // Open (or create) the active segment for appending.
   if (segments_.empty()) {
     active_seq_ = 1;
@@ -547,6 +758,18 @@ void BlockStore::Execute(Op& op) {
       break;
     case Op::Kind::kFlush:
       SyncActive(opts_.fsync != FsyncPolicy::kOff);
+      break;
+    case Op::Kind::kCheckpoint:
+      DoCheckpoint(op.a, op.serialize);
+      break;
+    case Op::Kind::kAdopt:
+      DoAdoptCheckpoint(op.a, op.blob);
+      break;
+    case Op::Kind::kPrime:
+      DoPrime(op.a, op.hash);
+      break;
+    case Op::Kind::kLinks:
+      DoAppendLinks(op.blobs);
       break;
   }
   if (op.waiter != nullptr) {
@@ -629,10 +852,20 @@ void BlockStore::RollSegmentIfNeeded() {
   }
   active_size_ = sizeof(kFileMagic);
   unsynced_bytes_ = 0;
+  uint64_t base_next;
+  Hash256 base_tip;
   {
     std::lock_guard<std::mutex> lock(index_mu_);
-    segments_[active_seq_] = {path, active_size_, 0, 0};
+    segments_[active_seq_] = {path, active_size_, 0, 0, /*has_base=*/true};
+    base_next = next_round_;
+    base_tip = tip_hash_;
   }
+  // Base marker: every rolled segment opens with the committed (next, tip)
+  // so replay can prime itself here once compaction prunes everything below.
+  Writer base;
+  base.U64(base_next);
+  base.Fixed(base_tip);
+  WriteFrame(kRecSegStart, base.buffer());
   if (c_segments_ != nullptr) {
     c_segments_->Increment();
   }
@@ -678,7 +911,8 @@ void BlockStore::DoAppendRound(const StoredRound& r) {
   const std::span<const uint8_t> pieces[] = {
       std::span<const uint8_t>(head.buffer()),      std::span<const uint8_t>(r.block),
       std::span<const uint8_t>(cert_len.buffer()),  std::span<const uint8_t>(r.cert),
-      std::span<const uint8_t>(final_len.buffer()), std::span<const uint8_t>(r.final_cert)};
+      std::span<const uint8_t>(final_len.buffer()), std::span<const uint8_t>(r.final_cert),
+      std::span<const uint8_t>(r.next_seed.data(), r.next_seed.size())};
   WriteFramePieces(kRecRound, pieces);
   if (opts_.fsync == FsyncPolicy::kEveryRound) {
     SyncActive(true);  // WAL rule: payload durable before the commit frame.
@@ -764,6 +998,7 @@ void BlockStore::DoTruncate(uint64_t from_round) {
   SyncActive(true);
   Writer commit;
   std::vector<std::string> doomed;
+  uint64_t chain_trunc = 0;
   {
     std::lock_guard<std::mutex> lock(index_mu_);
     uint64_t new_next = std::min(next_round_, from_round);
@@ -793,11 +1028,40 @@ void BlockStore::DoTruncate(uint64_t from_round) {
       }
       ++sit;
     }
+    // Checkpoints and chain links describing rounds >= from_round are dead
+    // history now — a fork switch invalidates everything above it.
+    for (auto cit = checkpoints_.begin(); cit != checkpoints_.end();) {
+      if (cit->round >= from_round) {
+        doomed.push_back(cit->path);
+        cit = checkpoints_.erase(cit);
+      } else {
+        ++cit;
+      }
+    }
+    auto lit = chain_links_.lower_bound(from_round);
+    if (lit != chain_links_.end()) {
+      chain_trunc = lit->second.first;  // Links append in round order.
+      chain_links_.erase(lit, chain_links_.end());
+    }
   }
   WriteFrame(kRecCommit, commit.buffer());
   SyncActive(true);
   for (const std::string& path : doomed) {
     ::unlink(path.c_str());
+    DropCachedFd(path);
+  }
+  if (chain_trunc != 0 && chain_fd_ >= 0) {
+    if (::ftruncate(chain_fd_, static_cast<off_t>(chain_trunc)) == 0) {
+      chain_size_ = chain_trunc;  // O_APPEND: next write lands at the new end.
+    }
+    DropCachedFd(chain_path_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(ckpt_cache_mu_);
+    if (ckpt_cache_round_ >= from_round) {
+      ckpt_cache_round_ = 0;
+      ckpt_cache_.reset();
+    }
   }
   if (c_truncates_ != nullptr) {
     c_truncates_->Increment();
@@ -805,8 +1069,294 @@ void BlockStore::DoTruncate(uint64_t from_round) {
 }
 
 // ---------------------------------------------------------------------------
+// Checkpoints + compaction (writer thread)
+// ---------------------------------------------------------------------------
+
+bool BlockStore::WriteCheckpointFile(uint64_t round, const std::vector<uint8_t>& payload) {
+  const std::string path = opts_.dir + "/" + CheckpointName(round);
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  uint8_t header[kCkptHeader];
+  memcpy(header, kCkptMagic, sizeof(kCkptMagic));
+  const uint64_t len = payload.size();
+  const uint32_t crc = Crc32c(payload);
+  for (int i = 0; i < 4; ++i) {
+    header[8 + i] = static_cast<uint8_t>(kCkptVersion >> (8 * i));
+    header[20 + i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    header[12 + i] = static_cast<uint8_t>(len >> (8 * i));
+  }
+  bool ok = WriteAll(fd, header, sizeof(header)) &&
+            WriteAll(fd, payload.data(), payload.size()) && ::fdatasync(fd) == 0;
+  ::close(fd);
+  if (!ok || ::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Make the rename itself durable, so "checkpoint exists" survives a crash.
+  int dfd = ::open(opts_.dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    CheckpointInfo info{round, len, path};
+    auto pos = std::lower_bound(
+        checkpoints_.begin(), checkpoints_.end(), round,
+        [](const CheckpointInfo& c, uint64_t r) { return c.round < r; });
+    if (pos != checkpoints_.end() && pos->round == round) {
+      *pos = std::move(info);
+    } else {
+      checkpoints_.insert(pos, std::move(info));
+    }
+  }
+  if (c_ckpts_written_ != nullptr) {
+    c_ckpts_written_->Increment();
+    c_ckpt_bytes_->Increment(len);
+  }
+  return true;
+}
+
+void BlockStore::DoCheckpoint(uint64_t round,
+                              const std::function<std::vector<uint8_t>()>& serialize) {
+  if (dead_ || round == 0 || !serialize) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    if (round >= next_round_ || index_.find(round) == index_.end()) {
+      return;  // Not a committed, retained round: nothing to anchor on.
+    }
+    for (const auto& c : checkpoints_) {
+      if (c.round == round) {
+        return;  // Already durable.
+      }
+    }
+  }
+  const std::vector<uint8_t> payload = serialize();
+  if (payload.empty() || !WriteCheckpointFile(round, payload)) {
+    return;
+  }
+  // Retention, then compaction below the oldest survivor.
+  std::vector<std::string> drop;
+  uint64_t cutoff = 0;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    const uint64_t retain = std::max<uint64_t>(1, opts_.checkpoint_retain);
+    while (checkpoints_.size() > retain) {
+      drop.push_back(checkpoints_.front().path);
+      checkpoints_.erase(checkpoints_.begin());
+    }
+    cutoff = checkpoints_.front().round;
+  }
+  for (const std::string& path : drop) {
+    ::unlink(path.c_str());
+  }
+  if (!drop.empty()) {
+    std::lock_guard<std::mutex> lock(ckpt_cache_mu_);
+    ckpt_cache_round_ = 0;
+    ckpt_cache_.reset();
+  }
+  CompactBelow(cutoff);
+}
+
+void BlockStore::CompactBelow(uint64_t cutoff) {
+  if (dead_ || cutoff <= 1) {
+    return;
+  }
+  // Candidate prefix: ascending seqs, never the active segment, every live
+  // round strictly below the cutoff — and the survivor that becomes the new
+  // oldest segment must open with a SEGSTART base frame, or replay of the
+  // compacted log would assume it starts at round 1 (pre-checkpoint-era
+  // segments have no base marker; such a log is never cut).
+  struct DoomedSeg {
+    uint32_t seq = 0;
+    std::string path;
+    uint64_t size = 0;
+    uint64_t min_round = 0;
+    uint64_t max_round = 0;
+  };
+  std::vector<DoomedSeg> doomed;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    for (auto it = segments_.begin(); it != segments_.end() && it->first != active_seq_;
+         ++it) {
+      const SegmentInfo& info = it->second;
+      auto next = std::next(it);
+      const bool next_has_base = next != segments_.end() && next->second.has_base;
+      if (!next_has_base || (info.min_round != 0 && info.max_round >= cutoff)) {
+        break;  // Prefix rule: stop at the first segment that must stay.
+      }
+      doomed.push_back({it->first, info.path, info.size, info.min_round, info.max_round});
+    }
+  }
+  if (doomed.empty()) {
+    return;
+  }
+  // Preserve the certificate chain of every round the doomed prefix holds:
+  // links must be durable in chain.log before the full blocks disappear.
+  bool wrote_links = false;
+  for (const DoomedSeg& d : doomed) {
+    for (uint64_t r = d.min_round; r != 0 && r <= d.max_round; ++r) {
+      bool ours;
+      {
+        std::lock_guard<std::mutex> lock(index_mu_);
+        auto it = index_.find(r);
+        ours = it != index_.end() && it->second.segment == d.seq &&
+               chain_links_.find(r) == chain_links_.end();
+      }
+      if (!ours) {
+        continue;
+      }
+      auto sr = ReadRound(r);
+      if (!sr.has_value()) {
+        return;  // Unreadable round: refuse to prune, keep full history.
+      }
+      ChainLink link;
+      link.round = sr->round;
+      link.kind = sr->kind;
+      link.hash = sr->tip_hash;
+      link.next_seed = sr->next_seed;
+      link.cert = !sr->cert.empty() ? sr->cert : sr->final_cert;
+      if (!AppendChainLinkFrame(link.SerializePayload())) {
+        return;
+      }
+      wrote_links = true;
+    }
+  }
+  if (wrote_links && chain_fd_ >= 0 && ::fdatasync(chain_fd_) != 0) {
+    return;
+  }
+  uint64_t bytes_reclaimed = 0;
+  for (const DoomedSeg& d : doomed) {
+    {
+      std::lock_guard<std::mutex> lock(index_mu_);
+      for (uint64_t r = d.min_round; r != 0 && r <= d.max_round; ++r) {
+        auto it = index_.find(r);
+        if (it != index_.end() && it->second.segment == d.seq) {
+          index_.erase(it);
+        }
+      }
+      segments_.erase(d.seq);
+      // Upgrade records inside a pruned prefix can only reference rounds
+      // below the cutoff (they were written after those rounds, before any
+      // surviving segment existed); their certs are folded into the links.
+      final_upgrades_.erase(final_upgrades_.begin(), final_upgrades_.lower_bound(cutoff));
+    }
+    ::unlink(d.path.c_str());
+    DropCachedFd(d.path);
+    bytes_reclaimed += d.size;
+  }
+  if (c_compaction_runs_ != nullptr) {
+    c_compaction_runs_->Increment();
+    c_compaction_segments_->Increment(doomed.size());
+    c_compaction_bytes_->Increment(bytes_reclaimed);
+  }
+}
+
+bool BlockStore::AppendChainLinkFrame(const std::vector<uint8_t>& payload) {
+  if (chain_fd_ < 0) {
+    return false;
+  }
+  auto link = ChainLink::DecodePayload(payload);
+  if (!link.has_value()) {
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    if (chain_links_.find(link->round) != chain_links_.end()) {
+      return true;  // Already preserved.
+    }
+  }
+  uint8_t header[kFrameHeader];
+  header[0] = kFrameMagic;
+  header[1] = kRecChainLink;
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Crc32c(payload);
+  for (int i = 0; i < 4; ++i) {
+    header[2 + i] = static_cast<uint8_t>(len >> (8 * i));
+    header[6 + i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+  if (!WriteAll(chain_fd_, header, sizeof(header)) ||
+      !WriteAll(chain_fd_, payload.data(), payload.size())) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(index_mu_);
+  chain_links_[link->round] = {chain_size_,
+                               static_cast<uint32_t>(kFrameHeader + payload.size())};
+  chain_size_ += kFrameHeader + payload.size();
+  return true;
+}
+
+void BlockStore::DoAdoptCheckpoint(uint64_t round, const std::vector<uint8_t>& payload) {
+  if (dead_ || round == 0 || payload.empty()) {
+    return;
+  }
+  WriteCheckpointFile(round, payload);
+}
+
+void BlockStore::DoPrime(uint64_t next_round, const Hash256& tip) {
+  if (dead_ || next_round <= 1) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    // Only a virgin log can be primed: nothing committed, nothing written.
+    if (next_round_ != 1 || !index_.empty() || segments_.size() != 1 ||
+        active_size_ != sizeof(kFileMagic)) {
+      return;
+    }
+  }
+  Writer base;
+  base.U64(next_round);
+  base.Fixed(tip);
+  WriteFrame(kRecSegStart, base.buffer());
+  SyncActive(true);
+  if (dead_) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(index_mu_);
+  next_round_ = next_round;
+  tip_hash_ = tip;
+  segments_[active_seq_].has_base = true;
+}
+
+void BlockStore::DoAppendLinks(const std::vector<std::vector<uint8_t>>& payloads) {
+  if (dead_) {
+    return;
+  }
+  bool wrote = false;
+  for (const auto& payload : payloads) {
+    wrote = AppendChainLinkFrame(payload) || wrote;
+  }
+  if (wrote && chain_fd_ >= 0) {
+    ::fdatasync(chain_fd_);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Public API
 // ---------------------------------------------------------------------------
+
+void BlockStore::Enqueue(Op op) {
+  if (!opts_.background_writer) {
+    Execute(op);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stop_) {
+      return;
+    }
+    queue_.push_back(std::move(op));
+  }
+  queue_cv_.notify_one();
+}
 
 void BlockStore::AppendRound(StoredRound r) {
   if (dead_) {
@@ -815,15 +1365,7 @@ void BlockStore::AppendRound(StoredRound r) {
   Op op;
   op.kind = Op::Kind::kRound;
   op.round = std::move(r);
-  if (!opts_.background_writer) {
-    Execute(op);
-    return;
-  }
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_.push_back(std::move(op));
-  }
-  queue_cv_.notify_one();
+  Enqueue(std::move(op));
 }
 
 void BlockStore::AppendFinalUpgrade(uint64_t round, std::vector<uint8_t> final_cert) {
@@ -834,15 +1376,7 @@ void BlockStore::AppendFinalUpgrade(uint64_t round, std::vector<uint8_t> final_c
   op.kind = Op::Kind::kFinal;
   op.a = round;
   op.blob = std::move(final_cert);
-  if (!opts_.background_writer) {
-    Execute(op);
-    return;
-  }
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_.push_back(std::move(op));
-  }
-  queue_cv_.notify_one();
+  Enqueue(std::move(op));
 }
 
 void BlockStore::TruncateSuffix(uint64_t from_round) {
@@ -852,15 +1386,51 @@ void BlockStore::TruncateSuffix(uint64_t from_round) {
   Op op;
   op.kind = Op::Kind::kTruncate;
   op.a = from_round;
-  if (!opts_.background_writer) {
-    Execute(op);
+  Enqueue(std::move(op));
+}
+
+void BlockStore::AppendCheckpoint(uint64_t round,
+                                  std::function<std::vector<uint8_t>()> serialize) {
+  if (dead_) {
     return;
   }
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_.push_back(std::move(op));
+  Op op;
+  op.kind = Op::Kind::kCheckpoint;
+  op.a = round;
+  op.serialize = std::move(serialize);
+  Enqueue(std::move(op));
+}
+
+void BlockStore::AdoptCheckpoint(uint64_t round, std::vector<uint8_t> payload) {
+  if (dead_) {
+    return;
   }
-  queue_cv_.notify_one();
+  Op op;
+  op.kind = Op::Kind::kAdopt;
+  op.a = round;
+  op.blob = std::move(payload);
+  Enqueue(std::move(op));
+}
+
+void BlockStore::PrimeAt(uint64_t next_round, const Hash256& tip_hash) {
+  if (dead_) {
+    return;
+  }
+  Op op;
+  op.kind = Op::Kind::kPrime;
+  op.a = next_round;
+  op.hash = tip_hash;
+  Enqueue(std::move(op));
+}
+
+void BlockStore::AppendChainLinks(std::vector<std::vector<uint8_t>> link_payloads) {
+  if (dead_) {
+    return;
+  }
+  Op op;
+  op.kind = Op::Kind::kLinks;
+  op.blobs = std::move(link_payloads);
+  Enqueue(std::move(op));
 }
 
 void BlockStore::Flush() {
@@ -902,6 +1472,15 @@ void BlockStore::Crash() {
     ::close(active_fd_);  // No fsync: only what the OS already has survives.
     active_fd_ = -1;
   }
+  if (chain_fd_ >= 0) {
+    ::close(chain_fd_);
+    chain_fd_ = -1;
+  }
+  std::lock_guard<std::mutex> lock(fd_mu_);
+  for (auto& [path, fd] : fd_cache_) {
+    ::close(fd);
+  }
+  fd_cache_.clear();
 }
 
 uint64_t BlockStore::next_round() const {
@@ -934,7 +1513,13 @@ std::optional<StoredRound> BlockStore::ReadRound(uint64_t round) const {
     std::lock_guard<std::mutex> lock(index_mu_);
     auto it = index_.find(round);
     if (it == index_.end()) {
+      if (c_index_misses_ != nullptr) {
+        c_index_misses_->Increment();
+      }
       return std::nullopt;
+    }
+    if (c_index_hits_ != nullptr) {
+      c_index_hits_->Increment();
     }
     loc = it->second;
     auto seg = segments_.find(loc.segment);
@@ -953,50 +1538,7 @@ std::optional<StoredRound> BlockStore::ReadRound(uint64_t round) const {
     }
   }
 
-  // Reads one frame at `offset` of `p`; committed offsets are stable, so an
-  // unlocked pread never races the appending writer.
-  auto read_frame = [](const std::string& p, uint64_t offset,
-                       uint8_t want_type) -> std::optional<std::vector<uint8_t>> {
-    int fd = ::open(p.c_str(), O_RDONLY | O_CLOEXEC);
-    if (fd < 0) {
-      return std::nullopt;
-    }
-    uint8_t header[kFrameHeader];
-    if (::pread(fd, header, sizeof(header), static_cast<off_t>(offset)) !=
-        static_cast<ssize_t>(sizeof(header)) ||
-        header[0] != kFrameMagic || header[1] != want_type) {
-      ::close(fd);
-      return std::nullopt;
-    }
-    uint32_t len = static_cast<uint32_t>(header[2]) | (static_cast<uint32_t>(header[3]) << 8) |
-                   (static_cast<uint32_t>(header[4]) << 16) |
-                   (static_cast<uint32_t>(header[5]) << 24);
-    uint32_t crc = static_cast<uint32_t>(header[6]) | (static_cast<uint32_t>(header[7]) << 8) |
-                   (static_cast<uint32_t>(header[8]) << 16) |
-                   (static_cast<uint32_t>(header[9]) << 24);
-    if (len > kMaxRecordBytes) {
-      ::close(fd);
-      return std::nullopt;
-    }
-    std::vector<uint8_t> payload(len);
-    size_t got = 0;
-    while (got < payload.size()) {
-      ssize_t r = ::pread(fd, payload.data() + got, payload.size() - got,
-                          static_cast<off_t>(offset + kFrameHeader + got));
-      if (r <= 0) {
-        ::close(fd);
-        return std::nullopt;
-      }
-      got += static_cast<size_t>(r);
-    }
-    ::close(fd);
-    if (Crc32c(payload) != crc) {
-      return std::nullopt;
-    }
-    return payload;
-  };
-
-  auto payload = read_frame(path, loc.offset, kRecRound);
+  auto payload = ReadFrameAt(path, loc.offset, kRecRound);
   if (!payload.has_value()) {
     return std::nullopt;
   }
@@ -1005,7 +1547,7 @@ std::optional<StoredRound> BlockStore::ReadRound(uint64_t round) const {
     return std::nullopt;
   }
   if (has_upgrade && r->final_cert.empty()) {
-    if (auto up = read_frame(upgrade_path, upgrade_offset, kRecFinalUpgrade)) {
+    if (auto up = ReadFrameAt(upgrade_path, upgrade_offset, kRecFinalUpgrade)) {
       Reader rd(*up);
       uint64_t up_round = rd.U64();
       std::vector<uint8_t> cert = rd.Bytes();
@@ -1020,9 +1562,198 @@ std::optional<StoredRound> BlockStore::ReadRound(uint64_t round) const {
   return r;
 }
 
+// Reads one frame through the LRU fd cache. The lock covers lookup + pread:
+// reads are short, and holding it prevents an eviction racing the pread with
+// a closed fd. Committed offsets are stable, so the pread itself never races
+// the appending writer.
+std::optional<std::vector<uint8_t>> BlockStore::ReadFrameAt(const std::string& path,
+                                                            uint64_t offset,
+                                                            uint8_t want_type) const {
+  constexpr size_t kMaxCachedFds = 8;
+  std::lock_guard<std::mutex> lock(fd_mu_);
+  int fd = -1;
+  for (size_t i = 0; i < fd_cache_.size(); ++i) {
+    if (fd_cache_[i].first == path) {
+      fd = fd_cache_[i].second;
+      if (i != 0) {
+        std::rotate(fd_cache_.begin(), fd_cache_.begin() + i, fd_cache_.begin() + i + 1);
+      }
+      break;
+    }
+  }
+  if (fd < 0) {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      return std::nullopt;
+    }
+    fd_cache_.insert(fd_cache_.begin(), {path, fd});
+    while (fd_cache_.size() > kMaxCachedFds) {
+      ::close(fd_cache_.back().second);
+      fd_cache_.pop_back();
+    }
+  }
+  uint8_t header[kFrameHeader];
+  if (::pread(fd, header, sizeof(header), static_cast<off_t>(offset)) !=
+          static_cast<ssize_t>(sizeof(header)) ||
+      header[0] != kFrameMagic || header[1] != want_type) {
+    return std::nullopt;
+  }
+  uint32_t len = static_cast<uint32_t>(header[2]) | (static_cast<uint32_t>(header[3]) << 8) |
+                 (static_cast<uint32_t>(header[4]) << 16) |
+                 (static_cast<uint32_t>(header[5]) << 24);
+  uint32_t crc = static_cast<uint32_t>(header[6]) | (static_cast<uint32_t>(header[7]) << 8) |
+                 (static_cast<uint32_t>(header[8]) << 16) |
+                 (static_cast<uint32_t>(header[9]) << 24);
+  if (len > kMaxRecordBytes) {
+    return std::nullopt;
+  }
+  std::vector<uint8_t> payload(len);
+  size_t got = 0;
+  while (got < payload.size()) {
+    ssize_t r = ::pread(fd, payload.data() + got, payload.size() - got,
+                        static_cast<off_t>(offset + kFrameHeader + got));
+    if (r <= 0) {
+      return std::nullopt;
+    }
+    got += static_cast<size_t>(r);
+  }
+  if (Crc32c(payload) != crc) {
+    return std::nullopt;
+  }
+  return payload;
+}
+
+void BlockStore::DropCachedFd(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(fd_mu_);
+  for (auto it = fd_cache_.begin(); it != fd_cache_.end(); ++it) {
+    if (it->first == path) {
+      ::close(it->second);
+      fd_cache_.erase(it);
+      return;
+    }
+  }
+}
+
+std::optional<ChainLink> BlockStore::ChainLinkAt(uint64_t round) const {
+  // Retained rounds synthesize their link from the full record; pruned ones
+  // are served from chain.log.
+  if (auto sr = ReadRound(round)) {
+    ChainLink link;
+    link.round = sr->round;
+    link.kind = sr->kind;
+    link.hash = sr->tip_hash;
+    link.next_seed = sr->next_seed;
+    link.cert = !sr->cert.empty() ? sr->cert : sr->final_cert;
+    return link;
+  }
+  uint64_t offset = 0;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    auto it = chain_links_.find(round);
+    if (it == chain_links_.end()) {
+      return std::nullopt;
+    }
+    offset = it->second.first;
+  }
+  auto payload = ReadFrameAt(chain_path_, offset, kRecChainLink);
+  if (!payload.has_value()) {
+    return std::nullopt;
+  }
+  auto link = ChainLink::DecodePayload(*payload);
+  if (!link.has_value() || link->round != round) {
+    return std::nullopt;
+  }
+  return link;
+}
+
+uint64_t BlockStore::first_retained_round() const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  return index_.empty() ? next_round_ : index_.begin()->first;
+}
+
+std::vector<CheckpointInfo> BlockStore::checkpoints() const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  return checkpoints_;
+}
+
+std::shared_ptr<const std::vector<uint8_t>> BlockStore::ReadCheckpointPayload(
+    uint64_t round) const {
+  {
+    std::lock_guard<std::mutex> lock(ckpt_cache_mu_);
+    if (ckpt_cache_round_ == round && ckpt_cache_ != nullptr) {
+      return ckpt_cache_;
+    }
+  }
+  std::string path;
+  uint64_t payload_len = 0;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    for (const auto& c : checkpoints_) {
+      if (c.round == round) {
+        path = c.path;
+        payload_len = c.payload_bytes;
+        break;
+      }
+    }
+  }
+  if (path.empty()) {
+    return nullptr;  // Unknown round: absence, not a load failure.
+  }
+  bool ok = false;
+  auto payload = std::make_shared<std::vector<uint8_t>>();
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd >= 0) {
+    uint8_t header[kCkptHeader];
+    ok = ::pread(fd, header, sizeof(header), 0) == static_cast<ssize_t>(sizeof(header)) &&
+         memcmp(header, kCkptMagic, sizeof(kCkptMagic)) == 0;
+    uint32_t crc = 0;
+    if (ok) {
+      Reader rd(std::span<const uint8_t>(header + 8, sizeof(header) - 8));
+      const uint32_t version = rd.U32();
+      const uint64_t len = rd.U64();
+      crc = rd.U32();
+      ok = version == kCkptVersion && len == payload_len;
+      if (ok) {
+        payload->resize(len);
+        size_t got = 0;
+        while (got < payload->size()) {
+          ssize_t r = ::pread(fd, payload->data() + got, payload->size() - got,
+                              static_cast<off_t>(kCkptHeader + got));
+          if (r <= 0) {
+            ok = false;
+            break;
+          }
+          got += static_cast<size_t>(r);
+        }
+      }
+    }
+    ::close(fd);
+    if (ok && Crc32c(*payload) != crc) {
+      ok = false;  // Bit flips anywhere in the payload land here.
+    }
+  }
+  if (!ok) {
+    if (c_ckpt_load_failures_ != nullptr) {
+      c_ckpt_load_failures_->Increment();
+    }
+    return nullptr;
+  }
+  if (c_ckpt_loads_ != nullptr) {
+    c_ckpt_loads_->Increment();
+  }
+  std::shared_ptr<const std::vector<uint8_t>> out = std::move(payload);
+  std::lock_guard<std::mutex> lock(ckpt_cache_mu_);
+  ckpt_cache_round_ = round;
+  ckpt_cache_ = out;
+  return out;
+}
+
 void BlockStore::AttachMetrics(MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     c_bytes_ = c_records_ = c_fsyncs_ = c_truncates_ = c_segments_ = c_reads_ = nullptr;
+    c_index_hits_ = c_index_misses_ = c_ckpts_written_ = c_ckpt_bytes_ = nullptr;
+    c_ckpt_load_failures_ = c_ckpt_loads_ = c_compaction_runs_ = c_compaction_segments_ = nullptr;
+    c_compaction_bytes_ = nullptr;
     return;
   }
   c_bytes_ = &metrics->GetCounter("store.bytes_written");
@@ -1031,10 +1762,20 @@ void BlockStore::AttachMetrics(MetricsRegistry* metrics) {
   c_truncates_ = &metrics->GetCounter("store.truncates");
   c_segments_ = &metrics->GetCounter("store.segments_created");
   c_reads_ = &metrics->GetCounter("store.reads");
+  c_index_hits_ = &metrics->GetCounter("store.index_hits");
+  c_index_misses_ = &metrics->GetCounter("store.index_misses");
+  c_ckpts_written_ = &metrics->GetCounter("store.checkpoints_written");
+  c_ckpt_bytes_ = &metrics->GetCounter("store.checkpoint_bytes");
+  c_ckpt_load_failures_ = &metrics->GetCounter("store.checkpoint_load_failures");
+  c_ckpt_loads_ = &metrics->GetCounter("store.checkpoint_loads");
+  c_compaction_runs_ = &metrics->GetCounter("store.compaction_runs");
+  c_compaction_segments_ = &metrics->GetCounter("store.compaction_segments_removed");
+  c_compaction_bytes_ = &metrics->GetCounter("store.compaction_bytes_reclaimed");
   // Publish the Open() replay cost (scan happened before instruments existed).
   metrics->GetCounter("store.replay_rounds").Increment(replayed_rounds_);
   metrics->GetCounter("store.replay_wall_ms_total")
       .Increment(static_cast<uint64_t>(replay_wall_ms_));
+  c_ckpt_load_failures_->Increment(ckpt_scan_failures_);
 }
 
 }  // namespace algorand

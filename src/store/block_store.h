@@ -19,6 +19,17 @@
 //     whole round range is dead are garbage-collected after the truncate
 //     record is durable.
 //
+// Checkpoints + compaction (DESIGN.md §13): AppendCheckpoint writes a
+// sidecar ckpt-<round>.ckpt file (store/checkpoint.h) off the protocol
+// thread, then garbage-collects every whole segment strictly below the
+// oldest *retained* checkpoint — but first extracts each doomed round's
+// chain link (round, block hash, next-round seed, certificate) into the
+// chain.log sidecar, so the certificate chain genesis -> checkpoint stays
+// servable for fast-sync after the full blocks are gone. Every segment
+// starts with a SEGSTART frame echoing the committed (next_round, tip), so
+// replay of a compacted log primes itself at the first retained round
+// instead of assuming round 1.
+//
 // The store is payload-agnostic: blocks and certificates travel as opaque
 // serialized byte strings, so this layer depends only on common/ and obs/ —
 // Node (src/core) does the protocol-level validation when it replays the
@@ -35,6 +46,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -67,6 +79,10 @@ struct StoreOptions {
   // false = all operations run synchronously on the caller's thread
   // (deterministic; used by tests and the discrete-event harness default).
   bool background_writer = true;
+  // Checkpoints kept on disk. Compaction prunes segments strictly below the
+  // *oldest* retained checkpoint, so >= 2 keeps one full checkpoint interval
+  // of raw history around the newest checkpoint.
+  uint64_t checkpoint_retain = 2;
 };
 
 // One round's durable record. Blocks/certificates are opaque serialized
@@ -76,9 +92,30 @@ struct StoredRound {
   uint64_t round = 0;
   uint8_t kind = 0;   // ConsensusKind as u8.
   Hash256 tip_hash;   // Chain tip hash after appending this block.
+  SeedBytes next_seed;  // The block's round+1 seed (zero on pre-seed logs).
   std::vector<uint8_t> block;
   std::vector<uint8_t> cert;
   std::vector<uint8_t> final_cert;
+};
+
+// One hop of the certificate chain (§8.3): what fast-sync needs per round —
+// and what compaction preserves in chain.log after pruning the full block.
+struct ChainLink {
+  uint64_t round = 0;
+  uint8_t kind = 0;
+  Hash256 hash;         // Block hash of this round.
+  SeedBytes next_seed;  // Seed of round + 1, for seed-window cross-checks.
+  std::vector<uint8_t> cert;  // Deciding-step certificate (may be empty).
+
+  std::vector<uint8_t> SerializePayload() const;
+  static std::optional<ChainLink> DecodePayload(std::span<const uint8_t> payload);
+};
+
+// A durable checkpoint file the store knows about (see store/checkpoint.h).
+struct CheckpointInfo {
+  uint64_t round = 0;
+  uint64_t payload_bytes = 0;
+  std::string path;
 };
 
 class BlockStore {
@@ -105,8 +142,25 @@ class BlockStore {
 
   // Fork switch: atomically discards rounds >= from_round (truncate record,
   // fsync'd regardless of policy, then dead-segment GC). The replacement
-  // suffix follows through ordinary AppendRound calls.
+  // suffix follows through ordinary AppendRound calls. Checkpoints at
+  // rounds >= from_round are unlinked too (they describe dead history).
   void TruncateSuffix(uint64_t from_round);
+
+  // Writes a durable checkpoint for `round` (which must already be
+  // committed), then compacts: prunes every whole segment strictly below the
+  // oldest retained checkpoint, extracting chain links into chain.log first.
+  // `serialize` builds the checkpoint payload (store/checkpoint.h format) and
+  // runs on the writer thread — pass a closure over copied state so the
+  // protocol thread never pays the serialization cost.
+  void AppendCheckpoint(uint64_t round, std::function<std::vector<uint8_t>()> serialize);
+
+  // Fast-sync install path (empty store only): adopt a checkpoint payload
+  // fetched from a peer, prime the log so appends continue at `next_round`
+  // (writes the SEGSTART base frame replay will pick up), and persist the
+  // verified cert-chain links so this node can serve fast-sync in turn.
+  void AdoptCheckpoint(uint64_t round, std::vector<uint8_t> payload);
+  void PrimeAt(uint64_t next_round, const Hash256& tip_hash);
+  void AppendChainLinks(std::vector<std::vector<uint8_t>> link_payloads);
 
   // Barrier: returns once every queued operation is written (and fsync'd,
   // unless the policy is kOff).
@@ -129,11 +183,30 @@ class BlockStore {
   // Tip hash of the highest committed round (zero when empty).
   Hash256 tip_hash() const;
 
-  // Reads one committed round from disk (index lookup + pread). Returns
-  // nullopt for rounds the log does not (durably) hold yet. Any final
-  // certificate recorded for the round — inline or via a later upgrade
-  // record — is folded into the result. Thread-safe against the writer.
+  // Reads one committed round from disk (index lookup + cached-fd pread).
+  // Returns nullopt for rounds the log does not (durably) hold — including
+  // rounds compaction pruned. Any final certificate recorded for the round —
+  // inline or via a later upgrade record — is folded into the result.
+  // Thread-safe against the writer.
   std::optional<StoredRound> ReadRound(uint64_t round) const;
+
+  // The certificate-chain link for `round`: synthesized from the round
+  // record when retained, served from chain.log when pruned. nullopt if the
+  // round is in neither (never committed, or truncated away).
+  std::optional<ChainLink> ChainLinkAt(uint64_t round) const;
+
+  // Lowest round ReadRound can still serve (compaction moves this up);
+  // next_round() when the log holds no rounds at all.
+  uint64_t first_retained_round() const;
+
+  // Durable checkpoints, oldest first.
+  std::vector<CheckpointInfo> checkpoints() const;
+
+  // Loads and CRC-validates one checkpoint's payload (cached: manifest and
+  // chunk serving hit the same bytes). nullptr if absent or corrupt — a
+  // corrupt file counts store.checkpoint_load_failures and is never
+  // partially returned.
+  std::shared_ptr<const std::vector<uint8_t>> ReadCheckpointPayload(uint64_t round) const;
 
   // Replay cost of the Open() scan, for observability.
   uint64_t replayed_rounds() const { return replayed_rounds_; }
@@ -141,8 +214,12 @@ class BlockStore {
 
   // Registers store.* counters ("store.bytes_written", "store.records_
   // written", "store.fsyncs", "store.truncates", "store.segments_created",
-  // "store.reads", "store.replay_rounds", "store.replay_wall_ms_total") and
-  // publishes the Open() replay cost immediately.
+  // "store.reads", "store.index_hits", "store.index_misses",
+  // "store.checkpoints_written", "store.checkpoint_bytes",
+  // "store.checkpoint_load_failures", "store.compaction_runs",
+  // "store.compaction_segments_removed", "store.compaction_bytes_reclaimed",
+  // "store.replay_rounds", "store.replay_wall_ms_total") and publishes the
+  // Open() replay cost immediately.
   void AttachMetrics(MetricsRegistry* metrics);
 
   const std::string& dir() const { return opts_.dir; }
@@ -152,7 +229,7 @@ class BlockStore {
   // One queued write operation. Complete here (not just forward-declared)
   // because std::deque<Op> below requires a complete element type.
   struct Op {
-    enum class Kind { kRound, kFinal, kTruncate, kFlush };
+    enum class Kind { kRound, kFinal, kTruncate, kFlush, kCheckpoint, kAdopt, kPrime, kLinks };
     struct FlushWaiter {
       std::mutex mu;
       std::condition_variable cv;
@@ -161,8 +238,12 @@ class BlockStore {
 
     Kind kind = Kind::kRound;
     StoredRound round;          // kRound.
-    uint64_t a = 0;             // kFinal: round; kTruncate: from_round.
-    std::vector<uint8_t> blob;  // kFinal: serialized final certificate.
+    uint64_t a = 0;             // kFinal/kCheckpoint/kAdopt: round;
+                                // kTruncate: from_round; kPrime: next_round.
+    std::vector<uint8_t> blob;  // kFinal: final cert; kAdopt: ckpt payload.
+    Hash256 hash;               // kPrime: tip hash.
+    std::function<std::vector<uint8_t>()> serialize;  // kCheckpoint.
+    std::vector<std::vector<uint8_t>> blobs;          // kLinks.
     std::shared_ptr<FlushWaiter> waiter;
   };
   // Index entry for one committed round.
@@ -189,6 +270,26 @@ class BlockStore {
   void DoAppendRound(const StoredRound& r);
   void DoFinalUpgrade(uint64_t round, const std::vector<uint8_t>& final_cert);
   void DoTruncate(uint64_t from_round);
+  void DoCheckpoint(uint64_t round, const std::function<std::vector<uint8_t>()>& serialize);
+  void DoAdoptCheckpoint(uint64_t round, const std::vector<uint8_t>& payload);
+  void DoPrime(uint64_t next_round, const Hash256& tip);
+  void DoAppendLinks(const std::vector<std::vector<uint8_t>>& payloads);
+
+  // Enqueues `op` (or executes it inline without a background writer).
+  void Enqueue(Op op);
+  // Writes `payload` as ckpt-<round>.ckpt via tmp + fsync + rename +
+  // dir-fsync; registers it in checkpoints_. False on I/O failure.
+  bool WriteCheckpointFile(uint64_t round, const std::vector<uint8_t>& payload);
+  // Prunes whole segments strictly below `cutoff` (oldest retained
+  // checkpoint round), extracting chain links into chain.log first.
+  void CompactBelow(uint64_t cutoff);
+  // Appends one chain-link frame to chain.log; registers its offset.
+  bool AppendChainLinkFrame(const std::vector<uint8_t>& payload);
+  // Opens (or reuses via the LRU fd cache) `path` and reads the frame at
+  // `offset`, validating magic/type/CRC. nullopt on any mismatch.
+  std::optional<std::vector<uint8_t>> ReadFrameAt(const std::string& path, uint64_t offset,
+                                                  uint8_t want_type) const;
+  void DropCachedFd(const std::string& path) const;
 
   // Appends one framed record to the active segment (rolling first if the
   // segment is full and `at_op_start`), without fsync.
@@ -210,6 +311,10 @@ class BlockStore {
     uint64_t size = 0;
     uint64_t min_round = 0;  // 0 = holds no live round records.
     uint64_t max_round = 0;
+    // True if the segment opens with a SEGSTART base frame. Compaction may
+    // only cut the log at a segment that has one — replay of an older
+    // (pre-checkpoint-era) segment without it would assume round 1.
+    bool has_base = false;
   };
   std::map<uint32_t, SegmentInfo> segments_;  // seq -> info.
   uint32_t active_seq_ = 0;
@@ -224,6 +329,24 @@ class BlockStore {
   uint64_t next_round_ = 1;
   uint64_t highest_final_ = 0;
   Hash256 tip_hash_;
+
+  // Checkpoint + chain-link sidecar state (also under index_mu_).
+  std::vector<CheckpointInfo> checkpoints_;  // Sorted by round, oldest first.
+  std::map<uint64_t, std::pair<uint64_t, uint32_t>> chain_links_;  // round -> (offset, frame len).
+  std::string chain_path_;
+  int chain_fd_ = -1;        // Append fd for chain.log (writer thread only).
+  uint64_t chain_size_ = 0;  // Committed size of chain.log.
+
+  // LRU cache of read fds (segments + chain.log): the read path used to
+  // open/close per call, which made disk-served catch-up O(syscalls) hot.
+  mutable std::mutex fd_mu_;
+  mutable std::vector<std::pair<std::string, int>> fd_cache_;  // Front = MRU.
+
+  // One-entry cache of the last checkpoint payload read (manifest + chunk
+  // serving hit the same immutable bytes repeatedly).
+  mutable std::mutex ckpt_cache_mu_;
+  mutable uint64_t ckpt_cache_round_ = 0;
+  mutable std::shared_ptr<const std::vector<uint8_t>> ckpt_cache_;
 
   // Writer queue.
   std::mutex queue_mu_;
@@ -241,9 +364,19 @@ class BlockStore {
   Counter* c_truncates_ = nullptr;
   Counter* c_segments_ = nullptr;
   Counter* c_reads_ = nullptr;
+  Counter* c_index_hits_ = nullptr;
+  Counter* c_index_misses_ = nullptr;
+  Counter* c_ckpts_written_ = nullptr;
+  Counter* c_ckpt_bytes_ = nullptr;
+  mutable Counter* c_ckpt_load_failures_ = nullptr;
+  mutable Counter* c_ckpt_loads_ = nullptr;
+  Counter* c_compaction_runs_ = nullptr;
+  Counter* c_compaction_segments_ = nullptr;
+  Counter* c_compaction_bytes_ = nullptr;
 
   uint64_t replayed_rounds_ = 0;
   double replay_wall_ms_ = 0;
+  uint64_t ckpt_scan_failures_ = 0;  // Bad headers found by Open()'s scan.
 };
 
 }  // namespace algorand

@@ -1,0 +1,68 @@
+#include "src/store/checkpoint.h"
+
+#include "src/common/serialize.h"
+
+namespace algorand {
+
+std::vector<uint8_t> CheckpointData::Serialize() const {
+  Writer w;
+  w.U64(manifest.round);
+  w.Fixed(manifest.tip_hash);
+  w.Fixed(manifest.fingerprint);
+  w.U64(manifest.highest_final);
+  w.Fixed(manifest.genesis_hash);
+  w.U64(seed_base);
+  w.U64(seeds.size());
+  w.Bytes(tip_block);
+  w.Bytes(accounts);
+  for (const SeedBytes& s : seeds) {
+    w.Fixed(s);
+  }
+  return w.Take();
+}
+
+std::optional<CheckpointData> CheckpointData::Deserialize(std::span<const uint8_t> data) {
+  Reader rd(data);
+  CheckpointData c;
+  c.manifest.round = rd.U64();
+  c.manifest.tip_hash = rd.Fixed<32>();
+  c.manifest.fingerprint = rd.Fixed<32>();
+  c.manifest.highest_final = rd.U64();
+  c.manifest.genesis_hash = rd.Fixed<32>();
+  c.seed_base = rd.U64();
+  const uint64_t seed_count = rd.U64();
+  c.tip_block = rd.Bytes();
+  c.accounts = rd.Bytes();
+  if (!rd.ok() || seed_count != rd.remaining() / 32 || rd.remaining() % 32 != 0) {
+    return std::nullopt;
+  }
+  c.seeds.reserve(seed_count);
+  for (uint64_t i = 0; i < seed_count; ++i) {
+    c.seeds.push_back(rd.Fixed<32>());
+  }
+  if (!rd.AtEnd() || c.manifest.round == 0 || c.tip_block.empty() ||
+      c.seed_base + c.seeds.size() != c.manifest.round + 1) {
+    return std::nullopt;
+  }
+  return c;
+}
+
+std::optional<CheckpointManifest> CheckpointData::ParseManifest(
+    std::span<const uint8_t> data) {
+  if (data.size() < kManifestBytes) {
+    return std::nullopt;
+  }
+  Reader rd(data.subspan(0, kManifestBytes));
+  CheckpointManifest m;
+  m.round = rd.U64();
+  m.tip_hash = rd.Fixed<32>();
+  m.fingerprint = rd.Fixed<32>();
+  m.highest_final = rd.U64();
+  m.genesis_hash = rd.Fixed<32>();
+  if (!rd.ok() || m.round == 0) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+}  // namespace algorand
